@@ -1,0 +1,407 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   Sections (select by passing their names as arguments; default all):
+     figure1  — the experimental setup (Figure 1): topology summary and
+                interconnect sanity checks
+     figure2  — rho_noiseless / rho_eff / Gamma_eff / v_out_eff series
+                (Figure 2a and 2b)
+     table1   — accuracy comparison across all techniques (Table 1)
+     runtime  — per-technique extraction latency and the SGDP cost vs P
+                sweep (Section 4.2), measured with Bechamel
+     ablation — SGDP design-choice ablations (DESIGN.md)
+     nonoverlap — the two-stage-buffer receiver extension (the paper's
+                non-overlapping-transition case)
+     worstcase — worst-aggressor-alignment search (noise-aware STA)
+     corners  — technique accuracy across process corners
+     montecarlo — randomized alignment/polarity error percentiles
+     awe      — moment-matched interconnect model vs transient sim
+
+   "--cases N" overrides the per-configuration case count (default 100
+   here; the paper's full 200 is used by `bin/sta_main.exe table1
+   --cases 200`, see EXPERIMENTS.md). *)
+
+let cases = ref 100
+
+let section_enabled wanted =
+  let named =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> not (String.length a > 0 && a.[0] = '-'))
+    |> List.filter (fun a -> int_of_string_opt a = None)
+  in
+  named = [] || List.mem wanted named
+
+let header title =
+  Printf.printf "\n==================== %s ====================\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+
+let figure1 () =
+  header "Figure 1: experimental setup";
+  List.iter
+    (fun scen ->
+      let ckt, _ = Noise.Scenario.build scen ~aggressor_active:true ~tau:1e-9 in
+      Printf.printf "%s: %s\n" scen.Noise.Scenario.name
+        (Spice.Circuit.summary ckt);
+      let line = scen.Noise.Scenario.line in
+      Printf.printf
+        "  line: R=%.1f ohm C=%.1f fF over %d sections; Cm=%.0f fF/pair\n"
+        line.Interconnect.Rcline.rtotal
+        (line.Interconnect.Rcline.ctotal *. 1e15)
+        line.Interconnect.Rcline.nsegs
+        (scen.Noise.Scenario.cm_total *. 1e15);
+      Printf.printf "  line Elmore delay: %.2f ps (discrete %.2f ps)\n"
+        (Interconnect.Rcline.elmore line *. 1e12)
+        (Interconnect.Rcline.elmore_discrete line *. 1e12);
+      let th = Device.Process.thresholds scen.Noise.Scenario.proc in
+      let r = Noise.Injection.noiseless scen in
+      let show name w =
+        match
+          (Waveform.Wave.arrival w th, Waveform.Wave.slew w th)
+        with
+        | Some a, Some s ->
+            Printf.printf "  noiseless %s: arrival %.1f ps, slew %.1f ps\n"
+              name (a *. 1e12) (s *. 1e12)
+        | _ -> Printf.printf "  noiseless %s: (no transition?)\n" name
+      in
+      show "in_u (victim far end)" r.Noise.Injection.far;
+      show "out_u (receiver out)" r.Noise.Injection.rcv)
+    [ Noise.Scenario.config_i; Noise.Scenario.config_ii ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+
+let representative_tau scen =
+  (* An alignment where the aggressor meaningfully distorts the victim
+     transition: slightly after the victim launch. *)
+  scen.Noise.Scenario.victim_t0
+
+let figure2 () =
+  header "Figure 2: sensitivity and equivalent waveforms";
+  let scen = Noise.Scenario.config_i in
+  let th = Device.Process.thresholds scen.Noise.Scenario.proc in
+  let noiseless = Noise.Injection.noiseless scen in
+  let tau = representative_tau scen in
+  let noisy = Noise.Injection.noisy scen ~tau in
+  let ctx = Noise.Injection.ctx_of_runs scen ~noiseless ~noisy in
+  let sens = Eqwave.Sensitivity.compute ctx in
+  let region_nl = Eqwave.Technique.noiseless_critical_region ctx in
+  let region_ny = Eqwave.Technique.noisy_critical_region ctx in
+  Printf.printf
+    "victim transition with aggressor at tau = %.0f ps\n\
+     noiseless critical region [%.0f, %.0f] ps; noisy [%.0f, %.0f] ps\n\
+     peak |rho| = %.2f\n"
+    (tau *. 1e12)
+    (fst region_nl *. 1e12) (snd region_nl *. 1e12)
+    (fst region_ny *. 1e12) (snd region_ny *. 1e12)
+    (Eqwave.Sensitivity.peak sens);
+  let gamma = Eqwave.Sgdp.sgdp.Eqwave.Technique.run ctx in
+  Printf.printf "SGDP Gamma_eff: arrival %.1f ps, slew %.1f ps\n"
+    (Waveform.Ramp.arrival gamma th *. 1e12)
+    (Waveform.Ramp.slew gamma th *. 1e12);
+  let v_out_eff =
+    Noise.Injection.receiver_response scen
+      ~input:(Spice.Source.of_ramp gamma) ~tstop:scen.Noise.Scenario.tstop
+  in
+  let v_out_ref =
+    Noise.Injection.receiver_response scen
+      ~input:(Spice.Source.of_wave noisy.Noise.Injection.far)
+      ~tstop:scen.Noise.Scenario.tstop
+  in
+  (* Figure 2a series: v_in, v_out, 0.2 x rho over the noiseless region;
+     Figure 2b series: noisy input, Gamma_eff, 0.2 x rho_eff, outputs. *)
+  Printf.printf
+    "\n  t(ps)   v_nl_in  v_nl_out  0.2*rho | v_noisy  Gamma   0.2*rho_eff  v_out_eff  v_out_ref\n";
+  let t0 = fst region_ny -. 100e-12 and t1 = snd region_ny +. 150e-12 in
+  let samples = 28 in
+  let rho_eff_at =
+    let ts1 = Array.init 256 (fun i ->
+        t0 +. ((t1 -. t0) *. float_of_int i /. 255.0)) in
+    let rho, _ = Eqwave.Sgdp.rho_eff sens ctx ts1 in
+    fun t ->
+      let i =
+        int_of_float ((t -. t0) /. (t1 -. t0) *. 255.0)
+        |> Int.max 0 |> Int.min 255
+      in
+      rho.(i)
+  in
+  for i = 0 to samples - 1 do
+    let t = t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (samples - 1)) in
+    Printf.printf
+      "  %6.0f   %6.3f   %6.3f   %6.3f | %6.3f   %6.3f   %6.3f       %6.3f     %6.3f\n"
+      (t *. 1e12)
+      (Waveform.Wave.value_at ctx.Eqwave.Technique.noiseless_in t)
+      (Waveform.Wave.value_at ctx.Eqwave.Technique.noiseless_out t)
+      (0.2 *. Eqwave.Sensitivity.rho_at_time sens t)
+      (Waveform.Wave.value_at ctx.Eqwave.Technique.noisy_in t)
+      (Waveform.Ramp.value_at gamma t)
+      (0.2 *. rho_eff_at t)
+      (Waveform.Wave.value_at v_out_eff t)
+      (Waveform.Wave.value_at v_out_ref t)
+  done;
+  match
+    (Waveform.Wave.arrival v_out_eff th, Waveform.Wave.arrival v_out_ref th)
+  with
+  | Some a, Some b ->
+      Printf.printf
+        "\nv_out_eff vs reference output arrival: %.1f vs %.1f ps (err %.1f ps)\n"
+        (a *. 1e12) (b *. 1e12)
+        ((a -. b) *. 1e12)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let table1 () =
+  header (Printf.sprintf "Table 1: accuracy comparison (%d cases/config)" !cases);
+  List.iter
+    (fun scen ->
+      let scen = Noise.Scenario.with_cases scen !cases in
+      let t0 = Unix.gettimeofday () in
+      let table =
+        Noise.Eval.run_table
+          ~progress:(fun k n ->
+            if k mod 25 = 0 then Printf.eprintf "  %s: %d/%d\r%!" scen.Noise.Scenario.name k n)
+          scen
+      in
+      Printf.eprintf "%40s\r%!" "";
+      Format.printf "%a@." Noise.Eval.pp_table table;
+      Printf.printf "(%.1f s)\n" (Unix.gettimeofday () -. t0))
+    [ Noise.Scenario.config_i; Noise.Scenario.config_ii ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime comparison (Section 4.2) via Bechamel                       *)
+
+let bench_ctx =
+  lazy
+    (let scen = Noise.Scenario.config_i in
+     let noiseless = Noise.Injection.noiseless scen in
+     let noisy = Noise.Injection.noisy scen ~tau:(representative_tau scen) in
+     Noise.Injection.ctx_of_runs scen ~noiseless ~noisy)
+
+let run_bechamel tests =
+  let open Bechamel in
+  let open Toolkit in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"t" tests) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      match Analyze.OLS.estimates est with
+      | Some (v :: _) -> rows := (name, v) :: !rows
+      | _ -> ())
+    results;
+  List.sort compare !rows
+
+let runtime () =
+  header "Section 4.2: run-time comparison (per-gate extraction)";
+  let ctx = Lazy.force bench_ctx in
+  let tests =
+    List.map
+      (fun (tech : Eqwave.Technique.t) ->
+        Bechamel.Test.make ~name:tech.Eqwave.Technique.name
+          (Bechamel.Staged.stage (fun () ->
+               match tech.Eqwave.Technique.run ctx with
+               | (_ : Waveform.Ramp.t) -> ()
+               | exception Eqwave.Technique.Unsupported _ -> ())))
+      Eqwave.Registry.all
+  in
+  Printf.printf "equivalent-waveform extraction, P = %d samples:\n"
+    ctx.Eqwave.Technique.samples;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-12s %10.2f us/gate\n" name (ns /. 1e3))
+    (run_bechamel tests);
+  (* SGDP cost vs P (the paper: smaller P is cheaper but less accurate). *)
+  Printf.printf "\nSGDP extraction cost vs P:\n";
+  let p_tests =
+    List.map
+      (fun p ->
+        let ctx = { ctx with Eqwave.Technique.samples = p } in
+        Bechamel.Test.make ~name:(Printf.sprintf "P=%03d" p)
+          (Bechamel.Staged.stage (fun () ->
+               match Eqwave.Sgdp.sgdp.Eqwave.Technique.run ctx with
+               | (_ : Waveform.Ramp.t) -> ()
+               | exception Eqwave.Technique.Unsupported _ -> ())))
+      [ 5; 10; 20; 35; 70; 140 ]
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-12s %10.2f us/gate\n" name (ns /. 1e3))
+    (run_bechamel p_tests);
+  (* Accuracy vs P on a small sweep, completing the paper's cost-vs-
+     accuracy remark. *)
+  Printf.printf "\nSGDP accuracy vs P (20-case Config I sweep):\n";
+  let scen = Noise.Scenario.with_cases Noise.Scenario.config_i 20 in
+  List.iter
+    (fun p ->
+      let table =
+        Noise.Eval.run_table ~samples:p
+          ~techniques:[ Eqwave.Sgdp.sgdp ] scen
+      in
+      match table.Noise.Eval.rows with
+      | [ row ] ->
+          Printf.printf "  P=%-4d max %.1f ps avg %.1f ps (failed %d)\n" p
+            row.Noise.Eval.max_abs_ps row.Noise.Eval.avg_abs_ps
+            row.Noise.Eval.n_failed
+      | _ -> ())
+    [ 5; 10; 20; 35; 70 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablation () =
+  header "SGDP ablations (design choices)";
+  let variants =
+    [
+      ("SGDP (full)", Eqwave.Sgdp.sgdp);
+      ( "no 2nd-order term",
+        Eqwave.Sgdp.(make { default_options with second_order = false }) );
+      ( "no commit masking",
+        Eqwave.Sgdp.(make { default_options with commit_masking = false }) );
+      ( "no overlap align",
+        Eqwave.Sgdp.(make { default_options with align_non_overlapping = false })
+      );
+    ]
+  in
+  let techniques = List.map snd variants in
+  let n = Int.min !cases 60 in
+  List.iter
+    (fun scen ->
+      let scen = Noise.Scenario.with_cases scen n in
+      let table = Noise.Eval.run_table ~techniques scen in
+      Printf.printf "%s (%d cases):\n" scen.Noise.Scenario.name n;
+      List.iteri
+        (fun i row ->
+          Printf.printf "  %-20s max %6.1f ps avg %6.1f ps (failed %d)\n"
+            (fst (List.nth variants i))
+            row.Noise.Eval.max_abs_ps row.Noise.Eval.avg_abs_ps
+            row.Noise.Eval.n_failed)
+        table.Noise.Eval.rows)
+    [ Noise.Scenario.config_i; Noise.Scenario.config_ii ]
+
+(* ------------------------------------------------------------------ *)
+(* Extensions                                                          *)
+
+let nonoverlap () =
+  header "Extension: two-stage buffer receiver (non-overlapping case)";
+  let n = Int.min !cases 60 in
+  let scen = Noise.Scenario.with_cases Noise.Scenario.config_i_buffer n in
+  let table = Noise.Eval.run_table scen in
+  Format.printf "%a@." Noise.Eval.pp_table table;
+  Printf.printf
+    "(WLS5's failures here are the paper's point: with a multi-stage\n\
+    \ receiver the sensitivity window thins out and the weighted fit\n\
+    \ degenerates, while SGDP's alignment step keeps it defined.)\n"
+
+let worstcase () =
+  header "Extension: worst-case aggressor alignment search";
+  List.iter
+    (fun scen ->
+      let t0 = Unix.gettimeofday () in
+      let r = Noise.Worst_case.search ~coarse:16 ~refine:8 scen in
+      Format.printf "%s: %a  [%.1f s]@." scen.Noise.Scenario.name
+        Noise.Worst_case.pp r
+        (Unix.gettimeofday () -. t0))
+    [ Noise.Scenario.config_i; Noise.Scenario.config_ii ]
+
+let corners () =
+  header "Extension: accuracy across process corners (Config I)";
+  let n = Int.min !cases 40 in
+  let techniques = [ Eqwave.Wls.wls5; Eqwave.Sgdp.sgdp ] in
+  List.iter
+    (fun proc ->
+      let scen =
+        Noise.Scenario.with_cases { Noise.Scenario.config_i with proc } n
+      in
+      let table = Noise.Eval.run_table ~techniques scen in
+      Printf.printf "%s corner (%d cases):\n" proc.Device.Process.name n;
+      List.iter
+        (fun row ->
+          Printf.printf "  %-6s max %6.1f ps avg %6.1f ps (failed %d)\n"
+            row.Noise.Eval.name row.Noise.Eval.max_abs_ps
+            row.Noise.Eval.avg_abs_ps row.Noise.Eval.n_failed)
+        table.Noise.Eval.rows)
+    Device.Process.[ c13_fast; c13; c13_slow ]
+
+let montecarlo () =
+  header "Extension: Monte-Carlo alignment & polarity sampling";
+  let n = Int.min !cases 60 in
+  List.iter
+    (fun scen ->
+      let _, summaries = Noise.Montecarlo.run ~samples:n scen in
+      Printf.printf "%s (%d samples):\n" scen.Noise.Scenario.name n;
+      Format.printf "%a@." Noise.Montecarlo.pp_summary summaries)
+    [ Noise.Scenario.config_i ]
+
+let awe () =
+  header "Extension: AWE moment matching vs transient simulation";
+  let specs =
+    [
+      ("Figure-1 line (1000 um)", Noise.Scenario.config_i.Noise.Scenario.line);
+      ("Figure-1 line (500 um)", Noise.Scenario.config_ii.Noise.Scenario.line);
+      ("resistive net", Interconnect.Rcline.{ rtotal = 500.0; ctotal = 300e-15; nsegs = 10 });
+    ]
+  in
+  Printf.printf "%-24s %12s %12s %12s\n" "net" "elmore*ln2" "AWE-2pole"
+    "spice t50";
+  List.iter
+    (fun (name, spec) ->
+      let open Spice in
+      let ckt = Circuit.create () in
+      let near = Circuit.node ckt "in" in
+      Circuit.vsource ckt near (Source.pwl [ (0.0, 0.0); (1e-14, 1.0) ]);
+      let far = Interconnect.Rcline.build ckt ~prefix:"w" ~near spec in
+      let far_name = Circuit.node_name ckt far in
+      let ms =
+        Interconnect.Awe.moments_of_circuit ckt ~input:"in" ~output:far_name
+          ~order:5
+      in
+      let model = Interconnect.Awe.pade ms in
+      let awe_d = Interconnect.Awe.delay model in
+      let span = Float.max 50e-12 (40.0 *. Interconnect.Rcline.elmore spec) in
+      let config =
+        { Transient.default_config with dt = span /. 4000.0; tstop = span }
+      in
+      let res = Transient.run ~config ckt in
+      let t50 =
+        match
+          Waveform.Wave.first_crossing (Transient.probe res far_name) 0.5
+        with
+        | Some t -> t
+        | None -> nan
+      in
+      Printf.printf "%-24s %10.2f ps %10.2f ps %10.2f ps\n" name
+        (log 2.0 *. Interconnect.Rcline.elmore spec *. 1e12)
+        (awe_d *. 1e12) (t50 *. 1e12))
+    specs
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (* Parse "--cases N". *)
+  let argv = Array.to_list Sys.argv in
+  let rec scan = function
+    | "--cases" :: n :: rest ->
+        (match int_of_string_opt n with Some v -> cases := v | None -> ());
+        scan rest
+    | _ :: rest -> scan rest
+    | [] -> ()
+  in
+  scan argv;
+  if section_enabled "figure1" then figure1 ();
+  if section_enabled "figure2" then figure2 ();
+  if section_enabled "table1" then table1 ();
+  if section_enabled "runtime" then runtime ();
+  if section_enabled "ablation" then ablation ();
+  if section_enabled "nonoverlap" then nonoverlap ();
+  if section_enabled "worstcase" then worstcase ();
+  if section_enabled "corners" then corners ();
+  if section_enabled "montecarlo" then montecarlo ();
+  if section_enabled "awe" then awe ();
+  Printf.printf "\nDone.\n"

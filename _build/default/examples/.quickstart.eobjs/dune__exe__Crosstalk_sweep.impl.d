@@ -1,0 +1,1 @@
+examples/crosstalk_sweep.ml: Array Format List Noise Printf Sys

@@ -1,0 +1,1 @@
+examples/crosstalk_sweep.mli:

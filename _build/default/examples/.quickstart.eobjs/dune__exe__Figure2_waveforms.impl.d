@@ -1,0 +1,1 @@
+examples/figure2_waveforms.ml: Array Device Eqwave Fun Noise Printf Spice Sys Waveform

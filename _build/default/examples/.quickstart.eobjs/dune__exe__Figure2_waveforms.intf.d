@@ -1,0 +1,1 @@
+examples/figure2_waveforms.mli:

@@ -1,0 +1,1 @@
+examples/netlist_sta.ml: Array Device Format Liberty List Printf Sta String Sys Waveform

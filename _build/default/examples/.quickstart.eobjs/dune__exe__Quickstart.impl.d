@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Device Eqwave Float List Option Printf Spice Transient Waveform

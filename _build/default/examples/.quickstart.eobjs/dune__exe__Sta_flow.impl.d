@@ -1,0 +1,1 @@
+examples/sta_flow.ml: Device Eqwave Format Liberty List Noise Printf Sta String Waveform

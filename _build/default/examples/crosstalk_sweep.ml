@@ -1,0 +1,38 @@
+(* Crosstalk sweep: the paper's Configuration I, swept over aggressor
+   alignments, reporting how the victim's gate delay moves and how well
+   each technique tracks it.
+
+     dune exec examples/crosstalk_sweep.exe [-- <cases>] *)
+
+let () =
+  let cases =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 25
+  in
+  let scen = Noise.Scenario.with_cases Noise.Scenario.config_i cases in
+  Printf.printf "%s: %d aggressor alignments over a %.1f ns window\n\n"
+    scen.Noise.Scenario.name cases (scen.Noise.Scenario.window *. 1e9);
+  let noiseless = Noise.Injection.noiseless scen in
+  Printf.printf "%-10s %-12s %-10s %-10s\n" "tau(ps)" "ref delay" "WLS5 err"
+    "SGDP err";
+  let taus = Noise.Scenario.taus scen in
+  Array.iter
+    (fun tau ->
+      let case = Noise.Eval.evaluate_case scen ~noiseless ~tau in
+      let err name =
+        match
+          List.find_opt
+            (fun m -> m.Noise.Eval.technique = name)
+            case.Noise.Eval.metrics
+        with
+        | Some { Noise.Eval.delay_err = Some e; _ } ->
+            Printf.sprintf "%+8.1f" (e *. 1e12)
+        | Some { Noise.Eval.failure = Some f; _ } -> "fail: " ^ f
+        | _ -> "?"
+      in
+      Printf.printf "%-10.0f %-12.1f %-10s %-10s\n" (tau *. 1e12)
+        (case.Noise.Eval.delay_ref *. 1e12)
+        (err "WLS5") (err "SGDP"))
+    taus;
+  (* Aggregate view, Table-1 style. *)
+  let table = Noise.Eval.run_table scen in
+  Format.printf "@.%a@." Noise.Eval.pp_table table

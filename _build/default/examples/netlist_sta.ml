@@ -1,0 +1,50 @@
+(* Netlist-file STA: load a design from the textual netlist format,
+   characterize the library, and produce timing + slack reports.
+
+     dune exec examples/netlist_sta.exe [-- <file.net>] *)
+
+let proc = Device.Process.c13
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else "examples/data/pipeline.net"
+  in
+  let netlist = Sta.Netlist_io.load path in
+  Printf.printf "loaded %s: %d gates, %d nets\n%!" path
+    (List.length (Sta.Netlist.instances netlist))
+    (List.length (Sta.Netlist.nets netlist));
+  Printf.printf "round-trip:\n%s\n" (Sta.Netlist_io.to_string netlist);
+
+  (* Characterize only the cells the design instantiates. *)
+  let cells_used =
+    Sta.Netlist.instances netlist
+    |> List.map (fun (i : Sta.Netlist.instance) -> i.Sta.Netlist.cell)
+    |> List.sort_uniq compare
+  in
+  Printf.printf "characterizing: %s\n%!" (String.concat ", " cells_used);
+  let drive_of name =
+    (* INVx<k> names; extend here for other families. *)
+    int_of_string (String.sub name 4 (String.length name - 4))
+  in
+  let library =
+    List.map
+      (fun name -> Liberty.Characterize.run proc (Device.Cell.inv proc ~drive:(drive_of name)))
+      cells_used
+  in
+
+  let cfg = Sta.Propagate.config library in
+  let stim =
+    { Sta.Propagate.arrival = 0.0; slew = 150e-12; dir = Waveform.Wave.Rising }
+  in
+  let stimuli = List.map (fun i -> (i, stim)) (Sta.Netlist.inputs netlist) in
+  let result = Sta.Propagate.run cfg netlist ~stimuli in
+  Format.printf "@.timing:@.%a@." Sta.Propagate.pp_result result;
+
+  let required =
+    List.map (fun o -> (o, 350e-12)) (Sta.Netlist.outputs netlist)
+  in
+  let slack = Sta.Constraints.analyze netlist result ~required in
+  Format.printf "slack (350 ps requirement):@.%a@." Sta.Constraints.pp slack;
+  Printf.printf "timing %s\n"
+    (if Sta.Constraints.met slack then "MET" else "VIOLATED")

@@ -1,0 +1,83 @@
+(* STA flow: characterize the library, build a small gate-level design
+   with an RC net, and time it nominally and with a recorded crosstalk
+   waveform reduced by each technique — the paper's integration story.
+
+     dune exec examples/sta_flow.exe *)
+
+let proc = Device.Process.c13
+
+let () =
+  (* 1. Characterize the cells (a coarse grid keeps this quick). *)
+  Printf.printf "characterizing cells...\n%!";
+  let grid cell =
+    let cin = Device.Cell.input_cap proc cell in
+    {
+      Liberty.Characterize.slews = [| 30e-12; 100e-12; 200e-12; 400e-12 |];
+      loads = [| 0.5 *. cin; 2.0 *. cin; 8.0 *. cin; 24.0 *. cin |];
+    }
+  in
+  let library =
+    List.map
+      (fun c -> Liberty.Characterize.run ~grid:(grid c) proc c)
+      Device.Cell.[ inv_x1; inv_x4; inv_x16; inv_x64 ]
+  in
+
+  (* 2. A five-net design: chain with a long coupled net in the middle. *)
+  let n = Sta.Netlist.create () in
+  Sta.Netlist.input n "in";
+  Sta.Netlist.gate n ~cell:"INVx1" ~name:"u1" ~input:"in" ~output:"n1";
+  Sta.Netlist.gate n ~cell:"INVx4" ~name:"u2" ~input:"n1" ~output:"bus";
+  Sta.Netlist.set_load n "bus"
+    (Sta.Netlist.Line Noise.Scenario.config_i.Noise.Scenario.line);
+  Sta.Netlist.gate n ~cell:"INVx16" ~name:"u3" ~input:"bus" ~output:"n3";
+  Sta.Netlist.gate n ~cell:"INVx64" ~name:"u4" ~input:"n3" ~output:"out";
+  Sta.Netlist.output n "out";
+
+  let stim =
+    { Sta.Propagate.arrival = 0.0; slew = 150e-12; dir = Waveform.Wave.Rising }
+  in
+
+  (* 3. Nominal STA. *)
+  let cfg = Sta.Propagate.config library in
+  let nominal = Sta.Propagate.run cfg n ~stimuli:[ ("in", stim) ] in
+  Printf.printf "\nnominal timing:\n";
+  Format.printf "%a@." Sta.Propagate.pp_result nominal;
+  Printf.printf "critical path: %s\n"
+    (String.concat " -> " (Sta.Propagate.critical_path n nominal));
+
+  (* 4. Record a crosstalk waveform for the bus from the Figure-1
+     scenario, aligned to the bus's nominal arrival. *)
+  let scen = Noise.Scenario.config_i in
+  let noisy =
+    Noise.Injection.noisy scen ~tau:(scen.Noise.Scenario.victim_t0 +. 0.05e-9)
+  in
+  let th = Device.Process.thresholds proc in
+  let at_bus = (List.assoc "bus" nominal.Sta.Propagate.timings).Sta.Propagate.at in
+  let wave =
+    match Waveform.Wave.arrival noisy.Noise.Injection.far th with
+    | Some t -> Waveform.Wave.shift noisy.Noise.Injection.far (at_bus -. t)
+    | None -> failwith "no arrival on recorded waveform"
+  in
+
+  (* 5. Constrain the output and report slack. *)
+  let period = 400e-12 in
+  let report = Sta.Constraints.analyze n nominal ~required:[ ("out", period) ] in
+  Printf.printf "\nslack against a %.0f ps requirement:\n" (period *. 1e12);
+  Format.printf "%a@." Sta.Constraints.pp report;
+
+  (* 6. Noise-aware STA with each technique on the noisy pin. *)
+  Printf.printf "\nworst arrival with the bus waveform reduced by:\n";
+  List.iter
+    (fun (tech : Eqwave.Technique.t) ->
+      let cfg = Sta.Propagate.config ~technique:tech library in
+      match Sta.Propagate.run ~noisy_pins:[ ("bus", wave) ] cfg n
+              ~stimuli:[ ("in", stim) ] with
+      | r -> (
+          match r.Sta.Propagate.worst_output with
+          | Some (_, t) ->
+              Printf.printf "  %-6s %8.1f ps\n" tech.Eqwave.Technique.name
+                (t.Sta.Propagate.at *. 1e12)
+          | None -> ())
+      | exception Failure msg ->
+          Printf.printf "  %-6s failed: %s\n" tech.Eqwave.Technique.name msg)
+    Eqwave.Registry.all

@@ -1,0 +1,1 @@
+lib/device/cell.ml: Circuit Int Mosfet Printf Process Source Spice

@@ -1,0 +1,1 @@
+lib/device/cell.mli: Process Spice

@@ -1,0 +1,1 @@
+lib/device/process.mli: Waveform

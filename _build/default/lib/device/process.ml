@@ -1,0 +1,59 @@
+type mos_params = {
+  vth : float;
+  alpha : float;
+  ksat : float;
+  kv : float;
+  lambda : float;
+  goff : float;
+}
+
+type t = {
+  name : string;
+  vdd : float;
+  nmos : mos_params;
+  pmos : mos_params;
+  cg_per_width : float;
+  cgd_per_width : float;
+  cd_per_width : float;
+}
+
+(* ksat is normalized to a 1 V overdrive; at Vdd = 1.2 V the overdrive
+   is 0.9 V, giving Ion(N) ~ 600 uA/um and Ion(P) ~ 280 uA/um --
+   representative of a 0.13 um process. *)
+let c13 =
+  {
+    name = "c13";
+    vdd = 1.2;
+    nmos =
+      {
+        vth = 0.30;
+        alpha = 1.3;
+        ksat = 690e-6 /. 1e-6; (* A/m at 1 V overdrive *)
+        kv = 0.45;
+        lambda = 0.06;
+        goff = 1e-9 /. 1e-6;
+      };
+    pmos =
+      {
+        vth = 0.32;
+        alpha = 1.40;
+        ksat = 330e-6 /. 1e-6;
+        kv = 0.50;
+        lambda = 0.06;
+        goff = 1e-9 /. 1e-6;
+      };
+    cg_per_width = 0.75e-15 /. 1e-6;
+    cgd_per_width = 0.25e-15 /. 1e-6;
+    cd_per_width = 0.80e-15 /. 1e-6;
+  }
+
+let thresholds p = Waveform.Thresholds.make ~vdd:p.vdd ()
+
+let scale_corner ~name ~drive ~vth base =
+  let scale_mos (m : mos_params) =
+    { m with ksat = m.ksat *. drive; vth = m.vth *. vth }
+  in
+  { base with name; nmos = scale_mos base.nmos; pmos = scale_mos base.pmos }
+
+let c13_fast = scale_corner ~name:"c13_fast" ~drive:1.15 ~vth:0.95 c13
+let c13_slow = scale_corner ~name:"c13_slow" ~drive:0.85 ~vth:1.05 c13

@@ -1,0 +1,41 @@
+(** Process corner parameters for the alpha-power-law devices.
+
+    The paper used a TSMC 0.13 um library; this is a synthetic
+    0.13 um-class corner with the same supply (1.2 V), on-current
+    densities and velocity-saturation index typical of that node. *)
+
+type mos_params = {
+  vth : float;     (** threshold voltage magnitude, V *)
+  alpha : float;   (** velocity-saturation index (Sakurai-Newton) *)
+  ksat : float;    (** saturation transconductance, A per meter of width
+                       at 1 V overdrive: Idsat = ksat * W * Vov^alpha *)
+  kv : float;      (** Vdsat coefficient: Vdsat = kv * Vov^(alpha/2) *)
+  lambda : float;  (** channel-length modulation, 1/V *)
+  goff : float;    (** off-state leakage conductance, S per meter width *)
+}
+
+type t = {
+  name : string;
+  vdd : float;
+  nmos : mos_params;
+  pmos : mos_params;
+  cg_per_width : float;   (** gate-to-ground capacitance, F/m of width *)
+  cgd_per_width : float;  (** gate-to-drain (Miller) capacitance, F/m *)
+  cd_per_width : float;   (** drain junction capacitance, F/m *)
+}
+
+val c13 : t
+(** The default (typical) 0.13 um-class corner used throughout the
+    experiments. *)
+
+val c13_fast : t
+(** Fast corner: +15% drive, -5% threshold magnitude. *)
+
+val c13_slow : t
+(** Slow corner: -15% drive, +5% threshold magnitude. *)
+
+val scale_corner : name:string -> drive:float -> vth:float -> t -> t
+(** Derive a corner by scaling drive currents and threshold voltages. *)
+
+val thresholds : t -> Waveform.Thresholds.t
+(** Standard 10/50/90 measurement thresholds at this corner's supply. *)

@@ -1,0 +1,1 @@
+lib/eqwave/energy.ml: Array Float Numerics Ramp Technique Thresholds Wave Waveform

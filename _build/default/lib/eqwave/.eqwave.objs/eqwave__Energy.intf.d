@@ -1,0 +1,1 @@
+lib/eqwave/energy.mli: Technique

@@ -1,0 +1,1 @@
+lib/eqwave/least_squares.ml: Array Numerics Technique Waveform

@@ -1,0 +1,1 @@
+lib/eqwave/least_squares.mli: Technique

@@ -1,0 +1,1 @@
+lib/eqwave/point_based.mli: Technique

@@ -1,0 +1,1 @@
+lib/eqwave/registry.ml: Energy Least_squares List Point_based Sgdp String Technique Wls

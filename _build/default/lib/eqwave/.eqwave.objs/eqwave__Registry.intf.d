@@ -1,0 +1,1 @@
+lib/eqwave/registry.mli: Technique

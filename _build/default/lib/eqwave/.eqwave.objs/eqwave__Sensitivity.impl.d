@@ -1,0 +1,1 @@
+lib/eqwave/sensitivity.ml: Array Float List Numerics Technique Thresholds Wave Waveform

@@ -1,0 +1,1 @@
+lib/eqwave/sensitivity.mli: Technique

@@ -1,0 +1,1 @@
+lib/eqwave/sgdp.ml: Array Float Numerics Sensitivity Technique Thresholds Wave Waveform

@@ -1,0 +1,1 @@
+lib/eqwave/sgdp.mli: Sensitivity Technique

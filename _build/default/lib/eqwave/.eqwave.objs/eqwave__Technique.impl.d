@@ -1,0 +1,1 @@
+lib/eqwave/technique.ml: Array Thresholds Wave Waveform

@@ -1,0 +1,1 @@
+lib/eqwave/technique.mli: Waveform

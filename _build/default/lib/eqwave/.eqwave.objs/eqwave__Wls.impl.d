@@ -1,0 +1,1 @@
+lib/eqwave/wls.ml: Array Float Numerics Sensitivity Technique Waveform

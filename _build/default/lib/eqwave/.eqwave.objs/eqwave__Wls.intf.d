@@ -1,0 +1,1 @@
+lib/eqwave/wls.mli: Technique

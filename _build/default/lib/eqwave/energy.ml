@@ -1,0 +1,39 @@
+open Technique
+
+(* For a rising edge the band is [0.5 Vdd, Vdd]: starting at the latest
+   mid crossing t_m, the noisy curve encloses
+
+     A = integral_{t_m}^{T} (Vdd - clamp(v(t), 0.5Vdd, Vdd)) dt
+
+   against the top rail, while a line of slope a through (t_m, 0.5Vdd)
+   encloses (Vdd/2)^2 / (2a). Equating the two gives the slope. Falling
+   edges mirror into the [0, 0.5 Vdd] band. *)
+let e4 =
+  {
+    name = "E4";
+    describe = "area (energy) matching through the latest 0.5Vdd crossing";
+    run =
+      (fun ctx ->
+        let open Waveform in
+        let vdd = ctx.th.Thresholds.vdd in
+        let vm = Thresholds.v_mid ctx.th in
+        let t_m = latest_mid_crossing ctx in
+        let t_end = Wave.t_end ctx.noisy_in in
+        if t_end <= t_m then
+          raise (Unsupported "E4: waveform ends before the mid crossing");
+        let dir = direction ctx in
+        let n = 4 * ctx.samples in
+        let grid = sample_times (t_m, t_end) n in
+        let band_gap t =
+          let v = Wave.value_at ctx.noisy_in t in
+          match dir with
+          | Wave.Rising -> vdd -. Float.min vdd (Float.max vm v)
+          | Wave.Falling -> Float.min vm (Float.max 0.0 v)
+        in
+        let area = Numerics.Integrate.trapz grid (Array.map band_gap grid) in
+        if area <= 0.0 then raise (Unsupported "E4: zero enclosed area");
+        let half = vdd /. 2.0 in
+        let mag = half *. half /. (2.0 *. area) in
+        let slope = match dir with Wave.Rising -> mag | Wave.Falling -> -.mag in
+        Ramp.make ~slope ~intercept:(vm -. (slope *. t_m)) ~vdd);
+  }

@@ -1,0 +1,8 @@
+(** E4 — the Elmore-inspired area-matching technique (Section 2.3).
+
+    Gamma_eff passes through the latest 0.5 Vdd crossing of the noisy
+    waveform; its slope makes the area enclosed between the line and
+    the far supply rail (within the half-swing band) equal to the area
+    enclosed by the noisy waveform in the same band. *)
+
+val e4 : Technique.t

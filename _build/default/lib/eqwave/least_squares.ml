@@ -1,0 +1,20 @@
+open Technique
+
+let lsf3 =
+  {
+    name = "LSF3";
+    describe = "unweighted least-squares line fit over the noisy region";
+    run =
+      (fun ctx ->
+        let region = noisy_critical_region ctx in
+        let ts = sample_times region ctx.samples in
+        let vs = Array.map (Waveform.Wave.value_at ctx.noisy_in) ts in
+        let line =
+          try Numerics.Lsq.fit_line ts vs
+          with Failure _ -> raise (Unsupported "LSF3: degenerate fit")
+        in
+        if line.Numerics.Lsq.slope = 0.0 then
+          raise (Unsupported "LSF3: flat fit");
+        check_polarity ctx
+          (Waveform.Ramp.of_line line ~vdd:ctx.th.Waveform.Thresholds.vdd));
+  }

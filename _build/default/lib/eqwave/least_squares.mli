@@ -1,0 +1,6 @@
+(** LSF3 — plain least-squares waveform matching (Section 2.2).
+
+    Fits the line to P samples of the noisy waveform over its critical
+    region, with no knowledge of the receiving gate. *)
+
+val lsf3 : Technique.t

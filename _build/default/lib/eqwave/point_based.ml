@@ -1,0 +1,27 @@
+open Technique
+
+let anchored_ramp ctx ~slew =
+  if slew <= 0.0 then raise (Unsupported "point-based: non-positive slew");
+  let arrival = latest_mid_crossing ctx in
+  Waveform.Ramp.of_arrival_slew ~arrival ~slew ~dir:(direction ctx) ctx.th
+
+let p1 =
+  {
+    name = "P1";
+    describe = "noiseless slew, latest noisy 0.5Vdd arrival";
+    run =
+      (fun ctx ->
+        match Waveform.Wave.slew ctx.noiseless_in ctx.th with
+        | Some slew -> anchored_ramp ctx ~slew
+        | None -> raise (Unsupported "P1: noiseless waveform has no slew"));
+  }
+
+let p2 =
+  {
+    name = "P2";
+    describe = "earliest-to-latest noisy threshold span as slew";
+    run =
+      (fun ctx ->
+        let a, b = noisy_critical_region ctx in
+        anchored_ramp ctx ~slew:(b -. a));
+  }

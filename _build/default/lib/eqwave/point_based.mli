@@ -1,0 +1,12 @@
+(** The point-based techniques of Section 2.1.
+
+    Both anchor Gamma_eff's 0.5 Vdd point at the latest mid crossing of
+    the noisy waveform; they differ in where the slew comes from. *)
+
+val p1 : Technique.t
+(** P1: slew taken from the noiseless waveform's 10-90 transition, as
+    though the noise did not exist. *)
+
+val p2 : Technique.t
+(** P2: slew stretched from the earliest "from"-threshold crossing to
+    the latest "to"-threshold crossing of the noisy waveform. *)

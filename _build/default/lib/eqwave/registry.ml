@@ -1,0 +1,22 @@
+let conventional =
+  [
+    Point_based.p1;
+    Point_based.p2;
+    Least_squares.lsf3;
+    Energy.e4;
+    Wls.wls5;
+  ]
+
+let all = conventional @ [ Sgdp.sgdp ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  match
+    List.find_opt
+      (fun t -> String.lowercase_ascii t.Technique.name = target)
+      all
+  with
+  | Some t -> t
+  | None -> raise Not_found
+
+let names = List.map (fun t -> t.Technique.name) all

@@ -1,0 +1,58 @@
+type ctx = {
+  th : Waveform.Thresholds.t;
+  noisy_in : Waveform.Wave.t;
+  noiseless_in : Waveform.Wave.t;
+  noiseless_out : Waveform.Wave.t;
+  samples : int;
+}
+
+exception Unsupported of string
+
+let make_ctx ?(samples = 35) ~th ~noisy_in ~noiseless_in ~noiseless_out () =
+  if samples < 4 then invalid_arg "Technique.make_ctx: samples < 4";
+  { th; noisy_in; noiseless_in; noiseless_out; samples }
+
+type t = {
+  name : string;
+  describe : string;
+  run : ctx -> Waveform.Ramp.t;
+}
+
+let direction ctx = Waveform.Wave.direction ctx.noiseless_in
+
+let critical_region_of wave th dir =
+  let open Waveform in
+  let lo = Thresholds.v_low th and hi = Thresholds.v_high th in
+  let from_level, to_level =
+    match dir with Wave.Rising -> (lo, hi) | Wave.Falling -> (hi, lo)
+  in
+  match (Wave.first_crossing wave from_level, Wave.last_crossing wave to_level)
+  with
+  | Some a, Some b when b > a -> (a, b)
+  | _ ->
+      raise
+        (Unsupported "critical region: waveform does not span the thresholds")
+
+let noisy_critical_region ctx =
+  critical_region_of ctx.noisy_in ctx.th (direction ctx)
+
+let noiseless_critical_region ctx =
+  critical_region_of ctx.noiseless_in ctx.th (direction ctx)
+
+let sample_times (a, b) p =
+  if p < 2 then invalid_arg "Technique.sample_times: p < 2";
+  if b <= a then invalid_arg "Technique.sample_times: empty region";
+  let h = (b -. a) /. float_of_int (p - 1) in
+  Array.init p (fun i -> a +. (h *. float_of_int i))
+
+let latest_mid_crossing ctx =
+  match
+    Waveform.Wave.last_crossing ctx.noisy_in (Waveform.Thresholds.v_mid ctx.th)
+  with
+  | Some t -> t
+  | None -> raise (Unsupported "noisy waveform never crosses 0.5 Vdd")
+
+let check_polarity ctx ramp =
+  if Waveform.Ramp.direction ramp <> direction ctx then
+    raise (Unsupported "fit polarity does not match the transition");
+  ramp

@@ -1,0 +1,59 @@
+(** The common interface of equivalent-waveform techniques.
+
+    A technique maps a noisy input waveform to an equivalent saturated
+    ramp Gamma_eff that a conventional STA tool can propagate. The
+    context supplies everything the paper's techniques consume: the
+    noisy waveform, the noiseless waveform of the same transition, the
+    gate's noiseless response (for the sensitivity-based techniques)
+    and the sampling budget P. *)
+
+type ctx = {
+  th : Waveform.Thresholds.t;
+  noisy_in : Waveform.Wave.t;
+  noiseless_in : Waveform.Wave.t;
+  noiseless_out : Waveform.Wave.t;
+  samples : int; (** P, the paper's sampling-point count (35 by default) *)
+}
+
+val make_ctx :
+  ?samples:int ->
+  th:Waveform.Thresholds.t ->
+  noisy_in:Waveform.Wave.t ->
+  noiseless_in:Waveform.Wave.t ->
+  noiseless_out:Waveform.Wave.t ->
+  unit -> ctx
+(** Raises [Invalid_argument] if [samples < 4]. *)
+
+exception Unsupported of string
+(** A technique raises this when its preconditions fail (e.g. the
+    waveform never crosses the thresholds it needs). *)
+
+type t = {
+  name : string;
+  describe : string;
+  run : ctx -> Waveform.Ramp.t;
+}
+
+val direction : ctx -> Waveform.Wave.direction
+(** Transition direction, judged from the noiseless input. *)
+
+val noisy_critical_region : ctx -> float * float
+(** [t_first, t_last]: first crossing of the "from" threshold and last
+    crossing of the "to" threshold of the noisy waveform (0.1/0.9 Vdd
+    per direction). Raises [Unsupported] when the waveform does not
+    span the thresholds. *)
+
+val noiseless_critical_region : ctx -> float * float
+
+val sample_times : float * float -> int -> float array
+(** [sample_times (a, b) p] is [p] uniformly spaced times covering
+    [a, b] inclusive. *)
+
+val latest_mid_crossing : ctx -> float
+(** The paper's arrival-time anchor: latest 0.5 Vdd crossing of the
+    noisy waveform. Raises [Unsupported] if there is none. *)
+
+val check_polarity : ctx -> Waveform.Ramp.t -> Waveform.Ramp.t
+(** Returns the ramp unchanged, or raises [Unsupported] when the fitted
+    slope direction contradicts the transition direction (a meaningless
+    result for STA). *)

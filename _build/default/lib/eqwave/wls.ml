@@ -1,0 +1,29 @@
+open Technique
+
+let weights_floor = 1e-6
+
+let wls5 =
+  {
+    name = "WLS5";
+    describe = "rho-weighted least squares over the noiseless region";
+    run =
+      (fun ctx ->
+        let sens = Sensitivity.compute ctx in
+        let region = noiseless_critical_region ctx in
+        let ts = sample_times region ctx.samples in
+        let vs = Array.map (Waveform.Wave.value_at ctx.noisy_in) ts in
+        let rho = Array.map (Sensitivity.rho_at_time sens) ts in
+        let peak = Array.fold_left (fun a r -> Float.max a (abs_float r)) 0.0 rho in
+        if peak = 0.0 then
+          raise (Unsupported "WLS5: zero sensitivity (non-overlapping gate?)");
+        let floor = weights_floor *. peak *. peak in
+        let weights = Array.map (fun r -> (r *. r) +. floor) rho in
+        let line =
+          try Numerics.Lsq.fit_line ~weights ts vs
+          with Failure _ -> raise (Unsupported "WLS5: degenerate fit")
+        in
+        if line.Numerics.Lsq.slope = 0.0 then
+          raise (Unsupported "WLS5: flat fit");
+        check_polarity ctx
+          (Waveform.Ramp.of_line line ~vdd:ctx.th.Waveform.Thresholds.vdd));
+  }

@@ -1,0 +1,1 @@
+lib/interconnect/awe.ml: Array Float List Numerics Spice

@@ -1,0 +1,1 @@
+lib/interconnect/coupled.ml: Circuit List Printf Rcline Spice

@@ -1,0 +1,1 @@
+lib/interconnect/coupled.mli: Rcline Spice

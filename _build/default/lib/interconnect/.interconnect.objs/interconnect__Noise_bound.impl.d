@@ -1,0 +1,1 @@
+lib/interconnect/noise_bound.ml: List Rcline Rctree

@@ -1,0 +1,1 @@
+lib/interconnect/noise_bound.mli: Rcline Rctree

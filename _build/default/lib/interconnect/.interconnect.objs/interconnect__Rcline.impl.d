@@ -1,0 +1,1 @@
+lib/interconnect/rcline.ml: Circuit List Printf Spice

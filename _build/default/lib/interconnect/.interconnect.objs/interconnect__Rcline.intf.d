@@ -1,0 +1,1 @@
+lib/interconnect/rcline.mli: Spice

@@ -1,0 +1,1 @@
+lib/interconnect/rctree.ml: Array Hashtbl List Printf Rcline

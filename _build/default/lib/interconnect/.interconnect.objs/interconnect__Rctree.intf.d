@@ -1,0 +1,1 @@
+lib/interconnect/rctree.mli: Rcline

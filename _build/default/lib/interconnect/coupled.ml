@@ -1,0 +1,32 @@
+type spec = { line : Rcline.spec; nlines : int; cm_total : float }
+
+let make ~line ~nlines ~cm_total =
+  if nlines < 2 then invalid_arg "Coupled.make: need at least 2 lines";
+  if cm_total <= 0.0 then invalid_arg "Coupled.make: cm_total must be positive";
+  { line; nlines; cm_total }
+
+let victim_coupling_per_boundary spec =
+  spec.cm_total /. float_of_int spec.line.Rcline.nsegs
+
+let build ckt ~prefix ~nears spec =
+  if List.length nears <> spec.nlines then
+    invalid_arg "Coupled.build: one near node required per line";
+  let open Spice in
+  let line_prefix k = Printf.sprintf "%s%d" prefix k in
+  let fars =
+    List.mapi
+      (fun k near ->
+        Rcline.build ckt ~prefix:(line_prefix k) ~near spec.line)
+      nears
+  in
+  (* Couple boundary i of line k to boundary i of line k+1, for
+     i = 1 .. nsegs (the driven ends are held by their drivers, so the
+     first coupled boundary is the first interior node). *)
+  let cm = victim_coupling_per_boundary spec in
+  let boundary k i = Circuit.node ckt (Printf.sprintf "%s.%d" (line_prefix k) i) in
+  for k = 0 to spec.nlines - 2 do
+    for i = 1 to spec.line.Rcline.nsegs do
+      Circuit.capacitor ckt (boundary k i) (boundary (k + 1) i) cm
+    done
+  done;
+  fars

@@ -1,0 +1,25 @@
+(** Capacitively coupled parallel buses.
+
+    Reproduces the Figure-1 geometry: victim and aggressor lines of
+    identical RC discretization with the total coupling capacitance
+    distributed uniformly along the line. Adjacent lines couple; line 0
+    is conventionally the victim. *)
+
+type spec = {
+  line : Rcline.spec; (** per-line RC ladder, identical for all lines *)
+  nlines : int;       (** >= 2 *)
+  cm_total : float;   (** total coupling cap between each adjacent pair *)
+}
+
+val make : line:Rcline.spec -> nlines:int -> cm_total:float -> spec
+(** Raises [Invalid_argument] when [nlines < 2] or [cm_total <= 0]. *)
+
+val build :
+  Spice.Circuit.t -> prefix:string -> nears:Spice.Circuit.node list -> spec ->
+  Spice.Circuit.node list
+(** Stamp all lines (line [k] gets node prefix "<prefix><k>") and the
+    coupling caps; returns the far-end nodes in line order. [nears]
+    must supply one driven node per line. *)
+
+val victim_coupling_per_boundary : spec -> float
+(** The Cm stamped at each of the [nsegs] coupled boundaries. *)

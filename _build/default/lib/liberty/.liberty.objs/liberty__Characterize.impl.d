@@ -1,0 +1,1 @@
+lib/liberty/characterize.ml: Array Circuit Device Nldm Printf Spice Transient Waveform

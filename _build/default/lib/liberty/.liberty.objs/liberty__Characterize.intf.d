@@ -1,0 +1,1 @@
+lib/liberty/characterize.mli: Device Nldm Spice Waveform

@@ -1,0 +1,1 @@
+lib/liberty/libfile.ml: Array Buffer Fun Hashtbl List Nldm Printf String

@@ -1,0 +1,79 @@
+type grid = { slews : float array; loads : float array }
+
+let default_grid proc cell =
+  let cin = Device.Cell.input_cap proc cell in
+  {
+    slews = [| 20e-12; 50e-12; 90e-12; 150e-12; 220e-12; 300e-12; 400e-12 |];
+    loads = Array.map (fun k -> k *. cin) [| 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 24.0 |];
+  }
+
+let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) proc cell ~input ~tstop =
+  let open Spice in
+  let ckt = Circuit.create () in
+  let vdd = Device.Cell.attach_supply proc ckt in
+  let a = Circuit.node ckt "a" and y = Circuit.node ckt "y" in
+  Device.Cell.instantiate proc cell ~ckt ~input:a ~output:y ~vdd_node:vdd
+    ~name:"dut";
+  if extra_load > 0.0 then
+    Circuit.capacitor ckt y (Circuit.gnd ckt) extra_load;
+  Circuit.vsource ckt a input;
+  let config = { Transient.default_config with dt; tstop } in
+  let res = Transient.run ~config ckt in
+  (Transient.probe res "a", Transient.probe res "y")
+
+(* The input ramp starts after a settling pad so the DC point is clean;
+   tstop leaves room for slow outputs (heavy loads on weak cells). *)
+let measure_point ?dt proc cell ~slew ~load ~input_rising =
+  let th = Device.Process.thresholds proc in
+  let vdd = proc.Device.Process.vdd in
+  let t0 = 100e-12 in
+  (* A 10-90 slew corresponds to a full-swing ramp 1/0.8 longer. *)
+  let trans = slew /. (th.Waveform.Thresholds.high_frac -. th.Waveform.Thresholds.low_frac) in
+  let v0, v1 = if input_rising then (0.0, vdd) else (vdd, 0.0) in
+  let input = Spice.Source.ramp ~t0 ~v0 ~v1 ~trans in
+  let tstop = t0 +. trans +. 3e-9 in
+  let wa, wy = measure_gate ?dt proc cell ~extra_load:load ~input ~tstop in
+  let arr_in = Waveform.Wave.arrival wa th in
+  let arr_out = Waveform.Wave.arrival wy th in
+  let out_slew = Waveform.Wave.slew wy th in
+  match (arr_in, arr_out, out_slew) with
+  | Some ti, Some ty, Some s -> (ty -. ti, s)
+  | _ ->
+      failwith
+        (Printf.sprintf
+           "Characterize: no transition for %s slew=%.3gps load=%.3gfF"
+           cell.Device.Cell.name (slew *. 1e12) (load *. 1e15))
+
+let run ?grid ?(dt = 0.5e-12) proc cell =
+  let grid =
+    match grid with Some g -> g | None -> default_grid proc cell
+  in
+  let sweep ~input_rising =
+    let n = Array.length grid.slews and m = Array.length grid.loads in
+    let delay = Array.make_matrix n m 0.0 in
+    let trans = Array.make_matrix n m 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to m - 1 do
+        let d, s =
+          measure_point ~dt proc cell ~slew:grid.slews.(i)
+            ~load:grid.loads.(j) ~input_rising
+        in
+        delay.(i).(j) <- d;
+        trans.(i).(j) <- s
+      done
+    done;
+    {
+      Nldm.delay = Nldm.table ~slews:grid.slews ~loads:grid.loads ~values:delay;
+      trans = Nldm.table ~slews:grid.slews ~loads:grid.loads ~values:trans;
+    }
+  in
+  let inverting = Device.Cell.inverting cell in
+  {
+    Nldm.cell = cell.Device.Cell.name;
+    input_cap = Device.Cell.input_cap proc cell;
+    inverting;
+    (* Output rises when the input falls on inverting cells, and when
+       it rises on buffers. *)
+    out_rise = sweep ~input_rising:(not inverting);
+    out_fall = sweep ~input_rising:inverting;
+  }

@@ -1,0 +1,51 @@
+type table = {
+  slews : float array;
+  loads : float array;
+  values : float array array;
+}
+
+let check_axis name a =
+  if Array.length a < 2 then invalid_arg ("Nldm.table: " ^ name ^ " too short");
+  for i = 0 to Array.length a - 2 do
+    if a.(i + 1) <= a.(i) then
+      invalid_arg ("Nldm.table: " ^ name ^ " must be strictly increasing")
+  done
+
+let table ~slews ~loads ~values =
+  check_axis "slews" slews;
+  check_axis "loads" loads;
+  if Array.length values <> Array.length slews then
+    invalid_arg "Nldm.table: row count must match slews";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length loads then
+        invalid_arg "Nldm.table: column count must match loads")
+    values;
+  { slews; loads; values }
+
+let lookup t ~slew ~load =
+  Numerics.Interp.bilinear t.slews t.loads t.values slew load
+
+type arc = { delay : table; trans : table }
+
+type cell_timing = {
+  cell : string;
+  input_cap : float;
+  inverting : bool;
+  out_rise : arc;
+  out_fall : arc;
+}
+
+let output_dir ct dir =
+  let open Waveform.Wave in
+  if ct.inverting then match dir with Rising -> Falling | Falling -> Rising
+  else dir
+
+let arc_for_input ct dir =
+  match output_dir ct dir with
+  | Waveform.Wave.Rising -> ct.out_rise
+  | Waveform.Wave.Falling -> ct.out_fall
+
+let gate_delay ct ~input_dir ~slew ~load =
+  let arc = arc_for_input ct input_dir in
+  (lookup arc.delay ~slew ~load, lookup arc.trans ~slew ~load)

@@ -1,0 +1,1 @@
+lib/noise/eval.ml: Array Device Eqwave Float Format Injection List Numerics Option Scenario Spice Waveform

@@ -1,0 +1,1 @@
+lib/noise/eval.mli: Eqwave Format Injection Scenario Waveform

@@ -1,0 +1,1 @@
+lib/noise/injection.ml: Circuit Device Eqwave Scenario Spice Transient Waveform

@@ -1,0 +1,1 @@
+lib/noise/injection.mli: Eqwave Scenario Spice Waveform

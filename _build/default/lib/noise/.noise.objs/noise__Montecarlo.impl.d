@@ -1,0 +1,1 @@
+lib/noise/montecarlo.ml: Array Eqwave Eval Format Hashtbl Injection List Numerics Option Random Scenario

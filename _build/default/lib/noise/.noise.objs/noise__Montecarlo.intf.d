@@ -1,0 +1,1 @@
+lib/noise/montecarlo.mli: Eqwave Eval Format Scenario

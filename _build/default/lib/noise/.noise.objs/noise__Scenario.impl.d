@@ -1,0 +1,1 @@
+lib/noise/scenario.ml: Array Circuit Device Interconnect List Printf Source Spice Waveform

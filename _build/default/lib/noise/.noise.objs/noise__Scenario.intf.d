@@ -1,0 +1,1 @@
+lib/noise/scenario.mli: Device Interconnect Spice

@@ -1,0 +1,1 @@
+lib/noise/worst_case.ml: Array Device Format Injection Scenario Waveform

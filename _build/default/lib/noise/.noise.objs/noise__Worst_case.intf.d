@@ -1,0 +1,1 @@
+lib/noise/worst_case.mli: Format Injection Scenario

@@ -1,0 +1,181 @@
+type reference = Replay | Chain
+
+type case_metrics = {
+  technique : string;
+  ramp : Waveform.Ramp.t option;
+  delay_est : float option;
+  delay_err : float option;
+  out_arrival_err : float option;
+  out_slew_err : float option;
+  failure : string option;
+}
+
+type case_eval = {
+  tau : float;
+  delay_ref : float;
+  ref_out_arrival : float;
+  chain_vs_replay : float;
+  metrics : case_metrics list;
+}
+
+let mid_crossing th w what =
+  match Waveform.Wave.last_crossing w (Waveform.Thresholds.v_mid th) with
+  | Some t -> t
+  | None -> failwith ("Eval: no 0.5 Vdd crossing on " ^ what)
+
+let evaluate_case ?(reference = Replay) ?techniques ?samples scenario
+    ~noiseless ~tau =
+  let techniques =
+    match techniques with Some ts -> ts | None -> Eqwave.Registry.all
+  in
+  let th = Device.Process.thresholds scenario.Scenario.proc in
+  let noisy = Injection.noisy scenario ~tau in
+  let ctx = Injection.ctx_of_runs ?samples scenario ~noiseless ~noisy in
+  let tstop = scenario.Scenario.tstop in
+  let t_in = mid_crossing th noisy.Injection.far "noisy input" in
+  (* Reference: replay the recorded noisy waveform into the receiver. *)
+  let replay_out =
+    Injection.receiver_response scenario
+      ~input:(Spice.Source.of_wave noisy.Injection.far)
+      ~tstop
+  in
+  let t_out_replay = mid_crossing th replay_out "replayed output" in
+  let t_out_chain = mid_crossing th noisy.Injection.rcv "chain output" in
+  let t_out_ref =
+    match reference with Replay -> t_out_replay | Chain -> t_out_chain
+  in
+  let delay_ref = t_out_ref -. t_in in
+  let ref_out_slew = Waveform.Wave.slew replay_out th in
+  let failed tech msg =
+    {
+      technique = tech;
+      ramp = None;
+      delay_est = None;
+      delay_err = None;
+      out_arrival_err = None;
+      out_slew_err = None;
+      failure = Some msg;
+    }
+  in
+  let eval_technique (tech : Eqwave.Technique.t) =
+    let name = tech.Eqwave.Technique.name in
+    match tech.Eqwave.Technique.run ctx with
+    | exception Eqwave.Technique.Unsupported msg -> failed name msg
+    | exception Failure msg -> failed name msg
+    | ramp -> (
+        (* Give the receiver enough room to see the whole equivalent
+           ramp plus its own response, wherever the fit landed. *)
+        let tstop =
+          Float.max tstop (Waveform.Ramp.t_settle ramp +. 1.5e-9)
+        in
+        let out =
+          Injection.receiver_response scenario
+            ~input:(Spice.Source.of_ramp ramp) ~tstop
+        in
+        match mid_crossing th out "technique output" with
+        | exception Failure msg -> failed name msg
+        | t_out_est ->
+            let t_in_est = Waveform.Ramp.arrival ramp th in
+            let delay_est = t_out_est -. t_in_est in
+            let out_slew_err =
+              match (Waveform.Wave.slew out th, ref_out_slew) with
+              | Some a, Some b -> Some (a -. b)
+              | _ -> None
+            in
+            {
+              technique = name;
+              ramp = Some ramp;
+              delay_est = Some delay_est;
+              delay_err = Some (delay_est -. delay_ref);
+              out_arrival_err = Some (t_out_est -. t_out_ref);
+              out_slew_err;
+              failure = None;
+            })
+  in
+  {
+    tau;
+    delay_ref;
+    ref_out_arrival = t_out_ref;
+    chain_vs_replay = t_out_chain -. t_out_replay;
+    metrics = List.map eval_technique techniques;
+  }
+
+type row = {
+  name : string;
+  max_abs_ps : float;
+  avg_abs_ps : float;
+  n_cases : int;
+  n_failed : int;
+}
+
+type table = {
+  scenario : string;
+  rows : row list;
+  cases : case_eval list;
+}
+
+let summarize_rows techniques cases =
+  (* Metrics are stored in technique order; index positionally so that
+     several variants sharing a display name (ablations) stay distinct. *)
+  List.mapi
+    (fun idx (tech : Eqwave.Technique.t) ->
+      let name = tech.Eqwave.Technique.name in
+      let errs =
+        List.filter_map
+          (fun c ->
+            List.nth_opt c.metrics idx
+            |> Option.map (fun m -> m.delay_err)
+            |> Option.join)
+          cases
+      in
+      let failed =
+        List.length cases - List.length errs
+      in
+      match errs with
+      | [] -> { name; max_abs_ps = nan; avg_abs_ps = nan; n_cases = 0; n_failed = failed }
+      | errs ->
+          let abs_ps = Array.of_list (List.map (fun e -> abs_float e *. 1e12) errs) in
+          {
+            name;
+            max_abs_ps = Numerics.Stats.max_abs abs_ps;
+            avg_abs_ps = Numerics.Stats.mean abs_ps;
+            n_cases = Array.length abs_ps;
+            n_failed = failed;
+          })
+    techniques
+
+let run_table ?reference ?techniques ?samples ?progress scenario =
+  let techs =
+    match techniques with Some ts -> ts | None -> Eqwave.Registry.all
+  in
+  let noiseless = Injection.noiseless scenario in
+  let taus = Scenario.taus scenario in
+  let total = Array.length taus in
+  let cases =
+    Array.to_list
+      (Array.mapi
+         (fun i tau ->
+           let c =
+             evaluate_case ?reference ~techniques:techs ?samples scenario
+               ~noiseless ~tau
+           in
+           (match progress with Some f -> f (i + 1) total | None -> ());
+           c)
+         taus)
+  in
+  {
+    scenario = scenario.Scenario.name;
+    rows = summarize_rows techs cases;
+    cases;
+  }
+
+let pp_table ppf t =
+  Format.fprintf ppf "@[<v>%s — gate delay error vs reference (ps)@," t.scenario;
+  Format.fprintf ppf "%-8s %10s %10s %8s %8s@," "Method" "Max" "Avg" "cases"
+    "failed";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8s %10.1f %10.1f %8d %8d@," r.name r.max_abs_ps
+        r.avg_abs_ps r.n_cases r.n_failed)
+    t.rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,69 @@
+(** Technique evaluation harness — the machinery behind Table 1.
+
+    For each noise-injection case the noisy waveform at the receiver
+    input is recorded, every technique reduces it to Gamma_eff, the
+    receiver is re-simulated under Gamma_eff, and the resulting gate
+    delay (0.5 Vdd input crossing to 0.5 Vdd output crossing, latest
+    crossings) is compared against the reference response.
+
+    The reference is the receiver driven by the *recorded noisy
+    waveform itself* (an ideal-source replay): this isolates exactly
+    the error introduced by the waveform reduction, which is what the
+    paper's Table 1 measures. The full-chain receiver output is also
+    carried through so tests can confirm the replay is faithful. *)
+
+type reference = Replay | Chain
+
+type case_metrics = {
+  technique : string;
+  ramp : Waveform.Ramp.t option;      (** None when the technique bailed *)
+  delay_est : float option;           (** its gate delay estimate *)
+  delay_err : float option;           (** delay_est - delay_ref *)
+  out_arrival_err : float option;     (** absolute output-crossing error *)
+  out_slew_err : float option;        (** output 10-90 slew error vs the
+                                          reference response *)
+  failure : string option;
+}
+
+type case_eval = {
+  tau : float;
+  delay_ref : float;                  (** reference gate delay *)
+  ref_out_arrival : float;
+  chain_vs_replay : float;            (** replay-fidelity diagnostic, s *)
+  metrics : case_metrics list;
+}
+
+val evaluate_case :
+  ?reference:reference ->
+  ?techniques:Eqwave.Technique.t list ->
+  ?samples:int ->
+  Scenario.t -> noiseless:Injection.run -> tau:float -> case_eval
+(** Runs one noisy full-chain simulation plus one receiver simulation
+    per technique. [techniques] defaults to [Eqwave.Registry.all];
+    [samples] is the paper's P (default 35). *)
+
+type row = {
+  name : string;
+  max_abs_ps : float;
+  avg_abs_ps : float;
+  n_cases : int;
+  n_failed : int;
+}
+
+type table = {
+  scenario : string;
+  rows : row list;                    (** in the order techniques were given *)
+  cases : case_eval list;
+}
+
+val run_table :
+  ?reference:reference ->
+  ?techniques:Eqwave.Technique.t list ->
+  ?samples:int ->
+  ?progress:(int -> int -> unit) ->
+  Scenario.t -> table
+(** Sweep all scenario cases. [progress done_ total] is called after
+    each case. *)
+
+val pp_table : Format.formatter -> table -> unit
+(** Render in the shape of the paper's Table 1 (max / avg, ps). *)

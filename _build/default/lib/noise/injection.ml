@@ -1,0 +1,48 @@
+type run = { far : Waveform.Wave.t; rcv : Waveform.Wave.t }
+
+let simulate scenario ~aggressor_active ~tau =
+  let ckt, hints = Scenario.build scenario ~aggressor_active ~tau in
+  let config =
+    {
+      Spice.Transient.default_config with
+      dt = scenario.Scenario.dt;
+      tstop = scenario.Scenario.tstop;
+    }
+  in
+  let res = Spice.Transient.run ~config ~ic:hints ckt in
+  {
+    far = Spice.Transient.probe res (Scenario.victim_far_node scenario);
+    rcv = Spice.Transient.probe res (Scenario.victim_rcv_node scenario);
+  }
+
+let noiseless scenario = simulate scenario ~aggressor_active:false ~tau:0.0
+
+let noisy scenario ~tau = simulate scenario ~aggressor_active:true ~tau
+
+let receiver_response ?dt scenario ~input ~tstop =
+  let open Spice in
+  let proc = scenario.Scenario.proc in
+  let _, _, rcv_cell, load_cell = Scenario.chain_cells scenario in
+  let ckt = Circuit.create () in
+  let vdd = Device.Cell.attach_supply proc ckt in
+  let pin = Circuit.node ckt "pin" in
+  let rcv = Circuit.node ckt "rcv" in
+  let buf = Circuit.node ckt "buf" in
+  Device.Cell.instantiate proc rcv_cell ~ckt ~input:pin ~output:rcv
+    ~vdd_node:vdd ~name:"u16";
+  Device.Cell.instantiate proc load_cell ~ckt ~input:rcv ~output:buf
+    ~vdd_node:vdd ~name:"u64";
+  Circuit.vsource ckt pin input;
+  let dt =
+    match dt with Some d -> d | None -> scenario.Scenario.dt /. 2.0
+  in
+  let config = { Transient.default_config with dt; tstop } in
+  let res = Transient.run ~config ckt in
+  Transient.probe res "rcv"
+
+let ctx_of_runs ?samples scenario ~noiseless ~noisy =
+  let proc = scenario.Scenario.proc in
+  Eqwave.Technique.make_ctx ?samples
+    ~th:(Device.Process.thresholds proc)
+    ~noisy_in:noisy.far ~noiseless_in:noiseless.far
+    ~noiseless_out:noiseless.rcv ()

@@ -1,0 +1,30 @@
+(** Crosstalk-injection simulation runs.
+
+    [noiseless] and [noisy] run the full Figure-1 chain with the
+    transistor-level engine; [receiver_response] re-applies an
+    arbitrary stimulus (a technique's Gamma_eff, or the recorded noisy
+    waveform) to the isolated receiver — the paper's gate-delay
+    propagation step. *)
+
+type run = {
+  far : Waveform.Wave.t; (** victim far end, the receiver's input pin (in_u) *)
+  rcv : Waveform.Wave.t; (** receiver (INVx16) output (out_u) *)
+}
+
+val noiseless : Scenario.t -> run
+(** Victim switches alone; aggressors hold their rails. *)
+
+val noisy : Scenario.t -> tau:float -> run
+(** Victim switches at its nominal time, aggressors start at [tau]. *)
+
+val receiver_response :
+  ?dt:float -> Scenario.t -> input:Spice.Source.t -> tstop:float ->
+  Waveform.Wave.t
+(** Drive the victim receiver (INVx16 loaded by INVx64) with an ideal
+    source and return the INVx16 output waveform. [dt] defaults to half
+    the scenario's full-chain step. *)
+
+val ctx_of_runs :
+  ?samples:int -> Scenario.t -> noiseless:run -> noisy:run ->
+  Eqwave.Technique.ctx
+(** Assemble the technique context from the two simulation runs. *)

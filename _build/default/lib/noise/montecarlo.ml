@@ -1,0 +1,98 @@
+type sample = {
+  tau : float;
+  aggressor_rising : bool;
+  case : Eval.case_eval;
+}
+
+type summary = {
+  technique : string;
+  p50_ps : float;
+  p95_ps : float;
+  max_ps : float;
+  n : int;
+  failed : int;
+}
+
+let run ?(seed = 42) ?(samples = 50) ?techniques scenario =
+  if samples < 1 then invalid_arg "Montecarlo.run: samples < 1";
+  let techs =
+    match techniques with Some t -> t | None -> Eqwave.Registry.all
+  in
+  let rng = Random.State.make [| seed |] in
+  (* The noiseless (victim-only) run depends on the aggressors' quiet
+     rail, which depends on their polarity: cache both. *)
+  let noiseless = Hashtbl.create 2 in
+  let noiseless_for rising =
+    match Hashtbl.find_opt noiseless rising with
+    | Some r -> r
+    | None ->
+        let r =
+          Injection.noiseless { scenario with Scenario.aggressor_rising = rising }
+        in
+        Hashtbl.add noiseless rising r;
+        r
+  in
+  let window = scenario.Scenario.window in
+  let lo =
+    scenario.Scenario.victim_t0 +. scenario.Scenario.window_offset
+    -. (window /. 2.0)
+  in
+  let draws =
+    List.init samples (fun _ ->
+        let tau = lo +. (Random.State.float rng window) in
+        let rising = Random.State.bool rng in
+        (tau, rising))
+  in
+  let cases =
+    List.map
+      (fun (tau, rising) ->
+        let scen = { scenario with Scenario.aggressor_rising = rising } in
+        let case =
+          Eval.evaluate_case ~techniques:techs scen
+            ~noiseless:(noiseless_for rising) ~tau
+        in
+        { tau; aggressor_rising = rising; case })
+      draws
+  in
+  let summaries =
+    List.map
+      (fun (tech : Eqwave.Technique.t) ->
+        let name = tech.Eqwave.Technique.name in
+        let errs =
+          List.filter_map
+            (fun s ->
+              List.find_opt
+                (fun m -> m.Eval.technique = name)
+                s.case.Eval.metrics
+              |> Option.map (fun m -> m.Eval.delay_err)
+              |> Option.join)
+            cases
+          |> List.map (fun e -> abs_float e *. 1e12)
+          |> Array.of_list
+        in
+        let failed = samples - Array.length errs in
+        if Array.length errs = 0 then
+          { technique = name; p50_ps = nan; p95_ps = nan; max_ps = nan;
+            n = 0; failed }
+        else
+          {
+            technique = name;
+            p50_ps = Numerics.Stats.percentile errs 50.0;
+            p95_ps = Numerics.Stats.percentile errs 95.0;
+            max_ps = Numerics.Stats.max_abs errs;
+            n = Array.length errs;
+            failed;
+          })
+      techs
+  in
+  (cases, summaries)
+
+let pp_summary ppf summaries =
+  Format.fprintf ppf "@[<v>%-8s %8s %8s %8s %6s %7s@," "Method" "p50(ps)"
+    "p95(ps)" "max(ps)" "n" "failed";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-8s %8.1f %8.1f %8.1f %6d %7d@," s.technique
+        s.p50_ps s.p95_ps s.max_ps s.n s.failed)
+    summaries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,31 @@
+(** Monte-Carlo noise-injection experiments.
+
+    The paper sweeps aggressor alignment deterministically; real
+    integration flows also randomize alignment and aggressor polarity.
+    This driver samples both and reports per-technique error
+    percentiles, which is how a tool team would qualify a reduction
+    technique before adoption. Deterministic under a fixed seed. *)
+
+type sample = {
+  tau : float;
+  aggressor_rising : bool;
+  case : Eval.case_eval;
+}
+
+type summary = {
+  technique : string;
+  p50_ps : float;   (** median |delay error| *)
+  p95_ps : float;
+  max_ps : float;
+  n : int;
+  failed : int;
+}
+
+val run :
+  ?seed:int -> ?samples:int -> ?techniques:Eqwave.Technique.t list ->
+  Scenario.t -> sample list * summary list
+(** [run scenario] draws [samples] (default 50) cases with uniformly
+    random alignment over the scenario window and random aggressor
+    polarity. [seed] defaults to 42. *)
+
+val pp_summary : Format.formatter -> summary list -> unit

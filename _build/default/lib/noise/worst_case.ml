@@ -1,0 +1,77 @@
+type result = {
+  tau : float;
+  delay : float;
+  nominal_delay : float;
+  probes : int;
+}
+
+let mid_delay scenario run =
+  let th = Device.Process.thresholds scenario.Scenario.proc in
+  let vm = Waveform.Thresholds.v_mid th in
+  match
+    ( Waveform.Wave.last_crossing run.Injection.far vm,
+      Waveform.Wave.last_crossing run.Injection.rcv vm )
+  with
+  | Some ti, Some ty -> ty -. ti
+  | _ -> failwith "Worst_case: missing 0.5 Vdd crossing"
+
+let delay_at scenario ~noiseless:_ ~tau =
+  mid_delay scenario (Injection.noisy scenario ~tau)
+
+let golden = (sqrt 5.0 -. 1.0) /. 2.0
+
+let search ?(coarse = 24) ?(refine = 12) scenario =
+  if coarse < 3 then invalid_arg "Worst_case.search: coarse < 3";
+  let noiseless = Injection.noiseless scenario in
+  let nominal_delay = mid_delay scenario noiseless in
+  let probes = ref 0 in
+  let eval tau =
+    incr probes;
+    delay_at scenario ~noiseless ~tau
+  in
+  let scan = Scenario.taus (Scenario.with_cases scenario coarse) in
+  let best = ref (scan.(0), eval scan.(0)) in
+  Array.iter
+    (fun tau ->
+      let d = eval tau in
+      if d > snd !best then best := (tau, d))
+    (Array.sub scan 1 (coarse - 1));
+  (* Golden-section maximization on the bracket around the best coarse
+     probe. The landscape is piecewise smooth; the bracket spans one
+     coarse step on each side. *)
+  let step = scan.(1) -. scan.(0) in
+  let lo = ref (fst !best -. step) and hi = ref (fst !best +. step) in
+  let x1 = ref (!hi -. (golden *. (!hi -. !lo))) in
+  let x2 = ref (!lo +. (golden *. (!hi -. !lo))) in
+  let f1 = ref (eval !x1) and f2 = ref (eval !x2) in
+  for _ = 1 to refine do
+    if !f1 > !f2 then begin
+      hi := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !hi -. (golden *. (!hi -. !lo));
+      f1 := eval !x1
+    end
+    else begin
+      lo := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !lo +. (golden *. (!hi -. !lo));
+      f2 := eval !x2
+    end;
+    let x, d = if !f1 > !f2 then (!x1, !f1) else (!x2, !f2) in
+    if d > snd !best then best := (x, d)
+  done;
+  {
+    tau = fst !best;
+    delay = snd !best;
+    nominal_delay;
+    probes = !probes;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "worst alignment tau = %.1f ps: delay %.1f ps (nominal %.1f ps, push-out %+.1f ps, %d simulations)"
+    (r.tau *. 1e12) (r.delay *. 1e12) (r.nominal_delay *. 1e12)
+    ((r.delay -. r.nominal_delay) *. 1e12)
+    r.probes

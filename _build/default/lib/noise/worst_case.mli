@@ -1,0 +1,26 @@
+(** Worst-case aggressor alignment search.
+
+    Noise-aware STA needs the alignment that maximizes the victim's
+    delay, not an average over alignments. A coarse scan over the
+    window brackets the worst case, then golden-section refinement
+    polishes it — each probe is one full-chain transient simulation,
+    so the budget matters. *)
+
+type result = {
+  tau : float;          (** worst aggressor start time found *)
+  delay : float;        (** reference gate delay at [tau] *)
+  nominal_delay : float;(** noiseless gate delay, for the push-out *)
+  probes : int;         (** simulations spent *)
+}
+
+val delay_at : Scenario.t -> noiseless:Injection.run -> tau:float -> float
+(** Reference gate delay (latest 0.5 Vdd crossings, input to output) of
+    one injection case. Raises [Failure] when a crossing is missing. *)
+
+val search :
+  ?coarse:int -> ?refine:int -> Scenario.t -> result
+(** [search scenario] scans [coarse] (default 24) alignments across the
+    scenario window, then runs [refine] (default 12) golden-section
+    steps around the best bracket. *)
+
+val pp : Format.formatter -> result -> unit

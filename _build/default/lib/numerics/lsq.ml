@@ -1,0 +1,102 @@
+type line = { slope : float; intercept : float }
+
+let eval_line { slope; intercept } t = (slope *. t) +. intercept
+
+(* Weighted normal equations for the 2-parameter line fit. Times are
+   shifted by their weighted mean before forming the sums to keep the
+   system well conditioned for nanosecond-scale abscissae. *)
+let fit_line ?weights ts vs =
+  let n = Array.length ts in
+  if n <> Array.length vs then invalid_arg "Lsq.fit_line: size mismatch";
+  if n < 2 then invalid_arg "Lsq.fit_line: need at least 2 points";
+  let w = match weights with
+    | None -> Array.make n 1.0
+    | Some w ->
+      if Array.length w <> n then invalid_arg "Lsq.fit_line: weights size";
+      w
+  in
+  let sw = ref 0.0 and swt = ref 0.0 in
+  for k = 0 to n - 1 do
+    sw := !sw +. w.(k);
+    swt := !swt +. (w.(k) *. ts.(k))
+  done;
+  if !sw <= 0.0 then failwith "Lsq.fit_line: degenerate";
+  let tbar = !swt /. !sw in
+  let stt = ref 0.0 and stv = ref 0.0 and sv = ref 0.0 in
+  for k = 0 to n - 1 do
+    let dt = ts.(k) -. tbar in
+    stt := !stt +. (w.(k) *. dt *. dt);
+    stv := !stv +. (w.(k) *. dt *. vs.(k));
+    sv := !sv +. (w.(k) *. vs.(k))
+  done;
+  if !stt <= 0.0 then failwith "Lsq.fit_line: degenerate";
+  let slope = !stv /. !stt in
+  let intercept = (!sv /. !sw) -. (slope *. tbar) in
+  { slope; intercept }
+
+let fit_line_through t0 v0 ts vs =
+  let n = Array.length ts in
+  if n <> Array.length vs then invalid_arg "Lsq.fit_line_through: size";
+  let num = ref 0.0 and den = ref 0.0 in
+  for k = 0 to n - 1 do
+    let dt = ts.(k) -. t0 in
+    num := !num +. (dt *. (vs.(k) -. v0));
+    den := !den +. (dt *. dt)
+  done;
+  if !den <= 0.0 then failwith "Lsq.fit_line_through: degenerate";
+  let slope = !num /. !den in
+  { slope; intercept = v0 -. (slope *. t0) }
+
+let cost r =
+  Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 r
+
+let gauss_newton ?(max_iter = 25) ?(tol = 1e-12) ~residual ~jacobian x0 =
+  let np = Array.length x0 in
+  let x = Array.copy x0 in
+  let best = ref (Array.copy x0) in
+  let best_cost = ref (cost (residual x0)) in
+  (try
+     for _ = 1 to max_iter do
+       let r = residual x in
+       let j = jacobian x in
+       let m = Array.length r in
+       (* Normal equations J^T J dx = -J^T r. *)
+       let a = Matrix.create np np and b = Array.make np 0.0 in
+       for i = 0 to m - 1 do
+         for p = 0 to np - 1 do
+           b.(p) <- b.(p) -. (j.(i).(p) *. r.(i));
+           for q = 0 to np - 1 do
+             Matrix.add_to a p q (j.(i).(p) *. j.(i).(q))
+           done
+         done
+       done;
+       (* Levenberg damping on the diagonal guards rank deficiency. *)
+       for p = 0 to np - 1 do
+         Matrix.add_to a p p (1e-12 *. (1.0 +. abs_float (Matrix.get a p p)))
+       done;
+       let dx = Matrix.solve a b in
+       let step_norm =
+         Array.fold_left (fun acc d -> Float.max acc (abs_float d)) 0.0 dx
+       in
+       (* Backtracking line search. *)
+       let lambda = ref 1.0 in
+       let improved = ref false in
+       let attempts = ref 0 in
+       while (not !improved) && !attempts < 20 do
+         let trial = Array.mapi (fun p xi -> xi +. (!lambda *. dx.(p))) x in
+         let c = cost (residual trial) in
+         if c < !best_cost then begin
+           Array.blit trial 0 x 0 np;
+           best := Array.copy trial;
+           best_cost := c;
+           improved := true
+         end
+         else begin
+           lambda := !lambda /. 2.0;
+           incr attempts
+         end
+       done;
+       if (not !improved) || step_norm < tol then raise Exit
+     done
+   with Exit | Matrix.Singular _ -> ());
+  !best

@@ -1,0 +1,36 @@
+(** Weighted linear least squares and a small Gauss-Newton driver.
+
+    The equivalent-waveform techniques all reduce to fitting a line
+    Gamma(t) = a*t + b to voltage samples under various weightings
+    (paper Eq. 2) or to minimizing a nonlinear residual (paper Eq. 3);
+    these are the shared fitting kernels. *)
+
+type line = { slope : float; intercept : float }
+(** The fitted line a*t + b as [slope]*t + [intercept]. *)
+
+val eval_line : line -> float -> float
+
+val fit_line : ?weights:float array -> float array -> float array -> line
+(** [fit_line ?weights ts vs] minimizes
+    sum_k w_k * (v_k - (a*t_k + b))^2 (w_k = 1 when [weights] is
+    omitted). Raises [Invalid_argument] on size mismatch or fewer than
+    two effective points, [Failure "Lsq.fit_line: degenerate"] when the
+    weighted design matrix is singular (e.g. all weight on one t). *)
+
+val fit_line_through : float -> float -> float array -> float array -> line
+(** [fit_line_through t0 v0 ts vs] least-squares fit constrained to pass
+    through the point (t0, v0); used by the E4-style constructions. *)
+
+val gauss_newton :
+  ?max_iter:int ->
+  ?tol:float ->
+  residual:(float array -> float array) ->
+  jacobian:(float array -> float array array) ->
+  float array ->
+  float array
+(** [gauss_newton ~residual ~jacobian x0] minimizes |r(x)|^2 starting
+    from [x0]. [jacobian x] returns rows dr_i/dx_j. Performs damped
+    steps (halving up to 20 times when the step does not decrease the
+    cost) and stops when the step max-norm falls below [tol] (default
+    1e-12) or after [max_iter] (default 25) iterations. Returns the best
+    iterate seen. *)

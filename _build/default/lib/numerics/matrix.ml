@@ -1,0 +1,160 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then
+    invalid_arg "Matrix.create: dimensions must be positive";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j x = m.data.((i * m.cols) + j) <- x
+let add_to m i j x = m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. x
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i 1.0
+  done;
+  m
+
+let of_arrays a =
+  let r = Array.length a in
+  if r = 0 then invalid_arg "Matrix.of_arrays: empty";
+  let c = Array.length a.(0) in
+  if c = 0 then invalid_arg "Matrix.of_arrays: empty row";
+  let m = create r c in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> c then invalid_arg "Matrix.of_arrays: ragged";
+      Array.iteri (fun j x -> set m i j x) row)
+    a;
+  m
+
+let copy m = { m with data = Array.copy m.data }
+let fill m x = Array.fill m.data 0 (Array.length m.data) x
+
+let mul_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Matrix.mul_vec: size mismatch";
+  Array.init m.rows (fun i ->
+      let s = ref 0.0 in
+      let base = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        s := !s +. (m.data.(base + j) *. v.(j))
+      done;
+      !s)
+
+let transpose m =
+  let t = create m.cols m.rows in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      set t j i (get m i j)
+    done
+  done;
+  t
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: size mismatch";
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          add_to c i j (aik *. get b k j)
+        done
+    done
+  done;
+  c
+
+type lu = { n : int; lu_data : float array; perm : int array }
+
+exception Singular of int
+
+let pivot_eps = 1e-300
+
+(* Doolittle LU with partial pivoting, operating in place on a copy.
+   Row swaps are recorded in [perm]. *)
+let lu_factor m =
+  if m.rows <> m.cols then invalid_arg "Matrix.lu_factor: not square";
+  let n = m.rows in
+  let a = Array.copy m.data in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* Find pivot row. *)
+    let pmax = ref (abs_float a.((k * n) + k)) in
+    let prow = ref k in
+    for i = k + 1 to n - 1 do
+      let v = abs_float a.((i * n) + k) in
+      if v > !pmax then begin
+        pmax := v;
+        prow := i
+      end
+    done;
+    if !pmax < pivot_eps then raise (Singular k);
+    if !prow <> k then begin
+      let p = !prow in
+      for j = 0 to n - 1 do
+        let tmp = a.((k * n) + j) in
+        a.((k * n) + j) <- a.((p * n) + j);
+        a.((p * n) + j) <- tmp
+      done;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(p);
+      perm.(p) <- tp
+    end;
+    let akk = a.((k * n) + k) in
+    for i = k + 1 to n - 1 do
+      let f = a.((i * n) + k) /. akk in
+      a.((i * n) + k) <- f;
+      if f <> 0.0 then
+        for j = k + 1 to n - 1 do
+          a.((i * n) + j) <- a.((i * n) + j) -. (f *. a.((k * n) + j))
+        done
+    done
+  done;
+  { n; lu_data = a; perm }
+
+let lu_solve { n; lu_data = a; perm } b =
+  if Array.length b <> n then invalid_arg "Matrix.lu_solve: size mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with unit lower triangle. *)
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (a.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (a.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- !s /. a.((i * n) + i)
+  done;
+  x
+
+let solve a b = lu_solve (lu_factor a) b
+
+let residual_norm a x b =
+  let ax = mul_vec a x in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let r = abs_float (v -. b.(i)) in
+      if r > !worst then worst := r)
+    ax;
+  !worst
+
+let pp ppf m =
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" (get m i j)
+    done;
+    Format.fprintf ppf "]@\n"
+  done

@@ -1,0 +1,62 @@
+(** Dense real matrices and linear solvers.
+
+    Matrices are stored row-major in a flat [float array]. Sizes are small
+    (tens to low hundreds of unknowns, as produced by circuit MNA
+    stamping), so a dense LU with partial pivoting is both simple and
+    fast enough. *)
+
+type t
+(** A mutable [rows] x [cols] dense matrix of floats. *)
+
+val create : int -> int -> t
+(** [create rows cols] is a zero-filled matrix. Raises
+    [Invalid_argument] if a dimension is not positive. *)
+
+val identity : int -> t
+(** [identity n] is the n x n identity matrix. *)
+
+val of_arrays : float array array -> t
+(** [of_arrays a] copies a rectangular array-of-rows into a matrix.
+    Raises [Invalid_argument] on ragged input or empty input. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j x] adds [x] to element (i, j); the basic stamping
+    operation used by MNA assembly. *)
+
+val copy : t -> t
+val fill : t -> float -> unit
+
+val mul_vec : t -> float array -> float array
+(** [mul_vec m v] is the matrix-vector product [m * v]. *)
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix-matrix product. *)
+
+type lu
+(** An LU factorization with partial pivoting (PA = LU). *)
+
+exception Singular of int
+(** Raised (with the offending pivot column) when factorization meets a
+    pivot smaller than the singularity threshold. *)
+
+val lu_factor : t -> lu
+(** Factor a square matrix. The input is not modified. *)
+
+val lu_solve : lu -> float array -> float array
+(** [lu_solve lu b] solves [A x = b] for the factored [A]. *)
+
+val solve : t -> float array -> float array
+(** One-shot [solve a b]: factor and solve. *)
+
+val residual_norm : t -> float array -> float array -> float
+(** [residual_norm a x b] is the max-norm of [a*x - b]; used by tests. *)
+
+val pp : Format.formatter -> t -> unit

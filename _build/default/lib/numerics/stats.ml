@@ -1,0 +1,54 @@
+type summary = {
+  count : int;
+  mean : float;
+  max : float;
+  min : float;
+  rms : float;
+  stddev : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let max_abs xs =
+  Array.fold_left (fun acc x -> Float.max acc (abs_float x)) 0.0 xs
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let mu = mean xs in
+  let mx = Array.fold_left Float.max neg_infinity xs in
+  let mn = Array.fold_left Float.min infinity xs in
+  let ss = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs
+    /. float_of_int n
+  in
+  {
+    count = n;
+    mean = mu;
+    max = mx;
+    min = mn;
+    rms = sqrt (ss /. float_of_int n);
+    stddev = sqrt var;
+  }
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let t = rank -. float_of_int lo in
+    sorted.(lo) +. (t *. (sorted.(hi) -. sorted.(lo)))
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g max=%.4g min=%.4g rms=%.4g sd=%.4g"
+    s.count s.mean s.max s.min s.rms s.stddev

@@ -1,0 +1,16 @@
+(** Thomas algorithm for tridiagonal systems.
+
+    RC ladder networks without coupling reduce to tridiagonal systems;
+    this solver backs the fast pure-interconnect path and serves as an
+    independent check on the dense LU. *)
+
+val solve :
+  lower:float array ->
+  diag:float array ->
+  upper:float array ->
+  rhs:float array ->
+  float array
+(** [solve ~lower ~diag ~upper ~rhs] solves the n x n tridiagonal system
+    where [lower] has length n-1 (sub-diagonal), [diag] length n,
+    [upper] length n-1 (super-diagonal). Raises [Invalid_argument] on
+    size mismatch and [Failure] on a zero pivot. Inputs are unmodified. *)

@@ -1,0 +1,25 @@
+let ps x = x *. 1e-12
+let ns x = x *. 1e-9
+let ff x = x *. 1e-15
+let pf x = x *. 1e-12
+let ohm x = x
+let kohm x = x *. 1e3
+let um x = x *. 1e-6
+let mv x = x *. 1e-3
+let ua x = x *. 1e-6
+let to_ps t = t *. 1e12
+let to_ns t = t *. 1e9
+let to_ff c = c *. 1e15
+let to_mv v = v *. 1e3
+
+let pp_time ppf t =
+  let a = abs_float t in
+  if a < 1e-12 then Format.fprintf ppf "%.3gfs" (t *. 1e15)
+  else if a < 1e-9 then Format.fprintf ppf "%.4gps" (t *. 1e12)
+  else if a < 1e-6 then Format.fprintf ppf "%.4gns" (t *. 1e9)
+  else Format.fprintf ppf "%.4gus" (t *. 1e6)
+
+let pp_cap ppf c =
+  let a = abs_float c in
+  if a < 1e-12 then Format.fprintf ppf "%.4gfF" (c *. 1e15)
+  else Format.fprintf ppf "%.4gpF" (c *. 1e12)

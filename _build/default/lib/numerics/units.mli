@@ -1,0 +1,31 @@
+(** SI scaling helpers. All library-internal quantities are in base SI
+    units (seconds, volts, farads, ohms, amperes); these helpers keep
+    experiment descriptions readable. *)
+
+val ps : float -> float
+(** [ps x] is x picoseconds in seconds. *)
+
+val ns : float -> float
+val ff : float -> float
+(** [ff x] is x femtofarads in farads. *)
+
+val pf : float -> float
+val ohm : float -> float
+val kohm : float -> float
+val um : float -> float
+(** [um x] is x micrometers in meters. *)
+
+val mv : float -> float
+val ua : float -> float
+
+val to_ps : float -> float
+(** [to_ps t] converts seconds to picoseconds (for reporting). *)
+
+val to_ns : float -> float
+val to_ff : float -> float
+val to_mv : float -> float
+
+val pp_time : Format.formatter -> float -> unit
+(** Pretty-print a time in engineering notation (fs/ps/ns/us). *)
+
+val pp_cap : Format.formatter -> float -> unit

@@ -1,0 +1,29 @@
+(** Independent source stimuli. *)
+
+type t
+
+val dc : float -> t
+
+val pwl : (float * float) list -> t
+(** Piecewise-linear (time, value) points; must be sorted by strictly
+    increasing time (checked). Held constant outside the span. *)
+
+val ramp : t0:float -> v0:float -> v1:float -> trans:float -> t
+(** Linear transition from [v0] to [v1] starting at [t0], lasting
+    [trans] (> 0). The usual STA stimulus. *)
+
+val of_wave : Waveform.Wave.t -> t
+(** Drive with a recorded waveform (e.g. a noisy waveform re-applied to
+    a receiver, or a technique's Gamma_eff). *)
+
+val of_ramp : Waveform.Ramp.t -> t
+(** Drive with a saturated ramp, evaluated analytically. *)
+
+val fn : (float -> float) -> t
+
+val value : t -> float -> float
+(** Evaluate at a time. *)
+
+val breakpoints : t -> float list
+(** Times at which the source has slope discontinuities; the transient
+    engine aligns steps to these for accuracy. *)

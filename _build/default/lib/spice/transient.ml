@@ -1,0 +1,378 @@
+type integration = Trapezoidal | Backward_euler
+
+type config = {
+  dt : float;
+  tstop : float;
+  tstart : float;
+  integration : integration;
+  newton_tol_v : float;
+  newton_tol_i : float;
+  max_newton : int;
+  vstep_limit : float;
+  gmin : float;
+  max_bisection : int;
+}
+
+let default_config =
+  {
+    dt = 1e-12;
+    tstop = 4e-9;
+    tstart = 0.0;
+    integration = Trapezoidal;
+    newton_tol_v = 1e-7;
+    newton_tol_i = 1e-9;
+    max_newton = 60;
+    vstep_limit = 0.6;
+    gmin = 1e-12;
+    max_bisection = 10;
+  }
+
+exception No_convergence of float
+
+(* Compiled, array-based view of the circuit for fast stamping. *)
+type compiled = {
+  n : int;                                  (* node unknowns *)
+  m : int;                                  (* vsource branch unknowns *)
+  res : (int * int * float) array;          (* a, b, conductance *)
+  caps : (int * int * float) array;
+  vsrc : (int * Source.t) array;
+  isrc : (int * int * Source.t) array;
+  fets : (int * int * int * Circuit.mosfet_eval) array;
+  name_index : (string, int) Hashtbl.t;
+}
+
+let compile ckt =
+  let n = Circuit.num_nodes ckt in
+  let res =
+    Circuit.resistors ckt
+    |> List.map (fun ((a : Circuit.node), (b : Circuit.node), r) ->
+           ((a :> int), (b :> int), 1.0 /. r))
+    |> Array.of_list
+  in
+  let caps =
+    Circuit.capacitors ckt
+    |> List.map (fun ((a : Circuit.node), (b : Circuit.node), c) ->
+           ((a :> int), (b :> int), c))
+    |> Array.of_list
+  in
+  let vsrc =
+    Circuit.vsources ckt
+    |> List.map (fun ((nd : Circuit.node), s) -> ((nd :> int), s))
+    |> Array.of_list
+  in
+  (* Reject two sources on the same node: the MNA system would be
+     singular and the netlist is certainly wrong. *)
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun (nd, _) ->
+      if Hashtbl.mem seen nd then
+        invalid_arg "Transient: two voltage sources on one node";
+      Hashtbl.add seen nd ())
+    vsrc;
+  let isrc =
+    Circuit.isources ckt
+    |> List.map (fun ((a : Circuit.node), (b : Circuit.node), s) ->
+           ((a :> int), (b :> int), s))
+    |> Array.of_list
+  in
+  let fets =
+    Circuit.mosfets ckt
+    |> List.map (fun (_, (g : Circuit.node), (d : Circuit.node), (s : Circuit.node), eval) ->
+           ((g :> int), (d :> int), (s :> int), eval))
+    |> Array.of_list
+  in
+  let name_index = Hashtbl.create 64 in
+  List.iteri (fun i nm -> Hashtbl.add name_index nm i) (Circuit.node_names ckt);
+  { n; m = Array.length vsrc; res; caps; vsrc; isrc; fets; name_index }
+
+let is_gnd i = i < 0
+let getv x i = if is_gnd i then 0.0 else x.(i)
+
+(* Newton solve of f(x) = 0 at time [t].
+
+   [stamp_caps] adds the capacitor companion contributions (absent for
+   DC). [gmin] loads every node to ground. Returns true on
+   convergence, mutating [x] in place. *)
+let newton cp cfg ~gmin ~t ~stamp_caps x =
+  let nu = cp.n + cp.m in
+  let jac = Numerics.Matrix.create nu nu in
+  let f = Array.make nu 0.0 in
+  let converged = ref false in
+  let iter = ref 0 in
+  let stamp_conductance a b g =
+    (* current a->b = g (va - vb) *)
+    if not (is_gnd a) then begin
+      f.(a) <- f.(a) +. (g *. (getv x a -. getv x b));
+      Numerics.Matrix.add_to jac a a g;
+      if not (is_gnd b) then Numerics.Matrix.add_to jac a b (-.g)
+    end;
+    if not (is_gnd b) then begin
+      f.(b) <- f.(b) -. (g *. (getv x a -. getv x b));
+      Numerics.Matrix.add_to jac b b g;
+      if not (is_gnd a) then Numerics.Matrix.add_to jac b a (-.g)
+    end
+  in
+  let stamp_current a b i =
+    if not (is_gnd a) then f.(a) <- f.(a) +. i;
+    if not (is_gnd b) then f.(b) <- f.(b) -. i
+  in
+  (try
+     while not !converged do
+       if !iter >= cfg.max_newton then raise Exit;
+       incr iter;
+       Numerics.Matrix.fill jac 0.0;
+       Array.fill f 0 nu 0.0;
+       (* gmin to ground on every node *)
+       for i = 0 to cp.n - 1 do
+         f.(i) <- f.(i) +. (gmin *. x.(i));
+         Numerics.Matrix.add_to jac i i gmin
+       done;
+       Array.iter (fun (a, b, g) -> stamp_conductance a b g) cp.res;
+       Array.iter
+         (fun (a, b, src) -> stamp_current a b (Source.value src t))
+         cp.isrc;
+       stamp_caps ~stamp_conductance ~stamp_current;
+       Array.iter
+         (fun (g, d, s, eval) ->
+           let ids, dg, dd, ds =
+             eval ~vg:(getv x g) ~vd:(getv x d) ~vs:(getv x s)
+           in
+           if not (is_gnd d) then begin
+             f.(d) <- f.(d) +. ids;
+             if not (is_gnd g) then Numerics.Matrix.add_to jac d g dg;
+             Numerics.Matrix.add_to jac d d dd;
+             if not (is_gnd s) then Numerics.Matrix.add_to jac d s ds
+           end;
+           if not (is_gnd s) then begin
+             f.(s) <- f.(s) -. ids;
+             if not (is_gnd g) then
+               Numerics.Matrix.add_to jac s g (-.dg);
+             if not (is_gnd d) then
+               Numerics.Matrix.add_to jac s d (-.dd);
+             Numerics.Matrix.add_to jac s s (-.ds)
+           end)
+         cp.fets;
+       Array.iteri
+         (fun j (nd, src) ->
+           let row = cp.n + j in
+           (* branch current leaves the node into the source *)
+           f.(nd) <- f.(nd) +. x.(row);
+           Numerics.Matrix.add_to jac nd row 1.0;
+           f.(row) <- x.(nd) -. Source.value src t;
+           Numerics.Matrix.add_to jac row nd 1.0)
+         cp.vsrc;
+       let rhs = Array.map (fun v -> -.v) f in
+       let dx =
+         try Numerics.Matrix.lu_solve (Numerics.Matrix.lu_factor jac) rhs
+         with Numerics.Matrix.Singular _ -> raise Exit
+       in
+       (* Clamp voltage updates for robustness; branch currents free. *)
+       let max_dv = ref 0.0 in
+       for i = 0 to cp.n - 1 do
+         let d = dx.(i) in
+         let d =
+           if d > cfg.vstep_limit then cfg.vstep_limit
+           else if d < -.cfg.vstep_limit then -.cfg.vstep_limit
+           else d
+         in
+         x.(i) <- x.(i) +. d;
+         if abs_float d > !max_dv then max_dv := abs_float d
+       done;
+       for i = cp.n to nu - 1 do
+         x.(i) <- x.(i) +. dx.(i)
+       done;
+       let max_f = ref 0.0 in
+       for i = 0 to cp.n - 1 do
+         if abs_float f.(i) > !max_f then max_f := abs_float f.(i)
+       done;
+       if !max_dv < cfg.newton_tol_v && !max_f < cfg.newton_tol_i then
+         converged := true
+     done
+   with Exit -> ());
+  !converged
+
+let no_caps ~stamp_conductance:_ ~stamp_current:_ = ()
+
+let dc_solve cp cfg ~at x =
+  if newton cp cfg ~gmin:cfg.gmin ~t:at ~stamp_caps:no_caps x then true
+  else begin
+    (* gmin stepping: load the circuit heavily, then relax. *)
+    let steps = [ 1e-3; 1e-5; 1e-7; 1e-9; cfg.gmin ] in
+    List.for_all
+      (fun g -> newton cp cfg ~gmin:g ~t:at ~stamp_caps:no_caps x)
+      steps
+  end
+
+type result = {
+  grid : float array;
+  data : float array array;
+  (* data.(k).(i): node voltages for i < n, then vsource branch
+     currents (current leaving the node into the source). *)
+  n : int;
+  index : (string, int) Hashtbl.t;
+  branch_index : (string, int) Hashtbl.t; (* source node name -> column *)
+}
+
+let times r = Array.copy r.grid
+
+let probe r name =
+  match Hashtbl.find_opt r.index name with
+  | None -> raise Not_found
+  | Some i ->
+      Waveform.Wave.create r.grid (Array.map (fun row -> row.(i)) r.data)
+
+(* Current *delivered by* the source into the circuit (the negative of
+   the MNA branch unknown, which counts current leaving the node into
+   the source). *)
+let source_current r name =
+  match Hashtbl.find_opt r.branch_index name with
+  | None -> raise Not_found
+  | Some i ->
+      Waveform.Wave.create r.grid (Array.map (fun row -> -.row.(i)) r.data)
+
+let delivered_charge r name =
+  let w = source_current r name in
+  Numerics.Integrate.trapz (Waveform.Wave.times w) (Waveform.Wave.values w)
+
+let delivered_energy r name =
+  let iw = source_current r name in
+  let vw = probe r name in
+  let ts = Waveform.Wave.times iw in
+  let p =
+    Array.map
+      (fun t -> Waveform.Wave.value_at iw t *. Waveform.Wave.value_at vw t)
+      ts
+  in
+  Numerics.Integrate.trapz ts p
+
+let final_voltage r name =
+  match Hashtbl.find_opt r.index name with
+  | None -> raise Not_found
+  | Some i -> r.data.(Array.length r.data - 1).(i)
+
+let build_grid cp cfg =
+  let span = cfg.tstop -. cfg.tstart in
+  if span <= 0.0 then invalid_arg "Transient.run: tstop <= tstart";
+  if cfg.dt <= 0.0 then invalid_arg "Transient.run: dt must be positive";
+  let nsteps = int_of_float (ceil (span /. cfg.dt)) in
+  let base =
+    List.init (nsteps + 1) (fun i ->
+        Float.min cfg.tstop (cfg.tstart +. (cfg.dt *. float_of_int i)))
+  in
+  let breaks =
+    Array.to_list cp.vsrc
+    |> List.concat_map (fun (_, s) -> Source.breakpoints s)
+    |> List.filter (fun t -> t > cfg.tstart && t < cfg.tstop)
+  in
+  let all = List.sort_uniq compare (base @ breaks) in
+  (* Drop points closer than dt/100 to their predecessor to keep the
+     grid strictly increasing with sane step sizes. *)
+  let eps = cfg.dt /. 100.0 in
+  let rec dedup = function
+    | a :: b :: rest when b -. a < eps -> dedup (a :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  Array.of_list (dedup all)
+
+let run ?(config = default_config) ?(ic = []) ckt =
+  let cfg = config in
+  let cp = compile ckt in
+  let nu = cp.n + cp.m in
+  let x = Array.make nu 0.0 in
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt cp.name_index name with
+      | Some i -> x.(i) <- v
+      | None -> invalid_arg ("Transient.run: unknown ic node " ^ name))
+    ic;
+  if not (dc_solve cp cfg ~at:cfg.tstart x) then
+    raise (No_convergence cfg.tstart);
+  let grid = build_grid cp cfg in
+  let npts = Array.length grid in
+  let data = Array.make npts [||] in
+  data.(0) <- Array.copy x;
+  (* Capacitor state: voltage across and (trapezoidal) current. *)
+  let ncap = Array.length cp.caps in
+  let vcap = Array.make ncap 0.0 and icap = Array.make ncap 0.0 in
+  Array.iteri
+    (fun k (a, b, _) -> vcap.(k) <- getv x a -. getv x b)
+    cp.caps;
+  (* One integration step of size h ending at time t. Returns false if
+     Newton diverged. On success, cap state is NOT yet committed; the
+     caller commits via [commit]. *)
+  let attempt ~t ~h ~vcap0 ~icap0 xtrial =
+    let stamp_caps ~stamp_conductance ~stamp_current =
+      Array.iteri
+        (fun k (a, b, c) ->
+          match cfg.integration with
+          | Backward_euler ->
+              let geq = c /. h in
+              stamp_conductance a b geq;
+              stamp_current a b (-.geq *. vcap0.(k))
+          | Trapezoidal ->
+              let geq = 2.0 *. c /. h in
+              stamp_conductance a b geq;
+              stamp_current a b (-.((geq *. vcap0.(k)) +. icap0.(k))))
+        cp.caps
+    in
+    newton cp cfg ~gmin:cfg.gmin ~t ~stamp_caps xtrial
+  in
+  let commit ~h ~vcap0 ~icap0 xnew =
+    Array.iteri
+      (fun k (a, b, c) ->
+        let v = getv xnew a -. getv xnew b in
+        (match cfg.integration with
+        | Backward_euler -> icap.(k) <- c /. h *. (v -. vcap0.(k))
+        | Trapezoidal ->
+            icap.(k) <- ((2.0 *. c /. h) *. (v -. vcap0.(k))) -. icap0.(k));
+        vcap.(k) <- v)
+      cp.caps
+  in
+  (* Advance from t0 to t1, bisecting on failure. *)
+  let rec advance depth t0 t1 =
+    let h = t1 -. t0 in
+    let vcap0 = Array.copy vcap and icap0 = Array.copy icap in
+    let xtrial = Array.copy x in
+    if attempt ~t:t1 ~h ~vcap0 ~icap0 xtrial then begin
+      commit ~h ~vcap0 ~icap0 xtrial;
+      Array.blit xtrial 0 x 0 nu
+    end
+    else if depth >= cfg.max_bisection then raise (No_convergence t1)
+    else begin
+      let tm = 0.5 *. (t0 +. t1) in
+      advance (depth + 1) t0 tm;
+      advance (depth + 1) tm t1
+    end
+  in
+  for k = 1 to npts - 1 do
+    advance 0 grid.(k - 1) grid.(k);
+    data.(k) <- Array.copy x
+  done;
+  let branch_index = Hashtbl.create 8 in
+  Array.iteri
+    (fun j (nd, _) ->
+      let name =
+        Hashtbl.fold
+          (fun name i acc -> if i = nd then Some name else acc)
+          cp.name_index None
+      in
+      match name with
+      | Some name -> Hashtbl.replace branch_index name (cp.n + j)
+      | None -> ())
+    cp.vsrc;
+  { grid; data; n = cp.n; index = cp.name_index; branch_index }
+
+let dc_operating_point ?(config = default_config) ?(guess = []) ~at ckt =
+  let cp = compile ckt in
+  let x = Array.make (cp.n + cp.m) 0.0 in
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt cp.name_index name with
+      | Some i -> x.(i) <- v
+      | None -> invalid_arg ("Transient.dc_operating_point: unknown node " ^ name))
+    guess;
+  if not (dc_solve cp config ~at x) then raise (No_convergence at);
+  List.map
+    (fun name -> (name, x.(Hashtbl.find cp.name_index name)))
+    (Circuit.node_names ckt)

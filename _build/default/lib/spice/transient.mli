@@ -1,0 +1,66 @@
+(** Nonlinear transient analysis.
+
+    Modified nodal analysis with ideal-voltage-source branch currents,
+    companion models for capacitors (trapezoidal by default, backward
+    Euler available), and damped Newton-Raphson at every time point.
+    The step grid is uniform with source breakpoints inserted; a step
+    whose Newton fails is bisected recursively. *)
+
+type integration = Trapezoidal | Backward_euler
+
+type config = {
+  dt : float;            (** nominal step, seconds *)
+  tstop : float;
+  tstart : float;
+  integration : integration;
+  newton_tol_v : float;  (** voltage update convergence bound *)
+  newton_tol_i : float;  (** KCL residual convergence bound *)
+  max_newton : int;
+  vstep_limit : float;   (** per-iteration voltage update clamp *)
+  gmin : float;          (** conductance to ground on every node *)
+  max_bisection : int;   (** step-halving depth on Newton failure *)
+}
+
+val default_config : config
+(** dt = 1 ps, tstop = 4 ns, tstart = 0, trapezoidal, tolerances
+    1e-7 V / 1e-9 A, 60 Newton iterations, 0.6 V update clamp,
+    gmin = 1e-12 S, 10 bisections. *)
+
+exception No_convergence of float
+(** Carries the simulation time at which Newton failed beyond the
+    bisection budget. *)
+
+type result
+
+val run : ?config:config -> ?ic:(string * float) list -> Circuit.t -> result
+(** Simulate. The initial state is the DC operating point at [tstart]
+    (with sources evaluated there); [ic] entries override individual
+    node voltages as Newton starting guesses for the DC solve, which is
+    how logic-level hints are passed in. *)
+
+val times : result -> float array
+
+val probe : result -> string -> Waveform.Wave.t
+(** Waveform at the named node. Raises [Not_found] for unknown names. *)
+
+val final_voltage : result -> string -> float
+
+val source_current : result -> string -> Waveform.Wave.t
+(** Current delivered into the circuit by the voltage source on the
+    named node, over time. Raises [Not_found] if the node has no
+    source. *)
+
+val delivered_charge : result -> string -> float
+(** Time integral of {!source_current}: net charge the source pushed
+    into the circuit over the simulation, coulombs. *)
+
+val delivered_energy : result -> string -> float
+(** Integral of v*i for the named source: the energy it delivered —
+    the supply ("vdd") source's value is the switching + short-circuit
+    energy of the run, joules. *)
+
+val dc_operating_point :
+  ?config:config -> ?guess:(string * float) list -> at:float -> Circuit.t ->
+  (string * float) list
+(** Standalone DC solve (capacitors open). Uses gmin stepping when the
+    flat start fails to converge. *)

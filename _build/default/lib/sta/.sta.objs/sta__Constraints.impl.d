@@ -1,0 +1,1 @@
+lib/sta/constraints.ml: Format Hashtbl List Netlist Option Propagate

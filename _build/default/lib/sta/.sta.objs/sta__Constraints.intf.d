@@ -1,0 +1,1 @@
+lib/sta/constraints.mli: Format Netlist Propagate

@@ -1,0 +1,1 @@
+lib/sta/netlist.ml: Hashtbl Interconnect List Printf

@@ -1,0 +1,1 @@
+lib/sta/netlist.mli: Interconnect

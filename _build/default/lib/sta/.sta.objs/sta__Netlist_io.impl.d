@@ -1,0 +1,1 @@
+lib/sta/netlist_io.ml: Buffer Fun Interconnect List Netlist Printf String

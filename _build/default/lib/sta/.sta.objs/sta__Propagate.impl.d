@@ -1,0 +1,1 @@
+lib/sta/propagate.ml: Device Eqwave Float Format Hashtbl Interconnect Liberty List Netlist Option Ramp Spice String Wave Waveform

@@ -1,0 +1,1 @@
+lib/sta/propagate.mli: Device Eqwave Format Liberty Netlist Waveform

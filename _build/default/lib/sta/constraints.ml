@@ -1,0 +1,71 @@
+type slack_report = {
+  per_net : (string * float) list;
+  worst : (string * float) option;
+  violations : int;
+}
+
+let analyze netlist (result : Propagate.result) ~required =
+  let arrival net =
+    match List.assoc_opt net result.Propagate.timings with
+    | Some t -> t
+    | None -> failwith ("Constraints: net was not timed: " ^ net)
+  in
+  List.iter (fun (net, _) -> ignore (arrival net)) required;
+  (* Required times, tightest-wins, computed against the same stage
+     delays the forward pass used: req(input of gate) =
+     req(output) - (at(output) - at(input)). *)
+  let req : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let tighten net r =
+    match Hashtbl.find_opt req net with
+    | Some r0 when r0 <= r -> ()
+    | _ -> Hashtbl.replace req net r
+  in
+  List.iter (fun (net, r) -> tighten net r) required;
+  let order = List.rev (Netlist.topological_nets netlist) in
+  List.iter
+    (fun net ->
+      match Hashtbl.find_opt req net with
+      | None -> ()
+      | Some r -> (
+          match Netlist.driver_of netlist net with
+          | `Input | (exception Not_found) -> ()
+          | `Gate inst ->
+              let stage =
+                (arrival net).Propagate.at
+                -. (arrival inst.Netlist.input).Propagate.at
+              in
+              tighten inst.Netlist.input (r -. stage)))
+    order;
+  let per_net =
+    List.filter_map
+      (fun (net, t) ->
+        Hashtbl.find_opt req net
+        |> Option.map (fun r -> (net, r -. t.Propagate.at)))
+      result.Propagate.timings
+  in
+  let worst =
+    List.fold_left
+      (fun acc (net, s) ->
+        match acc with
+        | Some (_, best) when best <= s -> acc
+        | _ -> Some (net, s))
+      None per_net
+  in
+  let violations = List.length (List.filter (fun (_, s) -> s < 0.0) per_net) in
+  { per_net; worst; violations }
+
+let met r = r.violations = 0
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (net, s) ->
+      Format.fprintf ppf "%-14s slack %+9.1f ps%s@," net (s *. 1e12)
+        (if s < 0.0 then "  VIOLATED" else ""))
+    r.per_net;
+  (match r.worst with
+  | Some (net, s) ->
+      Format.fprintf ppf "worst slack %+.1f ps at %s (%d violations)@,"
+        (s *. 1e12) net r.violations
+  | None -> Format.fprintf ppf "no constrained nets@,");
+  Format.fprintf ppf "@]"

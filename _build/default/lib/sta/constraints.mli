@@ -1,0 +1,26 @@
+(** Timing constraints and slack.
+
+    Required-time back-propagation over the netlist DAG: primary
+    outputs get a required arrival (e.g. clock period minus setup),
+    each gate input's required time is its output's requirement minus
+    the gate+wire delay actually used in the forward pass, and
+    slack = required - arrival. Negative slack is a violation. *)
+
+type slack_report = {
+  per_net : (string * float) list;  (** slack per net, topo order *)
+  worst : (string * float) option;  (** most negative (or smallest) slack *)
+  violations : int;
+}
+
+val analyze :
+  Netlist.t -> Propagate.result ->
+  required:(string * float) list -> slack_report
+(** [analyze netlist result ~required] back-propagates the required
+    times given at primary outputs. Outputs missing from [required] are
+    unconstrained (infinite requirement). Raises [Failure] if [required]
+    names a net that was not timed. *)
+
+val met : slack_report -> bool
+(** No violations. *)
+
+val pp : Format.formatter -> slack_report -> unit

@@ -1,0 +1,242 @@
+type stimulus = {
+  arrival : float;
+  slew : float;
+  dir : Waveform.Wave.direction;
+}
+
+type timing = {
+  at : float;
+  slew : float;
+  dir : Waveform.Wave.direction;
+  from_noisy : bool;
+}
+
+type config = {
+  library : Liberty.Nldm.cell_timing list;
+  th : Waveform.Thresholds.t;
+  technique : Eqwave.Technique.t;
+  samples : int;
+  proc : Device.Process.t;
+}
+
+let config ?(technique = Eqwave.Sgdp.sgdp) ?(samples = 35)
+    ?(proc = Device.Process.c13) ?th library =
+  let th =
+    match th with Some t -> t | None -> Device.Process.thresholds proc
+  in
+  { library; th; technique; samples; proc }
+
+(* Map library cell names back to transistor-level cells so the
+   noiseless gate response at a noisy pin can be produced by the delay
+   calculator (one small transient simulation) instead of a crude
+   NLDM-ramp approximation. Only the INVx<k> family exists here. *)
+let device_cell_of_name name =
+  let try_family prefix make =
+    let np = String.length prefix in
+    if String.length name > np && String.sub name 0 np = prefix then
+      match
+        int_of_string_opt (String.sub name np (String.length name - np))
+      with
+      | Some d when d >= 1 -> Some (make ~drive:d)
+      | _ -> None
+    else None
+  in
+  let proc = Device.Process.c13 in
+  match try_family "INVx" (Device.Cell.inv proc) with
+  | Some _ as r -> r
+  | None -> (
+      match try_family "BUFx" (Device.Cell.buf proc) with
+      | Some _ as r -> r
+      | None -> (
+          match try_family "NAND2x" (Device.Cell.nand2 proc) with
+          | Some _ as r -> r
+          | None -> try_family "NOR2x" (Device.Cell.nor2 proc)))
+
+let find_cell cfg name =
+  match Liberty.Libfile.find cfg.library name with
+  | c -> c
+  | exception Not_found -> failwith ("Sta: cell not in library: " ^ name)
+
+let net_load cfg netlist net =
+  let pins =
+    Netlist.receivers_of netlist net
+    |> List.fold_left
+         (fun acc (inst : Netlist.instance) ->
+           acc +. (find_cell cfg inst.Netlist.cell).Liberty.Nldm.input_cap)
+         0.0
+  in
+  let extra =
+    match Netlist.load_of netlist net with
+    | None -> 0.0
+    | Some (Netlist.Lumped c) -> c
+    | Some (Netlist.Line spec) -> spec.Interconnect.Rcline.ctotal
+  in
+  pins +. extra
+
+(* PERI-style slew degradation: the far-end transition of an RC stage
+   driven by a finite ramp satisfies slew_out^2 ~ slew_in^2 + slew_wire^2
+   with slew_wire = ln(9) * Elmore for the 10-90 thresholds. We return
+   the wire addend; the caller combines. *)
+let ln9 = log 9.0
+
+let wire_delay netlist net =
+  match Netlist.load_of netlist net with
+  | Some (Netlist.Line spec) ->
+      let d = Interconnect.Rcline.elmore_discrete spec in
+      (d, ln9 *. d)
+  | Some (Netlist.Lumped _) | None -> (0.0, 0.0)
+
+(* Build the technique context for a noisy pin from the *nominal*
+   propagated timing: the noiseless input is the ramp STA would have
+   used, and the noiseless output comes from the delay calculator (a
+   small transistor-level run of the receiver cell), falling back to
+   the NLDM output ramp for cells outside the built-in families. No
+   extra *library* characterization is needed, as the paper requires. *)
+let reduce_noisy cfg netlist net (nominal : timing) wave =
+  let open Waveform in
+  let noiseless_in =
+    Ramp.of_arrival_slew ~arrival:nominal.at ~slew:nominal.slew
+      ~dir:nominal.dir cfg.th
+  in
+  let receiver =
+    match Netlist.receivers_of netlist net with
+    | r :: _ -> r
+    | [] -> failwith ("Sta: noisy pin with no receiver: " ^ net)
+  in
+  let ct = find_cell cfg receiver.Netlist.cell in
+  let load = net_load cfg netlist receiver.Netlist.output in
+  let delay, out_slew =
+    Liberty.Nldm.gate_delay ct ~input_dir:nominal.dir ~slew:nominal.slew ~load
+  in
+  let pad = 4.0 *. nominal.slew in
+  let span_lo = Float.min (Wave.t_start wave) (nominal.at -. pad) in
+  let span_hi =
+    Float.max (Wave.t_end wave) (nominal.at +. delay +. (8.0 *. out_slew))
+  in
+  let sample r = Wave.of_fun ~t0:span_lo ~t1:span_hi ~n:512 (Ramp.value_at r) in
+  (* The noiseless gate response: simulated through the transistor-level
+     delay calculator when the cell is known, otherwise approximated by
+     the NLDM output ramp. *)
+  let noiseless_out =
+    match device_cell_of_name receiver.Netlist.cell with
+    | Some cell -> (
+        match
+          Liberty.Characterize.measure_gate cfg.proc cell ~extra_load:load
+            ~input:(Spice.Source.of_ramp noiseless_in) ~tstop:span_hi
+        with
+        | _, wy -> Wave.resample wy (Wave.times (sample noiseless_in))
+        | exception _ ->
+            sample
+              (Ramp.of_arrival_slew ~arrival:(nominal.at +. delay)
+                 ~slew:out_slew
+                 ~dir:(Liberty.Nldm.output_dir ct nominal.dir)
+                 cfg.th))
+    | None ->
+        sample
+          (Ramp.of_arrival_slew ~arrival:(nominal.at +. delay) ~slew:out_slew
+             ~dir:(Liberty.Nldm.output_dir ct nominal.dir)
+             cfg.th)
+  in
+  let ctx =
+    Eqwave.Technique.make_ctx ~samples:cfg.samples ~th:cfg.th ~noisy_in:wave
+      ~noiseless_in:(sample noiseless_in) ~noiseless_out ()
+  in
+  let ramp =
+    match cfg.technique.Eqwave.Technique.run ctx with
+    | ramp -> ramp
+    | exception Eqwave.Technique.Unsupported _ ->
+        (* Graceful degradation, as a production tool would do: keep the
+           nominal slew, anchor at the latest noisy mid crossing. *)
+        Ramp.of_arrival_slew
+          ~arrival:(Eqwave.Technique.latest_mid_crossing ctx)
+          ~slew:nominal.slew ~dir:nominal.dir cfg.th
+  in
+  {
+    at = Ramp.arrival ramp cfg.th;
+    slew = Ramp.slew ramp cfg.th;
+    dir = Ramp.direction ramp;
+    from_noisy = true;
+  }
+
+type result = {
+  timings : (string * timing) list;
+  worst_output : (string * timing) option;
+}
+
+let run ?(noisy_pins = []) cfg netlist ~stimuli =
+  let order = Netlist.topological_nets netlist in
+  let table : (string, timing) Hashtbl.t = Hashtbl.create 32 in
+  let time_net net =
+    match Netlist.driver_of netlist net with
+    | `Input ->
+        let s =
+          match List.assoc_opt net stimuli with
+          | Some s -> s
+          | None -> failwith ("Sta: missing stimulus for input " ^ net)
+        in
+        { at = s.arrival; slew = s.slew; dir = s.dir; from_noisy = false }
+    | `Gate inst ->
+        let din = Hashtbl.find table inst.Netlist.input in
+        let ct = find_cell cfg inst.Netlist.cell in
+        let load = net_load cfg netlist net in
+        let delay, out_slew =
+          Liberty.Nldm.gate_delay ct ~input_dir:din.dir ~slew:din.slew ~load
+        in
+        let wdelay, wslew = wire_delay netlist net in
+        {
+          at = din.at +. delay +. wdelay;
+          slew = sqrt ((out_slew *. out_slew) +. (wslew *. wslew));
+          dir = Liberty.Nldm.output_dir ct din.dir;
+          from_noisy = false;
+        }
+    | exception Not_found -> failwith ("Sta: undriven net " ^ net)
+  in
+  List.iter
+    (fun net ->
+      let nominal = time_net net in
+      let final =
+        match List.assoc_opt net noisy_pins with
+        | Some wave -> reduce_noisy cfg netlist net nominal wave
+        | None -> nominal
+      in
+      Hashtbl.replace table net final)
+    order;
+  let timings = List.map (fun n -> (n, Hashtbl.find table n)) order in
+  let worst_output =
+    Netlist.outputs netlist
+    |> List.filter_map (fun n ->
+           Option.map (fun t -> (n, t)) (Hashtbl.find_opt table n))
+    |> List.fold_left
+         (fun acc (n, t) ->
+           match acc with
+           | Some (_, best) when best.at >= t.at -> acc
+           | _ -> Some (n, t))
+         None
+  in
+  { timings; worst_output }
+
+let critical_path netlist result =
+  match result.worst_output with
+  | None -> []
+  | Some (net, _) ->
+      let rec walk acc net =
+        match Netlist.driver_of netlist net with
+        | `Input -> net :: acc
+        | `Gate inst -> walk (net :: acc) inst.Netlist.input
+        | exception Not_found -> net :: acc
+      in
+      walk [] net
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (net, t) ->
+      Format.fprintf ppf "%-14s at=%8.1f ps slew=%7.1f ps %a%s@,"
+        net (t.at *. 1e12) (t.slew *. 1e12) Waveform.Wave.pp_direction t.dir
+        (if t.from_noisy then "  [noisy->ramp]" else ""))
+    r.timings;
+  (match r.worst_output with
+  | Some (n, t) ->
+      Format.fprintf ppf "worst output %s at %.1f ps@," n (t.at *. 1e12)
+  | None -> Format.fprintf ppf "no primary outputs timed@,");
+  Format.fprintf ppf "@]"

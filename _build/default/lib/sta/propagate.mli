@@ -1,0 +1,65 @@
+(** Arrival-time and slew propagation (the STA core).
+
+    Classical table-driven STA: topological walk over the netlist,
+    NLDM delay/slew lookup per gate, Elmore wire delay with PERI-style
+    slew degradation per net. The noise-aware extension accepts
+    recorded noisy waveforms at selected receiver pins (typically from
+    a coupled-interconnect analysis) and reduces each to an equivalent
+    ramp with a pluggable technique — exactly the integration path the
+    paper claims for SGDP: nothing downstream changes, only the
+    (arrival, slew) pair entering the tables. *)
+
+type stimulus = {
+  arrival : float;                   (** 0.5 Vdd crossing at the input *)
+  slew : float;                      (** 10-90 transition time *)
+  dir : Waveform.Wave.direction;
+}
+
+type timing = {
+  at : float;                        (** arrival, 0.5 Vdd crossing *)
+  slew : float;
+  dir : Waveform.Wave.direction;
+  from_noisy : bool;                 (** reduced from a noisy waveform *)
+}
+
+type config = {
+  library : Liberty.Nldm.cell_timing list;
+  th : Waveform.Thresholds.t;
+  technique : Eqwave.Technique.t;    (** reduction for noisy pins *)
+  samples : int;                     (** P for the technique *)
+  proc : Device.Process.t;           (** process used by the delay
+                                         calculator at noisy pins *)
+}
+
+val config :
+  ?technique:Eqwave.Technique.t -> ?samples:int ->
+  ?proc:Device.Process.t -> ?th:Waveform.Thresholds.t ->
+  Liberty.Nldm.cell_timing list -> config
+(** Defaults: SGDP, P = 35, the c13 corner and its thresholds. *)
+
+val net_load : config -> Netlist.t -> string -> float
+(** Total capacitive load a driver of the net sees: receiver pin caps
+    plus declared lumped/line capacitance. *)
+
+val wire_delay : Netlist.t -> string -> float * float
+(** [(delay, slew_degradation)] of the net's interconnect: Elmore delay
+    and the PERI ln(9)*Elmore slew addend (0 for plain nets). *)
+
+type result = {
+  timings : (string * timing) list;          (** per net, topo order *)
+  worst_output : (string * timing) option;   (** latest primary output *)
+}
+
+val run :
+  ?noisy_pins:(string * Waveform.Wave.t) list ->
+  config -> Netlist.t -> stimuli:(string * stimulus) list -> result
+(** Propagate. Every primary input must appear in [stimuli] (checked).
+    [noisy_pins] maps net names to recorded noisy waveforms at the
+    receiver end of that net; the configured technique reduces each
+    before its receiving gate is timed. Raises [Failure] on missing
+    stimuli or library cells. *)
+
+val critical_path : Netlist.t -> result -> string list
+(** Nets on the path to the worst output, source first. *)
+
+val pp_result : Format.formatter -> result -> unit

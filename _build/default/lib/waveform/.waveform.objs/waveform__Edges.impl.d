@@ -1,0 +1,1 @@
+lib/waveform/edges.ml: Float List Ramp Thresholds Wave

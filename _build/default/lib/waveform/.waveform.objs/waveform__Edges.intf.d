@@ -1,0 +1,1 @@
+lib/waveform/edges.mli: Thresholds Wave

@@ -1,0 +1,1 @@
+lib/waveform/ramp.ml: Float Format Numerics Thresholds Wave

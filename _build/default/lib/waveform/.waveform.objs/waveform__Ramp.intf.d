@@ -1,0 +1,1 @@
+lib/waveform/ramp.mli: Format Numerics Thresholds Wave

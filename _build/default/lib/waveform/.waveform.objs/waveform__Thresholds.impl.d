@@ -1,0 +1,1 @@
+lib/waveform/thresholds.ml:

@@ -1,0 +1,1 @@
+lib/waveform/wave.ml: Array Buffer Float Format List Numerics Printf Thresholds

@@ -1,0 +1,1 @@
+lib/waveform/wave.mli: Format Thresholds

@@ -1,0 +1,51 @@
+(** Analytic edge and glitch shapes.
+
+    Parametric waveform generators used for fast technique testing and
+    synthetic workloads: classic exponential and raised-cosine edges,
+    plus crosstalk glitch shapes (triangular and capacitive
+    charge-sharing pulses) that can be superposed onto any edge. All
+    generators return plain functions of time so they can be sampled
+    into {!Wave.t} or used directly as stimuli. *)
+
+val linear_edge :
+  t0:float -> trans:float -> v0:float -> v1:float -> float -> float
+(** Saturated linear transition from [v0] to [v1] starting at [t0]. *)
+
+val exponential_edge :
+  t0:float -> tau:float -> v0:float -> v1:float -> float -> float
+(** First-order RC response [v0 + (v1-v0)(1 - exp(-(t-t0)/tau))]. *)
+
+val raised_cosine_edge :
+  t0:float -> trans:float -> v0:float -> v1:float -> float -> float
+(** Smooth (C1) transition with zero end slopes — a good stand-in for a
+    buffered CMOS edge. *)
+
+val triangular_glitch :
+  t0:float -> rise:float -> fall:float -> peak:float -> float -> float
+(** Zero outside [t0, t0 + rise + fall]; linear up to [peak] then back.
+    [rise] and [fall] must be positive. *)
+
+val decay_glitch :
+  t0:float -> tau:float -> peak:float -> float -> float
+(** Instantaneous kick of [peak] at [t0] decaying with [tau] — the
+    charge-sharing shape of a coupling capacitor against a holding
+    driver. *)
+
+val superpose : (float -> float) list -> float -> float
+(** Pointwise sum. *)
+
+val clamp : vdd:float -> (float -> float) -> float -> float
+(** Clip a composite shape to the rails. *)
+
+val sample :
+  ?n:int -> t0:float -> t1:float -> (float -> float) -> Wave.t
+(** Sample onto a uniform grid ([n] defaults to 601). *)
+
+val noisy_edge :
+  th:Thresholds.t ->
+  arrival:float -> slew:float -> dir:Wave.direction ->
+  glitches:(float -> float) list ->
+  ?span:float * float -> unit -> Wave.t
+(** A complete synthetic noisy transition: saturated ramp with the
+    given timing, glitches superposed, clamped to the rails. [span]
+    defaults to generous padding around the transition and glitches. *)

@@ -1,0 +1,59 @@
+(* Douglas-Peucker: recursively keep the sample farthest from the chord
+   while it deviates more than eps. *)
+let compress ?(eps = 1e-3) w =
+  if eps <= 0.0 then invalid_arg "Pwl.compress: eps must be positive";
+  let ts = Wave.times w and vs = Wave.values w in
+  let n = Array.length ts in
+  let keep = Array.make n false in
+  keep.(0) <- true;
+  keep.(n - 1) <- true;
+  let rec split lo hi =
+    if hi > lo + 1 then begin
+      let t0 = ts.(lo) and v0 = vs.(lo) in
+      let t1 = ts.(hi) and v1 = vs.(hi) in
+      let worst = ref 0.0 and worst_i = ref lo in
+      for i = lo + 1 to hi - 1 do
+        let chord = v0 +. ((v1 -. v0) *. (ts.(i) -. t0) /. (t1 -. t0)) in
+        let d = abs_float (vs.(i) -. chord) in
+        if d > !worst then begin
+          worst := d;
+          worst_i := i
+        end
+      done;
+      if !worst > eps then begin
+        keep.(!worst_i) <- true;
+        split lo !worst_i;
+        split !worst_i hi
+      end
+    end
+  in
+  split 0 (n - 1);
+  let kept_t = ref [] and kept_v = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then begin
+      kept_t := ts.(i) :: !kept_t;
+      kept_v := vs.(i) :: !kept_v
+    end
+  done;
+  Wave.create (Array.of_list !kept_t) (Array.of_list !kept_v)
+
+let max_deviation a b =
+  let worst = ref 0.0 in
+  let probe w =
+    Array.iter
+      (fun t ->
+        let d = abs_float (Wave.value_at a t -. Wave.value_at b t) in
+        if d > !worst then worst := d)
+      (Wave.times w)
+  in
+  probe a;
+  probe b;
+  !worst
+
+let compression_ratio original compressed =
+  float_of_int (Wave.length original) /. float_of_int (Wave.length compressed)
+
+let points w =
+  List.combine
+    (Array.to_list (Wave.times w))
+    (Array.to_list (Wave.values w))

@@ -1,0 +1,21 @@
+(** Piecewise-linear waveform compression.
+
+    Full transient waveforms carry thousands of samples; STA tools
+    store and exchange them as reduced PWL tables. [compress] is the
+    Douglas-Peucker reduction: the result deviates from the original by
+    at most [eps] volts at every original sample, with far fewer
+    points. *)
+
+val compress : ?eps:float -> Wave.t -> Wave.t
+(** [compress ~eps w] (default [eps] = 1 mV). Keeps the end points;
+    the result interpolates the original within [eps] everywhere. *)
+
+val max_deviation : Wave.t -> Wave.t -> float
+(** Max |a(t) - b(t)| over the union of both sample grids. *)
+
+val compression_ratio : Wave.t -> Wave.t -> float
+(** original points / compressed points. *)
+
+val points : Wave.t -> (float * float) list
+(** The (time, value) pairs of the waveform, e.g. for building PWL
+    simulator stimuli. *)

@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Circuit Device Float Helpers List QCheck2 Source Spice Transient Waveform

@@ -1,0 +1,1 @@
+test/test_eqwave.ml: Alcotest Array Device Energy Eqwave Float Helpers Least_squares List Point_based QCheck2 Ramp Registry Sensitivity Sgdp Technique Wave Waveform Wls

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Circuit Device Eqwave Helpers Liberty List Noise Option QCheck2 Source Spice Sta Transient Waveform

@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest Array Circuit Coupled Float Helpers Interconnect List Printf QCheck2 Rcline Rctree Source Spice Transient Waveform

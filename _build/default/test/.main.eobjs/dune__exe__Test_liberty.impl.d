@@ -1,0 +1,1 @@
+test/test_liberty.ml: Alcotest Array Characterize Device Filename Fun Helpers Lazy Liberty Libfile List Nldm QCheck2 Spice Sys Waveform

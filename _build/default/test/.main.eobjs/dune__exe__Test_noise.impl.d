@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Array Device Eqwave Eval Format Helpers Injection Interconnect Lazy List Noise Numerics Option Scenario Spice String Waveform

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Helpers Integrate Interp Lsq Matrix Numerics QCheck2 Roots Stats Tridiag Units

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Circuit Device Float Helpers List Source Spice String Transient Waveform

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Circuit Device Eqwave Float Format Helpers Interconnect Lazy Liberty List Netlist Propagate Ramp Source Spice Sta String Thresholds Transient Wave Waveform

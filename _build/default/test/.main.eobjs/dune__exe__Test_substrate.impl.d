@@ -1,0 +1,1 @@
+test/test_substrate.ml: Alcotest Array Awe Circuit Coupled Device Eqwave Filename Float Fun Helpers Interconnect List Noise Noise_bound QCheck2 Rcline Rctree Source Spice Sta Sys Transient Waveform

@@ -1,0 +1,1 @@
+test/test_waveform.ml: Alcotest Array Helpers List QCheck2 Ramp String Thresholds Wave Waveform

@@ -1,0 +1,29 @@
+(* Shared assertion helpers for the suites. *)
+
+let approx ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g (eps %.2g)" msg expected actual
+      eps
+
+let approx_rel ?(rel = 1e-6) msg expected actual =
+  let scale = Float.max (abs_float expected) 1e-30 in
+  if abs_float (expected -. actual) > rel *. scale then
+    Alcotest.failf "%s: expected %.9g, got %.9g (rel %.2g)" msg expected actual
+      rel
+
+let check_true msg b = Alcotest.(check bool) msg true b
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let qcase ?count name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ?count ~name gen prop)
+
+(* A deterministic pseudo-random float array generator for tests that
+   need "arbitrary" data without QCheck plumbing. *)
+let lcg_array seed n lo hi =
+  let state = ref (seed land 0x3FFFFFFF) in
+  Array.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      lo +. ((hi -. lo) *. (float_of_int !state /. float_of_int 0x3FFFFFFF)))

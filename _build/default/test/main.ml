@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "noisy_sta"
+    [
+      Test_numerics.suite;
+      Test_waveform.suite;
+      Test_spice.suite;
+      Test_device.suite;
+      Test_interconnect.suite;
+      Test_liberty.suite;
+      Test_eqwave.suite;
+      Test_noise.suite;
+      Test_sta.suite;
+      Test_extensions.suite;
+      Test_substrate.suite;
+    ]

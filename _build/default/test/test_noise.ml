@@ -1,0 +1,187 @@
+open Helpers
+open Noise
+
+let th = Device.Process.thresholds Device.Process.c13
+
+(* ------------------------------------------------------------------ *)
+(* Scenario                                                            *)
+
+let test_config_values () =
+  let c = Scenario.config_i in
+  Alcotest.(check int) "one aggressor" 1 c.Scenario.n_aggressors;
+  approx ~eps:1e-27 "coupling" 100e-15 c.Scenario.cm_total;
+  approx ~eps:1e-15 "slew" 150e-12 c.Scenario.input_slew;
+  approx ~eps:1e-15 "window" 1e-9 c.Scenario.window;
+  Alcotest.(check int) "200 cases" 200 c.Scenario.cases;
+  let c2 = Scenario.config_ii in
+  Alcotest.(check int) "two aggressors" 2 c2.Scenario.n_aggressors;
+  (* Config II lines are half as long. *)
+  approx_rel ~rel:1e-9 "half R"
+    (c.Scenario.line.Interconnect.Rcline.rtotal /. 2.0)
+    c2.Scenario.line.Interconnect.Rcline.rtotal
+
+let test_taus_span_window () =
+  let c = Scenario.with_cases Scenario.config_i 11 in
+  let taus = Scenario.taus c in
+  Alcotest.(check int) "count" 11 (Array.length taus);
+  approx ~eps:1e-15 "span" c.Scenario.window
+    (taus.(10) -. taus.(0));
+  (* strictly increasing *)
+  for i = 0 to 9 do
+    check_true "increasing" (taus.(i + 1) > taus.(i))
+  done
+
+let test_victim_position () =
+  Alcotest.(check int) "config I victim first" 0
+    (Scenario.victim_line_index Scenario.config_i);
+  Alcotest.(check int) "config II victim middle" 1
+    (Scenario.victim_line_index Scenario.config_ii)
+
+let test_build_circuit_shape () =
+  let ckt, hints = Scenario.build Scenario.config_i ~aggressor_active:true ~tau:0.5e-9 in
+  (* 2 chains x 4 inverters = 8 inverters = 16 MOSFETs. *)
+  Alcotest.(check int) "mosfets" 16 (List.length (Spice.Circuit.mosfets ckt));
+  (* 3 sources: vdd + 2 inputs. *)
+  Alcotest.(check int) "sources" 3 (List.length (Spice.Circuit.vsources ckt));
+  (* hints cover vdd and the logic levels. *)
+  check_true "vdd hint" (List.mem_assoc "vdd" hints);
+  check_true "victim far node hinted"
+    (List.mem_assoc (Scenario.victim_far_node Scenario.config_i) hints)
+
+let test_build_config_ii_shape () =
+  let ckt, _ = Scenario.build Scenario.config_ii ~aggressor_active:true ~tau:0.5e-9 in
+  Alcotest.(check int) "mosfets" 24 (List.length (Spice.Circuit.mosfets ckt));
+  Alcotest.(check int) "sources" 4 (List.length (Spice.Circuit.vsources ckt))
+
+(* ------------------------------------------------------------------ *)
+(* Injection (simulation-backed; slow)                                 *)
+
+let fast_scenario =
+  (* Smaller tstop for test speed; the victim transition is early. *)
+  { Scenario.config_i with Scenario.dt = 4e-12 }
+
+let noiseless = lazy (Injection.noiseless fast_scenario)
+
+let test_noiseless_transitions () =
+  let r = Lazy.force noiseless in
+  check_true "far rising"
+    (Waveform.Wave.direction r.Injection.far = Waveform.Wave.Rising);
+  check_true "rcv falling"
+    (Waveform.Wave.direction r.Injection.rcv = Waveform.Wave.Falling);
+  match (Waveform.Wave.arrival r.Injection.far th,
+         Waveform.Wave.arrival r.Injection.rcv th) with
+  | Some ti, Some ty ->
+      let d = ty -. ti in
+      check_true "receiver delay plausible" (d > 10e-12 && d < 300e-12)
+  | _ -> Alcotest.fail "missing crossings"
+
+let test_noiseless_monotone () =
+  let r = Lazy.force noiseless in
+  (* The noiseless victim waveform should be a clean monotone edge
+     (tiny numerical wiggle allowed). *)
+  check_true "monotone"
+    (Waveform.Wave.is_monotone ~eps:1e-3 r.Injection.far)
+
+let test_noisy_differs () =
+  let r0 = Lazy.force noiseless in
+  let r1 = Injection.noisy fast_scenario ~tau:fast_scenario.Scenario.victim_t0 in
+  let d = Waveform.Wave.sub r1.Injection.far r0.Injection.far in
+  let peak = Numerics.Stats.max_abs (Waveform.Wave.values d) in
+  check_true "visible coupling noise" (peak > 0.05)
+
+let test_early_aggressor_no_effect_on_delay () =
+  (* An aggressor firing 0.6 ns before the victim has settled out by
+     the time the victim switches. *)
+  let r0 = Lazy.force noiseless in
+  let tau = fast_scenario.Scenario.victim_t0 -. 0.6e-9 in
+  let r1 = Injection.noisy fast_scenario ~tau in
+  match (Waveform.Wave.arrival r0.Injection.rcv th,
+         Waveform.Wave.arrival r1.Injection.rcv th) with
+  | Some a, Some b -> check_true "arrival barely moves" (abs_float (a -. b) < 10e-12)
+  | _ -> Alcotest.fail "missing arrivals"
+
+let test_receiver_response_matches_replay () =
+  (* Feeding the recorded noiseless far waveform into the isolated
+     receiver must reproduce the chain's receiver output closely. *)
+  let r = Lazy.force noiseless in
+  let out =
+    Injection.receiver_response fast_scenario
+      ~input:(Spice.Source.of_wave r.Injection.far)
+      ~tstop:fast_scenario.Scenario.tstop
+  in
+  match (Waveform.Wave.arrival out th, Waveform.Wave.arrival r.Injection.rcv th) with
+  | Some a, Some b -> approx ~eps:3e-12 "replay faithful" b a
+  | _ -> Alcotest.fail "missing arrivals"
+
+let test_ctx_of_runs () =
+  let r0 = Lazy.force noiseless in
+  let r1 = Injection.noisy fast_scenario ~tau:1.0e-9 in
+  let ctx = Injection.ctx_of_runs fast_scenario ~noiseless:r0 ~noisy:r1 in
+  Alcotest.(check int) "P default" 35 ctx.Eqwave.Technique.samples;
+  check_true "direction" (Eqwave.Technique.direction ctx = Waveform.Wave.Rising)
+
+(* ------------------------------------------------------------------ *)
+(* Eval (slow)                                                         *)
+
+let test_evaluate_case_all_techniques () =
+  let r0 = Lazy.force noiseless in
+  let case =
+    Eval.evaluate_case fast_scenario ~noiseless:r0
+      ~tau:fast_scenario.Scenario.victim_t0
+  in
+  Alcotest.(check int) "six rows" 6 (List.length case.Eval.metrics);
+  check_true "replay fidelity < 2 ps"
+    (abs_float case.Eval.chain_vs_replay < 2e-12);
+  check_true "positive reference delay" (case.Eval.delay_ref > 0.0);
+  List.iter
+    (fun m ->
+      match m.Eval.delay_err with
+      | Some e -> check_true (m.Eval.technique ^ " bounded") (abs_float e < 100e-12)
+      | None -> Alcotest.failf "%s failed: %s" m.Eval.technique
+                  (Option.value ~default:"?" m.Eval.failure))
+    case.Eval.metrics
+
+let test_run_table_shape () =
+  let scen = Scenario.with_cases fast_scenario 3 in
+  let progress = ref 0 in
+  let table = Eval.run_table ~progress:(fun _ _ -> incr progress) scen in
+  Alcotest.(check int) "3 cases" 3 (List.length table.Eval.cases);
+  Alcotest.(check int) "progress called" 3 !progress;
+  Alcotest.(check int) "6 rows" 6 (List.length table.Eval.rows);
+  List.iter
+    (fun r ->
+      check_true (r.Eval.name ^ " has cases") (r.Eval.n_cases > 0);
+      check_true (r.Eval.name ^ " max >= avg")
+        (r.Eval.max_abs_ps >= r.Eval.avg_abs_ps -. 1e-9))
+    table.Eval.rows
+
+let test_pp_table_renders () =
+  let scen = Scenario.with_cases fast_scenario 1 in
+  let table = Eval.run_table scen in
+  let s = Format.asprintf "%a" Eval.pp_table table in
+  check_true "mentions SGDP"
+    (let re = ref false in
+     String.iteri
+       (fun i _ ->
+         if i + 4 <= String.length s && String.sub s i 4 = "SGDP" then re := true)
+       s;
+     !re)
+
+let suite =
+  ( "noise",
+    [
+      case "scenario: paper values" test_config_values;
+      case "scenario: taus" test_taus_span_window;
+      case "scenario: victim position" test_victim_position;
+      case "scenario: config I circuit shape" test_build_circuit_shape;
+      case "scenario: config II circuit shape" test_build_config_ii_shape;
+      slow_case "injection: noiseless transitions" test_noiseless_transitions;
+      slow_case "injection: noiseless monotone" test_noiseless_monotone;
+      slow_case "injection: coupling visible" test_noisy_differs;
+      slow_case "injection: early aggressor harmless" test_early_aggressor_no_effect_on_delay;
+      slow_case "injection: replay faithful" test_receiver_response_matches_replay;
+      slow_case "injection: ctx assembly" test_ctx_of_runs;
+      slow_case "eval: one case, all techniques" test_evaluate_case_all_techniques;
+      slow_case "eval: table shape" test_run_table_shape;
+      slow_case "eval: pp renders" test_pp_table_renders;
+    ] )

@@ -1,0 +1,414 @@
+open Helpers
+open Numerics
+
+(* ------------------------------------------------------------------ *)
+(* Matrix                                                              *)
+
+let test_identity_solve () =
+  let a = Matrix.identity 4 in
+  let b = [| 1.0; -2.0; 3.5; 0.25 |] in
+  let x = Matrix.solve a b in
+  Array.iteri (fun i bi -> approx "identity" bi x.(i)) b
+
+let test_known_2x2 () =
+  (* [2 1; 1 3] x = [5; 10] -> x = [1; 3] *)
+  let a = Matrix.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Matrix.solve a [| 5.0; 10.0 |] in
+  approx "x0" 1.0 x.(0);
+  approx "x1" 3.0 x.(1)
+
+let test_pivoting_needed () =
+  (* Leading zero forces a row swap. *)
+  let a = Matrix.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Matrix.solve a [| 2.0; 7.0 |] in
+  approx "x0" 7.0 x.(0);
+  approx "x1" 2.0 x.(1)
+
+let test_singular_detected () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match Matrix.solve a [| 1.0; 2.0 |] with
+  | exception Matrix.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+let test_residual () =
+  let a = Matrix.of_arrays [| [| 3.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let b = [| 9.0; 8.0 |] in
+  let x = Matrix.solve a b in
+  check_true "small residual" (Matrix.residual_norm a x b < 1e-12)
+
+let test_random_solve_residual () =
+  (* 30 deterministic random systems: LU solve leaves tiny residual. *)
+  for seed = 1 to 30 do
+    let n = 3 + (seed mod 8) in
+    let data = lcg_array seed (n * n) (-5.0) 5.0 in
+    let a = Matrix.create n n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        Matrix.set a i j data.((i * n) + j)
+      done;
+      (* Diagonal dominance keeps the system comfortably regular. *)
+      Matrix.add_to a i i 20.0
+    done;
+    let b = lcg_array (seed * 77) n (-10.0) 10.0 in
+    let x = Matrix.solve a b in
+    check_true "residual" (Matrix.residual_norm a x b < 1e-9)
+  done
+
+let test_mul_vec () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let y = Matrix.mul_vec a [| 1.0; 1.0 |] in
+  approx "y0" 3.0 y.(0);
+  approx "y1" 7.0 y.(1)
+
+let test_transpose_mul () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0; 0.0 |]; [| 0.0; 1.0; 4.0 |] |] in
+  let at = Matrix.transpose a in
+  Alcotest.(check int) "rows" 3 (Matrix.rows at);
+  Alcotest.(check int) "cols" 2 (Matrix.cols at);
+  approx "at(1,0)" 2.0 (Matrix.get at 1 0);
+  let ata = Matrix.mul at a in
+  Alcotest.(check int) "ata square" 3 (Matrix.rows ata);
+  (* A^T A is symmetric. *)
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      approx "symmetry" (Matrix.get ata i j) (Matrix.get ata j i)
+    done
+  done
+
+let test_bad_dims () =
+  Alcotest.check_raises "create" (Invalid_argument
+    "Matrix.create: dimensions must be positive") (fun () ->
+      ignore (Matrix.create 0 3));
+  let a = Matrix.create 2 2 in
+  Alcotest.check_raises "mul_vec"
+    (Invalid_argument "Matrix.mul_vec: size mismatch") (fun () ->
+      ignore (Matrix.mul_vec a [| 1.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Tridiag                                                             *)
+
+let test_tridiag_vs_dense () =
+  for seed = 1 to 10 do
+    let n = 2 + (seed mod 7) in
+    let diag = lcg_array seed n 5.0 10.0 in
+    let lower = lcg_array (seed + 100) (n - 1) (-1.0) 1.0 in
+    let upper = lcg_array (seed + 200) (n - 1) (-1.0) 1.0 in
+    let rhs = lcg_array (seed + 300) n (-3.0) 3.0 in
+    let x = Tridiag.solve ~lower ~diag ~upper ~rhs in
+    let a = Matrix.create n n in
+    for i = 0 to n - 1 do
+      Matrix.set a i i diag.(i);
+      if i < n - 1 then begin
+        Matrix.set a i (i + 1) upper.(i);
+        Matrix.set a (i + 1) i lower.(i)
+      end
+    done;
+    let xd = Matrix.solve a rhs in
+    Array.iteri (fun i v -> approx ~eps:1e-9 "tridiag" v x.(i)) xd
+  done
+
+let test_tridiag_size_checks () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Tridiag.solve: size mismatch") (fun () ->
+      ignore
+        (Tridiag.solve ~lower:[| 1.0 |] ~diag:[| 1.0 |] ~upper:[||] ~rhs:[| 1.0 |]))
+
+let test_tridiag_single () =
+  let x = Tridiag.solve ~lower:[||] ~diag:[| 4.0 |] ~upper:[||] ~rhs:[| 8.0 |] in
+  approx "single" 2.0 x.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Interp                                                              *)
+
+let test_linear_at_nodes () =
+  let xs = [| 0.0; 1.0; 3.0 |] and ys = [| 1.0; 5.0; -2.0 |] in
+  Array.iteri (fun i x -> approx "node" ys.(i) (Interp.linear xs ys x)) xs
+
+let test_linear_midpoint () =
+  approx "mid" 3.0 (Interp.linear [| 0.0; 1.0 |] [| 1.0; 5.0 |] 0.5)
+
+let test_linear_extrapolates () =
+  approx "extrap" 9.0 (Interp.linear [| 0.0; 1.0 |] [| 1.0; 5.0 |] 2.0)
+
+let test_clamped () =
+  approx "clamp hi" 5.0 (Interp.linear_clamped [| 0.0; 1.0 |] [| 1.0; 5.0 |] 2.0);
+  approx "clamp lo" 1.0 (Interp.linear_clamped [| 0.0; 1.0 |] [| 1.0; 5.0 |] (-1.0))
+
+let test_bilinear () =
+  let xs = [| 0.0; 1.0 |] and ys = [| 0.0; 2.0 |] in
+  let z = [| [| 0.0; 2.0 |]; [| 4.0; 6.0 |] |] in
+  approx "corner" 0.0 (Interp.bilinear xs ys z 0.0 0.0);
+  approx "corner2" 6.0 (Interp.bilinear xs ys z 1.0 2.0);
+  approx "center" 3.0 (Interp.bilinear xs ys z 0.5 1.0);
+  (* clamped outside *)
+  approx "outside" 6.0 (Interp.bilinear xs ys z 3.0 9.0)
+
+let test_inverse_linear () =
+  let xs = [| 0.0; 1.0; 2.0 |] and ys = [| 0.0; 2.0; 0.0 |] in
+  (match Interp.inverse_linear xs ys 1.0 with
+  | Some x -> approx "first crossing" 0.5 x
+  | None -> Alcotest.fail "expected crossing");
+  check_true "no crossing" (Interp.inverse_linear xs ys 5.0 = None)
+
+let test_derivative_linear_fn () =
+  let xs = Array.init 11 (fun i -> float_of_int i /. 10.0) in
+  let ys = Array.map (fun x -> (3.0 *. x) +. 1.0) xs in
+  Array.iter (fun d -> approx ~eps:1e-9 "slope" 3.0 d) (Interp.derivative xs ys)
+
+let test_bracket_bad_grid () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Interp: grid must be strictly increasing") (fun () ->
+      Interp.validate_grid [| 0.0; 0.0; 1.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Lsq                                                                 *)
+
+let test_fit_exact_line () =
+  let ts = Array.init 20 (fun i -> float_of_int i) in
+  let vs = Array.map (fun t -> (2.5 *. t) -. 4.0) ts in
+  let l = Lsq.fit_line ts vs in
+  approx ~eps:1e-9 "slope" 2.5 l.Lsq.slope;
+  approx ~eps:1e-9 "intercept" (-4.0) l.Lsq.intercept
+
+let test_fit_weighted_ignores_outlier () =
+  let ts = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let vs = [| 0.0; 1.0; 2.0; 100.0 |] in
+  let weights = [| 1.0; 1.0; 1.0; 0.0 |] in
+  let l = Lsq.fit_line ~weights ts vs in
+  approx ~eps:1e-9 "slope" 1.0 l.Lsq.slope;
+  approx ~eps:1e-9 "intercept" 0.0 l.Lsq.intercept
+
+let test_fit_through_point () =
+  let ts = [| 1.0; 2.0; 3.0 |] and vs = [| 2.0; 4.0; 6.0 |] in
+  let l = Lsq.fit_line_through 0.0 0.0 ts vs in
+  approx ~eps:1e-9 "slope" 2.0 l.Lsq.slope;
+  approx ~eps:1e-9 "through origin" 0.0 l.Lsq.intercept
+
+let test_fit_degenerate () =
+  match Lsq.fit_line [| 1.0; 1.0 |] [| 0.0; 2.0 |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected degenerate failure"
+
+let test_gauss_newton_quadratic () =
+  (* Fit y = a*x + b to exact data by minimizing the residual directly:
+     GN should land on the analytic answer in a couple of steps. *)
+  let xs = Array.init 10 (fun i -> float_of_int i /. 3.0) in
+  let ys = Array.map (fun x -> (1.7 *. x) +. 0.3) xs in
+  let residual p = Array.mapi (fun i x -> ((p.(0) *. x) +. p.(1)) -. ys.(i)) xs in
+  let jacobian _ = Array.map (fun x -> [| x; 1.0 |]) xs in
+  let p = Lsq.gauss_newton ~residual ~jacobian [| 0.0; 0.0 |] in
+  approx ~eps:1e-6 "a" 1.7 p.(0);
+  approx ~eps:1e-6 "b" 0.3 p.(1)
+
+let test_gauss_newton_nonlinear () =
+  (* Minimize (x^2 - 4)^2: minima at +-2; starting at 1 converges to 2. *)
+  let residual p = [| (p.(0) *. p.(0)) -. 4.0 |] in
+  let jacobian p = [| [| 2.0 *. p.(0) |] |] in
+  let p = Lsq.gauss_newton ~residual ~jacobian [| 1.0 |] in
+  approx ~eps:1e-5 "root" 2.0 p.(0)
+
+let test_gauss_newton_never_worse () =
+  (* Even from a bad start the returned cost never exceeds the seed's. *)
+  let xs = lcg_array 5 15 0.0 1.0 in
+  let ys = lcg_array 6 15 (-1.0) 1.0 in
+  let residual p = Array.mapi (fun i x -> ((p.(0) *. x) +. p.(1)) -. ys.(i)) xs in
+  let jacobian _ = Array.map (fun x -> [| x; 1.0 |]) xs in
+  let cost p = Array.fold_left (fun a r -> a +. (r *. r)) 0.0 (residual p) in
+  let p0 = [| 100.0; -50.0 |] in
+  let p = Lsq.gauss_newton ~residual ~jacobian p0 in
+  check_true "improved" (cost p <= cost p0)
+
+(* ------------------------------------------------------------------ *)
+(* Roots                                                               *)
+
+let test_bisect_sqrt2 () =
+  let f x = (x *. x) -. 2.0 in
+  approx ~eps:1e-9 "sqrt2" (sqrt 2.0) (Roots.bisect f 0.0 2.0)
+
+let test_brent_cubic () =
+  let f x = (x *. x *. x) -. x -. 2.0 in
+  let r = Roots.brent f 1.0 2.0 in
+  approx ~eps:1e-9 "f(r)=0" 0.0 (f r)
+
+let test_brent_endpoint_root () =
+  approx "exact endpoint" 1.0 (Roots.brent (fun x -> x -. 1.0) 1.0 2.0)
+
+let test_no_sign_change () =
+  Alcotest.check_raises "no sign change"
+    (Invalid_argument "Roots.brent: no sign change") (fun () ->
+      ignore (Roots.brent (fun x -> (x *. x) +. 1.0) 0.0 1.0))
+
+let test_find_bracket () =
+  match Roots.find_bracket (fun x -> x -. 0.35) ~lo:0.0 ~hi:1.0 ~steps:10 with
+  | Some (a, b) ->
+      check_true "bracket contains root" (a <= 0.35 && 0.35 <= b)
+  | None -> Alcotest.fail "expected bracket"
+
+let test_find_bracket_none () =
+  check_true "none"
+    (Roots.find_bracket (fun _ -> 1.0) ~lo:0.0 ~hi:1.0 ~steps:4 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Integrate                                                           *)
+
+let test_trapz_linear_exact () =
+  let xs = [| 0.0; 0.5; 2.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  (* integral of 2x+1 on [0,2] = 4 + 2 = 6, exact for trapezoids *)
+  approx ~eps:1e-12 "linear" 6.0 (Integrate.trapz xs ys)
+
+let test_simpson_cubic_exact () =
+  (* Simpson integrates cubics exactly: x^3 on [0,2] = 4. *)
+  approx ~eps:1e-9 "cubic" 4.0 (Integrate.simpson_fn ~n:8 (fun x -> x ** 3.0) 0.0 2.0)
+
+let test_trapz_fn_converges () =
+  let exact = 1.0 -. cos 1.0 in
+  approx ~eps:1e-5 "sin" exact (Integrate.trapz_fn ~n:2000 sin 0.0 1.0)
+
+let test_cumulative_endpoint () =
+  let xs = Array.init 101 (fun i -> float_of_int i /. 100.0) in
+  let ys = Array.map (fun x -> x) xs in
+  let c = Integrate.cumulative xs ys in
+  approx "start" 0.0 c.(0);
+  approx ~eps:1e-9 "end" 0.5 c.(100)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_summarize () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  approx "mean" 2.5 s.Stats.mean;
+  approx "max" 4.0 s.Stats.max;
+  approx "min" 1.0 s.Stats.min;
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  approx ~eps:1e-12 "rms" (sqrt 7.5) s.Stats.rms
+
+let test_percentile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  approx "median" 2.5 (Stats.percentile xs 50.0);
+  approx "p0" 1.0 (Stats.percentile xs 0.0);
+  approx "p100" 4.0 (Stats.percentile xs 100.0)
+
+let test_percentile_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.percentile xs 50.0);
+  approx "unchanged" 3.0 xs.(0)
+
+let test_max_abs () =
+  approx "max_abs" 5.0 (Stats.max_abs [| -5.0; 3.0; 1.0 |])
+
+let test_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Stats.summarize [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Units                                                               *)
+
+let test_units_roundtrip () =
+  approx ~eps:1e-24 "ps" 1e-12 (Units.ps 1.0);
+  approx ~eps:1e-27 "ff" 1e-15 (Units.ff 1.0);
+  approx "to_ps" 150.0 (Units.to_ps (Units.ps 150.0));
+  approx "to_ff" 4.8 (Units.to_ff (Units.ff 4.8));
+  approx "um" 1e-3 (Units.um 1000.0);
+  approx "mv" 0.6 (Units.mv 600.0)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  [
+    qcase "interp: value at a grid node is exact"
+      QCheck2.Gen.(array_size (int_range 2 20) (float_bound_exclusive 100.0))
+      (fun ys ->
+        QCheck2.assume (Array.length ys >= 2);
+        let xs = Array.init (Array.length ys) float_of_int in
+        let i = Array.length ys / 2 in
+        abs_float (Interp.linear xs ys xs.(i) -. ys.(i)) < 1e-9);
+    qcase "lsq: exact line is recovered from noisy-free samples"
+      QCheck2.Gen.(pair (float_range (-50.0) 50.0) (float_range (-50.0) 50.0))
+      (fun (a, b) ->
+        QCheck2.assume (abs_float a > 1e-6);
+        let ts = Array.init 12 (fun i -> float_of_int i /. 4.0) in
+        let vs = Array.map (fun t -> (a *. t) +. b) ts in
+        let l = Lsq.fit_line ts vs in
+        abs_float (l.Lsq.slope -. a) < 1e-6 *. (1.0 +. abs_float a)
+        && abs_float (l.Lsq.intercept -. b) < 1e-6 *. (1.0 +. abs_float b));
+    qcase "roots: brent finds a root of a random monotone cubic"
+      QCheck2.Gen.(float_range 0.1 10.0)
+      (fun k ->
+        let f x = (x *. x *. x) +. (k *. x) -. 5.0 in
+        let r = Roots.brent f (-10.0) 10.0 in
+        abs_float (f r) < 1e-6);
+    qcase "stats: mean lies between min and max"
+      QCheck2.Gen.(array_size (int_range 1 30) (float_range (-1000.0) 1000.0))
+      (fun xs ->
+        let s = Stats.summarize xs in
+        s.Stats.min <= s.Stats.mean +. 1e-9
+        && s.Stats.mean <= s.Stats.max +. 1e-9);
+    qcase "tridiag: solution satisfies the system"
+      QCheck2.Gen.(int_range 2 12)
+      (fun n ->
+        let diag = Array.make n 4.0 in
+        let lower = Array.make (n - 1) (-1.0) in
+        let upper = Array.make (n - 1) (-1.0) in
+        let rhs = Array.init n (fun i -> float_of_int (i + 1)) in
+        let x = Tridiag.solve ~lower ~diag ~upper ~rhs in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          let v =
+            (4.0 *. x.(i))
+            -. (if i > 0 then x.(i - 1) else 0.0)
+            -. (if i < n - 1 then x.(i + 1) else 0.0)
+          in
+          if abs_float (v -. rhs.(i)) > 1e-9 then ok := false
+        done;
+        !ok);
+  ]
+
+let suite =
+  ( "numerics",
+    [
+      case "matrix: identity solve" test_identity_solve;
+      case "matrix: known 2x2" test_known_2x2;
+      case "matrix: pivoting" test_pivoting_needed;
+      case "matrix: singular detected" test_singular_detected;
+      case "matrix: residual small" test_residual;
+      case "matrix: 30 random systems" test_random_solve_residual;
+      case "matrix: mul_vec" test_mul_vec;
+      case "matrix: transpose & mul" test_transpose_mul;
+      case "matrix: dimension checks" test_bad_dims;
+      case "tridiag: matches dense LU" test_tridiag_vs_dense;
+      case "tridiag: size checks" test_tridiag_size_checks;
+      case "tridiag: 1x1" test_tridiag_single;
+      case "interp: exact at nodes" test_linear_at_nodes;
+      case "interp: midpoint" test_linear_midpoint;
+      case "interp: extrapolation" test_linear_extrapolates;
+      case "interp: clamped" test_clamped;
+      case "interp: bilinear" test_bilinear;
+      case "interp: inverse crossing" test_inverse_linear;
+      case "interp: derivative of a line" test_derivative_linear_fn;
+      case "interp: grid validation" test_bracket_bad_grid;
+      case "lsq: exact line" test_fit_exact_line;
+      case "lsq: weighted outlier rejection" test_fit_weighted_ignores_outlier;
+      case "lsq: constrained through point" test_fit_through_point;
+      case "lsq: degenerate detected" test_fit_degenerate;
+      case "lsq: gauss-newton linear" test_gauss_newton_quadratic;
+      case "lsq: gauss-newton nonlinear" test_gauss_newton_nonlinear;
+      case "lsq: gauss-newton monotone" test_gauss_newton_never_worse;
+      case "roots: bisect sqrt2" test_bisect_sqrt2;
+      case "roots: brent cubic" test_brent_cubic;
+      case "roots: endpoint root" test_brent_endpoint_root;
+      case "roots: no sign change" test_no_sign_change;
+      case "roots: find_bracket" test_find_bracket;
+      case "roots: find_bracket none" test_find_bracket_none;
+      case "integrate: trapz linear exact" test_trapz_linear_exact;
+      case "integrate: simpson cubic exact" test_simpson_cubic_exact;
+      case "integrate: trapz_fn converges" test_trapz_fn_converges;
+      case "integrate: cumulative" test_cumulative_endpoint;
+      case "stats: summarize" test_summarize;
+      case "stats: percentile" test_percentile;
+      case "stats: percentile is pure" test_percentile_does_not_mutate;
+      case "stats: max_abs" test_max_abs;
+      case "stats: empty raises" test_empty_raises;
+      case "units: conversions" test_units_roundtrip;
+    ]
+    @ qcheck_tests )
