@@ -16,19 +16,38 @@
      montecarlo — randomized alignment/polarity error percentiles
      awe      — moment-matched interconnect model vs transient sim
 
-   "--cases N" overrides the per-configuration case count (default 100
-   here; the paper's full 200 is used by `bin/sta_main.exe table1
-   --cases 200`, see EXPERIMENTS.md). *)
+   Options:
+     --cases N      per-configuration case count (default 100 here; the
+                    paper's full 200 is used by `bin/sta_main.exe table1
+                    --cases 200`, see EXPERIMENTS.md)
+     --jobs N       worker domains for the simulation sweeps (default 1;
+                    results are byte-identical to the sequential run)
+     --no-cache     disable the simulation memo cache
+     --cache-dir D  on-disk cache directory (default .noisy_sta_cache;
+                    repeated invocations skip already-simulated cases)
+     --metrics      print the Runtime.Metrics report after the run
+     --json FILE    write machine-readable results (table rows plus the
+                    metrics snapshot) for cross-PR perf tracking *)
 
 let cases = ref 100
+let jobs = ref 1
+let use_cache = ref true
+let cache_dir = ref ".noisy_sta_cache"
+let want_metrics = ref false
+let json_out : string option ref = ref None
+let sections : string list ref = ref []
 
-let section_enabled wanted =
-  let named =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> not (String.length a > 0 && a.[0] = '-'))
-    |> List.filter (fun a -> int_of_string_opt a = None)
-  in
-  named = [] || List.mem wanted named
+let pool =
+  lazy (if !jobs > 1 then Some (Runtime.Pool.create ~jobs:!jobs ()) else None)
+
+let cache =
+  lazy
+    (if !use_cache then Some (Runtime.Cache.create ~disk_dir:!cache_dir ())
+     else None)
+
+let metrics = Runtime.Metrics.create ()
+
+let section_enabled wanted = !sections = [] || List.mem wanted !sections
 
 let header title =
   Printf.printf "\n==================== %s ====================\n%!" title
@@ -152,6 +171,10 @@ let figure2 () =
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 
+(* (scenario, elapsed seconds, rows) per configuration, for --json. *)
+let table1_results :
+    (string * float * Noise.Eval.row list) list ref = ref []
+
 let table1 () =
   header (Printf.sprintf "Table 1: accuracy comparison (%d cases/config)" !cases);
   List.iter
@@ -159,14 +182,18 @@ let table1 () =
       let scen = Noise.Scenario.with_cases scen !cases in
       let t0 = Unix.gettimeofday () in
       let table =
-        Noise.Eval.run_table
+        Noise.Eval.run_table ?pool:(Lazy.force pool) ?cache:(Lazy.force cache)
           ~progress:(fun k n ->
             if k mod 25 = 0 then Printf.eprintf "  %s: %d/%d\r%!" scen.Noise.Scenario.name k n)
           scen
       in
+      let elapsed = Unix.gettimeofday () -. t0 in
       Printf.eprintf "%40s\r%!" "";
       Format.printf "%a@." Noise.Eval.pp_table table;
-      Printf.printf "(%.1f s)\n" (Unix.gettimeofday () -. t0))
+      Printf.printf "(%.1f s)\n" elapsed;
+      table1_results :=
+        !table1_results
+        @ [ (scen.Noise.Scenario.name, elapsed, table.Noise.Eval.rows) ])
     [ Noise.Scenario.config_i; Noise.Scenario.config_ii ]
 
 (* ------------------------------------------------------------------ *)
@@ -241,7 +268,8 @@ let runtime () =
   List.iter
     (fun p ->
       let table =
-        Noise.Eval.run_table ~samples:p
+        Noise.Eval.run_table ~samples:p ?pool:(Lazy.force pool)
+          ?cache:(Lazy.force cache)
           ~techniques:[ Eqwave.Sgdp.sgdp ] scen
       in
       match table.Noise.Eval.rows with
@@ -274,7 +302,10 @@ let ablation () =
   List.iter
     (fun scen ->
       let scen = Noise.Scenario.with_cases scen n in
-      let table = Noise.Eval.run_table ~techniques scen in
+      let table =
+        Noise.Eval.run_table ~techniques ?pool:(Lazy.force pool)
+          ?cache:(Lazy.force cache) scen
+      in
       Printf.printf "%s (%d cases):\n" scen.Noise.Scenario.name n;
       List.iteri
         (fun i row ->
@@ -292,7 +323,9 @@ let nonoverlap () =
   header "Extension: two-stage buffer receiver (non-overlapping case)";
   let n = Int.min !cases 60 in
   let scen = Noise.Scenario.with_cases Noise.Scenario.config_i_buffer n in
-  let table = Noise.Eval.run_table scen in
+  let table =
+    Noise.Eval.run_table ?pool:(Lazy.force pool) ?cache:(Lazy.force cache) scen
+  in
   Format.printf "%a@." Noise.Eval.pp_table table;
   Printf.printf
     "(WLS5's failures here are the paper's point: with a multi-stage\n\
@@ -304,7 +337,10 @@ let worstcase () =
   List.iter
     (fun scen ->
       let t0 = Unix.gettimeofday () in
-      let r = Noise.Worst_case.search ~coarse:16 ~refine:8 scen in
+      let r =
+        Noise.Worst_case.search ~coarse:16 ~refine:8 ?pool:(Lazy.force pool)
+          ?cache:(Lazy.force cache) scen
+      in
       Format.printf "%s: %a  [%.1f s]@." scen.Noise.Scenario.name
         Noise.Worst_case.pp r
         (Unix.gettimeofday () -. t0))
@@ -319,7 +355,10 @@ let corners () =
       let scen =
         Noise.Scenario.with_cases { Noise.Scenario.config_i with proc } n
       in
-      let table = Noise.Eval.run_table ~techniques scen in
+      let table =
+        Noise.Eval.run_table ~techniques ?pool:(Lazy.force pool)
+          ?cache:(Lazy.force cache) scen
+      in
       Printf.printf "%s corner (%d cases):\n" proc.Device.Process.name n;
       List.iter
         (fun row ->
@@ -334,7 +373,10 @@ let montecarlo () =
   let n = Int.min !cases 60 in
   List.iter
     (fun scen ->
-      let _, summaries = Noise.Montecarlo.run ~samples:n scen in
+      let _, summaries =
+        Noise.Montecarlo.run ~samples:n ?pool:(Lazy.force pool)
+          ?cache:(Lazy.force cache) scen
+      in
       Printf.printf "%s (%d samples):\n" scen.Noise.Scenario.name n;
       Format.printf "%a@." Noise.Montecarlo.pp_summary summaries)
     [ Noise.Scenario.config_i ]
@@ -382,26 +424,134 @@ let awe () =
     specs
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output (--json)                                    *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let json_list xs = "[" ^ String.concat "," xs ^ "]"
+
+let json_row (r : Noise.Eval.row) =
+  json_obj
+    [
+      ("name", json_str r.Noise.Eval.name);
+      ("max_abs_ps", Printf.sprintf "%.6f" r.Noise.Eval.max_abs_ps);
+      ("avg_abs_ps", Printf.sprintf "%.6f" r.Noise.Eval.avg_abs_ps);
+      ("n_cases", string_of_int r.Noise.Eval.n_cases);
+      ("n_failed", string_of_int r.Noise.Eval.n_failed);
+    ]
+
+let write_json path =
+  let body =
+    json_obj
+      [
+        ("schema", json_str "noisy-sta-bench/1");
+        ("cases", string_of_int !cases);
+        ("jobs", string_of_int !jobs);
+        ("cache", if !use_cache then "true" else "false");
+        ( "table1",
+          json_list
+            (List.map
+               (fun (scenario, elapsed, rows) ->
+                 json_obj
+                   [
+                     ("scenario", json_str scenario);
+                     ("elapsed_s", Printf.sprintf "%.3f" elapsed);
+                     ("rows", json_list (List.map json_row rows));
+                   ])
+               !table1_results) );
+        ("metrics", Runtime.Metrics.to_json metrics);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc body;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [SECTION...] [--cases N] [--jobs N] [--no-cache]\n\
+    \       [--cache-dir DIR] [--metrics] [--json FILE]\n\
+     sections: figure1 figure2 table1 runtime ablation nonoverlap\n\
+    \          worstcase corners montecarlo awe (default: all)";
+  exit 2
 
 let () =
-  (* Parse "--cases N". *)
-  let argv = Array.to_list Sys.argv in
-  let rec scan = function
-    | "--cases" :: n :: rest ->
-        (match int_of_string_opt n with Some v -> cases := v | None -> ());
-        scan rest
-    | _ :: rest -> scan rest
-    | [] -> ()
+  let int_opt name v k =
+    match int_of_string_opt v with
+    | Some n -> k n
+    | None ->
+        Printf.eprintf "%s: expected an integer, got %s\n" name v;
+        usage ()
   in
-  scan argv;
-  if section_enabled "figure1" then figure1 ();
-  if section_enabled "figure2" then figure2 ();
-  if section_enabled "table1" then table1 ();
-  if section_enabled "runtime" then runtime ();
-  if section_enabled "ablation" then ablation ();
-  if section_enabled "nonoverlap" then nonoverlap ();
-  if section_enabled "worstcase" then worstcase ();
-  if section_enabled "corners" then corners ();
-  if section_enabled "montecarlo" then montecarlo ();
-  if section_enabled "awe" then awe ();
+  let rec parse = function
+    | [] -> ()
+    | "--cases" :: v :: rest -> int_opt "--cases" v (fun n -> cases := n); parse rest
+    | "--jobs" :: v :: rest -> int_opt "--jobs" v (fun n -> jobs := Int.max 1 n); parse rest
+    | "--json" :: v :: rest ->
+        (* Fail on an unwritable path now, not after minutes of sims. *)
+        (match open_out v with
+        | oc -> close_out oc
+        | exception Sys_error msg ->
+            Printf.eprintf "--json: %s\n" msg;
+            usage ());
+        json_out := Some v;
+        parse rest
+    | "--cache-dir" :: v :: rest -> cache_dir := v; parse rest
+    | "--no-cache" :: rest -> use_cache := false; parse rest
+    | "--metrics" :: rest -> want_metrics := true; parse rest
+    | ("--cases" | "--jobs" | "--json" | "--cache-dir") :: [] -> usage ()
+    | s :: _ when String.length s > 0 && s.[0] = '-' ->
+        Printf.eprintf "unknown option %s\n" s;
+        usage ()
+    | s :: rest -> sections := !sections @ [ s ]; parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let stage name f =
+    if section_enabled name then Runtime.Metrics.time metrics ("stage." ^ name) f
+  in
+  let before = Spice.Transient.Stats.snapshot () in
+  stage "figure1" figure1;
+  stage "figure2" figure2;
+  stage "table1" table1;
+  stage "runtime" runtime;
+  stage "ablation" ablation;
+  stage "nonoverlap" nonoverlap;
+  stage "worstcase" worstcase;
+  stage "corners" corners;
+  stage "montecarlo" montecarlo;
+  stage "awe" awe;
+  Runtime.Metrics.set metrics "pool.jobs" !jobs;
+  Runtime.Metrics.capture_spice ~since:before metrics;
+  (if Lazy.is_val cache then
+     match Lazy.force cache with
+     | Some c -> Runtime.Metrics.capture_cache metrics c
+     | None -> ());
+  if !want_metrics then Format.printf "@.%a@." Runtime.Metrics.pp_report metrics;
+  (match !json_out with Some path -> write_json path | None -> ());
+  (if Lazy.is_val pool then
+     match Lazy.force pool with
+     | Some p -> Runtime.Pool.shutdown p
+     | None -> ());
   Printf.printf "\nDone.\n"

@@ -35,26 +35,98 @@ let technique_conv =
       fun ppf t -> Format.pp_print_string ppf t.Eqwave.Technique.name )
 
 (* ------------------------------------------------------------------ *)
+(* Shared evaluation-runtime options: every simulation-heavy
+   subcommand takes --jobs/--no-cache/--cache-dir/--metrics.          *)
+
+type rt = {
+  pool : Runtime.Pool.t option;
+  cache : Runtime.Cache.t option;
+  metrics : bool;
+}
+
+let rt_term =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for the simulation sweeps. 1 runs \
+                   sequentially; higher values fan the independent \
+                   simulations out over OCaml domains with results \
+                   identical to the sequential run.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Disable the content-keyed simulation memo cache.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist the simulation cache in $(docv) so repeated \
+                   invocations skip already-simulated cases.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print runtime metrics (simulation counts, Newton \
+                   iterations, cache hits, wall time) after the run.")
+  in
+  let make jobs no_cache cache_dir metrics =
+    {
+      pool =
+        (if jobs > 1 then Some (Runtime.Pool.create ~jobs ()) else None);
+      cache =
+        (if no_cache then None
+         else Some (Runtime.Cache.create ?disk_dir:cache_dir ()));
+      metrics;
+    }
+  in
+  Term.(const make $ jobs $ no_cache $ cache_dir $ metrics)
+
+(* Run a subcommand body under the runtime options: time it, then
+   report metrics and release the pool. *)
+let with_rt rt f =
+  let before = Spice.Transient.Stats.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      match rt.pool with Some p -> Runtime.Pool.shutdown p | None -> ())
+    (fun () ->
+      f ();
+      if rt.metrics then begin
+        let m = Runtime.Metrics.create () in
+        Runtime.Metrics.add_time m "wall" (Unix.gettimeofday () -. t0);
+        (match rt.pool with
+        | Some p -> Runtime.Metrics.set m "pool.jobs" (Runtime.Pool.jobs p)
+        | None -> Runtime.Metrics.set m "pool.jobs" 1);
+        Runtime.Metrics.capture_spice ~since:before m;
+        (match rt.cache with
+        | Some c -> Runtime.Metrics.capture_cache m c
+        | None -> ());
+        Format.printf "@.%a@." Runtime.Metrics.pp_report m
+      end)
+
+(* ------------------------------------------------------------------ *)
 
 let characterize_cmd =
   let out =
     Arg.(value & opt string "noisy_sta.lib"
          & info [ "o"; "output" ] ~doc:"Output library file.")
   in
-  let run out =
-    let cells = Device.Cell.[ inv_x1; inv_x4; inv_x16; inv_x64 ] in
-    let timed =
-      List.map
-        (fun cell ->
-          Printf.printf "characterizing %s...\n%!" cell.Device.Cell.name;
-          Liberty.Characterize.run proc cell)
-        cells
-    in
-    Liberty.Libfile.save out timed;
-    Printf.printf "wrote %s (%d cells)\n" out (List.length timed)
+  let run out rt =
+    with_rt rt (fun () ->
+        let cells = Device.Cell.[ inv_x1; inv_x4; inv_x16; inv_x64 ] in
+        let timed =
+          List.map
+            (fun cell ->
+              Printf.printf "characterizing %s...\n%!" cell.Device.Cell.name;
+              Liberty.Characterize.run ?pool:rt.pool ?cache:rt.cache proc cell)
+            cells
+        in
+        Liberty.Libfile.save out timed;
+        Printf.printf "wrote %s (%d cells)\n" out (List.length timed))
   in
   Cmd.v (Cmd.info "characterize" ~doc:"Build NLDM tables for the cell library")
-    Term.(const run $ out)
+    Term.(const run $ out $ rt_term)
 
 let table1_cmd =
   let cases =
@@ -68,21 +140,22 @@ let table1_cmd =
   let samples =
     Arg.(value & opt int 35 & info [ "P"; "samples" ] ~doc:"Sampling points P.")
   in
-  let run cases configs samples =
-    List.iter
-      (fun scen ->
-        let scen = Noise.Scenario.with_cases scen cases in
-        let table =
-          Noise.Eval.run_table ~samples
-            ~progress:(fun k n ->
-              if k mod 20 = 0 then Printf.eprintf "%d/%d\r%!" k n)
-            scen
-        in
-        Format.printf "%a@." Noise.Eval.pp_table table)
-      configs
+  let run cases configs samples rt =
+    with_rt rt (fun () ->
+        List.iter
+          (fun scen ->
+            let scen = Noise.Scenario.with_cases scen cases in
+            let table =
+              Noise.Eval.run_table ~samples ?pool:rt.pool ?cache:rt.cache
+                ~progress:(fun k n ->
+                  if k mod 20 = 0 then Printf.eprintf "%d/%d\r%!" k n)
+                scen
+            in
+            Format.printf "%a@." Noise.Eval.pp_table table)
+          configs)
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 (accuracy comparison)")
-    Term.(const run $ cases $ config $ samples)
+    Term.(const run $ cases $ config $ samples $ rt_term)
 
 let figure2_cmd =
   let out =
@@ -165,14 +238,15 @@ let sta_cmd =
                                     Sta.Netlist_io for the format); a \
                                     built-in demo chain when omitted.")
   in
-  let run technique lib_file netlist_file =
+  let run technique lib_file netlist_file rt =
+    with_rt rt @@ fun () ->
     let library =
       match lib_file with
       | Some path -> Liberty.Libfile.load path
       | None ->
           Printf.printf "characterizing cells (pass --lib to skip)...\n%!";
           List.map
-            (Liberty.Characterize.run proc)
+            (Liberty.Characterize.run ?pool:rt.pool ?cache:rt.cache proc)
             Device.Cell.[ inv_x1; inv_x4; inv_x16; inv_x64 ]
     in
     let n =
@@ -255,7 +329,7 @@ let sta_cmd =
   in
   Cmd.v
     (Cmd.info "sta" ~doc:"Run the STA engine on a demo chain with a noisy pin")
-    Term.(const run $ technique $ lib_file $ netlist_file)
+    Term.(const run $ technique $ lib_file $ netlist_file $ rt_term)
 
 let montecarlo_cmd =
   let samples =
@@ -266,16 +340,20 @@ let montecarlo_cmd =
     Arg.(value & opt scenario_conv Noise.Scenario.config_i
          & info [ "config" ] ~doc:"Configuration (1 or 2).")
   in
-  let run samples seed scen =
-    let _, summaries = Noise.Montecarlo.run ~seed ~samples scen in
-    Printf.printf "%s, %d random alignment/polarity samples (seed %d):\n"
-      scen.Noise.Scenario.name samples seed;
-    Format.printf "%a@." Noise.Montecarlo.pp_summary summaries
+  let run samples seed scen rt =
+    with_rt rt (fun () ->
+        let _, summaries =
+          Noise.Montecarlo.run ~seed ~samples ?pool:rt.pool ?cache:rt.cache
+            scen
+        in
+        Printf.printf "%s, %d random alignment/polarity samples (seed %d):\n"
+          scen.Noise.Scenario.name samples seed;
+        Format.printf "%a@." Noise.Montecarlo.pp_summary summaries)
   in
   Cmd.v
     (Cmd.info "montecarlo"
        ~doc:"Randomized noise-injection error percentiles per technique")
-    Term.(const run $ samples $ seed $ config)
+    Term.(const run $ samples $ seed $ config $ rt_term)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

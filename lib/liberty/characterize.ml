@@ -7,23 +7,49 @@ let default_grid proc cell =
     loads = Array.map (fun k -> k *. cin) [| 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 24.0 |];
   }
 
-let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) proc cell ~input ~tstop =
+let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?cache proc cell ~input
+    ~tstop =
   let open Spice in
-  let ckt = Circuit.create () in
-  let vdd = Device.Cell.attach_supply proc ckt in
-  let a = Circuit.node ckt "a" and y = Circuit.node ckt "y" in
-  Device.Cell.instantiate proc cell ~ckt ~input:a ~output:y ~vdd_node:vdd
-    ~name:"dut";
-  if extra_load > 0.0 then
-    Circuit.capacitor ckt y (Circuit.gnd ckt) extra_load;
-  Circuit.vsource ckt a input;
-  let config = { Transient.default_config with dt; tstop } in
-  let res = Transient.run ~config ckt in
-  (Transient.probe res "a", Transient.probe res "y")
+  let compute () =
+    let ckt = Circuit.create () in
+    let vdd = Device.Cell.attach_supply proc ckt in
+    let a = Circuit.node ckt "a" and y = Circuit.node ckt "y" in
+    Device.Cell.instantiate proc cell ~ckt ~input:a ~output:y ~vdd_node:vdd
+      ~name:"dut";
+    if extra_load > 0.0 then
+      Circuit.capacitor ckt y (Circuit.gnd ckt) extra_load;
+    Circuit.vsource ckt a input;
+    let config = { Transient.default_config with dt; tstop } in
+    let res = Transient.run ~config ckt in
+    [ Transient.probe res "a"; Transient.probe res "y" ]
+  in
+  (* Opaque function stimuli cannot be content-addressed. *)
+  let cache =
+    match Source.fingerprint input with None -> None | Some _ -> cache
+  in
+  let waves =
+    match cache with
+    | None -> compute ()
+    | Some c ->
+        let key =
+          Runtime.Cache.Key.(
+            make "characterize.measure_gate"
+              [
+                str proc.Device.Process.name;
+                str cell.Device.Cell.name;
+                float dt;
+                float extra_load;
+                float tstop;
+                str (Option.get (Source.fingerprint input));
+              ])
+        in
+        Runtime.Cache.memo c key compute
+  in
+  match waves with [ a; y ] -> (a, y) | _ -> assert false
 
 (* The input ramp starts after a settling pad so the DC point is clean;
    tstop leaves room for slow outputs (heavy loads on weak cells). *)
-let measure_point ?dt proc cell ~slew ~load ~input_rising =
+let measure_point ?dt ?cache proc cell ~slew ~load ~input_rising =
   let th = Device.Process.thresholds proc in
   let vdd = proc.Device.Process.vdd in
   let t0 = 100e-12 in
@@ -32,7 +58,9 @@ let measure_point ?dt proc cell ~slew ~load ~input_rising =
   let v0, v1 = if input_rising then (0.0, vdd) else (vdd, 0.0) in
   let input = Spice.Source.ramp ~t0 ~v0 ~v1 ~trans in
   let tstop = t0 +. trans +. 3e-9 in
-  let wa, wy = measure_gate ?dt proc cell ~extra_load:load ~input ~tstop in
+  let wa, wy =
+    measure_gate ?dt ?cache proc cell ~extra_load:load ~input ~tstop
+  in
   let arr_in = Waveform.Wave.arrival wa th in
   let arr_out = Waveform.Wave.arrival wy th in
   let out_slew = Waveform.Wave.slew wy th in
@@ -44,20 +72,29 @@ let measure_point ?dt proc cell ~slew ~load ~input_rising =
            "Characterize: no transition for %s slew=%.3gps load=%.3gfF"
            cell.Device.Cell.name (slew *. 1e12) (load *. 1e15))
 
-let run ?grid ?(dt = 0.5e-12) proc cell =
+let run ?grid ?(dt = 0.5e-12) ?pool ?cache proc cell =
   let grid =
     match grid with Some g -> g | None -> default_grid proc cell
   in
-  let sweep ~input_rising =
-    let n = Array.length grid.slews and m = Array.length grid.loads in
+  let n = Array.length grid.slews and m = Array.length grid.loads in
+  (* Both polarities' grid points are independent simulations: flatten
+     them into one job list so a pool stays busy across the whole
+     characterization, then scatter the results back into tables. *)
+  let points =
+    Runtime.Pool.maybe_map pool (2 * n * m) (fun k ->
+        let input_rising = k < n * m in
+        let r = k mod (n * m) in
+        let i = r / m and j = r mod m in
+        measure_point ~dt ?cache proc cell ~slew:grid.slews.(i)
+          ~load:grid.loads.(j) ~input_rising)
+  in
+  let sweep_of ~input_rising =
+    let base = if input_rising then 0 else n * m in
     let delay = Array.make_matrix n m 0.0 in
     let trans = Array.make_matrix n m 0.0 in
     for i = 0 to n - 1 do
       for j = 0 to m - 1 do
-        let d, s =
-          measure_point ~dt proc cell ~slew:grid.slews.(i)
-            ~load:grid.loads.(j) ~input_rising
-        in
+        let d, s = points.(base + (i * m) + j) in
         delay.(i).(j) <- d;
         trans.(i).(j) <- s
       done
@@ -74,6 +111,6 @@ let run ?grid ?(dt = 0.5e-12) proc cell =
     inverting;
     (* Output rises when the input falls on inverting cells, and when
        it rises on buffers. *)
-    out_rise = sweep ~input_rising:(not inverting);
-    out_fall = sweep ~input_rising:inverting;
+    out_rise = sweep_of ~input_rising:(not inverting);
+    out_fall = sweep_of ~input_rising:inverting;
   }

@@ -15,13 +15,20 @@ val default_grid : Device.Process.t -> Device.Cell.t -> grid
     cell's own input capacitance. *)
 
 val run :
-  ?grid:grid -> ?dt:float -> Device.Process.t -> Device.Cell.t -> Nldm.cell_timing
-(** Characterize one cell. [dt] defaults to 0.5 ps. Raises
-    [Failure] when a measurement point produces no output transition
-    (which indicates a broken cell or an absurd grid). *)
+  ?grid:grid -> ?dt:float ->
+  ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
+  Device.Process.t -> Device.Cell.t -> Nldm.cell_timing
+(** Characterize one cell. [dt] defaults to 0.5 ps. Both polarities'
+    grid points fan out over [pool] as one job list (the tables are
+    identical to the sequential sweep); [cache] memoizes each
+    measurement simulation by content, so re-characterizing an
+    unchanged cell is free. Raises [Failure] when a measurement point
+    produces no output transition (which indicates a broken cell or an
+    absurd grid). *)
 
 val measure_gate :
-  ?dt:float -> ?extra_load:float -> Device.Process.t -> Device.Cell.t ->
+  ?dt:float -> ?extra_load:float -> ?cache:Runtime.Cache.t ->
+  Device.Process.t -> Device.Cell.t ->
   input:Spice.Source.t -> tstop:float -> Waveform.Wave.t * Waveform.Wave.t
 (** [measure_gate proc cell ~input ~tstop] simulates the cell alone
     driven by [input] with [extra_load] farads at the output (default

@@ -23,19 +23,19 @@ let mid_crossing th w what =
   | Some t -> t
   | None -> failwith ("Eval: no 0.5 Vdd crossing on " ^ what)
 
-let evaluate_case ?(reference = Replay) ?techniques ?samples scenario
+let evaluate_case ?(reference = Replay) ?techniques ?samples ?cache scenario
     ~noiseless ~tau =
   let techniques =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
   in
   let th = Device.Process.thresholds scenario.Scenario.proc in
-  let noisy = Injection.noisy scenario ~tau in
+  let noisy = Injection.noisy ?cache scenario ~tau in
   let ctx = Injection.ctx_of_runs ?samples scenario ~noiseless ~noisy in
   let tstop = scenario.Scenario.tstop in
   let t_in = mid_crossing th noisy.Injection.far "noisy input" in
   (* Reference: replay the recorded noisy waveform into the receiver. *)
   let replay_out =
-    Injection.receiver_response scenario
+    Injection.receiver_response ?cache scenario
       ~input:(Spice.Source.of_wave noisy.Injection.far)
       ~tstop
   in
@@ -69,7 +69,7 @@ let evaluate_case ?(reference = Replay) ?techniques ?samples scenario
           Float.max tstop (Waveform.Ramp.t_settle ramp +. 1.5e-9)
         in
         let out =
-          Injection.receiver_response scenario
+          Injection.receiver_response ?cache scenario
             ~input:(Spice.Source.of_ramp ramp) ~tstop
         in
         match mid_crossing th out "technique output" with
@@ -132,7 +132,10 @@ let summarize_rows techniques cases =
         List.length cases - List.length errs
       in
       match errs with
-      | [] -> { name; max_abs_ps = nan; avg_abs_ps = nan; n_cases = 0; n_failed = failed }
+      (* All cases failed: report honest zero counts, not nan
+         sentinels that poison downstream max/avg arithmetic and JSON
+         output; [n_failed] carries the story. *)
+      | [] -> { name; max_abs_ps = 0.0; avg_abs_ps = 0.0; n_cases = 0; n_failed = failed }
       | errs ->
           let abs_ps = Array.of_list (List.map (fun e -> abs_float e *. 1e12) errs) in
           {
@@ -144,25 +147,28 @@ let summarize_rows techniques cases =
           })
     techniques
 
-let run_table ?reference ?techniques ?samples ?progress scenario =
+let run_table ?reference ?techniques ?samples ?progress ?pool ?cache scenario =
   let techs =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
   in
-  let noiseless = Injection.noiseless scenario in
+  let noiseless = Injection.noiseless ?cache scenario in
   let taus = Scenario.taus scenario in
   let total = Array.length taus in
-  let cases =
-    Array.to_list
-      (Array.mapi
-         (fun i tau ->
-           let c =
-             evaluate_case ?reference ~techniques:techs ?samples scenario
-               ~noiseless ~tau
-           in
-           (match progress with Some f -> f (i + 1) total | None -> ());
-           c)
-         taus)
+  (* Cases are independent pure simulations: sweep them on the pool.
+     Results land in input order, so parallel output is identical to
+     the sequential path. Progress reports completion count, which is
+     monotone but not index-ordered under parallelism. *)
+  let completed = Atomic.make 0 in
+  let eval i =
+    let c =
+      evaluate_case ?reference ~techniques:techs ?samples ?cache scenario
+        ~noiseless ~tau:taus.(i)
+    in
+    let k = 1 + Atomic.fetch_and_add completed 1 in
+    (match progress with Some f -> f k total | None -> ());
+    c
   in
+  let cases = Array.to_list (Runtime.Pool.maybe_map pool total eval) in
   {
     scenario = scenario.Scenario.name;
     rows = summarize_rows techs cases;

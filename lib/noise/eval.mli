@@ -37,10 +37,13 @@ val evaluate_case :
   ?reference:reference ->
   ?techniques:Eqwave.Technique.t list ->
   ?samples:int ->
+  ?cache:Runtime.Cache.t ->
   Scenario.t -> noiseless:Injection.run -> tau:float -> case_eval
 (** Runs one noisy full-chain simulation plus one receiver simulation
     per technique. [techniques] defaults to [Eqwave.Registry.all];
-    [samples] is the paper's P (default 35). *)
+    [samples] is the paper's P (default 35). With [cache], every
+    underlying transient simulation is memoized by content, so
+    re-evaluating a case (same scenario, tau and stimuli) is free. *)
 
 type row = {
   name : string;
@@ -61,9 +64,15 @@ val run_table :
   ?techniques:Eqwave.Technique.t list ->
   ?samples:int ->
   ?progress:(int -> int -> unit) ->
+  ?pool:Runtime.Pool.t ->
+  ?cache:Runtime.Cache.t ->
   Scenario.t -> table
 (** Sweep all scenario cases. [progress done_ total] is called after
-    each case. *)
+    each case with the number completed so far (from worker domains
+    when a [pool] is given, so it must be quick and thread-safe).
+    Cases are distributed over [pool] when present; the resulting
+    table is identical to the sequential one — rows and cases stay in
+    input order. *)
 
 val pp_table : Format.formatter -> table -> unit
 (** Render in the shape of the paper's Table 1 (max / avg, ps). *)

@@ -1,44 +1,92 @@
 type run = { far : Waveform.Wave.t; rcv : Waveform.Wave.t }
 
-let simulate scenario ~aggressor_active ~tau =
-  let ckt, hints = Scenario.build scenario ~aggressor_active ~tau in
-  let config =
-    {
-      Spice.Transient.default_config with
-      dt = scenario.Scenario.dt;
-      tstop = scenario.Scenario.tstop;
-    }
+(* Cached simulations store their probed waveforms as a wave list; the
+   key covers the scenario content plus everything case-specific. *)
+let memo_waves cache key compute =
+  match cache with
+  | None -> compute ()
+  | Some c -> Runtime.Cache.memo c key compute
+
+let simulate ?cache scenario ~aggressor_active ~tau =
+  let compute () =
+    let ckt, hints = Scenario.build scenario ~aggressor_active ~tau in
+    let config =
+      {
+        Spice.Transient.default_config with
+        dt = scenario.Scenario.dt;
+        tstop = scenario.Scenario.tstop;
+      }
+    in
+    let res = Spice.Transient.run ~config ~ic:hints ckt in
+    [
+      Spice.Transient.probe res (Scenario.victim_far_node scenario);
+      Spice.Transient.probe res (Scenario.victim_rcv_node scenario);
+    ]
   in
-  let res = Spice.Transient.run ~config ~ic:hints ckt in
-  {
-    far = Spice.Transient.probe res (Scenario.victim_far_node scenario);
-    rcv = Spice.Transient.probe res (Scenario.victim_rcv_node scenario);
-  }
+  let key =
+    Runtime.Cache.Key.(
+      make "injection.simulate"
+        [
+          str (Scenario.fingerprint scenario);
+          bool aggressor_active;
+          float (if aggressor_active then tau else 0.0);
+        ])
+  in
+  match memo_waves cache key compute with
+  | [ far; rcv ] -> { far; rcv }
+  | _ -> assert false
 
-let noiseless scenario = simulate scenario ~aggressor_active:false ~tau:0.0
+let noiseless ?cache scenario =
+  simulate ?cache scenario ~aggressor_active:false ~tau:0.0
 
-let noisy scenario ~tau = simulate scenario ~aggressor_active:true ~tau
+let noisy ?cache scenario ~tau = simulate ?cache scenario ~aggressor_active:true ~tau
 
-let receiver_response ?dt scenario ~input ~tstop =
+let receiver_response ?dt ?cache scenario ~input ~tstop =
   let open Spice in
-  let proc = scenario.Scenario.proc in
-  let _, _, rcv_cell, load_cell = Scenario.chain_cells scenario in
-  let ckt = Circuit.create () in
-  let vdd = Device.Cell.attach_supply proc ckt in
-  let pin = Circuit.node ckt "pin" in
-  let rcv = Circuit.node ckt "rcv" in
-  let buf = Circuit.node ckt "buf" in
-  Device.Cell.instantiate proc rcv_cell ~ckt ~input:pin ~output:rcv
-    ~vdd_node:vdd ~name:"u16";
-  Device.Cell.instantiate proc load_cell ~ckt ~input:rcv ~output:buf
-    ~vdd_node:vdd ~name:"u64";
-  Circuit.vsource ckt pin input;
   let dt =
     match dt with Some d -> d | None -> scenario.Scenario.dt /. 2.0
   in
-  let config = { Transient.default_config with dt; tstop } in
-  let res = Transient.run ~config ckt in
-  Transient.probe res "rcv"
+  let compute () =
+    let proc = scenario.Scenario.proc in
+    let _, _, rcv_cell, load_cell = Scenario.chain_cells scenario in
+    let ckt = Circuit.create () in
+    let vdd = Device.Cell.attach_supply proc ckt in
+    let pin = Circuit.node ckt "pin" in
+    let rcv = Circuit.node ckt "rcv" in
+    let buf = Circuit.node ckt "buf" in
+    Device.Cell.instantiate proc rcv_cell ~ckt ~input:pin ~output:rcv
+      ~vdd_node:vdd ~name:"u16";
+    Device.Cell.instantiate proc load_cell ~ckt ~input:rcv ~output:buf
+      ~vdd_node:vdd ~name:"u64";
+    Circuit.vsource ckt pin input;
+    let config = { Transient.default_config with dt; tstop } in
+    let res = Transient.run ~config ckt in
+    [ Transient.probe res "rcv" ]
+  in
+  (* Opaque function sources cannot be content-addressed; run those
+     uncached. *)
+  let cache =
+    match Source.fingerprint input with
+    | None -> None
+    | Some _ -> cache
+  in
+  let key () =
+    Runtime.Cache.Key.(
+      make "injection.receiver_response"
+        [
+          str (Scenario.fingerprint scenario);
+          str (Option.get (Source.fingerprint input));
+          float dt;
+          float tstop;
+        ])
+  in
+  match cache with
+  | None -> (
+      match compute () with [ w ] -> w | _ -> assert false)
+  | Some c -> (
+      match Runtime.Cache.memo c (key ()) compute with
+      | [ w ] -> w
+      | _ -> assert false)
 
 let ctx_of_runs ?samples scenario ~noiseless ~noisy =
   let proc = scenario.Scenario.proc in

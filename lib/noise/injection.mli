@@ -11,18 +11,21 @@ type run = {
   rcv : Waveform.Wave.t; (** receiver (INVx16) output (out_u) *)
 }
 
-val noiseless : Scenario.t -> run
-(** Victim switches alone; aggressors hold their rails. *)
+val noiseless : ?cache:Runtime.Cache.t -> Scenario.t -> run
+(** Victim switches alone; aggressors hold their rails. With [cache],
+    the run is memoized under the scenario's content fingerprint. *)
 
-val noisy : Scenario.t -> tau:float -> run
+val noisy : ?cache:Runtime.Cache.t -> Scenario.t -> tau:float -> run
 (** Victim switches at its nominal time, aggressors start at [tau]. *)
 
 val receiver_response :
-  ?dt:float -> Scenario.t -> input:Spice.Source.t -> tstop:float ->
+  ?dt:float -> ?cache:Runtime.Cache.t ->
+  Scenario.t -> input:Spice.Source.t -> tstop:float ->
   Waveform.Wave.t
 (** Drive the victim receiver (INVx16 loaded by INVx64) with an ideal
     source and return the INVx16 output waveform. [dt] defaults to half
-    the scenario's full-chain step. *)
+    the scenario's full-chain step. Cacheable for every stimulus with a
+    content fingerprint; opaque [Source.fn] stimuli always simulate. *)
 
 val ctx_of_runs :
   ?samples:int -> Scenario.t -> noiseless:run -> noisy:run ->

@@ -13,43 +13,43 @@ type summary = {
   failed : int;
 }
 
-let run ?(seed = 42) ?(samples = 50) ?techniques scenario =
+let run ?(seed = 42) ?(samples = 50) ?techniques ?pool ?cache scenario =
   if samples < 1 then invalid_arg "Montecarlo.run: samples < 1";
   let techs =
     match techniques with Some t -> t | None -> Eqwave.Registry.all
   in
   let rng = Random.State.make [| seed |] in
-  (* The noiseless (victim-only) run depends on the aggressors' quiet
-     rail, which depends on their polarity: cache both. *)
-  let noiseless = Hashtbl.create 2 in
-  let noiseless_for rising =
-    match Hashtbl.find_opt noiseless rising with
-    | Some r -> r
-    | None ->
-        let r =
-          Injection.noiseless { scenario with Scenario.aggressor_rising = rising }
-        in
-        Hashtbl.add noiseless rising r;
-        r
-  in
   let window = scenario.Scenario.window in
   let lo =
     scenario.Scenario.victim_t0 +. scenario.Scenario.window_offset
     -. (window /. 2.0)
   in
+  (* Draw everything up front so the stream (and thus the result) does
+     not depend on evaluation order under a pool. *)
   let draws =
     List.init samples (fun _ ->
         let tau = lo +. (Random.State.float rng window) in
         let rising = Random.State.bool rng in
         (tau, rising))
   in
+  (* The noiseless (victim-only) run depends on the aggressors' quiet
+     rail, which depends on their polarity: precompute each polarity
+     that was drawn, before fanning out. *)
+  let noiseless = Hashtbl.create 2 in
+  List.iter
+    (fun (_, rising) ->
+      if not (Hashtbl.mem noiseless rising) then
+        Hashtbl.add noiseless rising
+          (Injection.noiseless ?cache
+             { scenario with Scenario.aggressor_rising = rising }))
+    draws;
   let cases =
-    List.map
+    Runtime.Pool.maybe_map_list pool
       (fun (tau, rising) ->
         let scen = { scenario with Scenario.aggressor_rising = rising } in
         let case =
-          Eval.evaluate_case ~techniques:techs scen
-            ~noiseless:(noiseless_for rising) ~tau
+          Eval.evaluate_case ~techniques:techs ?cache scen
+            ~noiseless:(Hashtbl.find noiseless rising) ~tau
         in
         { tau; aggressor_rising = rising; case })
       draws

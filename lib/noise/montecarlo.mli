@@ -23,9 +23,13 @@ type summary = {
 
 val run :
   ?seed:int -> ?samples:int -> ?techniques:Eqwave.Technique.t list ->
+  ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
   Scenario.t -> sample list * summary list
 (** [run scenario] draws [samples] (default 50) cases with uniformly
     random alignment over the scenario window and random aggressor
-    polarity. [seed] defaults to 42. *)
+    polarity. [seed] defaults to 42. All draws happen before any
+    evaluation, so the result is deterministic for a given seed even
+    when the cases are swept on a [pool]; [cache] memoizes the
+    underlying simulations. *)
 
 val pp_summary : Format.formatter -> summary list -> unit

@@ -69,6 +69,31 @@ let config_i_buffer =
 
 let with_cases t cases = { t with cases }
 
+(* Everything that shapes a simulation of this scenario, in lossless
+   hex floats. [window]/[window_offset]/[cases] are deliberately
+   excluded: they choose *which* taus get simulated, not what any
+   single (scenario, tau) simulation computes, so cached cases stay
+   valid when only the sweep changes. *)
+let fingerprint t =
+  String.concat "|"
+    [
+      "scenario";
+      t.proc.Device.Process.name;
+      string_of_int t.n_aggressors;
+      Printf.sprintf "%h" t.line.Interconnect.Rcline.rtotal;
+      Printf.sprintf "%h" t.line.Interconnect.Rcline.ctotal;
+      string_of_int t.line.Interconnect.Rcline.nsegs;
+      Printf.sprintf "%h" t.cm_total;
+      Printf.sprintf "%h" t.input_slew;
+      string_of_bool t.victim_rising;
+      string_of_bool t.aggressor_rising;
+      Printf.sprintf "%h" t.victim_t0;
+      Printf.sprintf "%h" t.dt;
+      Printf.sprintf "%h" t.tstop;
+      t.receiver.Device.Cell.name;
+      t.load.Device.Cell.name;
+    ]
+
 let taus t =
   if t.cases < 1 then invalid_arg "Scenario.taus: no cases";
   let lo = t.victim_t0 +. t.window_offset -. (t.window /. 2.0) in

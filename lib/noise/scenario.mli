@@ -42,6 +42,13 @@ val config_i_buffer : t
 val with_cases : t -> int -> t
 (** Same scenario with a different case count (tests use small ones). *)
 
+val fingerprint : t -> string
+(** Content key for simulation caching: covers every field that shapes
+    a single (scenario, tau) simulation — process corner, line and
+    coupling values, slews, polarities, cells, solver step and span —
+    but not the sweep bookkeeping ([cases], [window], [window_offset]),
+    so cached cases survive sweep-shape changes. *)
+
 val taus : t -> float array
 (** The aggressor input start times: [cases] values uniformly covering
     [victim_t0 - window/2, victim_t0 + window/2]. *)

@@ -15,27 +15,35 @@ let mid_delay scenario run =
   | Some ti, Some ty -> ty -. ti
   | _ -> failwith "Worst_case: missing 0.5 Vdd crossing"
 
-let delay_at scenario ~noiseless:_ ~tau =
-  mid_delay scenario (Injection.noisy scenario ~tau)
+let delay_at ?cache scenario ~noiseless:_ ~tau =
+  mid_delay scenario (Injection.noisy ?cache scenario ~tau)
 
 let golden = (sqrt 5.0 -. 1.0) /. 2.0
 
-let search ?(coarse = 24) ?(refine = 12) scenario =
+let search ?(coarse = 24) ?(refine = 12) ?pool ?cache scenario =
   if coarse < 3 then invalid_arg "Worst_case.search: coarse < 3";
-  let noiseless = Injection.noiseless scenario in
+  let noiseless = Injection.noiseless ?cache scenario in
   let nominal_delay = mid_delay scenario noiseless in
   let probes = ref 0 in
   let eval tau =
     incr probes;
-    delay_at scenario ~noiseless ~tau
+    delay_at ?cache scenario ~noiseless ~tau
   in
   let scan = Scenario.taus (Scenario.with_cases scenario coarse) in
-  let best = ref (scan.(0), eval scan.(0)) in
-  Array.iter
-    (fun tau ->
-      let d = eval tau in
-      if d > snd !best then best := (tau, d))
-    (Array.sub scan 1 (coarse - 1));
+  (* The coarse scan is the parallel part; its probes are independent.
+     Folding the delays in input order keeps the argmax (first maximum
+     wins) identical to the sequential scan. The golden-section probes
+     below are inherently sequential. *)
+  let coarse_delays =
+    Runtime.Pool.maybe_map pool coarse (fun i ->
+        delay_at ?cache scenario ~noiseless ~tau:scan.(i))
+  in
+  probes := !probes + coarse;
+  let best = ref (scan.(0), coarse_delays.(0)) in
+  Array.iteri
+    (fun i d ->
+      if i > 0 && d > snd !best then best := (scan.(i), d))
+    coarse_delays;
   (* Golden-section maximization on the bracket around the best coarse
      probe. The landscape is piecewise smooth; the bracket spans one
      coarse step on each side. *)

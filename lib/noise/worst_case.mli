@@ -13,14 +13,20 @@ type result = {
   probes : int;         (** simulations spent *)
 }
 
-val delay_at : Scenario.t -> noiseless:Injection.run -> tau:float -> float
+val delay_at :
+  ?cache:Runtime.Cache.t ->
+  Scenario.t -> noiseless:Injection.run -> tau:float -> float
 (** Reference gate delay (latest 0.5 Vdd crossings, input to output) of
     one injection case. Raises [Failure] when a crossing is missing. *)
 
 val search :
-  ?coarse:int -> ?refine:int -> Scenario.t -> result
+  ?coarse:int -> ?refine:int ->
+  ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
+  Scenario.t -> result
 (** [search scenario] scans [coarse] (default 24) alignments across the
     scenario window, then runs [refine] (default 12) golden-section
-    steps around the best bracket. *)
+    steps around the best bracket. The coarse scan fans out over
+    [pool]; the refinement is sequential. The result is independent of
+    [pool]. *)
 
 val pp : Format.formatter -> result -> unit

@@ -1,0 +1,152 @@
+module Key = struct
+  type part = string
+
+  let str s = Printf.sprintf "s%d:%s" (String.length s) s
+  let int i = Printf.sprintf "i:%d" i
+  let bool b = if b then "b:1" else "b:0"
+
+  (* Hex float notation is lossless: equal parts mean bit-equal
+     doubles. *)
+  let float f = Printf.sprintf "f:%h" f
+
+  let wave w =
+    let payload =
+      Marshal.to_string (Waveform.Wave.times w, Waveform.Wave.values w) []
+    in
+    "w:" ^ Digest.to_hex (Digest.string payload)
+
+  let make tag parts =
+    Digest.to_hex (Digest.string (String.concat "\x00" (str tag :: parts)))
+end
+
+type shard = { m : Mutex.t; tbl : (string, Waveform.Wave.t list) Hashtbl.t }
+
+type t = {
+  shards : shard array;
+  disk_dir : string option;
+  hits : int Atomic.t;
+  disk_hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?(shards = 16) ?disk_dir () =
+  if shards < 1 then invalid_arg "Cache.create: shards < 1";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { m = Mutex.create (); tbl = Hashtbl.create 64 });
+    disk_dir;
+    hits = Atomic.make 0;
+    disk_hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let disk_dir t = t.disk_dir
+
+let shard_of t key =
+  t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let locked s f =
+  Mutex.lock s.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.m) f
+
+(* ------------------------------------------------------------------ *)
+(* Disk layer. Waves are flattened to plain float arrays before
+   marshalling so the format does not depend on Wave's representation. *)
+
+let disk_magic = "noisy_sta.cache.1\n"
+
+let disk_path dir key = Filename.concat dir key
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let disk_read dir key =
+  let path = disk_path dir key in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          let magic = really_input_string ic (String.length disk_magic) in
+          if magic <> disk_magic then None
+          else
+            let raw : (float array * float array) list =
+              Marshal.from_channel ic
+            in
+            Some (List.map (fun (ts, vs) -> Waveform.Wave.create ts vs) raw))
+    with _ -> None (* corrupt or truncated: treat as a miss *)
+
+let disk_write dir key waves =
+  try
+    ensure_dir dir;
+    let path = disk_path dir key in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        ((Domain.self () :> int))
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        output_string oc disk_magic;
+        let raw =
+          List.map
+            (fun w -> (Waveform.Wave.times w, Waveform.Wave.values w))
+            waves
+        in
+        Marshal.to_channel oc raw []);
+    Sys.rename tmp path
+  with _ -> () (* a full or read-only disk must not fail the run *)
+
+(* ------------------------------------------------------------------ *)
+
+let find t key =
+  let s = shard_of t key in
+  match locked s (fun () -> Hashtbl.find_opt s.tbl key) with
+  | Some v ->
+      Atomic.incr t.hits;
+      Some v
+  | None -> (
+      match t.disk_dir with
+      | None -> None
+      | Some dir -> (
+          match disk_read dir key with
+          | None -> None
+          | Some v ->
+              Atomic.incr t.hits;
+              Atomic.incr t.disk_hits;
+              locked s (fun () -> Hashtbl.replace s.tbl key v);
+              Some v))
+
+let store t key v =
+  let s = shard_of t key in
+  locked s (fun () -> Hashtbl.replace s.tbl key v);
+  match t.disk_dir with None -> () | Some dir -> disk_write dir key v
+
+let memo t key compute =
+  match find t key with
+  | Some v -> v
+  | None ->
+      Atomic.incr t.misses;
+      let v = compute () in
+      store t key v;
+      v
+
+let hits t = Atomic.get t.hits
+let disk_hits t = Atomic.get t.disk_hits
+let misses t = Atomic.get t.misses
+
+let length t =
+  Array.fold_left
+    (fun acc s -> acc + locked s (fun () -> Hashtbl.length s.tbl))
+    0 t.shards
+
+let clear t =
+  Array.iter (fun s -> locked s (fun () -> Hashtbl.reset s.tbl)) t.shards;
+  Atomic.set t.hits 0;
+  Atomic.set t.disk_hits 0;
+  Atomic.set t.misses 0
+
+let pp_stats ppf t =
+  Format.fprintf ppf "cache: %d hits (%d from disk), %d misses, %d resident"
+    (hits t) (disk_hits t) (misses t) (length t)

@@ -1,0 +1,66 @@
+(** Content-keyed memo table for transient-simulation results.
+
+    Every expensive simulation in the repo ultimately produces a small
+    set of probed waveforms, so the cache stores [Waveform.Wave.t list]
+    values under hex-digest keys built from the full simulation content
+    (circuit/scenario parameters, source stimulus, solver options) via
+    {!Key}. The table is sharded, each shard behind its own mutex, so
+    domains of a {!Pool} sweep hit different locks; hit/miss counters
+    are atomics.
+
+    An optional on-disk layer persists results across process runs:
+    misses fall through to [dir/<key>] (OCaml [Marshal] format with a
+    version header) and fresh results are written back atomically, so a
+    repeated bench invocation skips already-simulated cases. Corrupt or
+    mismatched files are treated as misses and overwritten. *)
+
+type t
+
+val create : ?shards:int -> ?disk_dir:string -> unit -> t
+(** [shards] defaults to 16. When [disk_dir] is given the directory is
+    created on demand. *)
+
+val disk_dir : t -> string option
+
+(** Key construction. A key is a digest over a tag plus typed parts;
+    floats are rendered in lossless hex notation so equal keys mean
+    bit-equal inputs. *)
+module Key : sig
+  type part
+
+  val str : string -> part
+  val int : int -> part
+  val bool : bool -> part
+  val float : float -> part
+  val wave : Waveform.Wave.t -> part
+  (** Digest of the full sample data — two waves collide only if their
+      time grids and values are bit-identical. *)
+
+  val make : string -> part list -> string
+  (** [make tag parts] is a stable hex digest. The tag namespaces call
+      sites so identical parameter lists from different simulations
+      cannot collide. *)
+end
+
+val find : t -> string -> Waveform.Wave.t list option
+(** Memory first, then disk; a disk hit is promoted into memory. *)
+
+val store : t -> string -> Waveform.Wave.t list -> unit
+
+val memo : t -> string -> (unit -> Waveform.Wave.t list) -> Waveform.Wave.t list
+(** [find] or compute-and-[store]. The shard lock is not held during
+    the computation: two domains racing on one key may both compute,
+    deterministically producing the same value — last store wins. *)
+
+val hits : t -> int
+(** In-memory hits plus disk hits. *)
+
+val disk_hits : t -> int
+val misses : t -> int
+val length : t -> int
+(** Entries currently resident in memory. *)
+
+val clear : t -> unit
+(** Drop the in-memory layer and reset counters; disk files stay. *)
+
+val pp_stats : Format.formatter -> t -> unit

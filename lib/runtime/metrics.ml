@@ -1,0 +1,119 @@
+type t = {
+  m : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  timers : (string, float ref) Hashtbl.t;
+}
+
+let create () =
+  { m = Mutex.create (); counters = Hashtbl.create 32; timers = Hashtbl.create 8 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let counter_cell t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = ref 0 in
+      Hashtbl.add t.counters name c;
+      c
+
+let timer_cell t name =
+  match Hashtbl.find_opt t.timers name with
+  | Some c -> c
+  | None ->
+      let c = ref 0.0 in
+      Hashtbl.add t.timers name c;
+      c
+
+let incr ?(n = 1) t name =
+  locked t (fun () ->
+      let c = counter_cell t name in
+      c := !c + n)
+
+let set t name v = locked t (fun () -> counter_cell t name := v)
+
+let add_time t name dt =
+  locked t (fun () ->
+      let c = timer_cell t name in
+      c := !c +. dt)
+
+let time t name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> add_time t name (Unix.gettimeofday () -. t0))
+    f
+
+let sorted tbl get =
+  Hashtbl.fold (fun k v acc -> (k, get v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = locked t (fun () -> sorted t.counters ( ! ))
+let timers t = locked t (fun () -> sorted t.timers ( ! ))
+
+let capture_spice ?since t =
+  let s = Spice.Transient.Stats.snapshot () in
+  let s =
+    match since with
+    | None -> s
+    | Some base -> Spice.Transient.Stats.diff s base
+  in
+  set t "spice.sims" s.Spice.Transient.Stats.sims;
+  set t "spice.steps" s.Spice.Transient.Stats.steps;
+  set t "spice.newton_iters" s.Spice.Transient.Stats.newton_iters;
+  set t "spice.bisections" s.Spice.Transient.Stats.bisections;
+  set t "spice.gmin_retries" s.Spice.Transient.Stats.gmin_retries
+
+let capture_cache t cache =
+  set t "cache.hits" (Cache.hits cache);
+  set t "cache.disk_hits" (Cache.disk_hits cache);
+  set t "cache.misses" (Cache.misses cache);
+  set t "cache.resident" (Cache.length cache)
+
+let reset t =
+  locked t (fun () ->
+      Hashtbl.reset t.counters;
+      Hashtbl.reset t.timers)
+
+let pp_report ppf t =
+  let cs = counters t and ts = timers t in
+  Format.fprintf ppf "@[<v>runtime metrics:@,";
+  List.iter (fun (k, v) -> Format.fprintf ppf "  %-28s %12d@," k v) cs;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "  %-28s %12.3f s@," k v)
+    ts;
+  if cs = [] && ts = [] then Format.fprintf ppf "  (empty)@,";
+  Format.fprintf ppf "@]"
+
+(* Tiny hand-rolled JSON: names are dotted identifiers, but escape
+   defensively anyway. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) v) fields)
+  ^ "}"
+
+let to_json t =
+  json_obj
+    [
+      ( "counters",
+        json_obj (List.map (fun (k, v) -> (k, string_of_int v)) (counters t)) );
+      ( "timers_s",
+        json_obj
+          (List.map (fun (k, v) -> (k, Printf.sprintf "%.6f" v)) (timers t)) );
+    ]

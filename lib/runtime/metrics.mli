@@ -1,0 +1,45 @@
+(** Counters and stage timers for the evaluation runtime.
+
+    A registry maps names to integer counters and wall-clock timers.
+    All operations are domain-safe, so pool workers can report into one
+    shared registry. Dotted names ("spice.sims", "cache.hits",
+    "stage.table1") group related entries in the report. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?n:int -> t -> string -> unit
+(** Add [n] (default 1) to a counter, creating it at 0. *)
+
+val set : t -> string -> int -> unit
+
+val add_time : t -> string -> float -> unit
+(** Accumulate seconds onto a timer, creating it at 0. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run a stage and accumulate its wall-clock duration (also on
+    exception). *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val timers : t -> (string * float) list
+(** Sorted by name; seconds. *)
+
+val capture_spice : ?since:Spice.Transient.Stats.snapshot -> t -> unit
+(** Copy the global [Spice.Transient.Stats] counters (simulations, time
+    steps, Newton iterations, bisections, gmin retries) into "spice.*"
+    counters. With [since], only the delta is recorded. *)
+
+val capture_cache : t -> Cache.t -> unit
+(** Copy a cache's hit/miss/resident counters into "cache.*". *)
+
+val reset : t -> unit
+
+val pp_report : Format.formatter -> t -> unit
+(** Human-readable two-column report. *)
+
+val to_json : t -> string
+(** [{"counters": {...}, "timers_s": {...}}] — flat, machine-readable;
+    used by the bench [--json] output. *)

@@ -1,0 +1,52 @@
+(** Fixed domain pool for embarrassingly parallel sweeps.
+
+    A pool owns [jobs - 1] worker domains (the caller participates as
+    the last worker), fed through a shared task queue. Work items are
+    claimed in chunks off an atomic cursor, so scheduling is dynamic,
+    but results are always written into their input slot: [map] output
+    is deterministic and byte-identical to the sequential path for pure
+    job closures — exactly what the simulation sweeps in [Noise.Eval],
+    [Noise.Montecarlo], [Noise.Worst_case] and [Liberty.Characterize]
+    need.
+
+    Closures must not share mutable state unless that state is itself
+    domain-safe (the [Cache] and [Metrics] modules are). *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] is the total parallelism, including the calling domain;
+    it defaults to [Domain.recommended_domain_count ()] and is clamped
+    to at least 1. [create ~jobs:1 ()] spawns no domains and runs
+    everything sequentially in the caller. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; the pool must not be used
+    afterwards. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)
+
+val map : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
+(** [map pool n f] is [Array.init n f] evaluated on all pool domains.
+    Results are collected in input order. [chunk] is the number of
+    consecutive indices claimed at a time (default: balanced so each
+    domain sees several chunks). If any [f i] raises, one such
+    exception is re-raised in the caller after the sweep drains. *)
+
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over a list, preserving order. *)
+
+val map_reduce :
+  ?chunk:int -> t -> n:int -> map:(int -> 'a) -> init:'b ->
+  reduce:('b -> 'a -> 'b) -> 'b
+(** Parallel map, then a sequential in-order fold — deterministic even
+    for non-commutative [reduce]. *)
+
+(** Helpers for call sites where parallelism is optional: [None] means
+    "run sequentially in the caller" with zero overhead. *)
+
+val maybe_map : ?chunk:int -> t option -> int -> (int -> 'a) -> 'a array
+val maybe_map_list : ?chunk:int -> t option -> ('a -> 'b) -> 'a list -> 'b list

@@ -41,6 +41,30 @@ let value src t =
         v0 +. ((t -. t0) /. (t1 -. t0) *. (v1 -. v0))
       end
 
+let fingerprint = function
+  | Dc v -> Some (Printf.sprintf "dc:%h" v)
+  | Pwl a ->
+      Some
+        ("pwl:"
+        ^ Digest.to_hex (Digest.string (Marshal.to_string a [])))
+  | Wave w ->
+      Some
+        ("wave:"
+        ^ Digest.to_hex
+            (Digest.string
+               (Marshal.to_string
+                  (Waveform.Wave.times w, Waveform.Wave.values w)
+                  [])))
+  | Ramp r ->
+      (* Begin/settle times plus their values pin down a saturated
+         ramp completely. *)
+      let t0 = Waveform.Ramp.t_begin r and t1 = Waveform.Ramp.t_settle r in
+      Some
+        (Printf.sprintf "ramp:%h:%h:%h:%h" t0 t1
+           (Waveform.Ramp.value_at r t0)
+           (Waveform.Ramp.value_at r t1))
+  | Fn _ -> None
+
 let breakpoints = function
   | Dc _ | Fn _ | Wave _ -> []
   | Pwl a -> Array.to_list (Array.map fst a)

@@ -24,6 +24,11 @@ val fn : (float -> float) -> t
 val value : t -> float -> float
 (** Evaluate at a time. *)
 
+val fingerprint : t -> string option
+(** Content digest for simulation caching: two sources with equal
+    fingerprints produce bit-identical stimuli. [None] for opaque
+    function sources, which cannot be content-addressed. *)
+
 val breakpoints : t -> float list
 (** Times at which the source has slope discontinuities; the transient
     engine aligns steps to these for accuracy. *)

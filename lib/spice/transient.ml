@@ -29,6 +29,54 @@ let default_config =
 
 exception No_convergence of float
 
+module Stats = struct
+  type snapshot = {
+    sims : int;
+    steps : int;
+    newton_iters : int;
+    bisections : int;
+    gmin_retries : int;
+  }
+
+  (* Process-global, updated with atomics so pool domains running
+     concurrent simulations account correctly. *)
+  let sims = Atomic.make 0
+  let steps = Atomic.make 0
+  let newton_iters = Atomic.make 0
+  let bisections = Atomic.make 0
+  let gmin_retries = Atomic.make 0
+
+  let snapshot () =
+    {
+      sims = Atomic.get sims;
+      steps = Atomic.get steps;
+      newton_iters = Atomic.get newton_iters;
+      bisections = Atomic.get bisections;
+      gmin_retries = Atomic.get gmin_retries;
+    }
+
+  let diff a b =
+    {
+      sims = a.sims - b.sims;
+      steps = a.steps - b.steps;
+      newton_iters = a.newton_iters - b.newton_iters;
+      bisections = a.bisections - b.bisections;
+      gmin_retries = a.gmin_retries - b.gmin_retries;
+    }
+
+  let reset () =
+    Atomic.set sims 0;
+    Atomic.set steps 0;
+    Atomic.set newton_iters 0;
+    Atomic.set bisections 0;
+    Atomic.set gmin_retries 0
+
+  let pp ppf s =
+    Format.fprintf ppf
+      "%d sims, %d steps, %d newton iters, %d bisections, %d gmin retries"
+      s.sims s.steps s.newton_iters s.bisections s.gmin_retries
+end
+
 (* Compiled, array-based view of the circuit for fast stamping. *)
 type compiled = {
   n : int;                                  (* node unknowns *)
@@ -189,6 +237,7 @@ let newton cp cfg ~gmin ~t ~stamp_caps x =
          converged := true
      done
    with Exit -> ());
+  ignore (Atomic.fetch_and_add Stats.newton_iters !iter);
   !converged
 
 let no_caps ~stamp_conductance:_ ~stamp_current:_ = ()
@@ -197,6 +246,7 @@ let dc_solve cp cfg ~at x =
   if newton cp cfg ~gmin:cfg.gmin ~t:at ~stamp_caps:no_caps x then true
   else begin
     (* gmin stepping: load the circuit heavily, then relax. *)
+    Atomic.incr Stats.gmin_retries;
     let steps = [ 1e-3; 1e-5; 1e-7; 1e-9; cfg.gmin ] in
     List.for_all
       (fun g -> newton cp cfg ~gmin:g ~t:at ~stamp_caps:no_caps x)
@@ -276,6 +326,7 @@ let build_grid cp cfg =
   Array.of_list (dedup all)
 
 let run ?(config = default_config) ?(ic = []) ckt =
+  Atomic.incr Stats.sims;
   let cfg = config in
   let cp = compile ckt in
   let nu = cp.n + cp.m in
@@ -335,11 +386,13 @@ let run ?(config = default_config) ?(ic = []) ckt =
     let vcap0 = Array.copy vcap and icap0 = Array.copy icap in
     let xtrial = Array.copy x in
     if attempt ~t:t1 ~h ~vcap0 ~icap0 xtrial then begin
+      Atomic.incr Stats.steps;
       commit ~h ~vcap0 ~icap0 xtrial;
       Array.blit xtrial 0 x 0 nu
     end
     else if depth >= cfg.max_bisection then raise (No_convergence t1)
     else begin
+      Atomic.incr Stats.bisections;
       let tm = 0.5 *. (t0 +. t1) in
       advance (depth + 1) t0 tm;
       advance (depth + 1) tm t1

@@ -30,6 +30,26 @@ exception No_convergence of float
 (** Carries the simulation time at which Newton failed beyond the
     bisection budget. *)
 
+(** Process-global solver effort counters, maintained with atomics so
+    concurrent simulations on separate domains account correctly.
+    These are the raw feed for [Runtime.Metrics]. *)
+module Stats : sig
+  type snapshot = {
+    sims : int;          (** [run] invocations *)
+    steps : int;         (** accepted integration steps *)
+    newton_iters : int;  (** Newton iterations across all solves *)
+    bisections : int;    (** step halvings after Newton failure *)
+    gmin_retries : int;  (** DC solves that needed gmin stepping *)
+  }
+
+  val snapshot : unit -> snapshot
+  val diff : snapshot -> snapshot -> snapshot
+  (** [diff now before] — per-stage deltas. *)
+
+  val reset : unit -> unit
+  val pp : Format.formatter -> snapshot -> unit
+end
+
 type result
 
 val run : ?config:config -> ?ic:(string * float) list -> Circuit.t -> result

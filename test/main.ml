@@ -9,6 +9,7 @@ let () =
       Test_liberty.suite;
       Test_eqwave.suite;
       Test_noise.suite;
+      Test_runtime.suite;
       Test_sta.suite;
       Test_extensions.suite;
       Test_substrate.suite;

@@ -1,0 +1,326 @@
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_pool_map_matches_sequential () =
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      let f i = (i * 37) mod 101 in
+      Alcotest.(check (array int))
+        "map = Array.init" (Array.init 1000 f)
+        (Runtime.Pool.map pool 1000 f);
+      (* Chunk boundaries must not shift results. *)
+      Alcotest.(check (array int))
+        "chunk=1" (Array.init 97 f)
+        (Runtime.Pool.map ~chunk:1 pool 97 f);
+      Alcotest.(check (array int))
+        "chunk=1000" (Array.init 97 f)
+        (Runtime.Pool.map ~chunk:1000 pool 97 f);
+      Alcotest.(check (array int)) "empty" [||] (Runtime.Pool.map pool 0 f))
+
+let test_pool_map_list_order () =
+  Runtime.Pool.with_pool ~jobs:3 (fun pool ->
+      let xs = List.init 53 (fun i -> i) in
+      Alcotest.(check (list int))
+        "order preserved"
+        (List.map (fun x -> x * x) xs)
+        (Runtime.Pool.map_list pool (fun x -> x * x) xs))
+
+let test_pool_map_reduce_in_order () =
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      (* A non-commutative reduce: string concatenation. Only in-order
+         collection gives the sequential answer. *)
+      let expect = String.concat "" (List.init 40 string_of_int) in
+      let got =
+        Runtime.Pool.map_reduce pool ~n:40 ~map:string_of_int ~init:""
+          ~reduce:( ^ )
+      in
+      Alcotest.(check string) "deterministic reduce" expect got)
+
+let test_pool_sequential_fallbacks () =
+  Runtime.Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs clamped" 1 (Runtime.Pool.jobs pool);
+      Alcotest.(check (array int))
+        "jobs=1 works" (Array.init 10 succ)
+        (Runtime.Pool.map pool 10 succ));
+  Alcotest.(check (array int))
+    "no pool = sequential" (Array.init 10 succ)
+    (Runtime.Pool.maybe_map None 10 succ);
+  Alcotest.(check (list int))
+    "no pool list" [ 2; 3 ]
+    (Runtime.Pool.maybe_map_list None succ [ 1; 2 ])
+
+let test_pool_exception_propagates () =
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "job exception resurfaces"
+        (Failure "boom 7")
+        (fun () ->
+          ignore
+            (Runtime.Pool.map ~chunk:1 pool 16 (fun i ->
+                 if i = 7 then failwith "boom 7" else i)));
+      (* The pool survives a failed sweep. *)
+      Alcotest.(check (array int))
+        "pool reusable" (Array.init 8 succ)
+        (Runtime.Pool.map pool 8 succ))
+
+let test_pool_qcheck_matches_init =
+  qcase ~count:20 "pool: map equals Array.init"
+    QCheck2.Gen.(pair (int_bound 200) (int_bound 1000))
+    (fun (n, salt) ->
+      let f i = (i * 131) lxor salt in
+      Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+          Runtime.Pool.map pool n f = Array.init n f))
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+
+let wave_a = Waveform.Wave.create [| 0.0; 1.0; 2.0 |] [| 0.0; 0.5; 1.0 |]
+let wave_b = Waveform.Wave.create [| 0.0; 1.0; 2.0 |] [| 0.0; 0.5; 1.1 |]
+
+let test_cache_key_stability () =
+  let open Runtime.Cache.Key in
+  let k () = make "tag" [ str "a"; int 3; bool true; float 1.5; wave wave_a ] in
+  Alcotest.(check string) "same parts, same key" (k ()) (k ());
+  let base = k () in
+  let differs what parts =
+    check_true (what ^ " changes the key") (make "tag" parts <> base)
+  in
+  check_true "different tag"
+    (make "other" [ str "a"; int 3; bool true; float 1.5; wave wave_a ] <> base);
+  differs "str" [ str "b"; int 3; bool true; float 1.5; wave wave_a ];
+  differs "int" [ str "a"; int 4; bool true; float 1.5; wave wave_a ];
+  differs "bool" [ str "a"; int 3; bool false; float 1.5; wave wave_a ];
+  differs "float" [ str "a"; int 3; bool true; float 1.5000001; wave wave_a ];
+  differs "wave" [ str "a"; int 3; bool true; float 1.5; wave wave_b ];
+  (* Part boundaries may not be ambiguous: ["ab"] vs ["a";"b"]. *)
+  check_true "no concatenation ambiguity"
+    (make "t" [ str "ab" ] <> make "t" [ str "a"; str "b" ])
+
+let test_cache_hit_miss_accounting () =
+  let c = Runtime.Cache.create ~shards:4 () in
+  let key = Runtime.Cache.Key.make "t" [ Runtime.Cache.Key.int 1 ] in
+  let computes = ref 0 in
+  let compute () =
+    incr computes;
+    [ wave_a ]
+  in
+  let r1 = Runtime.Cache.memo c key compute in
+  let r2 = Runtime.Cache.memo c key compute in
+  Alcotest.(check int) "computed once" 1 !computes;
+  Alcotest.(check int) "one miss" 1 (Runtime.Cache.misses c);
+  Alcotest.(check int) "one hit" 1 (Runtime.Cache.hits c);
+  Alcotest.(check int) "resident" 1 (Runtime.Cache.length c);
+  check_true "hit returns the stored value" (r1 == r2);
+  (* Round-trip preserves the samples. *)
+  (match r2 with
+  | [ w ] ->
+      Alcotest.(check (array (float 0.0)))
+        "values" (Waveform.Wave.values wave_a) (Waveform.Wave.values w)
+  | _ -> Alcotest.fail "wrong shape");
+  Runtime.Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Runtime.Cache.length c);
+  Alcotest.(check int) "counters reset" 0 (Runtime.Cache.hits c)
+
+let temp_cache_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "noisy_sta_cache_test_%d_%d" (Unix.getpid ())
+         (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF))
+  in
+  dir
+
+let test_cache_disk_layer () =
+  let dir = temp_cache_dir () in
+  let key = Runtime.Cache.Key.make "disk" [ Runtime.Cache.Key.int 42 ] in
+  let c1 = Runtime.Cache.create ~disk_dir:dir () in
+  let _ = Runtime.Cache.memo c1 key (fun () -> [ wave_a; wave_b ]) in
+  Alcotest.(check int) "first run misses" 1 (Runtime.Cache.misses c1);
+  (* A fresh cache instance (a new process, morally) hits via disk. *)
+  let c2 = Runtime.Cache.create ~disk_dir:dir () in
+  let computes = ref 0 in
+  let r =
+    Runtime.Cache.memo c2 key (fun () ->
+        incr computes;
+        [ wave_a ])
+  in
+  Alcotest.(check int) "no recompute" 0 !computes;
+  Alcotest.(check int) "disk hit counted" 1 (Runtime.Cache.disk_hits c2);
+  Alcotest.(check int) "hit counted" 1 (Runtime.Cache.hits c2);
+  (match r with
+  | [ a; b ] ->
+      Alcotest.(check (array (float 0.0)))
+        "wave 1 times" (Waveform.Wave.times wave_a) (Waveform.Wave.times a);
+      Alcotest.(check (array (float 0.0)))
+        "wave 2 values" (Waveform.Wave.values wave_b) (Waveform.Wave.values b)
+  | _ -> Alcotest.fail "wrong shape from disk");
+  (* Corrupt file: treated as a miss, then overwritten. *)
+  let path = Filename.concat dir key in
+  let oc = open_out_bin path in
+  output_string oc "garbage";
+  close_out oc;
+  let c3 = Runtime.Cache.create ~disk_dir:dir () in
+  let r3 = Runtime.Cache.memo c3 key (fun () -> [ wave_b ]) in
+  Alcotest.(check int) "corrupt file misses" 1 (Runtime.Cache.misses c3);
+  check_true "recomputed" (List.length r3 = 1);
+  (* Clean up. *)
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+let test_cache_parallel_memo () =
+  (* Many domains hammering one cache: accounting stays consistent and
+     every caller sees the same value. *)
+  let c = Runtime.Cache.create ~shards:4 () in
+  Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+      let results =
+        Runtime.Pool.map ~chunk:1 pool 32 (fun i ->
+            let key =
+              Runtime.Cache.Key.make "par" [ Runtime.Cache.Key.int (i mod 4) ]
+            in
+            Runtime.Cache.memo c key (fun () ->
+                [ Waveform.Wave.create [| 0.0; 1.0 |]
+                    [| float_of_int (i mod 4); 1.0 |] ]))
+      in
+      Alcotest.(check int) "32 lookups" 32
+        (Runtime.Cache.hits c + Runtime.Cache.misses c);
+      check_true "at most 4 resident" (Runtime.Cache.length c <= 4);
+      (* Whatever the race outcome, key i mod 4 determines the value. *)
+      Array.iteri
+        (fun i r ->
+          match r with
+          | [ w ] ->
+              approx "stable value"
+                (float_of_int (i mod 4))
+                (Waveform.Wave.values w).(0)
+          | _ -> Alcotest.fail "shape")
+        results)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics_counters_and_json () =
+  let m = Runtime.Metrics.create () in
+  Runtime.Metrics.incr m "a.count";
+  Runtime.Metrics.incr ~n:4 m "a.count";
+  Runtime.Metrics.set m "b.gauge" 7;
+  Runtime.Metrics.add_time m "stage.x" 0.25;
+  Alcotest.(check (list (pair string int)))
+    "counters sorted"
+    [ ("a.count", 5); ("b.gauge", 7) ]
+    (Runtime.Metrics.counters m);
+  (match Runtime.Metrics.timers m with
+  | [ ("stage.x", t) ] -> approx "timer" 0.25 t
+  | _ -> Alcotest.fail "timer list");
+  let json = Runtime.Metrics.to_json m in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_true "json counters" (contains "\"a.count\":5" json);
+  check_true "json timers" (contains "\"timers_s\"" json);
+  let report = Format.asprintf "%a" Runtime.Metrics.pp_report m in
+  check_true "report mentions counter" (contains "a.count" report)
+
+let test_metrics_time_and_capture () =
+  let m = Runtime.Metrics.create () in
+  let before = Spice.Transient.Stats.snapshot () in
+  Alcotest.(check int) "time returns" 3
+    (Runtime.Metrics.time m "stage.t" (fun () -> 3));
+  check_true "timer recorded"
+    (List.mem_assoc "stage.t" (Runtime.Metrics.timers m));
+  (* A tiny RC transient moves the spice counters. *)
+  let ckt = Spice.Circuit.create () in
+  let a = Spice.Circuit.node ckt "a" in
+  let b = Spice.Circuit.node ckt "b" in
+  Spice.Circuit.vsource ckt a (Spice.Source.ramp ~t0:1e-10 ~v0:0.0 ~v1:1.0 ~trans:1e-10);
+  Spice.Circuit.resistor ckt a b 1000.0;
+  Spice.Circuit.capacitor ckt b (Spice.Circuit.gnd ckt) 1e-13;
+  let config =
+    { Spice.Transient.default_config with dt = 1e-11; tstop = 1e-9 }
+  in
+  ignore (Spice.Transient.run ~config ckt);
+  Runtime.Metrics.capture_spice ~since:before m;
+  let cs = Runtime.Metrics.counters m in
+  Alcotest.(check int) "one sim since baseline" 1 (List.assoc "spice.sims" cs);
+  check_true "steps counted" (List.assoc "spice.steps" cs > 0);
+  check_true "newton iterations counted"
+    (List.assoc "spice.newton_iters" cs > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The acceptance property: pooled table sweep == sequential, exactly  *)
+
+let fast_scenario = { Noise.Scenario.config_i with Noise.Scenario.dt = 4e-12 }
+
+let test_parallel_run_table_identical () =
+  let scen = Noise.Scenario.with_cases fast_scenario 3 in
+  let sequential = Noise.Eval.run_table scen in
+  let parallel =
+    Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+        Noise.Eval.run_table ~pool scen)
+  in
+  (* Structural equality over the whole table: every row, every case,
+     every float bit-identical (compare treats nan = nan). *)
+  check_true "tables bit-identical" (compare sequential parallel = 0);
+  (* And a cached re-run reproduces it again, entirely from memo hits. *)
+  let cache = Runtime.Cache.create () in
+  let first = Noise.Eval.run_table ~cache scen in
+  let miss0 = Runtime.Cache.misses cache in
+  let second = Noise.Eval.run_table ~cache scen in
+  check_true "cached table identical" (compare first second = 0);
+  check_true "cached run identical to uncached" (compare sequential second = 0);
+  Alcotest.(check int) "no new misses on the re-run" miss0
+    (Runtime.Cache.misses cache);
+  check_true "re-run served from cache" (Runtime.Cache.hits cache > 0)
+
+let test_all_failed_row_reports_zero () =
+  (* A technique that always bails must yield an honest all-failed row:
+     zero counts, not nan sentinels. *)
+  let failing =
+    {
+      Eqwave.Technique.name = "FAIL";
+      describe = "always unsupported (test)";
+      run = (fun _ -> raise (Eqwave.Technique.Unsupported "test"));
+    }
+  in
+  let scen = Noise.Scenario.with_cases fast_scenario 1 in
+  let table = Noise.Eval.run_table ~techniques:[ failing ] scen in
+  match table.Noise.Eval.rows with
+  | [ row ] ->
+      Alcotest.(check int) "no cases" 0 row.Noise.Eval.n_cases;
+      Alcotest.(check int) "one failure" 1 row.Noise.Eval.n_failed;
+      (* [approx] cannot flag nan (every nan comparison is false), so
+         test exact equality. *)
+      check_true "max is 0, not nan" (row.Noise.Eval.max_abs_ps = 0.0);
+      check_true "avg is 0, not nan" (row.Noise.Eval.avg_abs_ps = 0.0);
+      let rendered = Format.asprintf "%a" Noise.Eval.pp_table table in
+      check_true "pp surfaces the failure count"
+        (let contains needle hay =
+           let nl = String.length needle and hl = String.length hay in
+           let rec go i =
+             i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+           in
+           go 0
+         in
+         contains "failed" rendered && not (contains "nan" rendered))
+  | _ -> Alcotest.fail "expected one row"
+
+let suite =
+  ( "runtime",
+    [
+      case "pool: map matches sequential" test_pool_map_matches_sequential;
+      case "pool: list order preserved" test_pool_map_list_order;
+      case "pool: map_reduce in order" test_pool_map_reduce_in_order;
+      case "pool: sequential fallbacks" test_pool_sequential_fallbacks;
+      case "pool: exceptions propagate" test_pool_exception_propagates;
+      test_pool_qcheck_matches_init;
+      case "cache: key stability" test_cache_key_stability;
+      case "cache: hit/miss accounting" test_cache_hit_miss_accounting;
+      case "cache: disk layer" test_cache_disk_layer;
+      case "cache: parallel memoization" test_cache_parallel_memo;
+      case "metrics: counters and json" test_metrics_counters_and_json;
+      case "metrics: timing and spice capture" test_metrics_time_and_capture;
+      slow_case "eval: parallel table identical to sequential"
+        test_parallel_run_table_identical;
+      slow_case "eval: all-failed row reports zero counts"
+        test_all_failed_row_reports_zero;
+    ] )
