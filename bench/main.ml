@@ -22,6 +22,10 @@
                     --cases 200`, see EXPERIMENTS.md)
      --jobs N       worker domains for the simulation sweeps (default 1;
                     results are byte-identical to the sequential run)
+     --engine NAME  solver engine preset: reference | accurate | fast
+                    (default reference, the fixed 1 ps grid)
+     --ltetol X     adaptive LTE tolerance in volts; implies adaptive
+                    stepping on top of the selected engine
      --no-cache     disable the simulation memo cache
      --cache-dir D  on-disk cache directory (default .noisy_sta_cache;
                     repeated invocations skip already-simulated cases)
@@ -31,6 +35,8 @@
 
 let cases = ref 100
 let jobs = ref 1
+let engine_name = ref "reference"
+let ltetol : float option ref = ref None
 let use_cache = ref true
 let cache_dir = ref ".noisy_sta_cache"
 let want_metrics = ref false
@@ -44,6 +50,27 @@ let cache =
   lazy
     (if !use_cache then Some (Runtime.Cache.create ~disk_dir:!cache_dir ())
      else None)
+
+(* The one engine every sweep below runs on: preset solver config with
+   the CLI overrides layered on, sharing the global pool and cache. *)
+let engine =
+  lazy
+    (let e = Runtime.Engine.of_name !engine_name in
+     let e =
+       match !ltetol with
+       | Some tol ->
+           Runtime.Engine.map_solver e (fun c ->
+               Spice.Transient.with_adaptive ~lte_tol:tol c)
+       | None -> e
+     in
+     let e =
+       match Lazy.force pool with
+       | Some p -> Runtime.Engine.with_pool e p
+       | None -> e
+     in
+     match Lazy.force cache with
+     | Some c -> Runtime.Engine.with_cache e c
+     | None -> e)
 
 let metrics = Runtime.Metrics.create ()
 
@@ -73,7 +100,7 @@ let figure1 () =
         (Interconnect.Rcline.elmore line *. 1e12)
         (Interconnect.Rcline.elmore_discrete line *. 1e12);
       let th = Device.Process.thresholds scen.Noise.Scenario.proc in
-      let r = Noise.Injection.noiseless scen in
+      let r = Noise.Injection.noiseless ~engine:(Lazy.force engine) scen in
       let show name w =
         match
           (Waveform.Wave.arrival w th, Waveform.Wave.slew w th)
@@ -99,9 +126,9 @@ let figure2 () =
   header "Figure 2: sensitivity and equivalent waveforms";
   let scen = Noise.Scenario.config_i in
   let th = Device.Process.thresholds scen.Noise.Scenario.proc in
-  let noiseless = Noise.Injection.noiseless scen in
+  let noiseless = Noise.Injection.noiseless ~engine:(Lazy.force engine) scen in
   let tau = representative_tau scen in
-  let noisy = Noise.Injection.noisy scen ~tau in
+  let noisy = Noise.Injection.noisy ~engine:(Lazy.force engine) scen ~tau in
   let ctx = Noise.Injection.ctx_of_runs scen ~noiseless ~noisy in
   let sens = Eqwave.Sensitivity.compute ctx in
   let region_nl = Eqwave.Technique.noiseless_critical_region ctx in
@@ -119,11 +146,11 @@ let figure2 () =
     (Waveform.Ramp.arrival gamma th *. 1e12)
     (Waveform.Ramp.slew gamma th *. 1e12);
   let v_out_eff =
-    Noise.Injection.receiver_response scen
+    Noise.Injection.receiver_response ~engine:(Lazy.force engine) scen
       ~input:(Spice.Source.of_ramp gamma) ~tstop:scen.Noise.Scenario.tstop
   in
   let v_out_ref =
-    Noise.Injection.receiver_response scen
+    Noise.Injection.receiver_response ~engine:(Lazy.force engine) scen
       ~input:(Spice.Source.of_wave noisy.Noise.Injection.far)
       ~tstop:scen.Noise.Scenario.tstop
   in
@@ -182,7 +209,7 @@ let table1 () =
       let scen = Noise.Scenario.with_cases scen !cases in
       let t0 = Unix.gettimeofday () in
       let table =
-        Noise.Eval.run_table ?pool:(Lazy.force pool) ?cache:(Lazy.force cache)
+        Noise.Eval.run_table ~engine:(Lazy.force engine)
           ~progress:(fun k n ->
             if k mod 25 = 0 then Printf.eprintf "  %s: %d/%d\r%!" scen.Noise.Scenario.name k n)
           scen
@@ -196,14 +223,43 @@ let table1 () =
         @ [ (scen.Noise.Scenario.name, elapsed, table.Noise.Eval.rows) ])
     [ Noise.Scenario.config_i; Noise.Scenario.config_ii ]
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let json_list xs = "[" ^ String.concat "," xs ^ "]"
+
 (* ------------------------------------------------------------------ *)
 (* Runtime comparison (Section 4.2) via Bechamel                       *)
+
+(* JSON fragment from the fixed-vs-adaptive sweep, for --json. *)
+let adaptive_json : string option ref = ref None
 
 let bench_ctx =
   lazy
     (let scen = Noise.Scenario.config_i in
-     let noiseless = Noise.Injection.noiseless scen in
-     let noisy = Noise.Injection.noisy scen ~tau:(representative_tau scen) in
+     let noiseless = Noise.Injection.noiseless ~engine:(Lazy.force engine) scen in
+     let noisy =
+       Noise.Injection.noisy ~engine:(Lazy.force engine) scen
+         ~tau:(representative_tau scen)
+     in
      Noise.Injection.ctx_of_runs scen ~noiseless ~noisy)
 
 let run_bechamel tests =
@@ -268,8 +324,7 @@ let runtime () =
   List.iter
     (fun p ->
       let table =
-        Noise.Eval.run_table ~samples:p ?pool:(Lazy.force pool)
-          ?cache:(Lazy.force cache)
+        Noise.Eval.run_table ~samples:p ~engine:(Lazy.force engine)
           ~techniques:[ Eqwave.Sgdp.sgdp ] scen
       in
       match table.Noise.Eval.rows with
@@ -278,7 +333,80 @@ let runtime () =
             row.Noise.Eval.max_abs_ps row.Noise.Eval.avg_abs_ps
             row.Noise.Eval.n_failed
       | _ -> ())
-    [ 5; 10; 20; 35; 70 ]
+    [ 5; 10; 20; 35; 70 ];
+  (* Fixed-grid vs LTE-adaptive stepping on a Config I slice: accepted
+     step counts, gate-delay drift, and parallel determinism. Fresh
+     engines with no cache so the step counters measure real solver
+     work, not memo hits. *)
+  let n = Int.min !cases 20 in
+  Printf.printf "\nadaptive vs fixed stepping (%d-case Config I sweep):\n" n;
+  let scen = Noise.Scenario.with_cases Noise.Scenario.config_i n in
+  let sweep engine =
+    let before = Spice.Transient.Stats.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let table =
+      Noise.Eval.run_table ~techniques:[ Eqwave.Sgdp.sgdp ] ~engine scen
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let d = Spice.Transient.Stats.(diff (snapshot ()) before) in
+    (List.map (fun c -> c.Noise.Eval.delay_ref) table.Noise.Eval.cases, d, elapsed)
+  in
+  let fixed_engine = Runtime.Engine.reference in
+  (* Compare against the CLI engine when it is adaptive, else the stock
+     adaptive defaults on the reference config. *)
+  let adaptive_solver =
+    let e = Lazy.force engine in
+    if Runtime.Engine.is_adaptive e then Runtime.Engine.solver e
+    else Spice.Transient.(with_adaptive default_config)
+  in
+  let adaptive_engine =
+    Runtime.Engine.make ~name:"adaptive" ~solver:adaptive_solver ()
+  in
+  let d_fixed, s_fixed, t_fixed = sweep fixed_engine in
+  let d_adapt, s_adapt, t_adapt = sweep adaptive_engine in
+  let deltas_ps =
+    List.map2 (fun a b -> abs_float (a -. b) *. 1e12) d_fixed d_adapt
+  in
+  let max_delta = List.fold_left Float.max 0.0 deltas_ps in
+  let avg_delta =
+    List.fold_left ( +. ) 0.0 deltas_ps /. float_of_int (List.length deltas_ps)
+  in
+  let open Spice.Transient.Stats in
+  let ratio = float_of_int s_fixed.steps /. float_of_int s_adapt.steps in
+  Printf.printf
+    "  fixed    %8d accepted steps              %6.1f s\n\
+    \  adaptive %8d accepted steps (%d rejected) %6.1f s\n\
+    \  step ratio %.2fx fewer; gate-delay drift max %.4f ps avg %.4f ps\n"
+    s_fixed.steps t_fixed s_adapt.steps s_adapt.rejected_steps t_adapt ratio
+    max_delta avg_delta;
+  (* Determinism: the adaptive sweep on two domains must reproduce the
+     sequential result bit-for-bit. *)
+  let pool2 = Runtime.Pool.create ~jobs:2 () in
+  let d_par, _, _ =
+    sweep (Runtime.Engine.with_pool adaptive_engine pool2)
+  in
+  Runtime.Pool.shutdown pool2;
+  let deterministic =
+    List.for_all2
+      (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+      d_adapt d_par
+  in
+  Printf.printf "  parallel (2 jobs) identical to sequential: %b\n" deterministic;
+  adaptive_json :=
+    Some
+      (json_obj
+         [
+           ("n_cases", string_of_int n);
+           ("fixed_steps", string_of_int s_fixed.steps);
+           ("adaptive_steps", string_of_int s_adapt.steps);
+           ("adaptive_rejected", string_of_int s_adapt.rejected_steps);
+           ("step_ratio", Printf.sprintf "%.4f" ratio);
+           ("max_delay_delta_ps", Printf.sprintf "%.6f" max_delta);
+           ("avg_delay_delta_ps", Printf.sprintf "%.6f" avg_delta);
+           ("fixed_elapsed_s", Printf.sprintf "%.3f" t_fixed);
+           ("adaptive_elapsed_s", Printf.sprintf "%.3f" t_adapt);
+           ("parallel_deterministic", if deterministic then "true" else "false");
+         ])
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -303,8 +431,7 @@ let ablation () =
     (fun scen ->
       let scen = Noise.Scenario.with_cases scen n in
       let table =
-        Noise.Eval.run_table ~techniques ?pool:(Lazy.force pool)
-          ?cache:(Lazy.force cache) scen
+        Noise.Eval.run_table ~techniques ~engine:(Lazy.force engine) scen
       in
       Printf.printf "%s (%d cases):\n" scen.Noise.Scenario.name n;
       List.iteri
@@ -324,7 +451,7 @@ let nonoverlap () =
   let n = Int.min !cases 60 in
   let scen = Noise.Scenario.with_cases Noise.Scenario.config_i_buffer n in
   let table =
-    Noise.Eval.run_table ?pool:(Lazy.force pool) ?cache:(Lazy.force cache) scen
+    Noise.Eval.run_table ~engine:(Lazy.force engine) scen
   in
   Format.printf "%a@." Noise.Eval.pp_table table;
   Printf.printf
@@ -338,8 +465,8 @@ let worstcase () =
     (fun scen ->
       let t0 = Unix.gettimeofday () in
       let r =
-        Noise.Worst_case.search ~coarse:16 ~refine:8 ?pool:(Lazy.force pool)
-          ?cache:(Lazy.force cache) scen
+        Noise.Worst_case.search ~coarse:16 ~refine:8
+          ~engine:(Lazy.force engine) scen
       in
       Format.printf "%s: %a  [%.1f s]@." scen.Noise.Scenario.name
         Noise.Worst_case.pp r
@@ -356,8 +483,7 @@ let corners () =
         Noise.Scenario.with_cases { Noise.Scenario.config_i with proc } n
       in
       let table =
-        Noise.Eval.run_table ~techniques ?pool:(Lazy.force pool)
-          ?cache:(Lazy.force cache) scen
+        Noise.Eval.run_table ~techniques ~engine:(Lazy.force engine) scen
       in
       Printf.printf "%s corner (%d cases):\n" proc.Device.Process.name n;
       List.iter
@@ -374,8 +500,7 @@ let montecarlo () =
   List.iter
     (fun scen ->
       let _, summaries =
-        Noise.Montecarlo.run ~samples:n ?pool:(Lazy.force pool)
-          ?cache:(Lazy.force cache) scen
+        Noise.Montecarlo.run ~samples:n ~engine:(Lazy.force engine) scen
       in
       Printf.printf "%s (%d samples):\n" scen.Noise.Scenario.name n;
       Format.printf "%a@." Noise.Montecarlo.pp_summary summaries)
@@ -426,29 +551,6 @@ let awe () =
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output (--json)                                    *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_str s = Printf.sprintf "\"%s\"" (json_escape s)
-
-let json_obj fields =
-  "{"
-  ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields)
-  ^ "}"
-
-let json_list xs = "[" ^ String.concat "," xs ^ "]"
-
 let json_row (r : Noise.Eval.row) =
   json_obj
     [
@@ -462,7 +564,7 @@ let json_row (r : Noise.Eval.row) =
 let write_json path =
   let body =
     json_obj
-      [
+      ([
         ("schema", json_str "noisy-sta-bench/1");
         ("cases", string_of_int !cases);
         ("jobs", string_of_int !jobs);
@@ -480,6 +582,10 @@ let write_json path =
                !table1_results) );
         ("metrics", Runtime.Metrics.to_json metrics);
       ]
+      @
+      match !adaptive_json with
+      | Some j -> [ ("adaptive", j) ]
+      | None -> [])
   in
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
@@ -491,8 +597,10 @@ let write_json path =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [SECTION...] [--cases N] [--jobs N] [--no-cache]\n\
-    \       [--cache-dir DIR] [--metrics] [--json FILE]\n\
+    "usage: main.exe [SECTION...] [--cases N] [--jobs N] [--engine NAME]\n\
+    \       [--ltetol X] [--no-cache] [--cache-dir DIR] [--metrics]\n\
+    \       [--json FILE]\n\
+     engines: reference (fixed grid) | accurate | fast (adaptive)\n\
      sections: figure1 figure2 table1 runtime ablation nonoverlap\n\
     \          worstcase corners montecarlo awe (default: all)";
   exit 2
@@ -518,10 +626,26 @@ let () =
             usage ());
         json_out := Some v;
         parse rest
+    | "--engine" :: v :: rest ->
+        (match Runtime.Engine.of_name v with
+        | (_ : Runtime.Engine.t) -> engine_name := v
+        | exception Invalid_argument msg ->
+            prerr_endline msg;
+            usage ());
+        parse rest
+    | "--ltetol" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some x when x > 0.0 -> ltetol := Some x
+        | _ ->
+            Printf.eprintf "--ltetol: expected a positive float, got %s\n" v;
+            usage ());
+        parse rest
     | "--cache-dir" :: v :: rest -> cache_dir := v; parse rest
     | "--no-cache" :: rest -> use_cache := false; parse rest
     | "--metrics" :: rest -> want_metrics := true; parse rest
-    | ("--cases" | "--jobs" | "--json" | "--cache-dir") :: [] -> usage ()
+    | ("--cases" | "--jobs" | "--json" | "--cache-dir" | "--engine" | "--ltetol")
+      :: [] ->
+        usage ()
     | s :: _ when String.length s > 0 && s.[0] = '-' ->
         Printf.eprintf "unknown option %s\n" s;
         usage ()

@@ -36,15 +36,38 @@ let technique_conv =
 
 (* ------------------------------------------------------------------ *)
 (* Shared evaluation-runtime options: every simulation-heavy
-   subcommand takes --jobs/--no-cache/--cache-dir/--metrics.          *)
+   subcommand takes --engine/--ltetol/--jobs/--no-cache/--cache-dir/
+   --metrics, all folded into one Runtime.Engine value.               *)
 
 type rt = {
-  pool : Runtime.Pool.t option;
-  cache : Runtime.Cache.t option;
+  engine : Runtime.Engine.t;
   metrics : bool;
 }
 
+let engine_conv =
+  Arg.conv
+    ( (fun s ->
+        match Runtime.Engine.of_name s with
+        | e -> Ok e
+        | exception Invalid_argument msg -> Error (`Msg msg)),
+      fun ppf e -> Format.pp_print_string ppf (Runtime.Engine.name e) )
+
 let rt_term =
+  let engine =
+    Arg.(value & opt engine_conv Runtime.Engine.reference
+         & info [ "engine" ] ~docv:"NAME"
+             ~doc:"Solver engine preset: $(b,reference) (fixed 1 ps \
+                   grid, the bit-exact regression baseline), \
+                   $(b,accurate) or $(b,fast) (LTE-controlled adaptive \
+                   time stepping, several-fold fewer steps at \
+                   sub-0.01 ps gate-delay drift).")
+  in
+  let ltetol =
+    Arg.(value & opt (some float) None
+         & info [ "ltetol" ] ~docv:"VOLTS"
+             ~doc:"Adaptive local-truncation-error tolerance; implies \
+                   adaptive stepping on top of the selected engine.")
+  in
   let jobs =
     Arg.(value & opt int 1
          & info [ "j"; "jobs" ] ~docv:"N"
@@ -70,17 +93,28 @@ let rt_term =
              ~doc:"Print runtime metrics (simulation counts, Newton \
                    iterations, cache hits, wall time) after the run.")
   in
-  let make jobs no_cache cache_dir metrics =
-    {
-      pool =
-        (if jobs > 1 then Some (Runtime.Pool.create ~jobs ()) else None);
-      cache =
-        (if no_cache then None
-         else Some (Runtime.Cache.create ?disk_dir:cache_dir ()));
-      metrics;
-    }
+  let make engine ltetol jobs no_cache cache_dir metrics =
+    let engine =
+      match ltetol with
+      | Some tol ->
+          Runtime.Engine.map_solver engine (fun c ->
+              Spice.Transient.with_adaptive ~lte_tol:tol c)
+      | None -> engine
+    in
+    let engine =
+      if jobs > 1 then
+        Runtime.Engine.with_pool engine (Runtime.Pool.create ~jobs ())
+      else engine
+    in
+    let engine =
+      if no_cache then engine
+      else
+        Runtime.Engine.with_cache engine
+          (Runtime.Cache.create ?disk_dir:cache_dir ())
+    in
+    { engine; metrics }
   in
-  Term.(const make $ jobs $ no_cache $ cache_dir $ metrics)
+  Term.(const make $ engine $ ltetol $ jobs $ no_cache $ cache_dir $ metrics)
 
 (* Run a subcommand body under the runtime options: time it, then
    report metrics and release the pool. *)
@@ -89,17 +123,19 @@ let with_rt rt f =
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
-      match rt.pool with Some p -> Runtime.Pool.shutdown p | None -> ())
+      match Runtime.Engine.pool rt.engine with
+      | Some p -> Runtime.Pool.shutdown p
+      | None -> ())
     (fun () ->
       f ();
       if rt.metrics then begin
         let m = Runtime.Metrics.create () in
         Runtime.Metrics.add_time m "wall" (Unix.gettimeofday () -. t0);
-        (match rt.pool with
+        (match Runtime.Engine.pool rt.engine with
         | Some p -> Runtime.Metrics.set m "pool.jobs" (Runtime.Pool.jobs p)
         | None -> Runtime.Metrics.set m "pool.jobs" 1);
         Runtime.Metrics.capture_spice ~since:before m;
-        (match rt.cache with
+        (match Runtime.Engine.cache rt.engine with
         | Some c -> Runtime.Metrics.capture_cache m c
         | None -> ());
         Format.printf "@.%a@." Runtime.Metrics.pp_report m
@@ -119,7 +155,7 @@ let characterize_cmd =
           List.map
             (fun cell ->
               Printf.printf "characterizing %s...\n%!" cell.Device.Cell.name;
-              Liberty.Characterize.run ?pool:rt.pool ?cache:rt.cache proc cell)
+              Liberty.Characterize.run ~engine:rt.engine proc cell)
             cells
         in
         Liberty.Libfile.save out timed;
@@ -146,7 +182,7 @@ let table1_cmd =
           (fun scen ->
             let scen = Noise.Scenario.with_cases scen cases in
             let table =
-              Noise.Eval.run_table ~samples ?pool:rt.pool ?cache:rt.cache
+              Noise.Eval.run_table ~samples ~engine:rt.engine
                 ~progress:(fun k n ->
                   if k mod 20 = 0 then Printf.eprintf "%d/%d\r%!" k n)
                 scen
@@ -246,7 +282,7 @@ let sta_cmd =
       | None ->
           Printf.printf "characterizing cells (pass --lib to skip)...\n%!";
           List.map
-            (Liberty.Characterize.run ?pool:rt.pool ?cache:rt.cache proc)
+            (Liberty.Characterize.run ~engine:rt.engine proc)
             Device.Cell.[ inv_x1; inv_x4; inv_x16; inv_x64 ]
     in
     let n =
@@ -343,8 +379,7 @@ let montecarlo_cmd =
   let run samples seed scen rt =
     with_rt rt (fun () ->
         let _, summaries =
-          Noise.Montecarlo.run ~seed ~samples ?pool:rt.pool ?cache:rt.cache
-            scen
+          Noise.Montecarlo.run ~seed ~samples ~engine:rt.engine scen
         in
         Printf.printf "%s, %d random alignment/polarity samples (seed %d):\n"
           scen.Noise.Scenario.name samples seed;

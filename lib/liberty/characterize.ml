@@ -7,9 +7,24 @@ let default_grid proc cell =
     loads = Array.map (fun k -> k *. cin) [| 0.5; 1.0; 2.0; 4.0; 8.0; 16.0; 24.0 |];
   }
 
-let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?cache proc cell ~input
-    ~tstop =
+(* Engine solver config with the characterization grid layered on top;
+   under adaptive stepping the process 10/50/90 thresholds become
+   crossing-refinement levels so delay/slew measurement keeps its
+   resolution (unless the engine brought its own levels). *)
+let solver_config engine proc ~dt ~tstop =
+  let th = Device.Process.thresholds proc in
+  let open Spice.Transient in
+  let c = Runtime.Engine.solver engine in
+  let c = with_dt c dt in
+  let c = with_tstop c tstop in
+  with_crossing_levels_if_empty c
+    Waveform.Thresholds.[ v_low th; v_mid th; v_high th ]
+
+let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?cache ?engine proc cell
+    ~input ~tstop =
   let open Spice in
+  let engine = Runtime.Engine.resolve ?cache engine in
+  let config = solver_config engine proc ~dt ~tstop in
   let compute () =
     let ckt = Circuit.create () in
     let vdd = Device.Cell.attach_supply proc ckt in
@@ -19,13 +34,14 @@ let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?cache proc cell ~input
     if extra_load > 0.0 then
       Circuit.capacitor ckt y (Circuit.gnd ckt) extra_load;
     Circuit.vsource ckt a input;
-    let config = { Transient.default_config with dt; tstop } in
     let res = Transient.run ~config ckt in
     [ Transient.probe res "a"; Transient.probe res "y" ]
   in
   (* Opaque function stimuli cannot be content-addressed. *)
   let cache =
-    match Source.fingerprint input with None -> None | Some _ -> cache
+    match Source.fingerprint input with
+    | None -> None
+    | Some _ -> Runtime.Engine.cache engine
   in
   let waves =
     match cache with
@@ -37,9 +53,8 @@ let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?cache proc cell ~input
               [
                 str proc.Device.Process.name;
                 str cell.Device.Cell.name;
-                float dt;
+                str (Transient.config_fingerprint config);
                 float extra_load;
-                float tstop;
                 str (Option.get (Source.fingerprint input));
               ])
         in
@@ -49,7 +64,7 @@ let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?cache proc cell ~input
 
 (* The input ramp starts after a settling pad so the DC point is clean;
    tstop leaves room for slow outputs (heavy loads on weak cells). *)
-let measure_point ?dt ?cache proc cell ~slew ~load ~input_rising =
+let measure_point ?dt ?cache ?engine proc cell ~slew ~load ~input_rising =
   let th = Device.Process.thresholds proc in
   let vdd = proc.Device.Process.vdd in
   let t0 = 100e-12 in
@@ -59,7 +74,7 @@ let measure_point ?dt ?cache proc cell ~slew ~load ~input_rising =
   let input = Spice.Source.ramp ~t0 ~v0 ~v1 ~trans in
   let tstop = t0 +. trans +. 3e-9 in
   let wa, wy =
-    measure_gate ?dt ?cache proc cell ~extra_load:load ~input ~tstop
+    measure_gate ?dt ?cache ?engine proc cell ~extra_load:load ~input ~tstop
   in
   let arr_in = Waveform.Wave.arrival wa th in
   let arr_out = Waveform.Wave.arrival wy th in
@@ -72,7 +87,8 @@ let measure_point ?dt ?cache proc cell ~slew ~load ~input_rising =
            "Characterize: no transition for %s slew=%.3gps load=%.3gfF"
            cell.Device.Cell.name (slew *. 1e12) (load *. 1e15))
 
-let run ?grid ?(dt = 0.5e-12) ?pool ?cache proc cell =
+let run ?grid ?(dt = 0.5e-12) ?pool ?cache ?engine proc cell =
+  let engine = Runtime.Engine.resolve ?pool ?cache engine in
   let grid =
     match grid with Some g -> g | None -> default_grid proc cell
   in
@@ -81,11 +97,11 @@ let run ?grid ?(dt = 0.5e-12) ?pool ?cache proc cell =
      them into one job list so a pool stays busy across the whole
      characterization, then scatter the results back into tables. *)
   let points =
-    Runtime.Pool.maybe_map pool (2 * n * m) (fun k ->
+    Runtime.Pool.maybe_map (Runtime.Engine.pool engine) (2 * n * m) (fun k ->
         let input_rising = k < n * m in
         let r = k mod (n * m) in
         let i = r / m and j = r mod m in
-        measure_point ~dt ?cache proc cell ~slew:grid.slews.(i)
+        measure_point ~dt ~engine proc cell ~slew:grid.slews.(i)
           ~load:grid.loads.(j) ~input_rising)
   in
   let sweep_of ~input_rising =

@@ -17,17 +17,21 @@ val default_grid : Device.Process.t -> Device.Cell.t -> grid
 val run :
   ?grid:grid -> ?dt:float ->
   ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
+  ?engine:Runtime.Engine.t ->
   Device.Process.t -> Device.Cell.t -> Nldm.cell_timing
 (** Characterize one cell. [dt] defaults to 0.5 ps. Both polarities'
-    grid points fan out over [pool] as one job list (the tables are
-    identical to the sequential sweep); [cache] memoizes each
-    measurement simulation by content, so re-characterizing an
-    unchanged cell is free. Raises [Failure] when a measurement point
-    produces no output transition (which indicates a broken cell or an
-    absurd grid). *)
+    grid points fan out over the engine's pool as one job list (the
+    tables are identical to the sequential sweep); the engine's cache
+    memoizes each measurement simulation by content — scenario plus
+    full solver-config fingerprint — so re-characterizing an unchanged
+    cell is free. [pool]/[cache] are the deprecated aliases for the
+    engine slots. Raises [Failure] when a measurement point produces no
+    output transition (which indicates a broken cell or an absurd
+    grid). *)
 
 val measure_gate :
   ?dt:float -> ?extra_load:float -> ?cache:Runtime.Cache.t ->
+  ?engine:Runtime.Engine.t ->
   Device.Process.t -> Device.Cell.t ->
   input:Spice.Source.t -> tstop:float -> Waveform.Wave.t * Waveform.Wave.t
 (** [measure_gate proc cell ~input ~tstop] simulates the cell alone

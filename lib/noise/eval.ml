@@ -23,19 +23,51 @@ let mid_crossing th w what =
   | Some t -> t
   | None -> failwith ("Eval: no 0.5 Vdd crossing on " ^ what)
 
-let evaluate_case ?(reference = Replay) ?techniques ?samples ?cache scenario
-    ~noiseless ~tau =
+let failed tech msg =
+  {
+    technique = tech;
+    ramp = None;
+    delay_est = None;
+    delay_err = None;
+    out_arrival_err = None;
+    out_slew_err = None;
+    failure = Some msg;
+  }
+
+let no_convergence_msg t =
+  Printf.sprintf "solver failed to converge at t = %.4g s" t
+
+(* A case whose reference simulation itself diverged: every technique
+   is reported failed and the reference figures are nan sentinels. The
+   row summaries never read delay fields of failed metrics, so the nans
+   stay contained; [n_failed] carries the story. *)
+let failed_case techniques ~tau msg =
+  {
+    tau;
+    delay_ref = Float.nan;
+    ref_out_arrival = Float.nan;
+    chain_vs_replay = Float.nan;
+    metrics =
+      List.map
+        (fun (tech : Eqwave.Technique.t) ->
+          failed tech.Eqwave.Technique.name msg)
+        techniques;
+  }
+
+let evaluate_case ?(reference = Replay) ?techniques ?samples ?cache ?engine
+    scenario ~noiseless ~tau =
+  let engine = Runtime.Engine.resolve ?cache engine in
   let techniques =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
   in
   let th = Device.Process.thresholds scenario.Scenario.proc in
-  let noisy = Injection.noisy ?cache scenario ~tau in
+  let noisy = Injection.noisy ~engine scenario ~tau in
   let ctx = Injection.ctx_of_runs ?samples scenario ~noiseless ~noisy in
   let tstop = scenario.Scenario.tstop in
   let t_in = mid_crossing th noisy.Injection.far "noisy input" in
   (* Reference: replay the recorded noisy waveform into the receiver. *)
   let replay_out =
-    Injection.receiver_response ?cache scenario
+    Injection.receiver_response ~engine scenario
       ~input:(Spice.Source.of_wave noisy.Injection.far)
       ~tstop
   in
@@ -46,17 +78,6 @@ let evaluate_case ?(reference = Replay) ?techniques ?samples ?cache scenario
   in
   let delay_ref = t_out_ref -. t_in in
   let ref_out_slew = Waveform.Wave.slew replay_out th in
-  let failed tech msg =
-    {
-      technique = tech;
-      ramp = None;
-      delay_est = None;
-      delay_err = None;
-      out_arrival_err = None;
-      out_slew_err = None;
-      failure = Some msg;
-    }
-  in
   let eval_technique (tech : Eqwave.Technique.t) =
     let name = tech.Eqwave.Technique.name in
     match tech.Eqwave.Technique.run ctx with
@@ -68,29 +89,32 @@ let evaluate_case ?(reference = Replay) ?techniques ?samples ?cache scenario
         let tstop =
           Float.max tstop (Waveform.Ramp.t_settle ramp +. 1.5e-9)
         in
-        let out =
-          Injection.receiver_response ?cache scenario
+        match
+          Injection.receiver_response ~engine scenario
             ~input:(Spice.Source.of_ramp ramp) ~tstop
-        in
-        match mid_crossing th out "technique output" with
-        | exception Failure msg -> failed name msg
-        | t_out_est ->
-            let t_in_est = Waveform.Ramp.arrival ramp th in
-            let delay_est = t_out_est -. t_in_est in
-            let out_slew_err =
-              match (Waveform.Wave.slew out th, ref_out_slew) with
-              | Some a, Some b -> Some (a -. b)
-              | _ -> None
-            in
-            {
-              technique = name;
-              ramp = Some ramp;
-              delay_est = Some delay_est;
-              delay_err = Some (delay_est -. delay_ref);
-              out_arrival_err = Some (t_out_est -. t_out_ref);
-              out_slew_err;
-              failure = None;
-            })
+        with
+        | exception Spice.Transient.No_convergence t ->
+            failed name (no_convergence_msg t)
+        | out -> (
+            match mid_crossing th out "technique output" with
+            | exception Failure msg -> failed name msg
+            | t_out_est ->
+                let t_in_est = Waveform.Ramp.arrival ramp th in
+                let delay_est = t_out_est -. t_in_est in
+                let out_slew_err =
+                  match (Waveform.Wave.slew out th, ref_out_slew) with
+                  | Some a, Some b -> Some (a -. b)
+                  | _ -> None
+                in
+                {
+                  technique = name;
+                  ramp = Some ramp;
+                  delay_est = Some delay_est;
+                  delay_err = Some (delay_est -. delay_ref);
+                  out_arrival_err = Some (t_out_est -. t_out_ref);
+                  out_slew_err;
+                  failure = None;
+                }))
   in
   {
     tau;
@@ -147,11 +171,22 @@ let summarize_rows techniques cases =
           })
     techniques
 
-let run_table ?reference ?techniques ?samples ?progress ?pool ?cache scenario =
+let run_table ?reference ?techniques ?samples ?progress ?pool ?cache ?engine
+    scenario =
+  let engine = Runtime.Engine.resolve ?pool ?cache engine in
   let techs =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
   in
-  let noiseless = Injection.noiseless ?cache scenario in
+  (* The noiseless run is shared by every case; if it diverges the
+     whole sweep is unmeasurable, but that is still reported as rows
+     full of failed cases rather than an escaping exception — sweeps
+     must always return a table. *)
+  let noiseless =
+    match Injection.noiseless ~engine scenario with
+    | r -> Ok r
+    | exception Spice.Transient.No_convergence t ->
+        Error (no_convergence_msg t)
+  in
   let taus = Scenario.taus scenario in
   let total = Array.length taus in
   (* Cases are independent pure simulations: sweep them on the pool.
@@ -161,14 +196,24 @@ let run_table ?reference ?techniques ?samples ?progress ?pool ?cache scenario =
   let completed = Atomic.make 0 in
   let eval i =
     let c =
-      evaluate_case ?reference ~techniques:techs ?samples ?cache scenario
-        ~noiseless ~tau:taus.(i)
+      match noiseless with
+      | Error msg -> failed_case techs ~tau:taus.(i) msg
+      | Ok noiseless -> (
+          match
+            evaluate_case ?reference ~techniques:techs ?samples ~engine
+              scenario ~noiseless ~tau:taus.(i)
+          with
+          | c -> c
+          | exception Spice.Transient.No_convergence t ->
+              failed_case techs ~tau:taus.(i) (no_convergence_msg t))
     in
     let k = 1 + Atomic.fetch_and_add completed 1 in
     (match progress with Some f -> f k total | None -> ());
     c
   in
-  let cases = Array.to_list (Runtime.Pool.maybe_map pool total eval) in
+  let cases =
+    Array.to_list (Runtime.Pool.maybe_map (Runtime.Engine.pool engine) total eval)
+  in
   {
     scenario = scenario.Scenario.name;
     rows = summarize_rows techs cases;

@@ -33,17 +33,31 @@ type case_eval = {
   metrics : case_metrics list;
 }
 
+val no_convergence_msg : float -> string
+(** Failure text for a {!Spice.Transient.No_convergence} at the given
+    simulation time, shared by all sweep drivers. *)
+
+val failed_case : Eqwave.Technique.t list -> tau:float -> string -> case_eval
+(** A case whose reference simulation itself failed: every technique
+    metric carries the failure message, and the reference fields are
+    nan sentinels that row aggregation never reads. *)
+
 val evaluate_case :
   ?reference:reference ->
   ?techniques:Eqwave.Technique.t list ->
   ?samples:int ->
   ?cache:Runtime.Cache.t ->
+  ?engine:Runtime.Engine.t ->
   Scenario.t -> noiseless:Injection.run -> tau:float -> case_eval
 (** Runs one noisy full-chain simulation plus one receiver simulation
     per technique. [techniques] defaults to [Eqwave.Registry.all];
-    [samples] is the paper's P (default 35). With [cache], every
-    underlying transient simulation is memoized by content, so
-    re-evaluating a case (same scenario, tau and stimuli) is free. *)
+    [samples] is the paper's P (default 35). [engine] selects solver
+    config and cache (see {!Runtime.Engine}); [cache] is the
+    deprecated alias. With a cache, every underlying transient
+    simulation is memoized by content (scenario, case, and full solver
+    configuration), so re-evaluating a case is free. A technique whose
+    receiver re-simulation fails to converge is reported as a failed
+    metric rather than raising. *)
 
 type row = {
   name : string;
@@ -66,13 +80,20 @@ val run_table :
   ?progress:(int -> int -> unit) ->
   ?pool:Runtime.Pool.t ->
   ?cache:Runtime.Cache.t ->
+  ?engine:Runtime.Engine.t ->
   Scenario.t -> table
 (** Sweep all scenario cases. [progress done_ total] is called after
     each case with the number completed so far (from worker domains
-    when a [pool] is given, so it must be quick and thread-safe).
-    Cases are distributed over [pool] when present; the resulting
-    table is identical to the sequential one — rows and cases stay in
-    input order. *)
+    when the engine carries a pool, so it must be quick and
+    thread-safe). Cases are distributed over the engine's pool when
+    present; the resulting table is identical to the sequential one —
+    rows and cases stay in input order. [pool]/[cache] are the
+    deprecated aliases for the corresponding engine slots.
+
+    Sweeps always return a table: a case whose simulation fails to
+    converge ({!Spice.Transient.No_convergence}) becomes a row of
+    failed metrics counted in [n_failed] (with nan reference fields)
+    instead of aborting the sweep. *)
 
 val pp_table : Format.formatter -> table -> unit
 (** Render in the shape of the paper's Table 1 (max / avg, ps). *)

@@ -1,22 +1,36 @@
 type run = { far : Waveform.Wave.t; rcv : Waveform.Wave.t }
 
+(* All entry points accept the unified [?engine] plus the deprecated
+   [?cache] alias; [Engine.resolve] arbitrates. The solver config comes
+   from the engine with the scenario's grid parameters layered on top,
+   and — under adaptive stepping — the process 10/50/90 thresholds as
+   crossing-refinement levels, so delay/slew measurement points keep
+   fixed-grid resolution. *)
+let solver_config engine scenario ~dt ~tstop =
+  let th = Device.Process.thresholds scenario.Scenario.proc in
+  let open Spice.Transient in
+  let c = Runtime.Engine.solver engine in
+  let c = with_dt c dt in
+  let c = with_tstop c tstop in
+  with_crossing_levels_if_empty c
+    Waveform.Thresholds.[ v_low th; v_mid th; v_high th ]
+
 (* Cached simulations store their probed waveforms as a wave list; the
-   key covers the scenario content plus everything case-specific. *)
+   key covers the scenario content, everything case-specific, and the
+   full solver configuration. *)
 let memo_waves cache key compute =
   match cache with
   | None -> compute ()
   | Some c -> Runtime.Cache.memo c key compute
 
-let simulate ?cache scenario ~aggressor_active ~tau =
+let simulate ?cache ?engine scenario ~aggressor_active ~tau =
+  let engine = Runtime.Engine.resolve ?cache engine in
+  let config =
+    solver_config engine scenario ~dt:scenario.Scenario.dt
+      ~tstop:scenario.Scenario.tstop
+  in
   let compute () =
     let ckt, hints = Scenario.build scenario ~aggressor_active ~tau in
-    let config =
-      {
-        Spice.Transient.default_config with
-        dt = scenario.Scenario.dt;
-        tstop = scenario.Scenario.tstop;
-      }
-    in
     let res = Spice.Transient.run ~config ~ic:hints ckt in
     [
       Spice.Transient.probe res (Scenario.victim_far_node scenario);
@@ -28,24 +42,28 @@ let simulate ?cache scenario ~aggressor_active ~tau =
       make "injection.simulate"
         [
           str (Scenario.fingerprint scenario);
+          str (Spice.Transient.config_fingerprint config);
           bool aggressor_active;
           float (if aggressor_active then tau else 0.0);
         ])
   in
-  match memo_waves cache key compute with
+  match memo_waves (Runtime.Engine.cache engine) key compute with
   | [ far; rcv ] -> { far; rcv }
   | _ -> assert false
 
-let noiseless ?cache scenario =
-  simulate ?cache scenario ~aggressor_active:false ~tau:0.0
+let noiseless ?cache ?engine scenario =
+  simulate ?cache ?engine scenario ~aggressor_active:false ~tau:0.0
 
-let noisy ?cache scenario ~tau = simulate ?cache scenario ~aggressor_active:true ~tau
+let noisy ?cache ?engine scenario ~tau =
+  simulate ?cache ?engine scenario ~aggressor_active:true ~tau
 
-let receiver_response ?dt ?cache scenario ~input ~tstop =
+let receiver_response ?dt ?cache ?engine scenario ~input ~tstop =
   let open Spice in
+  let engine = Runtime.Engine.resolve ?cache engine in
   let dt =
     match dt with Some d -> d | None -> scenario.Scenario.dt /. 2.0
   in
+  let config = solver_config engine scenario ~dt ~tstop in
   let compute () =
     let proc = scenario.Scenario.proc in
     let _, _, rcv_cell, load_cell = Scenario.chain_cells scenario in
@@ -59,7 +77,6 @@ let receiver_response ?dt ?cache scenario ~input ~tstop =
     Device.Cell.instantiate proc load_cell ~ckt ~input:rcv ~output:buf
       ~vdd_node:vdd ~name:"u64";
     Circuit.vsource ckt pin input;
-    let config = { Transient.default_config with dt; tstop } in
     let res = Transient.run ~config ckt in
     [ Transient.probe res "rcv" ]
   in
@@ -68,7 +85,7 @@ let receiver_response ?dt ?cache scenario ~input ~tstop =
   let cache =
     match Source.fingerprint input with
     | None -> None
-    | Some _ -> cache
+    | Some _ -> Runtime.Engine.cache engine
   in
   let key () =
     Runtime.Cache.Key.(
@@ -76,7 +93,7 @@ let receiver_response ?dt ?cache scenario ~input ~tstop =
         [
           str (Scenario.fingerprint scenario);
           str (Option.get (Source.fingerprint input));
-          float dt;
+          str (Transient.config_fingerprint config);
           float tstop;
         ])
   in

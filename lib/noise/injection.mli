@@ -4,22 +4,33 @@
     transistor-level engine; [receiver_response] re-applies an
     arbitrary stimulus (a technique's Gamma_eff, or the recorded noisy
     waveform) to the isolated receiver — the paper's gate-delay
-    propagation step. *)
+    propagation step.
+
+    All entry points take a [?engine] ({!Runtime.Engine.t}) selecting
+    the solver configuration and cache; under an adaptive engine the
+    process 10/50/90 thresholds are installed as crossing-refinement
+    levels unless the engine configured its own. [?cache] is a
+    deprecated alias kept for the PR-1 call sites — it is honored only
+    when the engine (if any) carries no cache of its own. *)
 
 type run = {
   far : Waveform.Wave.t; (** victim far end, the receiver's input pin (in_u) *)
   rcv : Waveform.Wave.t; (** receiver (INVx16) output (out_u) *)
 }
 
-val noiseless : ?cache:Runtime.Cache.t -> Scenario.t -> run
-(** Victim switches alone; aggressors hold their rails. With [cache],
-    the run is memoized under the scenario's content fingerprint. *)
+val noiseless :
+  ?cache:Runtime.Cache.t -> ?engine:Runtime.Engine.t -> Scenario.t -> run
+(** Victim switches alone; aggressors hold their rails. With a cache,
+    the run is memoized under the scenario's content fingerprint plus
+    the full solver-config fingerprint. *)
 
-val noisy : ?cache:Runtime.Cache.t -> Scenario.t -> tau:float -> run
+val noisy :
+  ?cache:Runtime.Cache.t -> ?engine:Runtime.Engine.t ->
+  Scenario.t -> tau:float -> run
 (** Victim switches at its nominal time, aggressors start at [tau]. *)
 
 val receiver_response :
-  ?dt:float -> ?cache:Runtime.Cache.t ->
+  ?dt:float -> ?cache:Runtime.Cache.t -> ?engine:Runtime.Engine.t ->
   Scenario.t -> input:Spice.Source.t -> tstop:float ->
   Waveform.Wave.t
 (** Drive the victim receiver (INVx16 loaded by INVx64) with an ideal

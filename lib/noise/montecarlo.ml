@@ -13,8 +13,9 @@ type summary = {
   failed : int;
 }
 
-let run ?(seed = 42) ?(samples = 50) ?techniques ?pool ?cache scenario =
+let run ?(seed = 42) ?(samples = 50) ?techniques ?pool ?cache ?engine scenario =
   if samples < 1 then invalid_arg "Montecarlo.run: samples < 1";
+  let engine = Runtime.Engine.resolve ?pool ?cache engine in
   let techs =
     match techniques with Some t -> t | None -> Eqwave.Registry.all
   in
@@ -34,22 +35,37 @@ let run ?(seed = 42) ?(samples = 50) ?techniques ?pool ?cache scenario =
   in
   (* The noiseless (victim-only) run depends on the aggressors' quiet
      rail, which depends on their polarity: precompute each polarity
-     that was drawn, before fanning out. *)
+     that was drawn, before fanning out. A diverging noiseless run
+     turns all samples of that polarity into failed cases rather than
+     aborting the experiment. *)
   let noiseless = Hashtbl.create 2 in
   List.iter
     (fun (_, rising) ->
       if not (Hashtbl.mem noiseless rising) then
         Hashtbl.add noiseless rising
-          (Injection.noiseless ?cache
-             { scenario with Scenario.aggressor_rising = rising }))
+          (match
+             Injection.noiseless ~engine
+               { scenario with Scenario.aggressor_rising = rising }
+           with
+          | r -> Ok r
+          | exception Spice.Transient.No_convergence t ->
+              Error (Eval.no_convergence_msg t)))
     draws;
   let cases =
-    Runtime.Pool.maybe_map_list pool
+    Runtime.Pool.maybe_map_list (Runtime.Engine.pool engine)
       (fun (tau, rising) ->
         let scen = { scenario with Scenario.aggressor_rising = rising } in
         let case =
-          Eval.evaluate_case ~techniques:techs ?cache scen
-            ~noiseless:(Hashtbl.find noiseless rising) ~tau
+          match Hashtbl.find noiseless rising with
+          | Error msg -> Eval.failed_case techs ~tau msg
+          | Ok nl -> (
+              match
+                Eval.evaluate_case ~techniques:techs ~engine scen
+                  ~noiseless:nl ~tau
+              with
+              | c -> c
+              | exception Spice.Transient.No_convergence t ->
+                  Eval.failed_case techs ~tau (Eval.no_convergence_msg t))
         in
         { tau; aggressor_rising = rising; case })
       draws

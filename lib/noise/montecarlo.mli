@@ -24,12 +24,15 @@ type summary = {
 val run :
   ?seed:int -> ?samples:int -> ?techniques:Eqwave.Technique.t list ->
   ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
+  ?engine:Runtime.Engine.t ->
   Scenario.t -> sample list * summary list
 (** [run scenario] draws [samples] (default 50) cases with uniformly
     random alignment over the scenario window and random aggressor
     polarity. [seed] defaults to 42. All draws happen before any
     evaluation, so the result is deterministic for a given seed even
-    when the cases are swept on a [pool]; [cache] memoizes the
-    underlying simulations. *)
+    when the cases are swept on the engine's pool; the engine's cache
+    memoizes the underlying simulations ([pool]/[cache] are the
+    deprecated aliases). Cases whose simulation fails to converge are
+    counted in each summary's [failed] instead of aborting the run. *)
 
 val pp_summary : Format.formatter -> summary list -> unit

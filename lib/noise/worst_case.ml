@@ -15,19 +15,20 @@ let mid_delay scenario run =
   | Some ti, Some ty -> ty -. ti
   | _ -> failwith "Worst_case: missing 0.5 Vdd crossing"
 
-let delay_at ?cache scenario ~noiseless:_ ~tau =
-  mid_delay scenario (Injection.noisy ?cache scenario ~tau)
+let delay_at ?cache ?engine scenario ~noiseless:_ ~tau =
+  mid_delay scenario (Injection.noisy ?cache ?engine scenario ~tau)
 
 let golden = (sqrt 5.0 -. 1.0) /. 2.0
 
-let search ?(coarse = 24) ?(refine = 12) ?pool ?cache scenario =
+let search ?(coarse = 24) ?(refine = 12) ?pool ?cache ?engine scenario =
   if coarse < 3 then invalid_arg "Worst_case.search: coarse < 3";
-  let noiseless = Injection.noiseless ?cache scenario in
+  let engine = Runtime.Engine.resolve ?pool ?cache engine in
+  let noiseless = Injection.noiseless ~engine scenario in
   let nominal_delay = mid_delay scenario noiseless in
   let probes = ref 0 in
   let eval tau =
     incr probes;
-    delay_at ?cache scenario ~noiseless ~tau
+    delay_at ~engine scenario ~noiseless ~tau
   in
   let scan = Scenario.taus (Scenario.with_cases scenario coarse) in
   (* The coarse scan is the parallel part; its probes are independent.
@@ -35,8 +36,8 @@ let search ?(coarse = 24) ?(refine = 12) ?pool ?cache scenario =
      wins) identical to the sequential scan. The golden-section probes
      below are inherently sequential. *)
   let coarse_delays =
-    Runtime.Pool.maybe_map pool coarse (fun i ->
-        delay_at ?cache scenario ~noiseless ~tau:scan.(i))
+    Runtime.Pool.maybe_map (Runtime.Engine.pool engine) coarse (fun i ->
+        delay_at ~engine scenario ~noiseless ~tau:scan.(i))
   in
   probes := !probes + coarse;
   let best = ref (scan.(0), coarse_delays.(0)) in

@@ -14,7 +14,7 @@ type result = {
 }
 
 val delay_at :
-  ?cache:Runtime.Cache.t ->
+  ?cache:Runtime.Cache.t -> ?engine:Runtime.Engine.t ->
   Scenario.t -> noiseless:Injection.run -> tau:float -> float
 (** Reference gate delay (latest 0.5 Vdd crossings, input to output) of
     one injection case. Raises [Failure] when a crossing is missing. *)
@@ -22,11 +22,13 @@ val delay_at :
 val search :
   ?coarse:int -> ?refine:int ->
   ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
+  ?engine:Runtime.Engine.t ->
   Scenario.t -> result
 (** [search scenario] scans [coarse] (default 24) alignments across the
     scenario window, then runs [refine] (default 12) golden-section
-    steps around the best bracket. The coarse scan fans out over
-    [pool]; the refinement is sequential. The result is independent of
-    [pool]. *)
+    steps around the best bracket. The coarse scan fans out over the
+    engine's pool; the refinement is sequential. The result is
+    independent of the pool. [pool]/[cache] are the deprecated aliases
+    for the engine slots. *)
 
 val pp : Format.formatter -> result -> unit

@@ -1,0 +1,80 @@
+type t = {
+  name : string;
+  solver : Spice.Transient.config;
+  pool : Pool.t option;
+  cache : Cache.t option;
+  metrics : Metrics.t option;
+}
+
+let make ?(name = "custom") ?(solver = Spice.Transient.default_config) ?pool
+    ?cache ?metrics () =
+  { name; solver; pool; cache; metrics }
+
+(* Presets share the Newton/gmin settings of [default_config] and only
+   disagree about step control. [reference] is the historical fixed
+   grid — byte-exact regression baseline. [accurate] tightens the LTE
+   tolerance below the default; [fast] relaxes it and lets steps grow
+   further on quiescent spans. Crossing levels are left empty here: the
+   simulation harnesses fill in 0.1/0.5/0.9 x Vdd from the process
+   thresholds via [Transient.with_crossing_levels_if_empty]. *)
+let reference = make ~name:"reference" ()
+
+let accurate =
+  make ~name:"accurate"
+    ~solver:
+      (Spice.Transient.with_adaptive ~lte_tol:1e-4 ~dt_max:50e-12
+         Spice.Transient.default_config)
+    ()
+
+let fast =
+  make ~name:"fast"
+    ~solver:
+      (Spice.Transient.with_adaptive ~lte_tol:1e-3 ~dt_max:200e-12
+         Spice.Transient.default_config)
+    ()
+
+let presets = [ reference; accurate; fast ]
+let names = List.map (fun e -> e.name) presets
+
+let of_name s =
+  match List.find_opt (fun e -> e.name = s) presets with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Engine.of_name: unknown engine %S (have: %s)" s
+           (String.concat ", " names))
+
+let name t = t.name
+let solver t = t.solver
+let pool t = t.pool
+let cache t = t.cache
+let metrics t = t.metrics
+
+let with_solver t solver = { t with solver }
+let with_pool t pool = { t with pool = Some pool }
+let with_cache t cache = { t with cache = Some cache }
+let with_metrics t metrics = { t with metrics = Some metrics }
+let map_solver t f = { t with solver = f t.solver }
+
+let resolve ?pool ?cache engine =
+  match engine with
+  | Some e ->
+      (* The engine wins; the deprecated aliases only fill slots the
+         engine left empty, so old call sites keep working while
+         migrating. *)
+      {
+        e with
+        pool = (match e.pool with Some _ -> e.pool | None -> pool);
+        cache = (match e.cache with Some _ -> e.cache | None -> cache);
+      }
+  | None -> { reference with pool; cache }
+
+let is_adaptive t = Spice.Transient.is_adaptive t.solver
+
+let pp ppf t =
+  Format.fprintf ppf "engine %s (%s%s%s)" t.name
+    (if is_adaptive t then "adaptive" else "fixed-grid")
+    (match t.pool with
+    | Some p -> Printf.sprintf ", %d jobs" (Pool.jobs p)
+    | None -> "")
+    (match t.cache with Some _ -> ", cached" | None -> "")

@@ -1,0 +1,70 @@
+(** Unified evaluation-engine configuration.
+
+    An engine bundles everything a simulation harness needs — the
+    transient solver configuration, an optional domain {!Pool}, an
+    optional result {!Cache}, and an optional {!Metrics} sink — behind
+    one value, replacing the [?pool]/[?cache] optional-argument sprawl
+    of the PR-1 API. Harness entry points ([Noise.Eval.run_table],
+    [Noise.Montecarlo.run], [Noise.Worst_case.search],
+    [Liberty.Characterize.run], [Noise.Injection.*]) take a single
+    [?engine]; the old [?pool]/[?cache] arguments remain as deprecated
+    aliases for one release and are honored only for slots the engine
+    leaves empty (see {!resolve}).
+
+    Named presets:
+    - ["reference"] — fixed 1 ps grid, bit-exact with the historical
+      engine; the regression baseline.
+    - ["accurate"] — adaptive stepping, 0.1 mV LTE tolerance, steps up
+      to 50 ps.
+    - ["fast"] — adaptive stepping, 1 mV LTE tolerance, steps up to
+      200 ps; several-fold fewer steps on the Table-1 sweeps with
+      sub-0.01 ps gate-delay drift. *)
+
+type t
+
+val make :
+  ?name:string ->
+  ?solver:Spice.Transient.config ->
+  ?pool:Pool.t ->
+  ?cache:Cache.t ->
+  ?metrics:Metrics.t ->
+  unit ->
+  t
+(** Defaults: name "custom", {!Spice.Transient.default_config}, no
+    pool, no cache, no metrics. *)
+
+val reference : t
+val accurate : t
+val fast : t
+
+val presets : t list
+val names : string list
+
+val of_name : string -> t
+(** Look up a preset by name; raises [Invalid_argument] otherwise.
+    This backs the CLI [--engine] flag. *)
+
+val name : t -> string
+val solver : t -> Spice.Transient.config
+val pool : t -> Pool.t option
+val cache : t -> Cache.t option
+val metrics : t -> Metrics.t option
+
+val with_solver : t -> Spice.Transient.config -> t
+val with_pool : t -> Pool.t -> t
+val with_cache : t -> Cache.t -> t
+val with_metrics : t -> Metrics.t -> t
+
+val map_solver : t -> (Spice.Transient.config -> Spice.Transient.config) -> t
+(** Apply a solver-config transform, e.g.
+    [map_solver e (fun c -> Spice.Transient.with_adaptive ~lte_tol c)]. *)
+
+val resolve : ?pool:Pool.t -> ?cache:Cache.t -> t option -> t
+(** Normalize a harness entry point's arguments: with an engine, the
+    engine wins and the deprecated [?pool]/[?cache] aliases only fill
+    slots it left empty; without one, the aliases are wrapped in a
+    {!reference} engine. This is what keeps PR-1 call sites working
+    unchanged. *)
+
+val is_adaptive : t -> bool
+val pp : Format.formatter -> t -> unit

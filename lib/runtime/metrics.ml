@@ -63,7 +63,9 @@ let capture_spice ?since t =
   set t "spice.steps" s.Spice.Transient.Stats.steps;
   set t "spice.newton_iters" s.Spice.Transient.Stats.newton_iters;
   set t "spice.bisections" s.Spice.Transient.Stats.bisections;
-  set t "spice.gmin_retries" s.Spice.Transient.Stats.gmin_retries
+  set t "spice.gmin_retries" s.Spice.Transient.Stats.gmin_retries;
+  set t "spice.rejected_steps" s.Spice.Transient.Stats.rejected_steps;
+  set t "spice.lte_rejections" s.Spice.Transient.Stats.lte_rejections
 
 let capture_cache t cache =
   set t "cache.hits" (Cache.hits cache);

@@ -1,5 +1,17 @@
 type integration = Trapezoidal | Backward_euler
 
+type adaptive = {
+  lte_tol : float;
+  dt_min : float;
+  dt_max : float;
+  grow_limit : float;
+  safety : float;
+  crossing_levels : float list;
+  crossing_dt : float;
+}
+
+type step_control = Fixed | Adaptive of adaptive
+
 type config = {
   dt : float;
   tstop : float;
@@ -11,7 +23,19 @@ type config = {
   vstep_limit : float;
   gmin : float;
   max_bisection : int;
+  step_control : step_control;
 }
+
+let default_adaptive =
+  {
+    lte_tol = 5e-4;
+    dt_min = 10e-15;
+    dt_max = 100e-12;
+    grow_limit = 2.0;
+    safety = 0.9;
+    crossing_levels = [];
+    crossing_dt = 0.0;
+  }
 
 let default_config =
   {
@@ -25,7 +49,110 @@ let default_config =
     vstep_limit = 0.6;
     gmin = 1e-12;
     max_bisection = 10;
+    step_control = Fixed;
   }
+
+let with_dt cfg dt = { cfg with dt }
+let with_tstop cfg tstop = { cfg with tstop }
+let with_tstart cfg tstart = { cfg with tstart }
+let with_integration cfg integration = { cfg with integration }
+let with_step_control cfg step_control = { cfg with step_control }
+
+let with_adaptive ?lte_tol ?dt_min ?dt_max ?grow_limit ?safety
+    ?crossing_levels ?crossing_dt cfg =
+  let base =
+    match cfg.step_control with
+    | Adaptive a -> a
+    | Fixed -> default_adaptive
+  in
+  let v o d = Option.value o ~default:d in
+  {
+    cfg with
+    step_control =
+      Adaptive
+        {
+          lte_tol = v lte_tol base.lte_tol;
+          dt_min = v dt_min base.dt_min;
+          dt_max = v dt_max base.dt_max;
+          grow_limit = v grow_limit base.grow_limit;
+          safety = v safety base.safety;
+          crossing_levels = v crossing_levels base.crossing_levels;
+          crossing_dt = v crossing_dt base.crossing_dt;
+        };
+  }
+
+let is_adaptive cfg =
+  match cfg.step_control with Adaptive _ -> true | Fixed -> false
+
+let with_crossing_levels_if_empty cfg levels =
+  match cfg.step_control with
+  | Fixed -> cfg
+  | Adaptive a when a.crossing_levels = [] ->
+      { cfg with step_control = Adaptive { a with crossing_levels = levels } }
+  | Adaptive _ -> cfg
+
+(* Exhaustive, lossless rendering of a config. Every field that can
+   change a simulated waveform MUST appear here: [Runtime.Cache] keys
+   are derived from this string, so a missed field would let a config
+   change hit a stale cache entry. The full record destructure makes
+   adding a field without updating this function a compile error. *)
+let config_fingerprint cfg =
+  let {
+    dt;
+    tstop;
+    tstart;
+    integration;
+    newton_tol_v;
+    newton_tol_i;
+    max_newton;
+    vstep_limit;
+    gmin;
+    max_bisection;
+    step_control;
+  } =
+    cfg
+  in
+  let f = Printf.sprintf "%h" in
+  let sc =
+    match step_control with
+    | Fixed -> "fixed"
+    | Adaptive
+        {
+          lte_tol;
+          dt_min;
+          dt_max;
+          grow_limit;
+          safety;
+          crossing_levels;
+          crossing_dt;
+        } ->
+        String.concat ","
+          ([
+             "adaptive";
+             f lte_tol;
+             f dt_min;
+             f dt_max;
+             f grow_limit;
+             f safety;
+             f crossing_dt;
+           ]
+          @ List.map f crossing_levels)
+  in
+  String.concat "|"
+    [
+      "tran.config";
+      f dt;
+      f tstop;
+      f tstart;
+      (match integration with Trapezoidal -> "trap" | Backward_euler -> "be");
+      f newton_tol_v;
+      f newton_tol_i;
+      string_of_int max_newton;
+      f vstep_limit;
+      f gmin;
+      string_of_int max_bisection;
+      sc;
+    ]
 
 exception No_convergence of float
 
@@ -36,6 +163,8 @@ module Stats = struct
     newton_iters : int;
     bisections : int;
     gmin_retries : int;
+    rejected_steps : int;
+    lte_rejections : int;
   }
 
   (* Process-global, updated with atomics so pool domains running
@@ -45,6 +174,8 @@ module Stats = struct
   let newton_iters = Atomic.make 0
   let bisections = Atomic.make 0
   let gmin_retries = Atomic.make 0
+  let rejected_steps = Atomic.make 0
+  let lte_rejections = Atomic.make 0
 
   let snapshot () =
     {
@@ -53,6 +184,8 @@ module Stats = struct
       newton_iters = Atomic.get newton_iters;
       bisections = Atomic.get bisections;
       gmin_retries = Atomic.get gmin_retries;
+      rejected_steps = Atomic.get rejected_steps;
+      lte_rejections = Atomic.get lte_rejections;
     }
 
   let diff a b =
@@ -62,6 +195,8 @@ module Stats = struct
       newton_iters = a.newton_iters - b.newton_iters;
       bisections = a.bisections - b.bisections;
       gmin_retries = a.gmin_retries - b.gmin_retries;
+      rejected_steps = a.rejected_steps - b.rejected_steps;
+      lte_rejections = a.lte_rejections - b.lte_rejections;
     }
 
   let reset () =
@@ -69,12 +204,16 @@ module Stats = struct
     Atomic.set steps 0;
     Atomic.set newton_iters 0;
     Atomic.set bisections 0;
-    Atomic.set gmin_retries 0
+    Atomic.set gmin_retries 0;
+    Atomic.set rejected_steps 0;
+    Atomic.set lte_rejections 0
 
   let pp ppf s =
     Format.fprintf ppf
-      "%d sims, %d steps, %d newton iters, %d bisections, %d gmin retries"
-      s.sims s.steps s.newton_iters s.bisections s.gmin_retries
+      "%d sims, %d steps (%d rejected, %d by LTE), %d newton iters, %d \
+       bisections, %d gmin retries"
+      s.sims s.steps s.rejected_steps s.lte_rejections s.newton_iters
+      s.bisections s.gmin_retries
 end
 
 (* Compiled, array-based view of the circuit for fast stamping. *)
@@ -325,9 +464,26 @@ let build_grid cp cfg =
   in
   Array.of_list (dedup all)
 
+let validate_adaptive a =
+  if a.lte_tol <= 0.0 then
+    invalid_arg "Transient.run: lte_tol must be positive";
+  if a.dt_min <= 0.0 then
+    invalid_arg "Transient.run: dt_min must be positive";
+  if a.dt_max < a.dt_min then invalid_arg "Transient.run: dt_max < dt_min";
+  if a.grow_limit < 1.0 then
+    invalid_arg "Transient.run: grow_limit must be >= 1";
+  if a.safety <= 0.0 || a.safety > 1.0 then
+    invalid_arg "Transient.run: safety must be in (0, 1]"
+
 let run ?(config = default_config) ?(ic = []) ckt =
   Atomic.incr Stats.sims;
   let cfg = config in
+  if cfg.tstop -. cfg.tstart <= 0.0 then
+    invalid_arg "Transient.run: tstop <= tstart";
+  if cfg.dt <= 0.0 then invalid_arg "Transient.run: dt must be positive";
+  (match cfg.step_control with
+  | Fixed -> ()
+  | Adaptive a -> validate_adaptive a);
   let cp = compile ckt in
   let nu = cp.n + cp.m in
   let x = Array.make nu 0.0 in
@@ -339,24 +495,20 @@ let run ?(config = default_config) ?(ic = []) ckt =
     ic;
   if not (dc_solve cp cfg ~at:cfg.tstart x) then
     raise (No_convergence cfg.tstart);
-  let grid = build_grid cp cfg in
-  let npts = Array.length grid in
-  let data = Array.make npts [||] in
-  data.(0) <- Array.copy x;
   (* Capacitor state: voltage across and (trapezoidal) current. *)
   let ncap = Array.length cp.caps in
   let vcap = Array.make ncap 0.0 and icap = Array.make ncap 0.0 in
   Array.iteri
     (fun k (a, b, _) -> vcap.(k) <- getv x a -. getv x b)
     cp.caps;
-  (* One integration step of size h ending at time t. Returns false if
-     Newton diverged. On success, cap state is NOT yet committed; the
-     caller commits via [commit]. *)
-  let attempt ~t ~h ~vcap0 ~icap0 xtrial =
+  (* One integration step of size h ending at time t, with the given
+     companion model. Returns false if Newton diverged. On success, cap
+     state is NOT yet committed; the caller commits via [commit]. *)
+  let attempt ~integ ~t ~h ~vcap0 ~icap0 xtrial =
     let stamp_caps ~stamp_conductance ~stamp_current =
       Array.iteri
         (fun k (a, b, c) ->
-          match cfg.integration with
+          match integ with
           | Backward_euler ->
               let geq = c /. h in
               stamp_conductance a b geq;
@@ -369,39 +521,177 @@ let run ?(config = default_config) ?(ic = []) ckt =
     in
     newton cp cfg ~gmin:cfg.gmin ~t ~stamp_caps xtrial
   in
-  let commit ~h ~vcap0 ~icap0 xnew =
+  let commit ~integ ~h ~vcap0 ~icap0 xnew =
     Array.iteri
       (fun k (a, b, c) ->
         let v = getv xnew a -. getv xnew b in
-        (match cfg.integration with
+        (match integ with
         | Backward_euler -> icap.(k) <- c /. h *. (v -. vcap0.(k))
         | Trapezoidal ->
             icap.(k) <- ((2.0 *. c /. h) *. (v -. vcap0.(k))) -. icap0.(k));
         vcap.(k) <- v)
       cp.caps
   in
-  (* Advance from t0 to t1, bisecting on failure. *)
-  let rec advance depth t0 t1 =
-    let h = t1 -. t0 in
-    let vcap0 = Array.copy vcap and icap0 = Array.copy icap in
-    let xtrial = Array.copy x in
-    if attempt ~t:t1 ~h ~vcap0 ~icap0 xtrial then begin
-      Atomic.incr Stats.steps;
-      commit ~h ~vcap0 ~icap0 xtrial;
-      Array.blit xtrial 0 x 0 nu
-    end
-    else if depth >= cfg.max_bisection then raise (No_convergence t1)
-    else begin
-      Atomic.incr Stats.bisections;
-      let tm = 0.5 *. (t0 +. t1) in
-      advance (depth + 1) t0 tm;
-      advance (depth + 1) tm t1
-    end
+  (* ---------------- fixed grid (legacy, bit-exact) ---------------- *)
+  let run_fixed () =
+    let grid = build_grid cp cfg in
+    let npts = Array.length grid in
+    let data = Array.make npts [||] in
+    data.(0) <- Array.copy x;
+    (* Advance from t0 to t1, bisecting on failure. *)
+    let rec advance depth t0 t1 =
+      let h = t1 -. t0 in
+      let vcap0 = Array.copy vcap and icap0 = Array.copy icap in
+      let xtrial = Array.copy x in
+      if attempt ~integ:cfg.integration ~t:t1 ~h ~vcap0 ~icap0 xtrial then begin
+        Atomic.incr Stats.steps;
+        commit ~integ:cfg.integration ~h ~vcap0 ~icap0 xtrial;
+        Array.blit xtrial 0 x 0 nu
+      end
+      else if depth >= cfg.max_bisection then raise (No_convergence t1)
+      else begin
+        Atomic.incr Stats.bisections;
+        let tm = 0.5 *. (t0 +. t1) in
+        advance (depth + 1) t0 tm;
+        advance (depth + 1) tm t1
+      end
+    in
+    for k = 1 to npts - 1 do
+      advance 0 grid.(k - 1) grid.(k);
+      data.(k) <- Array.copy x
+    done;
+    (grid, data)
   in
-  for k = 1 to npts - 1 do
-    advance 0 grid.(k - 1) grid.(k);
-    data.(k) <- Array.copy x
-  done;
+  (* -------------- adaptive local-truncation-error grid ------------- *)
+  (* Each step is solved twice, with the configured companion and with
+     the other one (trapezoidal vs backward Euler). Their discrepancy is
+     an O(h^2) estimate of the local truncation error; the controller
+     holds it below [lte_tol], growing the step on quiescent spans and
+     shrinking it through transitions. Source breakpoints are always
+     landed on exactly, and steps that carry any node across a
+     configured threshold level are refined to [crossing_dt] so
+     downstream crossing searches keep fixed-grid accuracy. *)
+  let run_adaptive a =
+    let dt_min = a.dt_min in
+    let dt_max = a.dt_max in
+    let crossing_dt =
+      let d = if a.crossing_dt > 0.0 then a.crossing_dt else cfg.dt in
+      Float.max dt_min (Float.min d dt_max)
+    in
+    let levels = Array.of_list a.crossing_levels in
+    let crosses x0 x1 =
+      let hit = ref false in
+      for i = 0 to cp.n - 1 do
+        if not !hit then
+          for l = 0 to Array.length levels - 1 do
+            let lv = levels.(l) in
+            if (x0.(i) -. lv) *. (x1.(i) -. lv) < 0.0 then hit := true
+          done
+      done;
+      !hit
+    in
+    let other =
+      match cfg.integration with
+      | Trapezoidal -> Backward_euler
+      | Backward_euler -> Trapezoidal
+    in
+    let breaks =
+      ref
+        (Array.to_list cp.vsrc
+        |> List.concat_map (fun (_, s) -> Source.breakpoints s)
+        |> List.filter (fun t -> t > cfg.tstart && t < cfg.tstop)
+        |> fun l -> List.sort_uniq compare (cfg.tstop :: l))
+    in
+    let ts_rev = ref [ cfg.tstart ] in
+    let xs_rev = ref [ Array.copy x ] in
+    let t = ref cfg.tstart in
+    let dt = ref (Float.min dt_max (Float.max dt_min cfg.dt)) in
+    while !t < cfg.tstop do
+      (match !breaks with
+      | b :: rest when b <= !t -> breaks := rest
+      | _ -> ());
+      let next_bp = match !breaks with b :: _ -> b | [] -> cfg.tstop in
+      let remaining = next_bp -. !t in
+      (* Land exactly on the breakpoint rather than leaving a sliver. *)
+      let landing = remaining <= !dt +. dt_min in
+      let h = if landing then remaining else !dt in
+      let t1 = if landing then next_bp else !t +. h in
+      (* A landing step is pinned to [remaining], so once the controller
+         dt is at the floor a rejection cannot shrink it further — treat
+         it as a floor step or the reject/retry loop never advances. *)
+      let floor_dt = dt_min *. (1.0 +. 1e-9) in
+      let at_floor = h <= floor_dt || (landing && !dt <= floor_dt) in
+      let vcap0 = Array.copy vcap and icap0 = Array.copy icap in
+      let xtrial = Array.copy x in
+      if not (attempt ~integ:cfg.integration ~t:t1 ~h ~vcap0 ~icap0 xtrial)
+      then begin
+        if at_floor then raise (No_convergence t1);
+        Atomic.incr Stats.bisections;
+        Atomic.incr Stats.rejected_steps;
+        dt := Float.max dt_min (0.5 *. h)
+      end
+      else begin
+        let xcomp = Array.copy x in
+        let err =
+          if attempt ~integ:other ~t:t1 ~h ~vcap0 ~icap0 xcomp then begin
+            let e = ref 0.0 in
+            for i = 0 to cp.n - 1 do
+              let d = abs_float (xtrial.(i) -. xcomp.(i)) in
+              if d > !e then e := d
+            done;
+            !e
+          end
+          else infinity
+        in
+        let lte_ok = err <= a.lte_tol in
+        let crossing_viol =
+          Array.length levels > 0
+          && h > crossing_dt *. (1.0 +. 1e-9)
+          && crosses x xtrial
+        in
+        if (lte_ok && not crossing_viol) || at_floor then begin
+          Atomic.incr Stats.steps;
+          commit ~integ:cfg.integration ~h ~vcap0 ~icap0 xtrial;
+          Array.blit xtrial 0 x 0 nu;
+          t := t1;
+          ts_rev := t1 :: !ts_rev;
+          xs_rev := Array.copy x :: !xs_rev;
+          let factor =
+            if err <= 0.0 then a.grow_limit
+            else
+              Float.max 0.2
+                (Float.min a.grow_limit (a.safety *. sqrt (a.lte_tol /. err)))
+          in
+          dt := Float.max dt_min (Float.min dt_max (h *. factor))
+        end
+        else begin
+          Atomic.incr Stats.rejected_steps;
+          if not lte_ok then Atomic.incr Stats.lte_rejections;
+          let shrunk =
+            if lte_ok then crossing_dt
+            else if Float.is_finite err then
+              Float.min (0.9 *. h)
+                (h *. Float.max 0.1 (a.safety *. sqrt (a.lte_tol /. err)))
+            else 0.25 *. h
+          in
+          (* A rejected landing step recomputes [shrunk] from the same
+             pinned h = remaining every retry; halve it so dt strictly
+             decreases until landing disengages or the floor forces
+             acceptance. *)
+          let shrunk = if landing then Float.min shrunk (0.5 *. h) else shrunk in
+          dt := Float.max dt_min (Float.min shrunk dt_max)
+        end
+      end
+    done;
+    let grid = Array.of_list (List.rev !ts_rev) in
+    let data = Array.of_list (List.rev !xs_rev) in
+    (grid, data)
+  in
+  let grid, data =
+    match cfg.step_control with
+    | Fixed -> run_fixed ()
+    | Adaptive a -> run_adaptive a
+  in
   let branch_index = Hashtbl.create 8 in
   Array.iteri
     (fun j (nd, _) ->

@@ -3,10 +3,38 @@
     Modified nodal analysis with ideal-voltage-source branch currents,
     companion models for capacitors (trapezoidal by default, backward
     Euler available), and damped Newton-Raphson at every time point.
-    The step grid is uniform with source breakpoints inserted; a step
-    whose Newton fails is bisected recursively. *)
+
+    Two step-control modes:
+    - {b Fixed} (default): a uniform grid at [dt] with source
+      breakpoints inserted; a step whose Newton fails is bisected
+      recursively. Bit-exact with the historical engine; use it for
+      regression references.
+    - {b Adaptive}: local-truncation-error-controlled variable steps.
+      Every step is solved with both companion models; their
+      discrepancy estimates the LTE, which the controller keeps under
+      [lte_tol] by growing the step on quiescent spans (up to
+      [dt_max]) and shrinking it through transitions (down to
+      [dt_min]). Source breakpoints are landed on exactly; steps that
+      carry any node voltage across one of [crossing_levels] are
+      refined to [crossing_dt] so threshold-crossing searches keep
+      their fixed-grid accuracy. Probed waveforms then live on a
+      non-uniform grid — all [Waveform.Wave] consumers interpolate, so
+      this is transparent downstream. *)
 
 type integration = Trapezoidal | Backward_euler
+
+type adaptive = {
+  lte_tol : float;       (** target local truncation error per step, V *)
+  dt_min : float;        (** smallest allowed step, s *)
+  dt_max : float;        (** largest allowed step, s *)
+  grow_limit : float;    (** max step growth factor per accepted step *)
+  safety : float;        (** controller safety factor in (0, 1] *)
+  crossing_levels : float list;
+      (** absolute voltages; a step crossing one is refined *)
+  crossing_dt : float;   (** step cap while crossing; 0 = use [dt] *)
+}
+
+type step_control = Fixed | Adaptive of adaptive
 
 type config = {
   dt : float;            (** nominal step, seconds *)
@@ -19,16 +47,56 @@ type config = {
   vstep_limit : float;   (** per-iteration voltage update clamp *)
   gmin : float;          (** conductance to ground on every node *)
   max_bisection : int;   (** step-halving depth on Newton failure *)
+  step_control : step_control;
 }
 
 val default_config : config
 (** dt = 1 ps, tstop = 4 ns, tstart = 0, trapezoidal, tolerances
     1e-7 V / 1e-9 A, 60 Newton iterations, 0.6 V update clamp,
-    gmin = 1e-12 S, 10 bisections. *)
+    gmin = 1e-12 S, 10 bisections, fixed grid. *)
+
+val default_adaptive : adaptive
+(** lte_tol = 0.5 mV, dt_min = 10 fs, dt_max = 100 ps, grow 2x,
+    safety 0.9, no crossing levels, crossing_dt = [dt]. *)
+
+(** Functional setters, for building configs fluently (notably from
+    [Runtime.Engine] presets). *)
+
+val with_dt : config -> float -> config
+val with_tstop : config -> float -> config
+val with_tstart : config -> float -> config
+val with_integration : config -> integration -> config
+val with_step_control : config -> step_control -> config
+
+val with_adaptive :
+  ?lte_tol:float ->
+  ?dt_min:float ->
+  ?dt_max:float ->
+  ?grow_limit:float ->
+  ?safety:float ->
+  ?crossing_levels:float list ->
+  ?crossing_dt:float ->
+  config ->
+  config
+(** Switch to adaptive stepping, overriding selected fields of the
+    current adaptive settings (or {!default_adaptive} when coming from
+    [Fixed]). *)
+
+val is_adaptive : config -> bool
+
+val with_crossing_levels_if_empty : config -> float list -> config
+(** Fill in refinement levels (typically 0.1/0.5/0.9 x Vdd from the
+    process thresholds) unless the caller already configured some.
+    No-op on fixed-grid configs. *)
+
+val config_fingerprint : config -> string
+(** Lossless, exhaustive rendering of every solver field — the basis of
+    [Runtime.Cache] keys. Two configs with equal fingerprints produce
+    bit-identical simulations. *)
 
 exception No_convergence of float
 (** Carries the simulation time at which Newton failed beyond the
-    bisection budget. *)
+    bisection budget (fixed grid) or below [dt_min] (adaptive). *)
 
 (** Process-global solver effort counters, maintained with atomics so
     concurrent simulations on separate domains account correctly.
@@ -40,6 +108,10 @@ module Stats : sig
     newton_iters : int;  (** Newton iterations across all solves *)
     bisections : int;    (** step halvings after Newton failure *)
     gmin_retries : int;  (** DC solves that needed gmin stepping *)
+    rejected_steps : int;
+        (** adaptive steps retried (LTE, crossing, or Newton failure) *)
+    lte_rejections : int;
+        (** rejected steps whose LTE estimate exceeded the tolerance *)
   }
 
   val snapshot : unit -> snapshot
@@ -61,7 +133,8 @@ val run : ?config:config -> ?ic:(string * float) list -> Circuit.t -> result
 val times : result -> float array
 
 val probe : result -> string -> Waveform.Wave.t
-(** Waveform at the named node. Raises [Not_found] for unknown names. *)
+(** Waveform at the named node. Raises [Not_found] for unknown names.
+    Under adaptive stepping the sample grid is non-uniform. *)
 
 val final_voltage : result -> string -> float
 

@@ -167,6 +167,50 @@ let test_pp_table_renders () =
        s;
      !re)
 
+let test_run_table_survives_no_convergence () =
+  (* max_newton = 0 makes the very first DC solve diverge, so every
+     case raises No_convergence internally; the sweep must still return
+     a table with the failures accounted per row. *)
+  let scen = Scenario.with_cases fast_scenario 2 in
+  let broken =
+    Runtime.Engine.map_solver Runtime.Engine.reference (fun c ->
+        { c with Spice.Transient.max_newton = 0 })
+  in
+  let table = Eval.run_table ~engine:broken scen in
+  Alcotest.(check int) "2 cases" 2 (List.length table.Eval.cases);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) (r.Eval.name ^ " all failed") 2 r.Eval.n_failed;
+      Alcotest.(check int) (r.Eval.name ^ " none measured") 0 r.Eval.n_cases)
+    table.Eval.rows;
+  List.iter
+    (fun c ->
+      check_true "nan reference delay" (Float.is_nan c.Eval.delay_ref);
+      List.iter
+        (fun m -> check_true "failure message recorded" (m.Eval.failure <> None))
+        c.Eval.metrics)
+    table.Eval.cases
+
+let test_adaptive_matches_fixed_delays () =
+  (* Adaptive stepping may not move the Table-1 reference gate delays
+     by more than a tenth of a picosecond on a Config I subset. *)
+  let scen = Scenario.with_cases fast_scenario 2 in
+  let fixed = Eval.run_table ~techniques:[ Eqwave.Sgdp.sgdp ] scen in
+  let adaptive_engine =
+    Runtime.Engine.make ~name:"adaptive"
+      ~solver:Spice.Transient.(with_adaptive default_config)
+      ()
+  in
+  let adaptive =
+    Eval.run_table ~techniques:[ Eqwave.Sgdp.sgdp ] ~engine:adaptive_engine scen
+  in
+  List.iter2
+    (fun (a : Eval.case_eval) (b : Eval.case_eval) ->
+      check_true "no failures" (a.Eval.delay_ref > 0.0 && b.Eval.delay_ref > 0.0);
+      check_true "delay_ref within 0.1 ps"
+        (abs_float (a.Eval.delay_ref -. b.Eval.delay_ref) < 0.1e-12))
+    fixed.Eval.cases adaptive.Eval.cases
+
 let suite =
   ( "noise",
     [
@@ -184,4 +228,8 @@ let suite =
       slow_case "eval: one case, all techniques" test_evaluate_case_all_techniques;
       slow_case "eval: table shape" test_run_table_shape;
       slow_case "eval: pp renders" test_pp_table_renders;
+      case "eval: diverging solver becomes failed rows"
+        test_run_table_survives_no_convergence;
+      slow_case "eval: adaptive matches fixed delays"
+        test_adaptive_matches_fixed_delays;
     ] )

@@ -247,6 +247,120 @@ let test_metrics_time_and_capture () =
     (List.assoc "spice.newton_iters" cs > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Solver-config fingerprint: the cache-key ingredient must react to
+   EVERY field, or stale results would be served after a config tweak. *)
+
+let test_config_fingerprint_exhaustive () =
+  let open Spice.Transient in
+  let base = with_adaptive default_config in
+  let fp = config_fingerprint in
+  let differs what cfg =
+    check_true (what ^ " changes the fingerprint") (fp cfg <> fp base)
+  in
+  Alcotest.(check string) "deterministic" (fp base) (fp base);
+  differs "dt" { base with dt = base.dt *. 2.0 };
+  differs "tstop" { base with tstop = base.tstop +. 1e-12 };
+  differs "tstart" { base with tstart = base.tstart +. 1e-12 };
+  differs "integration" { base with integration = Backward_euler };
+  differs "newton_tol_v" { base with newton_tol_v = base.newton_tol_v *. 2.0 };
+  differs "newton_tol_i" { base with newton_tol_i = base.newton_tol_i *. 2.0 };
+  differs "max_newton" { base with max_newton = base.max_newton + 1 };
+  differs "vstep_limit" { base with vstep_limit = base.vstep_limit *. 2.0 };
+  differs "gmin" { base with gmin = base.gmin *. 2.0 };
+  differs "max_bisection" { base with max_bisection = base.max_bisection + 1 };
+  differs "step_control" { base with step_control = Fixed };
+  differs "lte_tol" (with_adaptive ~lte_tol:(default_adaptive.lte_tol *. 2.0) base);
+  differs "dt_min" (with_adaptive ~dt_min:(default_adaptive.dt_min *. 2.0) base);
+  differs "dt_max" (with_adaptive ~dt_max:(default_adaptive.dt_max *. 2.0) base);
+  differs "grow_limit"
+    (with_adaptive ~grow_limit:(default_adaptive.grow_limit +. 1.0) base);
+  differs "safety" (with_adaptive ~safety:(default_adaptive.safety /. 2.0) base);
+  differs "crossing_levels" (with_adaptive ~crossing_levels:[ 0.6 ] base);
+  differs "crossing_dt" (with_adaptive ~crossing_dt:3e-12 base);
+  (* The levels list must not be boundary-ambiguous. *)
+  check_true "levels list unambiguous"
+    (fp (with_adaptive ~crossing_levels:[ 0.1; 0.5 ] base)
+    <> fp (with_adaptive ~crossing_levels:[ 0.1 ] base))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let test_engine_presets_and_of_name () =
+  List.iter
+    (fun name ->
+      Alcotest.(check string)
+        "of_name round-trips" name
+        (Runtime.Engine.name (Runtime.Engine.of_name name)))
+    Runtime.Engine.names;
+  check_true "reference is fixed-grid"
+    (not (Runtime.Engine.is_adaptive Runtime.Engine.reference));
+  check_true "accurate is adaptive"
+    (Runtime.Engine.is_adaptive Runtime.Engine.accurate);
+  check_true "fast is adaptive" (Runtime.Engine.is_adaptive Runtime.Engine.fast);
+  check_true "presets carry no pool/cache"
+    (List.for_all
+       (fun e ->
+         Runtime.Engine.pool e = None && Runtime.Engine.cache e = None)
+       Runtime.Engine.presets);
+  (match Runtime.Engine.of_name "warp9" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown engine accepted");
+  (* accurate must demand a tighter tolerance than fast. *)
+  match
+    ( (Runtime.Engine.solver Runtime.Engine.accurate).Spice.Transient.step_control,
+      (Runtime.Engine.solver Runtime.Engine.fast).Spice.Transient.step_control )
+  with
+  | Spice.Transient.Adaptive a, Spice.Transient.Adaptive f ->
+      check_true "accurate tighter than fast"
+        (a.Spice.Transient.lte_tol < f.Spice.Transient.lte_tol)
+  | _ -> Alcotest.fail "adaptive presets lost their step control"
+
+let test_engine_resolve_aliases () =
+  let cache = Runtime.Cache.create () in
+  Runtime.Pool.with_pool ~jobs:2 (fun pool ->
+      (* No engine: the aliases ride on the reference preset. *)
+      let r = Runtime.Engine.resolve ~pool ~cache None in
+      Alcotest.(check string) "defaults to reference" "reference"
+        (Runtime.Engine.name r);
+      check_true "alias pool adopted" (Runtime.Engine.pool r = Some pool);
+      check_true "alias cache adopted" (Runtime.Engine.cache r = Some cache);
+      (* An engine that already has a cache keeps it over the alias. *)
+      let own = Runtime.Cache.create () in
+      let e = Runtime.Engine.with_cache Runtime.Engine.fast own in
+      let r = Runtime.Engine.resolve ~pool ~cache (Some e) in
+      check_true "engine cache wins"
+        (match Runtime.Engine.cache r with
+        | Some c -> c == own
+        | None -> false);
+      check_true "alias fills empty pool slot"
+        (Runtime.Engine.pool r = Some pool);
+      (* No aliases, no engine: plain reference. *)
+      let r = Runtime.Engine.resolve None in
+      check_true "bare resolve has no pool" (Runtime.Engine.pool r = None);
+      check_true "bare resolve has no cache" (Runtime.Engine.cache r = None))
+
+let test_engine_setters () =
+  let e = Runtime.Engine.make () in
+  Alcotest.(check string) "custom name" "custom" (Runtime.Engine.name e);
+  let e2 =
+    Runtime.Engine.map_solver e (fun c -> Spice.Transient.with_dt c 9e-12)
+  in
+  approx "map_solver applied" 9e-12 (Runtime.Engine.solver e2).Spice.Transient.dt;
+  approx "original untouched" (Runtime.Engine.solver e).Spice.Transient.dt
+    Spice.Transient.default_config.Spice.Transient.dt;
+  let m = Runtime.Metrics.create () in
+  check_true "with_metrics"
+    (Runtime.Engine.metrics (Runtime.Engine.with_metrics e m) = Some m);
+  let rendered = Format.asprintf "%a" Runtime.Engine.pp Runtime.Engine.fast in
+  check_true "pp names the engine"
+    (let contains needle hay =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     contains "fast" rendered && contains "adaptive" rendered)
+
+(* ------------------------------------------------------------------ *)
 (* The acceptance property: pooled table sweep == sequential, exactly  *)
 
 let fast_scenario = { Noise.Scenario.config_i with Noise.Scenario.dt = 4e-12 }
@@ -319,6 +433,12 @@ let suite =
       case "cache: parallel memoization" test_cache_parallel_memo;
       case "metrics: counters and json" test_metrics_counters_and_json;
       case "metrics: timing and spice capture" test_metrics_time_and_capture;
+      case "fingerprint: every config field matters"
+        test_config_fingerprint_exhaustive;
+      case "engine: presets and of_name" test_engine_presets_and_of_name;
+      case "engine: resolve honors deprecated aliases"
+        test_engine_resolve_aliases;
+      case "engine: setters" test_engine_setters;
       slow_case "eval: parallel table identical to sequential"
         test_parallel_run_table_identical;
       slow_case "eval: all-failed row reports zero counts"

@@ -289,6 +289,122 @@ let test_source_current_unknown () =
   Alcotest.check_raises "no source" Not_found (fun () ->
       ignore (Transient.source_current res "out"))
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive (LTE-controlled) time stepping                             *)
+
+let stats_of f =
+  let before = Transient.Stats.snapshot () in
+  let r = f () in
+  (r, Transient.Stats.(diff (snapshot ()) before))
+
+let test_adaptive_rc_accuracy_and_steps () =
+  let fixed = { Transient.default_config with dt = 5e-12; tstop = 5e-9 } in
+  let res_f, s_f = stats_of (fun () -> Transient.run ~config:fixed (rc_step_circuit ())) in
+  let res_a, s_a =
+    stats_of (fun () ->
+        Transient.run
+          ~config:(Transient.with_adaptive fixed)
+          (rc_step_circuit ()))
+  in
+  let wf = Transient.probe res_f "out" and wa = Transient.probe res_a "out" in
+  List.iter
+    (fun t ->
+      approx ~eps:2e-3 "adaptive matches fixed"
+        (Waveform.Wave.value_at wf t)
+        (Waveform.Wave.value_at wa t))
+    [ 0.5e-9; 1e-9; 2e-9; 4e-9 ];
+  check_true "at least 3x fewer steps"
+    (s_a.Transient.Stats.steps * 3 <= s_f.Transient.Stats.steps)
+
+let test_adaptive_dt_clamping () =
+  let dt_max = 50e-12 and dt_min = 1e-12 in
+  let config =
+    Transient.with_adaptive ~dt_min ~dt_max
+      { Transient.default_config with dt = 5e-12; tstop = 5e-9 }
+  in
+  let res = Transient.run ~config (rc_step_circuit ()) in
+  let times = Transient.times res in
+  check_true "several samples" (Array.length times > 10);
+  for i = 0 to Array.length times - 2 do
+    let h = times.(i + 1) -. times.(i) in
+    check_true "strictly increasing" (h > 0.0);
+    (* Breakpoint landing may stretch a step by at most dt_min past
+       dt_max (the landing branch absorbs sub-dt_min remainders). *)
+    check_true "dt <= dt_max" (h <= dt_max +. dt_min +. 1e-18)
+  done
+
+let test_adaptive_breakpoint_landing () =
+  (* Staircase PWL: every corner must appear in the grid exactly, even
+     when the controller has grown the step far beyond the spacing. *)
+  let corners = [ 1e-12; 0.3e-9; 0.7e-9; 1.1e-9 ] in
+  let c = Circuit.create () in
+  let src = Circuit.node c "src" and out = Circuit.node c "out" in
+  Circuit.vsource c src
+    (Source.pwl
+       [ (0.0, 0.0); (1e-12, 0.4); (0.3e-9, 0.8); (0.7e-9, 0.2); (1.1e-9, 1.0) ]);
+  Circuit.resistor c src out 1e3;
+  Circuit.capacitor c out (Circuit.gnd c) 1e-12;
+  let config =
+    Transient.with_adaptive
+      { Transient.default_config with dt = 5e-12; tstop = 2e-9 }
+  in
+  let res = Transient.run ~config c in
+  let times = Transient.times res in
+  List.iter
+    (fun bp ->
+      check_true
+        (Printf.sprintf "corner %.3g s on grid" bp)
+        (Array.exists (fun t -> t = bp) times))
+    corners
+
+let test_adaptive_tight_tol_rejects () =
+  let config =
+    Transient.with_adaptive ~lte_tol:1e-7
+      { Transient.default_config with dt = 5e-12; tstop = 1e-9 }
+  in
+  let _, s = stats_of (fun () -> Transient.run ~config (rc_step_circuit ())) in
+  check_true "rejections happened" (s.Transient.Stats.rejected_steps > 0);
+  check_true "LTE was the cause" (s.Transient.Stats.lte_rejections > 0);
+  check_true "rejected counted in rejected_steps"
+    (s.Transient.Stats.lte_rejections <= s.Transient.Stats.rejected_steps)
+
+let test_adaptive_crossing_refinement () =
+  (* The step that carries "out" through 0.5 V must have been refined
+     down to crossing_dt even though the controller would otherwise
+     take much larger steps. *)
+  let crossing_dt = 1e-12 in
+  let config =
+    Transient.with_adaptive ~crossing_levels:[ 0.5 ] ~crossing_dt
+      { Transient.default_config with dt = 5e-12; tstop = 5e-9 }
+  in
+  let res = Transient.run ~config (rc_step_circuit ()) in
+  let w = Transient.probe res "out" in
+  let times = Waveform.Wave.times w and values = Waveform.Wave.values w in
+  let found = ref false in
+  for i = 0 to Array.length times - 2 do
+    if (values.(i) -. 0.5) *. (values.(i + 1) -. 0.5) < 0.0 then begin
+      found := true;
+      check_true "crossing step refined"
+        (times.(i + 1) -. times.(i) <= crossing_dt +. 1e-18)
+    end
+  done;
+  check_true "crossing seen" !found
+
+let test_adaptive_validation () =
+  let bad tag cfg =
+    match Transient.run ~config:cfg (rc_step_circuit ()) with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" tag
+  in
+  bad "lte_tol" (Transient.with_adaptive ~lte_tol:0.0 Transient.default_config);
+  bad "dt_min" (Transient.with_adaptive ~dt_min:(-1e-15) Transient.default_config);
+  bad "dt_max"
+    (Transient.with_adaptive ~dt_min:1e-12 ~dt_max:1e-13
+       Transient.default_config);
+  bad "grow_limit"
+    (Transient.with_adaptive ~grow_limit:0.5 Transient.default_config);
+  bad "safety" (Transient.with_adaptive ~safety:1.5 Transient.default_config)
+
 let suite =
   ( "spice",
     [
@@ -317,4 +433,11 @@ let suite =
       case "tran: source charge/energy on RC" test_source_current_rc;
       case "tran: inverter switching energy" test_inverter_switching_energy;
       case "tran: source_current unknown" test_source_current_unknown;
+      case "adaptive: rc accuracy and step reduction"
+        test_adaptive_rc_accuracy_and_steps;
+      case "adaptive: dt clamping" test_adaptive_dt_clamping;
+      case "adaptive: breakpoint landing" test_adaptive_breakpoint_landing;
+      case "adaptive: tight tol rejects" test_adaptive_tight_tol_rejects;
+      case "adaptive: crossing refinement" test_adaptive_crossing_refinement;
+      case "adaptive: invalid config rejected" test_adaptive_validation;
     ] )
