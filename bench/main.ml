@@ -31,7 +31,16 @@
                     repeated invocations skip already-simulated cases)
      --metrics      print the Runtime.Metrics report after the run
      --json FILE    write machine-readable results (table rows plus the
-                    metrics snapshot) for cross-PR perf tracking *)
+                    metrics snapshot) for cross-PR perf tracking
+     --retries N    resilience ladder attempt budget (total attempts
+                    including the first; default: the policy's own)
+     --fallback P   resilience policy: standard | none
+     --checkpoint D journal completed table1/montecarlo cases under D;
+                    an interrupted sweep resumes from the journal
+     --inject-faults SPEC
+                    deterministic fault injection for resilience
+                    testing: nth:N | RATE[@SEED], prefix nan: for
+                    corrupted-waveform faults (e.g. 0.1@7, nan:nth:3) *)
 
 let cases = ref 100
 let jobs = ref 1
@@ -42,6 +51,10 @@ let cache_dir = ref ".noisy_sta_cache"
 let want_metrics = ref false
 let json_out : string option ref = ref None
 let sections : string list ref = ref []
+let retries : int option ref = ref None
+let fallback = ref "standard"
+let checkpoint_dir : string option ref = ref None
+let fault_plan : Spice.Transient.Fault.plan option ref = ref None
 
 let pool =
   lazy (if !jobs > 1 then Some (Runtime.Pool.create ~jobs:!jobs ()) else None)
@@ -63,6 +76,13 @@ let engine =
                Spice.Transient.with_adaptive ~lte_tol:tol c)
        | None -> e
      in
+     let policy =
+       let p = Runtime.Resilience.of_name !fallback in
+       match !retries with
+       | Some n -> Runtime.Resilience.with_max_attempts p n
+       | None -> p
+     in
+     let e = Runtime.Engine.with_resilience e policy in
      let e =
        match Lazy.force pool with
        | Some p -> Runtime.Engine.with_pool e p
@@ -210,6 +230,7 @@ let table1 () =
       let t0 = Unix.gettimeofday () in
       let table =
         Noise.Eval.run_table ~engine:(Lazy.force engine)
+          ?checkpoint_dir:!checkpoint_dir
           ~progress:(fun k n ->
             if k mod 25 = 0 then Printf.eprintf "  %s: %d/%d\r%!" scen.Noise.Scenario.name k n)
           scen
@@ -500,7 +521,8 @@ let montecarlo () =
   List.iter
     (fun scen ->
       let _, summaries =
-        Noise.Montecarlo.run ~samples:n ~engine:(Lazy.force engine) scen
+        Noise.Montecarlo.run ~samples:n ~engine:(Lazy.force engine)
+          ?checkpoint_dir:!checkpoint_dir scen
       in
       Printf.printf "%s (%d samples):\n" scen.Noise.Scenario.name n;
       Format.printf "%a@." Noise.Montecarlo.pp_summary summaries)
@@ -561,6 +583,31 @@ let json_row (r : Noise.Eval.row) =
       ("n_failed", string_of_int r.Noise.Eval.n_failed);
     ]
 
+(* Resilience counters since program start, for the always-present
+   `resilience` JSON section and the end-of-run summary line. *)
+let resil_before = ref (Runtime.Resilience.Stats.snapshot ())
+
+let resilience_json () =
+  let d = Runtime.Resilience.Stats.(diff (snapshot ()) !resil_before) in
+  let open Runtime.Resilience.Stats in
+  let outcomes = d.recoveries + d.failures in
+  let rate =
+    if outcomes = 0 then 1.0
+    else float_of_int d.recoveries /. float_of_int outcomes
+  in
+  json_obj
+    [
+      ("policy", json_str !fallback);
+      ("solves", string_of_int d.solves);
+      ("attempts", string_of_int d.attempts);
+      ("retries", string_of_int d.retries);
+      ("recoveries", string_of_int d.recoveries);
+      ("failures", string_of_int d.failures);
+      ("rejected_waveforms", string_of_int d.rejected_waveforms);
+      ("injected_faults", string_of_int (Spice.Transient.Fault.injected ()));
+      ("recovery_rate", Printf.sprintf "%.4f" rate);
+    ]
+
 let write_json path =
   let body =
     json_obj
@@ -569,6 +616,7 @@ let write_json path =
         ("cases", string_of_int !cases);
         ("jobs", string_of_int !jobs);
         ("cache", if !use_cache then "true" else "false");
+        ("resilience", resilience_json ());
         ( "table1",
           json_list
             (List.map
@@ -599,8 +647,12 @@ let usage () =
   prerr_endline
     "usage: main.exe [SECTION...] [--cases N] [--jobs N] [--engine NAME]\n\
     \       [--ltetol X] [--no-cache] [--cache-dir DIR] [--metrics]\n\
-    \       [--json FILE]\n\
+    \       [--json FILE] [--retries N] [--fallback POLICY]\n\
+    \       [--checkpoint DIR] [--inject-faults SPEC]\n\
      engines: reference (fixed grid) | accurate | fast (adaptive)\n\
+     fallback policies: standard | none\n\
+     fault specs: nth:N | RATE[@SEED], nan: prefix corrupts instead of\n\
+    \             diverging (examples: 0.1@7, nth:3, nan:0.05)\n\
      sections: figure1 figure2 table1 runtime ablation nonoverlap\n\
     \          worstcase corners montecarlo awe (default: all)";
   exit 2
@@ -643,7 +695,30 @@ let () =
     | "--cache-dir" :: v :: rest -> cache_dir := v; parse rest
     | "--no-cache" :: rest -> use_cache := false; parse rest
     | "--metrics" :: rest -> want_metrics := true; parse rest
-    | ("--cases" | "--jobs" | "--json" | "--cache-dir" | "--engine" | "--ltetol")
+    | "--retries" :: v :: rest ->
+        int_opt "--retries" v (fun n ->
+            if n < 1 then (
+              prerr_endline "--retries: expected a positive attempt budget";
+              usage ());
+            retries := Some n);
+        parse rest
+    | "--fallback" :: v :: rest ->
+        (match Runtime.Resilience.of_name v with
+        | (_ : Runtime.Resilience.policy) -> fallback := v
+        | exception Invalid_argument msg ->
+            prerr_endline msg;
+            usage ());
+        parse rest
+    | "--checkpoint" :: v :: rest -> checkpoint_dir := Some v; parse rest
+    | "--inject-faults" :: v :: rest ->
+        (match Spice.Transient.Fault.of_string v with
+        | Ok plan -> fault_plan := Some plan
+        | Error msg ->
+            Printf.eprintf "--inject-faults: %s\n" msg;
+            usage ());
+        parse rest
+    | ( "--cases" | "--jobs" | "--json" | "--cache-dir" | "--engine" | "--ltetol"
+      | "--retries" | "--fallback" | "--checkpoint" | "--inject-faults" )
       :: [] ->
         usage ()
     | s :: _ when String.length s > 0 && s.[0] = '-' ->
@@ -652,6 +727,10 @@ let () =
     | s :: rest -> sections := !sections @ [ s ]; parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !fault_plan with
+  | Some plan -> Spice.Transient.Fault.arm plan
+  | None -> ());
+  resil_before := Runtime.Resilience.Stats.snapshot ();
   let stage name f =
     if section_enabled name then Runtime.Metrics.time metrics ("stage." ^ name) f
   in
@@ -668,6 +747,7 @@ let () =
   stage "awe" awe;
   Runtime.Metrics.set metrics "pool.jobs" !jobs;
   Runtime.Metrics.capture_spice ~since:before metrics;
+  Runtime.Metrics.capture_resilience ~since:!resil_before metrics;
   (if Lazy.is_val cache then
      match Lazy.force cache with
      | Some c -> Runtime.Metrics.capture_cache metrics c
@@ -678,4 +758,10 @@ let () =
      match Lazy.force pool with
      | Some p -> Runtime.Pool.shutdown p
      | None -> ());
+  (let d = Runtime.Resilience.Stats.(diff (snapshot ()) !resil_before) in
+   let open Runtime.Resilience.Stats in
+   if !fault_plan <> None || d.retries > 0 || d.failures > 0 then
+     Printf.printf "\nresilience: %d injected faults; %s\n"
+       (Spice.Transient.Fault.injected ())
+       (Format.asprintf "%a" pp d));
   Printf.printf "\nDone.\n"

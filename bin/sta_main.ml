@@ -42,6 +42,7 @@ let technique_conv =
 type rt = {
   engine : Runtime.Engine.t;
   metrics : bool;
+  checkpoint_dir : string option;
 }
 
 let engine_conv =
@@ -93,7 +94,55 @@ let rt_term =
              ~doc:"Print runtime metrics (simulation counts, Newton \
                    iterations, cache hits, wall time) after the run.")
   in
-  let make engine ltetol jobs no_cache cache_dir metrics =
+  let policy_conv =
+    Arg.conv
+      ( (fun s ->
+          match Runtime.Resilience.of_name s with
+          | p -> Ok p
+          | exception Invalid_argument msg -> Error (`Msg msg)),
+        fun ppf (p : Runtime.Resilience.policy) ->
+          Format.pp_print_string ppf p.Runtime.Resilience.name )
+  in
+  let fallback =
+    Arg.(value & opt policy_conv Runtime.Resilience.standard
+         & info [ "fallback" ] ~docv:"POLICY"
+             ~doc:"Solver supervision policy: $(b,standard) retries a \
+                   failed or invalid solve down an escalating ladder \
+                   (tightened stepping, then the fixed reference grid); \
+                   $(b,none) disables supervision.")
+  in
+  let retries =
+    Arg.(value & opt (some int) None
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Resilience attempt budget: total solve attempts \
+                   including the first (overrides the policy default).")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"DIR"
+             ~doc:"Journal completed sweep cases under $(docv); an \
+                   interrupted table1/montecarlo run resumes from the \
+                   journal with byte-identical results.")
+  in
+  let fault_conv =
+    Arg.conv
+      ( (fun s ->
+          match Spice.Transient.Fault.of_string s with
+          | Ok plan -> Ok plan
+          | Error msg -> Error (`Msg msg)),
+        fun ppf _ -> Format.pp_print_string ppf "<fault-plan>" )
+  in
+  let inject =
+    Arg.(value & opt (some fault_conv) None
+         & info [ "inject-faults" ] ~docv:"SPEC"
+             ~doc:"Deterministic solver fault injection for resilience \
+                   testing: $(b,nth:N) (the Nth solve) or \
+                   $(b,RATE[@SEED]) (seeded fraction); prefix \
+                   $(b,nan:) to corrupt the waveform instead of \
+                   diverging. Examples: 0.1@7, nth:3, nan:0.05.")
+  in
+  let make engine ltetol jobs no_cache cache_dir metrics fallback retries
+      checkpoint inject =
     let engine =
       match ltetol with
       | Some tol ->
@@ -112,14 +161,26 @@ let rt_term =
         Runtime.Engine.with_cache engine
           (Runtime.Cache.create ?disk_dir:cache_dir ())
     in
-    { engine; metrics }
+    let policy =
+      match retries with
+      | Some n -> Runtime.Resilience.with_max_attempts fallback n
+      | None -> fallback
+    in
+    let engine = Runtime.Engine.with_resilience engine policy in
+    (match inject with
+    | Some plan -> Spice.Transient.Fault.arm plan
+    | None -> ());
+    { engine; metrics; checkpoint_dir = checkpoint }
   in
-  Term.(const make $ engine $ ltetol $ jobs $ no_cache $ cache_dir $ metrics)
+  Term.(
+    const make $ engine $ ltetol $ jobs $ no_cache $ cache_dir $ metrics
+    $ fallback $ retries $ checkpoint $ inject)
 
 (* Run a subcommand body under the runtime options: time it, then
    report metrics and release the pool. *)
 let with_rt rt f =
   let before = Spice.Transient.Stats.snapshot () in
+  let before_res = Runtime.Resilience.Stats.snapshot () in
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
@@ -135,6 +196,7 @@ let with_rt rt f =
         | Some p -> Runtime.Metrics.set m "pool.jobs" (Runtime.Pool.jobs p)
         | None -> Runtime.Metrics.set m "pool.jobs" 1);
         Runtime.Metrics.capture_spice ~since:before m;
+        Runtime.Metrics.capture_resilience ~since:before_res m;
         (match Runtime.Engine.cache rt.engine with
         | Some c -> Runtime.Metrics.capture_cache m c
         | None -> ());
@@ -183,6 +245,7 @@ let table1_cmd =
             let scen = Noise.Scenario.with_cases scen cases in
             let table =
               Noise.Eval.run_table ~samples ~engine:rt.engine
+                ?checkpoint_dir:rt.checkpoint_dir
                 ~progress:(fun k n ->
                   if k mod 20 = 0 then Printf.eprintf "%d/%d\r%!" k n)
                 scen
@@ -379,7 +442,8 @@ let montecarlo_cmd =
   let run samples seed scen rt =
     with_rt rt (fun () ->
         let _, summaries =
-          Noise.Montecarlo.run ~seed ~samples ~engine:rt.engine scen
+          Noise.Montecarlo.run ~seed ~samples ~engine:rt.engine
+            ?checkpoint_dir:rt.checkpoint_dir scen
         in
         Printf.printf "%s, %d random alignment/polarity samples (seed %d):\n"
           scen.Noise.Scenario.name samples seed;

@@ -26,7 +26,8 @@ let () =
         with
         | Some { Noise.Eval.delay_err = Some e; _ } ->
             Printf.sprintf "%+8.1f" (e *. 1e12)
-        | Some { Noise.Eval.failure = Some f; _ } -> "fail: " ^ f
+        | Some { Noise.Eval.failure = Some f; _ } ->
+            "fail: " ^ Runtime.Failure.to_string f
         | _ -> "?"
       in
       Printf.printf "%-10.0f %-12.1f %-10s %-10s\n" (tau *. 1e12)

@@ -24,8 +24,8 @@ let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?cache ?engine proc cell
     ~input ~tstop =
   let open Spice in
   let engine = Runtime.Engine.resolve ?cache engine in
-  let config = solver_config engine proc ~dt ~tstop in
-  let compute () =
+  let base_config = solver_config engine proc ~dt ~tstop in
+  let compute config () =
     let ckt = Circuit.create () in
     let vdd = Device.Cell.attach_supply proc ckt in
     let a = Circuit.node ckt "a" and y = Circuit.node ckt "y" in
@@ -43,24 +43,45 @@ let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?cache ?engine proc cell
     | None -> None
     | Some _ -> Runtime.Engine.cache engine
   in
-  let waves =
-    match cache with
-    | None -> compute ()
-    | Some c ->
-        let key =
-          Runtime.Cache.Key.(
-            make "characterize.measure_gate"
-              [
-                str proc.Device.Process.name;
-                str cell.Device.Cell.name;
-                str (Transient.config_fingerprint config);
-                float extra_load;
-                str (Option.get (Source.fingerprint input));
-              ])
-        in
-        Runtime.Cache.memo c key compute
+  let key_of config =
+    Runtime.Cache.Key.(
+      make "characterize.measure_gate"
+        [
+          str proc.Device.Process.name;
+          str cell.Device.Cell.name;
+          str (Transient.config_fingerprint config);
+          float extra_load;
+          str (Option.get (Source.fingerprint input));
+        ])
   in
-  match waves with [ a; y ] -> (a, y) | _ -> assert false
+  let attempt config =
+    match cache with
+    | None -> compute config ()
+    | Some c -> Runtime.Cache.memo c (key_of config) (compute config)
+  in
+  let policy = Runtime.Engine.resilience engine in
+  let validate waves =
+    let labeled =
+      match waves with
+      | [ a; y ] -> [ ("input pin", a); ("output pin", y) ]
+      | _ -> assert false
+    in
+    Runtime.Resilience.validate_waves policy
+      ~rails:(0.0, proc.Device.Process.vdd)
+      labeled
+  in
+  let on_reject config =
+    match cache with
+    | Some c -> Runtime.Cache.remove c (key_of config)
+    | None -> ()
+  in
+  match
+    Runtime.Resilience.run ~validate ~on_reject policy ~config:base_config
+      ~attempt
+  with
+  | Ok [ a; y ] -> (a, y)
+  | Ok _ -> assert false
+  | Error f -> Runtime.Failure.fail f
 
 (* The input ramp starts after a settling pad so the DC point is clean;
    tstop leaves room for slow outputs (heavy loads on weak cells). *)
@@ -82,10 +103,14 @@ let measure_point ?dt ?cache ?engine proc cell ~slew ~load ~input_rising =
   match (arr_in, arr_out, out_slew) with
   | Some ti, Some ty, Some s -> (ty -. ti, s)
   | _ ->
-      failwith
-        (Printf.sprintf
-           "Characterize: no transition for %s slew=%.3gps load=%.3gfF"
-           cell.Device.Cell.name (slew *. 1e12) (load *. 1e15))
+      Runtime.Failure.fail
+        (Missing_crossing
+           {
+             what =
+               Printf.sprintf "%s transition (slew=%.3gps load=%.3gfF)"
+                 cell.Device.Cell.name (slew *. 1e12) (load *. 1e15);
+             level = Waveform.Thresholds.v_mid th;
+           })
 
 let run ?grid ?(dt = 0.5e-12) ?pool ?cache ?engine proc cell =
   let engine = Runtime.Engine.resolve ?pool ?cache engine in

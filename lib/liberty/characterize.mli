@@ -25,9 +25,9 @@ val run :
     memoizes each measurement simulation by content — scenario plus
     full solver-config fingerprint — so re-characterizing an unchanged
     cell is free. [pool]/[cache] are the deprecated aliases for the
-    engine slots. Raises [Failure] when a measurement point produces no
-    output transition (which indicates a broken cell or an absurd
-    grid). *)
+    engine slots. Raises [Runtime.Failure.Error] with
+    [Missing_crossing] when a measurement point produces no output
+    transition (which indicates a broken cell or an absurd grid). *)
 
 val measure_gate :
   ?dt:float -> ?extra_load:float -> ?cache:Runtime.Cache.t ->
@@ -38,4 +38,7 @@ val measure_gate :
     driven by [input] with [extra_load] farads at the output (default
     0) and returns (input waveform, output waveform) at the pins. The
     shared primitive behind characterization and behind the
-    equivalent-waveform evaluation harness. *)
+    equivalent-waveform evaluation harness. Runs under the engine's
+    {!Runtime.Resilience} policy: failed or invalid solves walk the
+    fallback ladder; an exhausted ladder raises
+    [Runtime.Failure.Error]. *)

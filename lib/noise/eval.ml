@@ -7,7 +7,7 @@ type case_metrics = {
   delay_err : float option;
   out_arrival_err : float option;
   out_slew_err : float option;
-  failure : string option;
+  failure : Runtime.Failure.t option;
 }
 
 type case_eval = {
@@ -19,11 +19,12 @@ type case_eval = {
 }
 
 let mid_crossing th w what =
-  match Waveform.Wave.last_crossing w (Waveform.Thresholds.v_mid th) with
+  let level = Waveform.Thresholds.v_mid th in
+  match Waveform.Wave.last_crossing w level with
   | Some t -> t
-  | None -> failwith ("Eval: no 0.5 Vdd crossing on " ^ what)
+  | None -> Runtime.Failure.fail (Missing_crossing { what; level })
 
-let failed tech msg =
+let failed tech f =
   {
     technique = tech;
     ramp = None;
@@ -31,16 +32,22 @@ let failed tech msg =
     delay_err = None;
     out_arrival_err = None;
     out_slew_err = None;
-    failure = Some msg;
+    failure = Some f;
   }
 
-let no_convergence_msg t =
-  Printf.sprintf "solver failed to converge at t = %.4g s" t
+(* Classify an exception escaping a case evaluation into a typed
+   failure, or None for genuine bugs that must propagate. Techniques
+   signal domain errors with [Stdlib.Failure]. *)
+let failure_of_exn = function
+  | Eqwave.Technique.Unsupported msg ->
+      Some (Runtime.Failure.Unsupported { what = msg })
+  | Stdlib.Failure msg -> Some (Runtime.Failure.Unsupported { what = msg })
+  | e -> Runtime.Failure.of_exn e
 
-(* A case whose reference simulation itself diverged: every technique
-   is reported failed and the reference figures are nan sentinels. The
-   row summaries never read delay fields of failed metrics, so the nans
-   stay contained; [n_failed] carries the story. *)
+(* A case whose reference simulation itself failed beyond recovery:
+   every technique is reported failed and the reference figures are nan
+   sentinels. The row summaries never read delay fields of failed
+   metrics, so the nans stay contained; [n_failed] carries the story. *)
 let failed_case techniques ~tau msg =
   {
     tau;
@@ -81,8 +88,10 @@ let evaluate_case ?(reference = Replay) ?techniques ?samples ?cache ?engine
   let eval_technique (tech : Eqwave.Technique.t) =
     let name = tech.Eqwave.Technique.name in
     match tech.Eqwave.Technique.run ctx with
-    | exception Eqwave.Technique.Unsupported msg -> failed name msg
-    | exception Failure msg -> failed name msg
+    | exception Eqwave.Technique.Unsupported msg ->
+        failed name (Runtime.Failure.Unsupported { what = msg })
+    | exception Stdlib.Failure msg ->
+        failed name (Runtime.Failure.Unsupported { what = msg })
     | ramp -> (
         (* Give the receiver enough room to see the whole equivalent
            ramp plus its own response, wherever the fit landed. *)
@@ -93,11 +102,12 @@ let evaluate_case ?(reference = Replay) ?techniques ?samples ?cache ?engine
           Injection.receiver_response ~engine scenario
             ~input:(Spice.Source.of_ramp ramp) ~tstop
         with
-        | exception Spice.Transient.No_convergence t ->
-            failed name (no_convergence_msg t)
+        | exception Runtime.Failure.Error f -> failed name f
+        | exception Spice.Transient.No_convergence at ->
+            failed name (Runtime.Failure.Non_convergence { at })
         | out -> (
             match mid_crossing th out "technique output" with
-            | exception Failure msg -> failed name msg
+            | exception Runtime.Failure.Error f -> failed name f
             | t_out_est ->
                 let t_in_est = Waveform.Ramp.arrival ramp th in
                 let delay_est = t_out_est -. t_in_est in
@@ -171,41 +181,91 @@ let summarize_rows techniques cases =
           })
     techniques
 
-let run_table ?reference ?techniques ?samples ?progress ?pool ?cache ?engine
-    scenario =
+(* Everything that determines a per-case result, so a checkpoint
+   journal written by a different sweep (or an older payload layout)
+   can never be replayed into this one. [Scenario.fingerprint]
+   deliberately omits the alignment window and case count; the sweep
+   cares, so they are appended here. *)
+let sweep_fingerprint ~tag ~schema ?reference ?samples ~techs ~engine scenario
+    extra =
+  String.concat "|"
+    ([
+       tag;
+       schema;
+       Scenario.fingerprint scenario;
+       Printf.sprintf "%h" scenario.Scenario.window;
+       Printf.sprintf "%h" scenario.Scenario.window_offset;
+       string_of_int scenario.Scenario.cases;
+       Spice.Transient.config_fingerprint (Runtime.Engine.solver engine);
+       Runtime.Resilience.fingerprint (Runtime.Engine.resilience engine);
+       (match reference with
+       | Some Chain -> "chain"
+       | Some Replay | None -> "replay");
+       (match samples with Some n -> string_of_int n | None -> "default");
+     ]
+    @ List.map (fun (t : Eqwave.Technique.t) -> t.Eqwave.Technique.name) techs
+    @ extra)
+
+let run_table ?reference ?techniques ?samples ?progress ?checkpoint_dir ?pool
+    ?cache ?engine scenario =
   let engine = Runtime.Engine.resolve ?pool ?cache engine in
   let techs =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
   in
-  (* The noiseless run is shared by every case; if it diverges the
-     whole sweep is unmeasurable, but that is still reported as rows
-     full of failed cases rather than an escaping exception — sweeps
-     must always return a table. *)
+  (* The noiseless run is shared by every case; if it fails beyond the
+     fallback ladder the whole sweep is unmeasurable, but that is still
+     reported as rows full of typed failed cases rather than an
+     escaping exception — sweeps must always return a table. *)
   let noiseless =
     match Injection.noiseless ~engine scenario with
     | r -> Ok r
-    | exception Spice.Transient.No_convergence t ->
-        Error (no_convergence_msg t)
+    | exception Runtime.Failure.Error f -> Error f
+    | exception Spice.Transient.No_convergence at ->
+        Error (Runtime.Failure.Non_convergence { at })
   in
   let taus = Scenario.taus scenario in
   let total = Array.length taus in
+  let checkpoint =
+    match checkpoint_dir with
+    | None -> None
+    | Some dir ->
+        Some
+          (Runtime.Checkpoint.open_ ~dir
+             ~name:("table1-" ^ scenario.Scenario.name)
+             ~fingerprint:
+               (sweep_fingerprint ~tag:"eval.run_table" ~schema:"case_eval/1"
+                  ?reference ?samples ~techs ~engine scenario []))
+  in
   (* Cases are independent pure simulations: sweep them on the pool.
      Results land in input order, so parallel output is identical to
      the sequential path. Progress reports completion count, which is
      monotone but not index-ordered under parallelism. *)
   let completed = Atomic.make 0 in
+  let compute i =
+    match noiseless with
+    | Error f -> failed_case techs ~tau:taus.(i) f
+    | Ok noiseless -> (
+        match
+          evaluate_case ?reference ~techniques:techs ?samples ~engine
+            scenario ~noiseless ~tau:taus.(i)
+        with
+        | c -> c
+        | exception e -> (
+            match failure_of_exn e with
+            | Some f -> failed_case techs ~tau:taus.(i) f
+            | None -> raise e))
+  in
   let eval i =
     let c =
-      match noiseless with
-      | Error msg -> failed_case techs ~tau:taus.(i) msg
-      | Ok noiseless -> (
-          match
-            evaluate_case ?reference ~techniques:techs ?samples ~engine
-              scenario ~noiseless ~tau:taus.(i)
-          with
-          | c -> c
-          | exception Spice.Transient.No_convergence t ->
-              failed_case techs ~tau:taus.(i) (no_convergence_msg t))
+      match checkpoint with
+      | None -> compute i
+      | Some cp -> (
+          match Runtime.Checkpoint.find cp i with
+          | Some (c : case_eval) -> c
+          | None ->
+              let c = compute i in
+              Runtime.Checkpoint.record cp i c;
+              c)
     in
     let k = 1 + Atomic.fetch_and_add completed 1 in
     (match progress with Some f -> f k total | None -> ());

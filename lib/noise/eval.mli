@@ -22,7 +22,7 @@ type case_metrics = {
   out_arrival_err : float option;     (** absolute output-crossing error *)
   out_slew_err : float option;        (** output 10-90 slew error vs the
                                           reference response *)
-  failure : string option;
+  failure : Runtime.Failure.t option; (** why the technique has no result *)
 }
 
 type case_eval = {
@@ -33,14 +33,34 @@ type case_eval = {
   metrics : case_metrics list;
 }
 
-val no_convergence_msg : float -> string
-(** Failure text for a {!Spice.Transient.No_convergence} at the given
-    simulation time, shared by all sweep drivers. *)
-
-val failed_case : Eqwave.Technique.t list -> tau:float -> string -> case_eval
+val failed_case :
+  Eqwave.Technique.t list -> tau:float -> Runtime.Failure.t -> case_eval
 (** A case whose reference simulation itself failed: every technique
-    metric carries the failure message, and the reference fields are
+    metric carries the typed failure, and the reference fields are
     nan sentinels that row aggregation never reads. *)
+
+val failure_of_exn : exn -> Runtime.Failure.t option
+(** Sweep-level exception classification: [Runtime.Failure.of_exn]
+    extended with technique-domain errors
+    ([Eqwave.Technique.Unsupported], [Stdlib.Failure]). [None] means a
+    genuine bug that should propagate. *)
+
+val sweep_fingerprint :
+  tag:string ->
+  schema:string ->
+  ?reference:reference ->
+  ?samples:int ->
+  techs:Eqwave.Technique.t list ->
+  engine:Runtime.Engine.t ->
+  Scenario.t ->
+  string list ->
+  string
+(** Checkpoint fingerprint covering everything that determines a
+    per-case result: scenario (including window and case count),
+    solver config, resilience policy, reference mode, sample count and
+    technique set, plus caller-specific [extra] parts. [schema] tags
+    the marshalled payload layout. Shared by the Table-1 and
+    Monte-Carlo sweep drivers. *)
 
 val evaluate_case :
   ?reference:reference ->
@@ -78,6 +98,7 @@ val run_table :
   ?techniques:Eqwave.Technique.t list ->
   ?samples:int ->
   ?progress:(int -> int -> unit) ->
+  ?checkpoint_dir:string ->
   ?pool:Runtime.Pool.t ->
   ?cache:Runtime.Cache.t ->
   ?engine:Runtime.Engine.t ->
@@ -90,10 +111,15 @@ val run_table :
     rows and cases stay in input order. [pool]/[cache] are the
     deprecated aliases for the corresponding engine slots.
 
-    Sweeps always return a table: a case whose simulation fails to
-    converge ({!Spice.Transient.No_convergence}) becomes a row of
-    failed metrics counted in [n_failed] (with nan reference fields)
-    instead of aborting the sweep. *)
+    Sweeps always return a table: a case whose simulation fails beyond
+    the engine's {!Runtime.Resilience} fallback ladder becomes a row
+    of typed failed metrics counted in [n_failed] (with nan reference
+    fields) instead of aborting the sweep.
+
+    With [checkpoint_dir], every completed case is journaled
+    ({!Runtime.Checkpoint}) under a fingerprint of the whole sweep; a
+    re-run after an interruption replays journaled cases and computes
+    only the missing ones, producing a byte-identical table. *)
 
 val pp_table : Format.formatter -> table -> unit
 (** Render in the shape of the paper's Table 1 (max / avg, ps). *)

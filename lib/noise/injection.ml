@@ -23,21 +23,24 @@ let memo_waves cache key compute =
   | None -> compute ()
   | Some c -> Runtime.Cache.memo c key compute
 
+(* Purge the cache entry for a rejected (invalid) result before the
+   ladder moves on, so the bad waveform cannot be replayed later. *)
+let reject_cached cache key_of config =
+  match cache with
+  | Some c -> Runtime.Cache.remove c (key_of config)
+  | None -> ()
+
 let simulate ?cache ?engine scenario ~aggressor_active ~tau =
   let engine = Runtime.Engine.resolve ?cache engine in
-  let config =
+  let base_config =
     solver_config engine scenario ~dt:scenario.Scenario.dt
       ~tstop:scenario.Scenario.tstop
   in
-  let compute () =
-    let ckt, hints = Scenario.build scenario ~aggressor_active ~tau in
-    let res = Spice.Transient.run ~config ~ic:hints ckt in
-    [
-      Spice.Transient.probe res (Scenario.victim_far_node scenario);
-      Spice.Transient.probe res (Scenario.victim_rcv_node scenario);
-    ]
-  in
-  let key =
+  let cache = Runtime.Engine.cache engine in
+  (* The key digests the attempt's own config fingerprint, so ladder
+     rungs (which each resolve to a distinct config) never alias the
+     primary attempt's entries. *)
+  let key_of config =
     Runtime.Cache.Key.(
       make "injection.simulate"
         [
@@ -47,9 +50,42 @@ let simulate ?cache ?engine scenario ~aggressor_active ~tau =
           float (if aggressor_active then tau else 0.0);
         ])
   in
-  match memo_waves (Runtime.Engine.cache engine) key compute with
-  | [ far; rcv ] -> { far; rcv }
-  | _ -> assert false
+  let attempt config =
+    let compute () =
+      let ckt, hints = Scenario.build scenario ~aggressor_active ~tau in
+      let res = Spice.Transient.run ~config ~ic:hints ckt in
+      [
+        Spice.Transient.probe res (Scenario.victim_far_node scenario);
+        Spice.Transient.probe res (Scenario.victim_rcv_node scenario);
+      ]
+    in
+    memo_waves cache (key_of config) compute
+  in
+  let policy = Runtime.Engine.resilience engine in
+  let proc = scenario.Scenario.proc in
+  let th = Device.Process.thresholds proc in
+  let validate waves =
+    let labeled =
+      match waves with
+      | [ far; rcv ] -> [ ("victim far end", far); ("receiver output", rcv) ]
+      | _ -> assert false
+    in
+    (* The victim drives rail to rail in every scenario, so both probes
+       must cross 0.5 Vdd; a "successful" solve without that crossing
+       is garbage and goes back to the ladder. *)
+    Runtime.Resilience.validate_waves policy
+      ~rails:(0.0, proc.Device.Process.vdd)
+      ~crossing:(Waveform.Thresholds.v_mid th)
+      labeled
+  in
+  match
+    Runtime.Resilience.run ~validate
+      ~on_reject:(reject_cached cache key_of)
+      policy ~config:base_config ~attempt
+  with
+  | Ok [ far; rcv ] -> { far; rcv }
+  | Ok _ -> assert false
+  | Error f -> Runtime.Failure.fail f
 
 let noiseless ?cache ?engine scenario =
   simulate ?cache ?engine scenario ~aggressor_active:false ~tau:0.0
@@ -63,8 +99,8 @@ let receiver_response ?dt ?cache ?engine scenario ~input ~tstop =
   let dt =
     match dt with Some d -> d | None -> scenario.Scenario.dt /. 2.0
   in
-  let config = solver_config engine scenario ~dt ~tstop in
-  let compute () =
+  let base_config = solver_config engine scenario ~dt ~tstop in
+  let compute config () =
     let proc = scenario.Scenario.proc in
     let _, _, rcv_cell, load_cell = Scenario.chain_cells scenario in
     let ckt = Circuit.create () in
@@ -87,7 +123,7 @@ let receiver_response ?dt ?cache ?engine scenario ~input ~tstop =
     | None -> None
     | Some _ -> Runtime.Engine.cache engine
   in
-  let key () =
+  let key_of config =
     Runtime.Cache.Key.(
       make "injection.receiver_response"
         [
@@ -97,13 +133,30 @@ let receiver_response ?dt ?cache ?engine scenario ~input ~tstop =
           float tstop;
         ])
   in
-  match cache with
-  | None -> (
-      match compute () with [ w ] -> w | _ -> assert false)
-  | Some c -> (
-      match Runtime.Cache.memo c (key ()) compute with
-      | [ w ] -> w
-      | _ -> assert false)
+  let attempt config = memo_waves cache (key_of config) (compute config) in
+  let policy = Runtime.Engine.resilience engine in
+  let proc = scenario.Scenario.proc in
+  let validate waves =
+    let labeled =
+      match waves with
+      | [ w ] -> [ ("receiver response", w) ]
+      | _ -> assert false
+    in
+    (* No required crossing here: the stimulus may be a degenerate
+       technique ramp that legitimately never switches the receiver —
+       a technique failure, not a solver failure. *)
+    Runtime.Resilience.validate_waves policy
+      ~rails:(0.0, proc.Device.Process.vdd)
+      labeled
+  in
+  match
+    Runtime.Resilience.run ~validate
+      ~on_reject:(reject_cached cache key_of)
+      policy ~config:base_config ~attempt
+  with
+  | Ok [ w ] -> w
+  | Ok _ -> assert false
+  | Error f -> Runtime.Failure.fail f
 
 let ctx_of_runs ?samples scenario ~noiseless ~noisy =
   let proc = scenario.Scenario.proc in

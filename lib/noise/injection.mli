@@ -11,7 +11,16 @@
     process 10/50/90 thresholds are installed as crossing-refinement
     levels unless the engine configured its own. [?cache] is a
     deprecated alias kept for the PR-1 call sites — it is honored only
-    when the engine (if any) carries no cache of its own. *)
+    when the engine (if any) carries no cache of its own.
+
+    Every solve runs under the engine's {!Runtime.Resilience.policy}:
+    a failed or invalid attempt walks the fallback ladder, and results
+    are validated post-solve (finite samples, within rails; the
+    full-chain runs additionally require a 0.5 Vdd crossing on both
+    probes). A cached waveform that fails validation is purged before
+    the ladder retries. An exhausted ladder raises
+    [Runtime.Failure.Error] carrying the typed failure — callers in
+    sweep loops catch it into failed rows. *)
 
 type run = {
   far : Waveform.Wave.t; (** victim far end, the receiver's input pin (in_u) *)

@@ -13,7 +13,8 @@ type summary = {
   failed : int;
 }
 
-let run ?(seed = 42) ?(samples = 50) ?techniques ?pool ?cache ?engine scenario =
+let run ?(seed = 42) ?(samples = 50) ?techniques ?checkpoint_dir ?pool ?cache
+    ?engine scenario =
   if samples < 1 then invalid_arg "Montecarlo.run: samples < 1";
   let engine = Runtime.Engine.resolve ?pool ?cache engine in
   let techs =
@@ -28,18 +29,30 @@ let run ?(seed = 42) ?(samples = 50) ?techniques ?pool ?cache ?engine scenario =
   (* Draw everything up front so the stream (and thus the result) does
      not depend on evaluation order under a pool. *)
   let draws =
-    List.init samples (fun _ ->
+    Array.init samples (fun _ ->
         let tau = lo +. (Random.State.float rng window) in
         let rising = Random.State.bool rng in
         (tau, rising))
   in
+  let checkpoint =
+    match checkpoint_dir with
+    | None -> None
+    | Some dir ->
+        Some
+          (Runtime.Checkpoint.open_ ~dir
+             ~name:("montecarlo-" ^ scenario.Scenario.name)
+             ~fingerprint:
+               (Eval.sweep_fingerprint ~tag:"montecarlo.run"
+                  ~schema:"sample/1" ~techs ~engine scenario
+                  [ string_of_int seed; string_of_int samples ]))
+  in
   (* The noiseless (victim-only) run depends on the aggressors' quiet
      rail, which depends on their polarity: precompute each polarity
-     that was drawn, before fanning out. A diverging noiseless run
-     turns all samples of that polarity into failed cases rather than
-     aborting the experiment. *)
+     that was drawn, before fanning out. A noiseless run that fails
+     beyond the fallback ladder turns all samples of that polarity
+     into typed failed cases rather than aborting the experiment. *)
   let noiseless = Hashtbl.create 2 in
-  List.iter
+  Array.iter
     (fun (_, rising) ->
       if not (Hashtbl.mem noiseless rising) then
         Hashtbl.add noiseless rising
@@ -48,27 +61,42 @@ let run ?(seed = 42) ?(samples = 50) ?techniques ?pool ?cache ?engine scenario =
                { scenario with Scenario.aggressor_rising = rising }
            with
           | r -> Ok r
-          | exception Spice.Transient.No_convergence t ->
-              Error (Eval.no_convergence_msg t)))
+          | exception Runtime.Failure.Error f -> Error f
+          | exception Spice.Transient.No_convergence at ->
+              Error (Runtime.Failure.Non_convergence { at })))
     draws;
+  let eval_draw (tau, rising) =
+    let scen = { scenario with Scenario.aggressor_rising = rising } in
+    let case =
+      match Hashtbl.find noiseless rising with
+      | Error f -> Eval.failed_case techs ~tau f
+      | Ok nl -> (
+          match
+            Eval.evaluate_case ~techniques:techs ~engine scen ~noiseless:nl
+              ~tau
+          with
+          | c -> c
+          | exception e -> (
+              match Eval.failure_of_exn e with
+              | Some f -> Eval.failed_case techs ~tau f
+              | None -> raise e))
+    in
+    { tau; aggressor_rising = rising; case }
+  in
+  let eval i =
+    match checkpoint with
+    | None -> eval_draw draws.(i)
+    | Some cp -> (
+        match Runtime.Checkpoint.find cp i with
+        | Some (s : sample) -> s
+        | None ->
+            let s = eval_draw draws.(i) in
+            Runtime.Checkpoint.record cp i s;
+            s)
+  in
   let cases =
-    Runtime.Pool.maybe_map_list (Runtime.Engine.pool engine)
-      (fun (tau, rising) ->
-        let scen = { scenario with Scenario.aggressor_rising = rising } in
-        let case =
-          match Hashtbl.find noiseless rising with
-          | Error msg -> Eval.failed_case techs ~tau msg
-          | Ok nl -> (
-              match
-                Eval.evaluate_case ~techniques:techs ~engine scen
-                  ~noiseless:nl ~tau
-              with
-              | c -> c
-              | exception Spice.Transient.No_convergence t ->
-                  Eval.failed_case techs ~tau (Eval.no_convergence_msg t))
-        in
-        { tau; aggressor_rising = rising; case })
-      draws
+    Array.to_list
+      (Runtime.Pool.maybe_map (Runtime.Engine.pool engine) samples eval)
   in
   let summaries =
     List.map

@@ -23,6 +23,7 @@ type summary = {
 
 val run :
   ?seed:int -> ?samples:int -> ?techniques:Eqwave.Technique.t list ->
+  ?checkpoint_dir:string ->
   ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
   ?engine:Runtime.Engine.t ->
   Scenario.t -> sample list * summary list
@@ -32,7 +33,14 @@ val run :
     evaluation, so the result is deterministic for a given seed even
     when the cases are swept on the engine's pool; the engine's cache
     memoizes the underlying simulations ([pool]/[cache] are the
-    deprecated aliases). Cases whose simulation fails to converge are
-    counted in each summary's [failed] instead of aborting the run. *)
+    deprecated aliases). Cases whose simulation fails beyond the
+    engine's {!Runtime.Resilience} ladder are counted in each
+    summary's [failed] (typed, via [Eval.failed_case]) instead of
+    aborting the run.
+
+    With [checkpoint_dir], completed samples are journaled under a
+    fingerprint covering the scenario, solver config, policy, seed and
+    sample count; an interrupted run resumed with the same arguments
+    replays the journal and produces byte-identical results. *)
 
 val pp_summary : Format.formatter -> summary list -> unit

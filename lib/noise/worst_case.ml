@@ -13,7 +13,9 @@ let mid_delay scenario run =
       Waveform.Wave.last_crossing run.Injection.rcv vm )
   with
   | Some ti, Some ty -> ty -. ti
-  | _ -> failwith "Worst_case: missing 0.5 Vdd crossing"
+  | _ ->
+      Runtime.Failure.fail
+        (Missing_crossing { what = "worst-case probe"; level = vm })
 
 let delay_at ?cache ?engine scenario ~noiseless:_ ~tau =
   mid_delay scenario (Injection.noisy ?cache ?engine scenario ~tau)

@@ -27,6 +27,7 @@ type t = {
   hits : int Atomic.t;
   disk_hits : int Atomic.t;
   misses : int Atomic.t;
+  read_errors : int Atomic.t;
 }
 
 let create ?(shards = 16) ?disk_dir () =
@@ -39,6 +40,7 @@ let create ?(shards = 16) ?disk_dir () =
     hits = Atomic.make 0;
     disk_hits = Atomic.make 0;
     misses = Atomic.make 0;
+    read_errors = Atomic.make 0;
   }
 
 let disk_dir t = t.disk_dir
@@ -62,21 +64,36 @@ let ensure_dir dir =
   if not (Sys.file_exists dir) then
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
-let disk_read dir key =
+(* Every read failure is still a miss — a sweep must never die on a
+   bad cache entry — but failures are classified rather than hidden:
+   an absent file is a plain miss, a corrupt/truncated entry bumps
+   [read_errors] and is unlinked so it cannot poison future runs, and
+   an I/O error (permissions, transient FS trouble) bumps
+   [read_errors] but leaves the file alone. *)
+let disk_read t dir key =
   let path = disk_path dir key in
   if not (Sys.file_exists path) then None
   else
-    try
+    let parse () =
       let ic = open_in_bin path in
       Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
           let magic = really_input_string ic (String.length disk_magic) in
-          if magic <> disk_magic then None
+          if magic <> disk_magic then Error `Corrupt
           else
             let raw : (float array * float array) list =
               Marshal.from_channel ic
             in
-            Some (List.map (fun (ts, vs) -> Waveform.Wave.create ts vs) raw))
-    with _ -> None (* corrupt or truncated: treat as a miss *)
+            Ok (List.map (fun (ts, vs) -> Waveform.Wave.create ts vs) raw))
+    in
+    match parse () with
+    | Ok waves -> Some waves
+    | Error `Corrupt | (exception (End_of_file | Stdlib.Failure _ | Invalid_argument _)) ->
+        Atomic.incr t.read_errors;
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+    | exception Sys_error _ ->
+        Atomic.incr t.read_errors;
+        None
 
 let disk_write dir key waves =
   try
@@ -110,7 +127,7 @@ let find t key =
       match t.disk_dir with
       | None -> None
       | Some dir -> (
-          match disk_read dir key with
+          match disk_read t dir key with
           | None -> None
           | Some v ->
               Atomic.incr t.hits;
@@ -132,9 +149,17 @@ let memo t key compute =
       store t key v;
       v
 
+let remove t key =
+  let s = shard_of t key in
+  locked s (fun () -> Hashtbl.remove s.tbl key);
+  match t.disk_dir with
+  | None -> ()
+  | Some dir -> ( try Sys.remove (disk_path dir key) with Sys_error _ -> ())
+
 let hits t = Atomic.get t.hits
 let disk_hits t = Atomic.get t.disk_hits
 let misses t = Atomic.get t.misses
+let read_errors t = Atomic.get t.read_errors
 
 let length t =
   Array.fold_left
@@ -145,8 +170,10 @@ let clear t =
   Array.iter (fun s -> locked s (fun () -> Hashtbl.reset s.tbl)) t.shards;
   Atomic.set t.hits 0;
   Atomic.set t.disk_hits 0;
-  Atomic.set t.misses 0
+  Atomic.set t.misses 0;
+  Atomic.set t.read_errors 0
 
 let pp_stats ppf t =
-  Format.fprintf ppf "cache: %d hits (%d from disk), %d misses, %d resident"
-    (hits t) (disk_hits t) (misses t) (length t)
+  Format.fprintf ppf
+    "cache: %d hits (%d from disk), %d misses, %d read errors, %d resident"
+    (hits t) (disk_hits t) (misses t) (read_errors t) (length t)

@@ -11,8 +11,12 @@
     An optional on-disk layer persists results across process runs:
     misses fall through to [dir/<key>] (OCaml [Marshal] format with a
     version header) and fresh results are written back atomically, so a
-    repeated bench invocation skips already-simulated cases. Corrupt or
-    mismatched files are treated as misses and overwritten. *)
+    repeated bench invocation skips already-simulated cases. Every disk
+    read failure is still a miss — sweeps never die on a bad cache
+    entry — but failures are classified: corrupt or truncated entries
+    bump {!read_errors} and are unlinked so they cannot poison future
+    runs; I/O errors (permissions and the like) bump {!read_errors}
+    and leave the file in place. *)
 
 type t
 
@@ -52,11 +56,21 @@ val memo : t -> string -> (unit -> Waveform.Wave.t list) -> Waveform.Wave.t list
     the computation: two domains racing on one key may both compute,
     deterministically producing the same value — last store wins. *)
 
+val remove : t -> string -> unit
+(** Evict a key from memory and unlink its disk entry (if any). Used
+    by the resilience layer to purge cached results that fail
+    post-solve validation. *)
+
 val hits : t -> int
 (** In-memory hits plus disk hits. *)
 
 val disk_hits : t -> int
 val misses : t -> int
+
+val read_errors : t -> int
+(** Disk-layer read failures mapped to misses (corrupt entries,
+    I/O errors). *)
+
 val length : t -> int
 (** Entries currently resident in memory. *)
 

@@ -1,0 +1,94 @@
+type t = { dir : string }
+
+let magic = "noisy_sta.ckpt.1\n"
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let entry_name i = Printf.sprintf "case-%06d" i
+let entry_path t i = Filename.concat t.dir (entry_name i)
+
+let is_entry name =
+  String.length name > 5 && String.sub name 0 5 = "case-"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* tmp+rename, same pattern as the cache's disk layer: concurrent
+   writers (pool domains) each use a distinct tmp name and the rename
+   is atomic, so readers only ever see complete entries. *)
+let write_file path content =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      ((Domain.self () :> int))
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let wipe_entries dir =
+  Array.iter
+    (fun name ->
+      if is_entry name then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let open_ ~dir ~name ~fingerprint =
+  ensure_dir dir;
+  let d = Filename.concat dir (sanitize name) in
+  ensure_dir d;
+  let meta_path = Filename.concat d "meta" in
+  let want = magic ^ fingerprint ^ "\n" in
+  let current = try Some (read_file meta_path) with _ -> None in
+  if current <> Some want then begin
+    (* Fresh journal, or one written for a different sweep/format:
+       entries would be silently wrong, so drop them all. *)
+    wipe_entries d;
+    write_file meta_path want
+  end;
+  { dir = d }
+
+let find t i =
+  let path = entry_path t i in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let m = really_input_string ic (String.length magic) in
+          if m <> magic then None else Some (Marshal.from_channel ic))
+    with
+    | v -> v
+    | exception _ ->
+        (* Torn or corrupt entry (e.g. the process died mid-write on a
+           filesystem without atomic rename): recompute it. *)
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+
+let record t i v =
+  try write_file (entry_path t i) (magic ^ Marshal.to_string v [])
+  with _ -> () (* a full disk degrades to recomputation, not a crash *)
+
+let completed t =
+  match Sys.readdir t.dir with
+  | entries ->
+      Array.fold_left
+        (fun acc name -> if is_entry name then acc + 1 else acc)
+        0 entries
+  | exception Sys_error _ -> 0

@@ -4,11 +4,12 @@ type t = {
   pool : Pool.t option;
   cache : Cache.t option;
   metrics : Metrics.t option;
+  resilience : Resilience.policy;
 }
 
 let make ?(name = "custom") ?(solver = Spice.Transient.default_config) ?pool
-    ?cache ?metrics () =
-  { name; solver; pool; cache; metrics }
+    ?cache ?metrics ?(resilience = Resilience.standard) () =
+  { name; solver; pool; cache; metrics; resilience }
 
 (* Presets share the Newton/gmin settings of [default_config] and only
    disagree about step control. [reference] is the historical fixed
@@ -49,11 +50,13 @@ let solver t = t.solver
 let pool t = t.pool
 let cache t = t.cache
 let metrics t = t.metrics
+let resilience t = t.resilience
 
 let with_solver t solver = { t with solver }
 let with_pool t pool = { t with pool = Some pool }
 let with_cache t cache = { t with cache = Some cache }
 let with_metrics t metrics = { t with metrics = Some metrics }
+let with_resilience t resilience = { t with resilience }
 let map_solver t f = { t with solver = f t.solver }
 
 let resolve ?pool ?cache engine =

@@ -28,10 +28,11 @@ val make :
   ?pool:Pool.t ->
   ?cache:Cache.t ->
   ?metrics:Metrics.t ->
+  ?resilience:Resilience.policy ->
   unit ->
   t
 (** Defaults: name "custom", {!Spice.Transient.default_config}, no
-    pool, no cache, no metrics. *)
+    pool, no cache, no metrics, {!Resilience.standard} supervision. *)
 
 val reference : t
 val accurate : t
@@ -50,10 +51,15 @@ val pool : t -> Pool.t option
 val cache : t -> Cache.t option
 val metrics : t -> Metrics.t option
 
+val resilience : t -> Resilience.policy
+(** Supervision policy the harnesses run every solve under; presets
+    carry {!Resilience.standard}. *)
+
 val with_solver : t -> Spice.Transient.config -> t
 val with_pool : t -> Pool.t -> t
 val with_cache : t -> Cache.t -> t
 val with_metrics : t -> Metrics.t -> t
+val with_resilience : t -> Resilience.policy -> t
 
 val map_solver : t -> (Spice.Transient.config -> Spice.Transient.config) -> t
 (** Apply a solver-config transform, e.g.

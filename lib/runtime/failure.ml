@@ -1,0 +1,61 @@
+type t =
+  | Non_convergence of { at : float }
+  | Step_budget of { at : float; budget : int }
+  | Non_finite of { what : string }
+  | Rail_bound of { what : string; v : float; lo : float; hi : float }
+  | Missing_crossing of { what : string; level : float }
+  | Cache_io of { path : string; reason : string }
+  | Missing_cell of { cell : string }
+  | Unsupported of { what : string }
+
+exception Error of t
+
+let fail f = raise (Error f)
+
+let code = function
+  | Non_convergence _ -> "non_convergence"
+  | Step_budget _ -> "step_budget"
+  | Non_finite _ -> "non_finite"
+  | Rail_bound _ -> "rail_bound"
+  | Missing_crossing _ -> "missing_crossing"
+  | Cache_io _ -> "cache_io"
+  | Missing_cell _ -> "missing_cell"
+  | Unsupported _ -> "unsupported"
+
+(* Recoverable = a safer solver configuration could plausibly change
+   the outcome, so the resilience ladder should retry. The rest are
+   environment or input defects no re-solve can fix. *)
+let is_recoverable = function
+  | Non_convergence _ | Step_budget _ | Non_finite _ | Rail_bound _
+  | Missing_crossing _ ->
+      true
+  | Cache_io _ | Missing_cell _ | Unsupported _ -> false
+
+let to_string = function
+  | Non_convergence { at } ->
+      Printf.sprintf "solver did not converge at t=%.4g s" at
+  | Step_budget { at; budget } ->
+      Printf.sprintf "step budget of %d exhausted at t=%.4g s" budget at
+  | Non_finite { what } -> Printf.sprintf "non-finite sample in %s" what
+  | Rail_bound { what; v; lo; hi } ->
+      Printf.sprintf "%s at %.4g V outside rails [%.4g, %.4g] V" what v lo hi
+  | Missing_crossing { what; level } ->
+      Printf.sprintf "%s never crosses %.4g V" what level
+  | Cache_io { path; reason } ->
+      Printf.sprintf "cache I/O error on %s: %s" path reason
+  | Missing_cell { cell } -> Printf.sprintf "cell not in library: %s" cell
+  | Unsupported { what } -> Printf.sprintf "unsupported: %s" what
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)
+
+let of_exn = function
+  | Error f -> Some f
+  | Spice.Transient.No_convergence at -> Some (Non_convergence { at })
+  | Spice.Transient.Step_budget_exhausted { at; budget } ->
+      Some (Step_budget { at; budget })
+  | _ -> None
+
+let () =
+  Printexc.register_printer (function
+    | Error f -> Some ("Runtime.Failure: " ^ to_string f)
+    | _ -> None)

@@ -1,0 +1,48 @@
+(** Typed failure taxonomy for solves and sweeps.
+
+    Every way a per-case evaluation can fail is a constructor here, so
+    sweep results carry a value callers can pattern-match (retry? skip?
+    abort?) instead of a formatted string. The split that matters is
+    {!is_recoverable}: recoverable failures are worth re-running
+    through the {!Resilience} fallback ladder with a safer solver
+    configuration; the rest (bad input, broken environment) are not. *)
+
+type t =
+  | Non_convergence of { at : float }
+      (** Newton failed beyond its bisection/floor budget at time [at] *)
+  | Step_budget of { at : float; budget : int }
+      (** the solve accepted more than [budget] integration steps *)
+  | Non_finite of { what : string }
+      (** a waveform sample is NaN or infinite *)
+  | Rail_bound of { what : string; v : float; lo : float; hi : float }
+      (** a sample [v] lies outside the supply rails ± tolerance *)
+  | Missing_crossing of { what : string; level : float }
+      (** a required threshold crossing is absent from the waveform *)
+  | Cache_io of { path : string; reason : string }
+      (** the disk cache layer failed to read or write an entry *)
+  | Missing_cell of { cell : string }
+      (** a netlist instance references a cell the library lacks *)
+  | Unsupported of { what : string }
+      (** the operation is outside a technique's or model's domain *)
+
+exception Error of t
+(** Carrier exception, registered with [Printexc] for readable
+    uncaught-exception reports. *)
+
+val fail : t -> 'a
+(** [fail f] raises [Error f]. *)
+
+val is_recoverable : t -> bool
+(** Whether the fallback ladder should retry with a safer config. *)
+
+val code : t -> string
+(** Stable snake_case tag for metrics and JSON ("non_convergence",
+    "step_budget", ...). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_exn : exn -> t option
+(** Classify an exception: [Error], [Spice.Transient.No_convergence]
+    and [Spice.Transient.Step_budget_exhausted] map to their taxonomy
+    entries; anything else is [None] (a bug, not a solve failure). *)

@@ -65,13 +65,28 @@ let capture_spice ?since t =
   set t "spice.bisections" s.Spice.Transient.Stats.bisections;
   set t "spice.gmin_retries" s.Spice.Transient.Stats.gmin_retries;
   set t "spice.rejected_steps" s.Spice.Transient.Stats.rejected_steps;
-  set t "spice.lte_rejections" s.Spice.Transient.Stats.lte_rejections
+  set t "spice.lte_rejections" s.Spice.Transient.Stats.lte_rejections;
+  set t "spice.injected_faults" s.Spice.Transient.Stats.injected_faults
 
 let capture_cache t cache =
   set t "cache.hits" (Cache.hits cache);
   set t "cache.disk_hits" (Cache.disk_hits cache);
   set t "cache.misses" (Cache.misses cache);
+  set t "cache.read_errors" (Cache.read_errors cache);
   set t "cache.resident" (Cache.length cache)
+
+let capture_resilience ?since t =
+  let s = Resilience.Stats.snapshot () in
+  let s =
+    match since with None -> s | Some base -> Resilience.Stats.diff s base
+  in
+  set t "resilience.solves" s.Resilience.Stats.solves;
+  set t "resilience.attempts" s.Resilience.Stats.attempts;
+  set t "resilience.retries" s.Resilience.Stats.retries;
+  set t "resilience.recoveries" s.Resilience.Stats.recoveries;
+  set t "resilience.failures" s.Resilience.Stats.failures;
+  set t "resilience.rejected_waveforms" s.Resilience.Stats.rejected_waveforms;
+  set t "pool.stray_exceptions" (Pool.stray_exceptions ())
 
 let reset t =
   locked t (fun () ->

@@ -33,7 +33,15 @@ val capture_spice : ?since:Spice.Transient.Stats.snapshot -> t -> unit
     counters. With [since], only the delta is recorded. *)
 
 val capture_cache : t -> Cache.t -> unit
-(** Copy a cache's hit/miss/resident counters into "cache.*". *)
+(** Copy a cache's hit/miss/read-error/resident counters into
+    "cache.*". *)
+
+val capture_resilience : ?since:Resilience.Stats.snapshot -> t -> unit
+(** Copy the global {!Resilience.Stats} counters (supervised solves,
+    attempts, retries, recoveries, failures, rejected waveforms) into
+    "resilience.*", plus {!Pool.stray_exceptions} into
+    "pool.stray_exceptions". With [since], resilience entries record
+    only the delta. *)
 
 val reset : t -> unit
 

@@ -22,6 +22,19 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
+val async : t -> (unit -> unit) -> unit
+(** Fire-and-forget task. On a [jobs = 1] pool it runs inline in the
+    caller. An exception escaping the task is counted in
+    {!stray_exceptions} rather than killing the worker — except fatal
+    ones ([Out_of_memory], [Stack_overflow], [Sys.Break]), which
+    propagate: they kill the worker domain and re-surface from
+    {!shutdown}'s join. *)
+
+val stray_exceptions : unit -> int
+(** Process-global count of non-fatal exceptions workers swallowed
+    from raw tasks. [map] chunks trap their own exceptions, so a
+    nonzero value means some {!async} task leaked one. *)
+
 val shutdown : t -> unit
 (** Join the worker domains. Idempotent; the pool must not be used
     afterwards. *)

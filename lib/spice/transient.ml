@@ -24,6 +24,7 @@ type config = {
   gmin : float;
   max_bisection : int;
   step_control : step_control;
+  max_steps : int;
 }
 
 let default_adaptive =
@@ -50,9 +51,11 @@ let default_config =
     gmin = 1e-12;
     max_bisection = 10;
     step_control = Fixed;
+    max_steps = 0;
   }
 
 let with_dt cfg dt = { cfg with dt }
+let with_max_steps cfg max_steps = { cfg with max_steps }
 let with_tstop cfg tstop = { cfg with tstop }
 let with_tstart cfg tstart = { cfg with tstart }
 let with_integration cfg integration = { cfg with integration }
@@ -109,6 +112,7 @@ let config_fingerprint cfg =
     gmin;
     max_bisection;
     step_control;
+    max_steps;
   } =
     cfg
   in
@@ -151,10 +155,12 @@ let config_fingerprint cfg =
       f vstep_limit;
       f gmin;
       string_of_int max_bisection;
+      string_of_int max_steps;
       sc;
     ]
 
 exception No_convergence of float
+exception Step_budget_exhausted of { at : float; budget : int }
 
 module Stats = struct
   type snapshot = {
@@ -165,6 +171,7 @@ module Stats = struct
     gmin_retries : int;
     rejected_steps : int;
     lte_rejections : int;
+    injected_faults : int;
   }
 
   (* Process-global, updated with atomics so pool domains running
@@ -176,6 +183,7 @@ module Stats = struct
   let gmin_retries = Atomic.make 0
   let rejected_steps = Atomic.make 0
   let lte_rejections = Atomic.make 0
+  let injected_faults = Atomic.make 0
 
   let snapshot () =
     {
@@ -186,6 +194,7 @@ module Stats = struct
       gmin_retries = Atomic.get gmin_retries;
       rejected_steps = Atomic.get rejected_steps;
       lte_rejections = Atomic.get lte_rejections;
+      injected_faults = Atomic.get injected_faults;
     }
 
   let diff a b =
@@ -197,6 +206,7 @@ module Stats = struct
       gmin_retries = a.gmin_retries - b.gmin_retries;
       rejected_steps = a.rejected_steps - b.rejected_steps;
       lte_rejections = a.lte_rejections - b.lte_rejections;
+      injected_faults = a.injected_faults - b.injected_faults;
     }
 
   let reset () =
@@ -206,14 +216,104 @@ module Stats = struct
     Atomic.set bisections 0;
     Atomic.set gmin_retries 0;
     Atomic.set rejected_steps 0;
-    Atomic.set lte_rejections 0
+    Atomic.set lte_rejections 0;
+    Atomic.set injected_faults 0
 
   let pp ppf s =
     Format.fprintf ppf
       "%d sims, %d steps (%d rejected, %d by LTE), %d newton iters, %d \
-       bisections, %d gmin retries"
+       bisections, %d gmin retries, %d injected faults"
       s.sims s.steps s.rejected_steps s.lte_rejections s.newton_iters
-      s.bisections s.gmin_retries
+      s.bisections s.gmin_retries s.injected_faults
+end
+
+(* Deterministic fault injection: tests, bench, and CI arm a plan and
+   every subsequent [run] rolls against it. Decisions depend only on
+   the process-global solve index (and a seed), never on wall-clock or
+   scheduling, so a given (plan, workload) pair injects the same faults
+   on every run — including across a checkpoint resume. *)
+module Fault = struct
+  type kind = Diverge | Corrupt
+
+  type plan =
+    | Nth of { n : int; kind : kind }
+    | Fraction of { rate : float; seed : int; kind : kind }
+
+  let armed : plan option Atomic.t = Atomic.make None
+  let solve_index = Atomic.make 0
+
+  let arm plan =
+    Atomic.set solve_index 0;
+    Atomic.set armed (Some plan)
+
+  let disarm () = Atomic.set armed None
+  let injected () = Atomic.get Stats.injected_faults
+
+  (* Hash the (seed, index) pair to a uniform float in [0, 1). MD5 is
+     plenty fast next to a transient solve and identical everywhere. *)
+  let roll_float seed k =
+    let d = Digest.string (Printf.sprintf "tran.fault:%d:%d" seed k) in
+    let x = ref 0 in
+    for i = 0 to 5 do
+      x := (!x lsl 8) lor Char.code d.[i]
+    done;
+    float_of_int !x /. float_of_int (1 lsl 48)
+
+  let roll () =
+    match Atomic.get armed with
+    | None -> None
+    | Some plan ->
+        let k = Atomic.fetch_and_add solve_index 1 in
+        let hit, kind =
+          match plan with
+          | Nth { n; kind } -> (k = n, kind)
+          | Fraction { rate; seed; kind } -> (roll_float seed k < rate, kind)
+        in
+        if hit then begin
+          Atomic.incr Stats.injected_faults;
+          Some kind
+        end
+        else None
+
+  (* Spec grammar: ["nan:"]("nth:"N | RATE["@"SEED]). Examples:
+     "0.1" (10% of solves diverge, seed 0), "0.1@7", "nth:3",
+     "nan:0.05@2" (5% of solves return a NaN-corrupted waveform). *)
+  let of_string s =
+    let kind, rest =
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "nan" ->
+          (Corrupt, String.sub s (i + 1) (String.length s - i - 1))
+      | _ -> (Diverge, s)
+    in
+    let nth_prefix = "nth:" in
+    let has_nth =
+      String.length rest > String.length nth_prefix
+      && String.sub rest 0 (String.length nth_prefix) = nth_prefix
+    in
+    if has_nth then
+      let num =
+        String.sub rest (String.length nth_prefix)
+          (String.length rest - String.length nth_prefix)
+      in
+      match int_of_string_opt num with
+      | Some n when n >= 0 -> Ok (Nth { n; kind })
+      | _ -> Error (Printf.sprintf "bad fault spec %S: nth:N needs N >= 0" s)
+    else
+      let rate_s, seed =
+        match String.index_opt rest '@' with
+        | Some i -> (
+            ( String.sub rest 0 i,
+              String.sub rest (i + 1) (String.length rest - i - 1) ))
+            |> fun (r, sd) -> (r, int_of_string_opt sd)
+        | None -> (rest, Some 0)
+      in
+      match (float_of_string_opt rate_s, seed) with
+      | Some rate, Some seed when rate >= 0.0 && rate <= 1.0 ->
+          Ok (Fraction { rate; seed; kind })
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad fault spec %S: want [nan:](nth:N | RATE[@SEED])" s)
 end
 
 (* Compiled, array-based view of the circuit for fast stamping. *)
@@ -478,6 +578,10 @@ let validate_adaptive a =
 let run ?(config = default_config) ?(ic = []) ckt =
   Atomic.incr Stats.sims;
   let cfg = config in
+  let fault = Fault.roll () in
+  (match fault with
+  | Some Fault.Diverge -> raise (No_convergence cfg.tstart)
+  | _ -> ());
   if cfg.tstop -. cfg.tstart <= 0.0 then
     invalid_arg "Transient.run: tstop <= tstart";
   if cfg.dt <= 0.0 then invalid_arg "Transient.run: dt must be positive";
@@ -521,6 +625,13 @@ let run ?(config = default_config) ?(ic = []) ckt =
     in
     newton cp cfg ~gmin:cfg.gmin ~t ~stamp_caps xtrial
   in
+  (* Accepted-step budget shared by both grid modes; 0 = unlimited. *)
+  let steps_taken = ref 0 in
+  let charge_step ~at =
+    incr steps_taken;
+    if cfg.max_steps > 0 && !steps_taken > cfg.max_steps then
+      raise (Step_budget_exhausted { at; budget = cfg.max_steps })
+  in
   let commit ~integ ~h ~vcap0 ~icap0 xnew =
     Array.iteri
       (fun k (a, b, c) ->
@@ -545,6 +656,7 @@ let run ?(config = default_config) ?(ic = []) ckt =
       let xtrial = Array.copy x in
       if attempt ~integ:cfg.integration ~t:t1 ~h ~vcap0 ~icap0 xtrial then begin
         Atomic.incr Stats.steps;
+        charge_step ~at:t1;
         commit ~integ:cfg.integration ~h ~vcap0 ~icap0 xtrial;
         Array.blit xtrial 0 x 0 nu
       end
@@ -651,6 +763,7 @@ let run ?(config = default_config) ?(ic = []) ckt =
         in
         if (lte_ok && not crossing_viol) || at_floor then begin
           Atomic.incr Stats.steps;
+          charge_step ~at:t1;
           commit ~integ:cfg.integration ~h ~vcap0 ~icap0 xtrial;
           Array.blit xtrial 0 x 0 nu;
           t := t1;
@@ -692,6 +805,14 @@ let run ?(config = default_config) ?(ic = []) ckt =
     | Fixed -> run_fixed ()
     | Adaptive a -> run_adaptive a
   in
+  (* A Corrupt fault poisons every node voltage of one mid-trace
+     sample, modelling a solver that "succeeded" with garbage —
+     downstream validation must catch it whichever node it probes.
+     Rows are fresh copies, so mutation is safe. *)
+  (match fault with
+  | Some Fault.Corrupt when Array.length data > 1 && cp.n > 0 ->
+      Array.fill data.(Array.length data / 2) 0 cp.n Float.nan
+  | _ -> ());
   let branch_index = Hashtbl.create 8 in
   Array.iteri
     (fun j (nd, _) ->

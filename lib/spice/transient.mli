@@ -48,12 +48,16 @@ type config = {
   gmin : float;          (** conductance to ground on every node *)
   max_bisection : int;   (** step-halving depth on Newton failure *)
   step_control : step_control;
+  max_steps : int;
+      (** accepted-integration-step budget per [run]; 0 = unlimited.
+          Exceeding it raises {!Step_budget_exhausted} — the safety net
+          against floor-dt grinds under adaptive stepping. *)
 }
 
 val default_config : config
 (** dt = 1 ps, tstop = 4 ns, tstart = 0, trapezoidal, tolerances
     1e-7 V / 1e-9 A, 60 Newton iterations, 0.6 V update clamp,
-    gmin = 1e-12 S, 10 bisections, fixed grid. *)
+    gmin = 1e-12 S, 10 bisections, fixed grid, unlimited steps. *)
 
 val default_adaptive : adaptive
 (** lte_tol = 0.5 mV, dt_min = 10 fs, dt_max = 100 ps, grow 2x,
@@ -63,6 +67,7 @@ val default_adaptive : adaptive
     [Runtime.Engine] presets). *)
 
 val with_dt : config -> float -> config
+val with_max_steps : config -> int -> config
 val with_tstop : config -> float -> config
 val with_tstart : config -> float -> config
 val with_integration : config -> integration -> config
@@ -98,6 +103,10 @@ exception No_convergence of float
 (** Carries the simulation time at which Newton failed beyond the
     bisection budget (fixed grid) or below [dt_min] (adaptive). *)
 
+exception Step_budget_exhausted of { at : float; budget : int }
+(** Raised when a [run] accepts more than [config.max_steps] steps —
+    the simulation time reached and the configured budget. *)
+
 (** Process-global solver effort counters, maintained with atomics so
     concurrent simulations on separate domains account correctly.
     These are the raw feed for [Runtime.Metrics]. *)
@@ -112,6 +121,8 @@ module Stats : sig
         (** adaptive steps retried (LTE, crossing, or Newton failure) *)
     lte_rejections : int;
         (** rejected steps whose LTE estimate exceeded the tolerance *)
+    injected_faults : int;
+        (** faults injected by an armed {!Fault} plan *)
   }
 
   val snapshot : unit -> snapshot
@@ -120,6 +131,37 @@ module Stats : sig
 
   val reset : unit -> unit
   val pp : Format.formatter -> snapshot -> unit
+end
+
+(** Deterministic, seeded fault injection for exercising recovery
+    paths. Arm a plan and every subsequent {!run} (process-wide, all
+    domains) rolls against it: [Diverge] raises {!No_convergence}
+    before solving; [Corrupt] completes the solve but poisons one
+    mid-trace sample with NaN, which post-solve validation must catch.
+    Decisions depend only on the solve index since {!arm} (plus the
+    seed), so a fixed plan over a fixed workload reproduces exactly. *)
+module Fault : sig
+  type kind =
+    | Diverge  (** raise [No_convergence] at [tstart] *)
+    | Corrupt  (** return a waveform with a NaN sample *)
+
+  type plan =
+    | Nth of { n : int; kind : kind }
+        (** fail solve number [n] (0-based, counted from {!arm}) *)
+    | Fraction of { rate : float; seed : int; kind : kind }
+        (** fail a seeded pseudo-random fraction of solves *)
+
+  val arm : plan -> unit
+  (** Install the plan and reset the solve index. *)
+
+  val disarm : unit -> unit
+
+  val injected : unit -> int
+  (** Total faults injected — alias for [Stats.injected_faults]. *)
+
+  val of_string : string -> (plan, string) result
+  (** Parse a CLI spec: [["nan:"]("nth:"N | RATE["@"SEED])] — e.g.
+      ["0.1"], ["0.1@7"], ["nth:3"], ["nan:0.05@2"]. *)
 end
 
 type result

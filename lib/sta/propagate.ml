@@ -55,7 +55,8 @@ let device_cell_of_name name =
 let find_cell cfg name =
   match Liberty.Libfile.find cfg.library name with
   | c -> c
-  | exception Not_found -> failwith ("Sta: cell not in library: " ^ name)
+  | exception Not_found ->
+      Runtime.Failure.fail (Missing_cell { cell = name })
 
 let net_load cfg netlist net =
   let pins =

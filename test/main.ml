@@ -10,6 +10,7 @@ let () =
       Test_eqwave.suite;
       Test_noise.suite;
       Test_runtime.suite;
+      Test_resilience.suite;
       Test_sta.suite;
       Test_extensions.suite;
       Test_substrate.suite;

@@ -137,8 +137,11 @@ let test_evaluate_case_all_techniques () =
     (fun m ->
       match m.Eval.delay_err with
       | Some e -> check_true (m.Eval.technique ^ " bounded") (abs_float e < 100e-12)
-      | None -> Alcotest.failf "%s failed: %s" m.Eval.technique
-                  (Option.value ~default:"?" m.Eval.failure))
+      | None ->
+          Alcotest.failf "%s failed: %s" m.Eval.technique
+            (match m.Eval.failure with
+            | Some f -> Runtime.Failure.to_string f
+            | None -> "?"))
     case.Eval.metrics
 
 let test_run_table_shape () =

@@ -268,6 +268,7 @@ let test_config_fingerprint_exhaustive () =
   differs "vstep_limit" { base with vstep_limit = base.vstep_limit *. 2.0 };
   differs "gmin" { base with gmin = base.gmin *. 2.0 };
   differs "max_bisection" { base with max_bisection = base.max_bisection + 1 };
+  differs "max_steps" { base with max_steps = 10_000 };
   differs "step_control" { base with step_control = Fixed };
   differs "lte_tol" (with_adaptive ~lte_tol:(default_adaptive.lte_tol *. 2.0) base);
   differs "dt_min" (with_adaptive ~dt_min:(default_adaptive.dt_min *. 2.0) base);

@@ -114,8 +114,10 @@ let test_unknown_cell () =
   Netlist.input n "a";
   Netlist.gate n ~cell:"NAND9" ~name:"u1" ~input:"a" ~output:"b";
   match Propagate.run cfg n ~stimuli:[ ("a", stim) ] with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected unknown-cell failure"
+  | exception
+      Runtime.Failure.(Error (Missing_cell { cell = "NAND9" })) ->
+      ()
+  | _ -> Alcotest.fail "expected typed missing-cell failure"
 
 let test_load_increases_delay () =
   let cfg = Propagate.config (Lazy.force library) in
