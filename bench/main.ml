@@ -40,7 +40,18 @@
      --inject-faults SPEC
                     deterministic fault injection for resilience
                     testing: nth:N | RATE[@SEED], prefix nan: for
-                    corrupted-waveform faults (e.g. 0.1@7, nan:nth:3) *)
+                    corrupted-waveform faults or slow: for stalled
+                    solves (e.g. 0.1@7, nan:nth:3, slow:nth:5)
+     --deadline MS  per-solve wall-clock budget in milliseconds; an
+                    expired solve becomes a typed deadline_exceeded
+                    failure instead of hanging the sweep
+     --ladder LIST  comma-separated technique names for the Gamma_eff
+                    degradation ladder (default SGDP,WLS5,LSF3,E4,P1)
+     --guard        enable the differential accuracy guard: a
+                    deterministic sample of fast-engine cases is
+                    re-checked against the reference preset
+     --guard-every N  guard sampling stride (default 8; 1 = every case)
+     --guard-tol-ps X guard delay tolerance in picoseconds (default 1) *)
 
 let cases = ref 100
 let jobs = ref 1
@@ -55,6 +66,17 @@ let retries : int option ref = ref None
 let fallback = ref "standard"
 let checkpoint_dir : string option ref = ref None
 let fault_plan : Spice.Transient.Fault.plan option ref = ref None
+let deadline_ms : float option ref = ref None
+let ladder_names : string list option ref = ref None
+let use_guard = ref false
+let guard_every = ref 8
+let guard_tol_ps = ref 1.0
+
+let ladder =
+  lazy
+    (match !ladder_names with
+    | Some names -> Eqwave.Ladder.of_names names
+    | None -> Eqwave.Ladder.default)
 
 let pool =
   lazy (if !jobs > 1 then Some (Runtime.Pool.create ~jobs:!jobs ()) else None)
@@ -83,6 +105,18 @@ let engine =
        | None -> p
      in
      let e = Runtime.Engine.with_resilience e policy in
+     let e =
+       match !deadline_ms with
+       | Some ms -> Runtime.Engine.with_deadline e ms
+       | None -> e
+     in
+     let e =
+       if !use_guard then
+         Runtime.Engine.with_guard e
+           (Runtime.Guard.make ~every:!guard_every
+              ~tol_s:(!guard_tol_ps *. 1e-12) ())
+       else e
+     in
      let e =
        match Lazy.force pool with
        | Some p -> Runtime.Engine.with_pool e p
@@ -218,9 +252,11 @@ let figure2 () =
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
 
-(* (scenario, elapsed seconds, rows) per configuration, for --json. *)
+(* (scenario, elapsed seconds, rows, degradation) per configuration,
+   for --json. *)
 let table1_results :
-    (string * float * Noise.Eval.row list) list ref = ref []
+    (string * float * Noise.Eval.row list * Noise.Eval.degradation_summary)
+    list ref = ref []
 
 let table1 () =
   header (Printf.sprintf "Table 1: accuracy comparison (%d cases/config)" !cases);
@@ -230,6 +266,7 @@ let table1 () =
       let t0 = Unix.gettimeofday () in
       let table =
         Noise.Eval.run_table ~engine:(Lazy.force engine)
+          ~ladder:(Lazy.force ladder)
           ?checkpoint_dir:!checkpoint_dir
           ~progress:(fun k n ->
             if k mod 25 = 0 then Printf.eprintf "  %s: %d/%d\r%!" scen.Noise.Scenario.name k n)
@@ -241,7 +278,12 @@ let table1 () =
       Printf.printf "(%.1f s)\n" elapsed;
       table1_results :=
         !table1_results
-        @ [ (scen.Noise.Scenario.name, elapsed, table.Noise.Eval.rows) ])
+        @ [
+            ( scen.Noise.Scenario.name,
+              elapsed,
+              table.Noise.Eval.rows,
+              table.Noise.Eval.degradation );
+          ])
     [ Noise.Scenario.config_i; Noise.Scenario.config_ii ]
 
 let json_escape s =
@@ -586,6 +628,72 @@ let json_row (r : Noise.Eval.row) =
 (* Resilience counters since program start, for the always-present
    `resilience` JSON section and the end-of-run summary line. *)
 let resil_before = ref (Runtime.Resilience.Stats.snapshot ())
+let spice_before = ref (Spice.Transient.Stats.snapshot ())
+let guard_before = ref (Runtime.Guard.Stats.snapshot ())
+
+(* Aggregate the per-configuration ladder outcomes for the
+   `degradation` JSON section: per-rung counts, exhaustion, and the
+   rung-0 resolution rate the CI smoke gate asserts on. *)
+let degradation_json () =
+  let l = Lazy.force ladder in
+  let rung_counts = Array.make (Eqwave.Ladder.length l) 0 in
+  let exhausted = ref 0 and unmapped = ref 0 in
+  let score_sum = ref 0.0 and mapped = ref 0 in
+  List.iter
+    (fun (_, _, _, (d : Noise.Eval.degradation_summary)) ->
+      Array.iteri
+        (fun i n ->
+          if i < Array.length rung_counts then
+            rung_counts.(i) <- rung_counts.(i) + n)
+        d.Noise.Eval.rung_counts;
+      exhausted := !exhausted + d.Noise.Eval.n_exhausted;
+      unmapped := !unmapped + d.Noise.Eval.n_unmapped;
+      let m = Array.fold_left ( + ) 0 d.Noise.Eval.rung_counts in
+      mapped := !mapped + m;
+      score_sum := !score_sum +. (d.Noise.Eval.avg_score_v *. float_of_int m))
+    !table1_results;
+  let total = !mapped + !exhausted + !unmapped in
+  let sd = Spice.Transient.Stats.(diff (snapshot ()) !spice_before) in
+  json_obj
+    [
+      ( "ladder",
+        json_list (List.map json_str (Eqwave.Ladder.names l)) );
+      ( "rung_counts",
+        json_list
+          (Array.to_list (Array.map string_of_int rung_counts)) );
+      ("exhausted", string_of_int !exhausted);
+      ("unmapped", string_of_int !unmapped);
+      ("deadline_hits", string_of_int sd.Spice.Transient.Stats.deadline_hits);
+      ( "avg_score_v",
+        Printf.sprintf "%.6g"
+          (if !mapped = 0 then 0.0 else !score_sum /. float_of_int !mapped) );
+      ( "resolved_rung0_rate",
+        Printf.sprintf "%.4f"
+          (if total = 0 then 1.0
+           else
+             float_of_int (if Array.length rung_counts > 0 then rung_counts.(0) else 0)
+             /. float_of_int total) );
+    ]
+
+let guard_json () =
+  let d = Runtime.Guard.Stats.(diff (snapshot ()) !guard_before) in
+  let open Runtime.Guard.Stats in
+  let rate =
+    if d.checked = 0 then 1.0
+    else float_of_int d.agreements /. float_of_int d.checked
+  in
+  json_obj
+    [
+      ("enabled", if !use_guard then "true" else "false");
+      ("every", string_of_int !guard_every);
+      ("tol_ps", Printf.sprintf "%.4f" !guard_tol_ps);
+      ("checked", string_of_int d.checked);
+      ("agreements", string_of_int d.agreements);
+      ("disagreements", string_of_int d.disagreements);
+      ("errors", string_of_int d.errors);
+      ("agreement_rate", Printf.sprintf "%.4f" rate);
+      ("max_delta_ps", Printf.sprintf "%.6f" (d.max_delta_s *. 1e12));
+    ]
 
 let resilience_json () =
   let d = Runtime.Resilience.Stats.(diff (snapshot ()) !resil_before) in
@@ -617,15 +725,25 @@ let write_json path =
         ("jobs", string_of_int !jobs);
         ("cache", if !use_cache then "true" else "false");
         ("resilience", resilience_json ());
+        ("degradation", degradation_json ());
+        ("guard", guard_json ());
         ( "table1",
           json_list
             (List.map
-               (fun (scenario, elapsed, rows) ->
+               (fun (scenario, elapsed, rows,
+                     (d : Noise.Eval.degradation_summary)) ->
                  json_obj
                    [
                      ("scenario", json_str scenario);
                      ("elapsed_s", Printf.sprintf "%.3f" elapsed);
                      ("rows", json_list (List.map json_row rows));
+                     ( "rung_counts",
+                       json_list
+                         (Array.to_list
+                            (Array.map string_of_int d.Noise.Eval.rung_counts))
+                     );
+                     ("exhausted", string_of_int d.Noise.Eval.n_exhausted);
+                     ("unmapped", string_of_int d.Noise.Eval.n_unmapped);
                    ])
                !table1_results) );
         ("metrics", Runtime.Metrics.to_json metrics);
@@ -648,11 +766,14 @@ let usage () =
     "usage: main.exe [SECTION...] [--cases N] [--jobs N] [--engine NAME]\n\
     \       [--ltetol X] [--no-cache] [--cache-dir DIR] [--metrics]\n\
     \       [--json FILE] [--retries N] [--fallback POLICY]\n\
-    \       [--checkpoint DIR] [--inject-faults SPEC]\n\
+    \       [--checkpoint DIR] [--inject-faults SPEC] [--deadline MS]\n\
+    \       [--ladder LIST] [--guard] [--guard-every N] [--guard-tol-ps X]\n\
      engines: reference (fixed grid) | accurate | fast (adaptive)\n\
      fallback policies: standard | none\n\
      fault specs: nth:N | RATE[@SEED], nan: prefix corrupts instead of\n\
-    \             diverging (examples: 0.1@7, nth:3, nan:0.05)\n\
+    \             diverging, slow: stalls solves (examples: 0.1@7,\n\
+    \             nth:3, nan:0.05, slow:nth:5)\n\
+     ladder: comma-separated technique names, e.g. SGDP,WLS5,P1\n\
      sections: figure1 figure2 table1 runtime ablation nonoverlap\n\
     \          worstcase corners montecarlo awe (default: all)";
   exit 2
@@ -717,8 +838,39 @@ let () =
             Printf.eprintf "--inject-faults: %s\n" msg;
             usage ());
         parse rest
+    | "--deadline" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some ms when ms > 0.0 && Float.is_finite ms -> deadline_ms := Some ms
+        | _ ->
+            Printf.eprintf "--deadline: expected positive milliseconds, got %s\n" v;
+            usage ());
+        parse rest
+    | "--ladder" :: v :: rest ->
+        let names = String.split_on_char ',' v |> List.map String.trim in
+        (match Eqwave.Ladder.of_names names with
+        | (_ : Eqwave.Ladder.t) -> ladder_names := Some names
+        | exception Invalid_argument msg ->
+            Printf.eprintf "--ladder: %s\n" msg;
+            usage ());
+        parse rest
+    | "--guard" :: rest -> use_guard := true; parse rest
+    | "--guard-every" :: v :: rest ->
+        int_opt "--guard-every" v (fun n ->
+            if n < 1 then (
+              prerr_endline "--guard-every: expected a positive stride";
+              usage ());
+            guard_every := n);
+        parse rest
+    | "--guard-tol-ps" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some x when Float.is_finite x -> guard_tol_ps := x
+        | _ ->
+            Printf.eprintf "--guard-tol-ps: expected a float, got %s\n" v;
+            usage ());
+        parse rest
     | ( "--cases" | "--jobs" | "--json" | "--cache-dir" | "--engine" | "--ltetol"
-      | "--retries" | "--fallback" | "--checkpoint" | "--inject-faults" )
+      | "--retries" | "--fallback" | "--checkpoint" | "--inject-faults"
+      | "--deadline" | "--ladder" | "--guard-every" | "--guard-tol-ps" )
       :: [] ->
         usage ()
     | s :: _ when String.length s > 0 && s.[0] = '-' ->
@@ -731,6 +883,8 @@ let () =
   | Some plan -> Spice.Transient.Fault.arm plan
   | None -> ());
   resil_before := Runtime.Resilience.Stats.snapshot ();
+  spice_before := Spice.Transient.Stats.snapshot ();
+  guard_before := Runtime.Guard.Stats.snapshot ();
   let stage name f =
     if section_enabled name then Runtime.Metrics.time metrics ("stage." ^ name) f
   in
@@ -748,6 +902,7 @@ let () =
   Runtime.Metrics.set metrics "pool.jobs" !jobs;
   Runtime.Metrics.capture_spice ~since:before metrics;
   Runtime.Metrics.capture_resilience ~since:!resil_before metrics;
+  Runtime.Metrics.capture_guard ~since:!guard_before metrics;
   (if Lazy.is_val cache then
      match Lazy.force cache with
      | Some c -> Runtime.Metrics.capture_cache metrics c

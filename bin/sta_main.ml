@@ -43,6 +43,7 @@ type rt = {
   engine : Runtime.Engine.t;
   metrics : bool;
   checkpoint_dir : string option;
+  ladder : Eqwave.Ladder.t option;
 }
 
 let engine_conv =
@@ -139,10 +140,46 @@ let rt_term =
                    testing: $(b,nth:N) (the Nth solve) or \
                    $(b,RATE[@SEED]) (seeded fraction); prefix \
                    $(b,nan:) to corrupt the waveform instead of \
-                   diverging. Examples: 0.1@7, nth:3, nan:0.05.")
+                   diverging, $(b,slow:) to stall the solve. \
+                   Examples: 0.1@7, nth:3, nan:0.05, slow:nth:5.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"MS"
+             ~doc:"Per-solve wall-clock budget in milliseconds. A solve \
+                   exceeding it is cancelled cooperatively at a step \
+                   boundary and surfaces as a typed deadline_exceeded \
+                   failure on that case instead of hanging the sweep.")
+  in
+  let ladder_conv =
+    Arg.conv
+      ( (fun s ->
+          match Eqwave.Ladder.of_names (String.split_on_char ',' s) with
+          | l -> Ok l
+          | exception Invalid_argument msg -> Error (`Msg msg)),
+        fun ppf l ->
+          Format.pp_print_string ppf
+            (String.concat "," (Eqwave.Ladder.names l)) )
+  in
+  let ladder =
+    Arg.(value & opt (some ladder_conv) None
+         & info [ "ladder" ] ~docv:"NAMES"
+             ~doc:"Comma-separated technique names for the Gamma_eff \
+                   degradation ladder, tried in order until one \
+                   accepts (default SGDP,WLS5,LSF3,E4,P1). Example: \
+                   $(b,SGDP,LSF3,P1).")
+  in
+  let guard =
+    Arg.(value & flag
+         & info [ "guard" ]
+             ~doc:"Enable the differential accuracy guard: a \
+                   deterministic sample of sweep cases is re-evaluated \
+                   under the $(b,reference) engine preset and delay \
+                   disagreements beyond 1 ps are counted in the \
+                   metrics report.")
   in
   let make engine ltetol jobs no_cache cache_dir metrics fallback retries
-      checkpoint inject =
+      checkpoint inject deadline guard ladder =
     let engine =
       match ltetol with
       | Some tol ->
@@ -167,20 +204,30 @@ let rt_term =
       | None -> fallback
     in
     let engine = Runtime.Engine.with_resilience engine policy in
+    let engine =
+      match deadline with
+      | Some ms -> Runtime.Engine.with_deadline engine ms
+      | None -> engine
+    in
+    let engine =
+      if guard then Runtime.Engine.with_guard engine Runtime.Guard.default
+      else engine
+    in
     (match inject with
     | Some plan -> Spice.Transient.Fault.arm plan
     | None -> ());
-    { engine; metrics; checkpoint_dir = checkpoint }
+    { engine; metrics; checkpoint_dir = checkpoint; ladder }
   in
   Term.(
     const make $ engine $ ltetol $ jobs $ no_cache $ cache_dir $ metrics
-    $ fallback $ retries $ checkpoint $ inject)
+    $ fallback $ retries $ checkpoint $ inject $ deadline $ guard $ ladder)
 
 (* Run a subcommand body under the runtime options: time it, then
    report metrics and release the pool. *)
 let with_rt rt f =
   let before = Spice.Transient.Stats.snapshot () in
   let before_res = Runtime.Resilience.Stats.snapshot () in
+  let before_guard = Runtime.Guard.Stats.snapshot () in
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
@@ -197,6 +244,7 @@ let with_rt rt f =
         | None -> Runtime.Metrics.set m "pool.jobs" 1);
         Runtime.Metrics.capture_spice ~since:before m;
         Runtime.Metrics.capture_resilience ~since:before_res m;
+        Runtime.Metrics.capture_guard ~since:before_guard m;
         (match Runtime.Engine.cache rt.engine with
         | Some c -> Runtime.Metrics.capture_cache m c
         | None -> ());
@@ -245,7 +293,7 @@ let table1_cmd =
             let scen = Noise.Scenario.with_cases scen cases in
             let table =
               Noise.Eval.run_table ~samples ~engine:rt.engine
-                ?checkpoint_dir:rt.checkpoint_dir
+                ?ladder:rt.ladder ?checkpoint_dir:rt.checkpoint_dir
                 ~progress:(fun k n ->
                   if k mod 20 = 0 then Printf.eprintf "%d/%d\r%!" k n)
                 scen
@@ -443,7 +491,7 @@ let montecarlo_cmd =
     with_rt rt (fun () ->
         let _, summaries =
           Noise.Montecarlo.run ~seed ~samples ~engine:rt.engine
-            ?checkpoint_dir:rt.checkpoint_dir scen
+            ?ladder:rt.ladder ?checkpoint_dir:rt.checkpoint_dir scen
         in
         Printf.printf "%s, %d random alignment/polarity samples (seed %d):\n"
           scen.Noise.Scenario.name samples seed;

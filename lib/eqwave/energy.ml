@@ -8,32 +8,50 @@ open Technique
    against the top rail, while a line of slope a through (t_m, 0.5Vdd)
    encloses (Vdd/2)^2 / (2a). Equating the two gives the slope. Falling
    edges mirror into the [0, 0.5 Vdd] band. *)
+
+let enclosed_area ctx ~t_m =
+  let open Waveform in
+  let vdd = ctx.th.Thresholds.vdd in
+  let vm = Thresholds.v_mid ctx.th in
+  let t_end = Wave.t_end ctx.noisy_in in
+  if t_end <= t_m then
+    raise (Unsupported "E4: waveform ends before the mid crossing");
+  let dir = direction ctx in
+  let n = 4 * ctx.samples in
+  let grid = sample_times (t_m, t_end) n in
+  let band_gap t =
+    let v = Wave.value_at ctx.noisy_in t in
+    match dir with
+    | Wave.Rising -> vdd -. Float.min vdd (Float.max vm v)
+    | Wave.Falling -> Float.min vm (Float.max 0.0 v)
+  in
+  Numerics.Integrate.trapz grid (Array.map band_gap grid)
+
 let e4 =
   {
     name = "E4";
     describe = "area (energy) matching through the latest 0.5Vdd crossing";
+    applicable =
+      (fun ctx ->
+        (* The slope sign is set by the transition direction, so only
+           the anchor and a degenerate (zero) band area can reject. *)
+        match latest_mid_crossing_opt ctx with
+        | None -> Error "E4: noisy waveform never crosses 0.5 Vdd"
+        | Some t_m -> (
+            match enclosed_area ctx ~t_m with
+            | area -> require (area > 0.0) "E4: zero enclosed area"
+            | exception Unsupported reason -> Error reason));
     run =
       (fun ctx ->
         let open Waveform in
         let vdd = ctx.th.Thresholds.vdd in
         let vm = Thresholds.v_mid ctx.th in
         let t_m = latest_mid_crossing ctx in
-        let t_end = Wave.t_end ctx.noisy_in in
-        if t_end <= t_m then
-          raise (Unsupported "E4: waveform ends before the mid crossing");
-        let dir = direction ctx in
-        let n = 4 * ctx.samples in
-        let grid = sample_times (t_m, t_end) n in
-        let band_gap t =
-          let v = Wave.value_at ctx.noisy_in t in
-          match dir with
-          | Wave.Rising -> vdd -. Float.min vdd (Float.max vm v)
-          | Wave.Falling -> Float.min vm (Float.max 0.0 v)
-        in
-        let area = Numerics.Integrate.trapz grid (Array.map band_gap grid) in
+        let area = enclosed_area ctx ~t_m in
         if area <= 0.0 then raise (Unsupported "E4: zero enclosed area");
         let half = vdd /. 2.0 in
         let mag = half *. half /. (2.0 *. area) in
+        let dir = direction ctx in
         let slope = match dir with Wave.Rising -> mag | Wave.Falling -> -.mag in
         Ramp.make ~slope ~intercept:(vm -. (slope *. t_m)) ~vdd);
   }

@@ -4,6 +4,15 @@ let lsf3 =
   {
     name = "LSF3";
     describe = "unweighted least-squares line fit over the noisy region";
+    applicable =
+      (fun ctx ->
+        match noisy_critical_region_opt ctx with
+        | None -> Error "LSF3: noisy waveform does not span the thresholds"
+        | Some region ->
+            (* The unweighted trend covariance has exactly the sign of
+               the line fit's slope, so this predicate is a precise
+               pre-fit polarity/flatness check. *)
+            polarity_of_trend ~what:"LSF3" ctx (trend ctx region));
     run =
       (fun ctx ->
         let region = noisy_critical_region ctx in

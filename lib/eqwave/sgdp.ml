@@ -116,6 +116,52 @@ let make options =
   {
     name = "SGDP";
     describe = "sensitivity remapped onto the noisy region, Taylor fit";
+    applicable =
+      (fun ctx ->
+        let ( let* ) = Result.bind in
+        let* () =
+          require
+            (noisy_critical_region_opt ctx <> None)
+            "SGDP: noisy waveform does not span the thresholds"
+        in
+        let* () =
+          require
+            (latest_mid_crossing_opt ctx <> None)
+            "SGDP: noisy waveform never crosses 0.5 Vdd"
+        in
+        let* () =
+          match Waveform.Wave.slew ctx.noiseless_in ctx.th with
+          | Some s when s > 0.0 -> Ok ()
+          | _ -> Error "SGDP: noiseless waveform has no slew"
+        in
+        (* Effective-sensitivity probe plus a rho^2-weighted trend as a
+           polarity estimate of the eventual fit — everything the full
+           run checks except the Gauss-Newton iterations themselves
+           (run keeps check_polarity as the post-fit safety net). *)
+        match
+          let shift =
+            if options.align_non_overlapping then Sensitivity.overlap_shift ctx
+            else 0.0
+          in
+          let sens = Sensitivity.compute ~output_shift:shift ctx in
+          let region = noisy_critical_region ctx in
+          let ts = sample_times region ctx.samples in
+          let rho, _ = rho_eff sens ctx ts in
+          let t_cut =
+            if options.commit_masking then output_commit_time ctx else infinity
+          in
+          Array.iteri (fun k t -> if t > t_cut then rho.(k) <- 0.0) ts;
+          let peak =
+            Array.fold_left (fun a r -> Float.max a (abs_float r)) 0.0 rho
+          in
+          if peak = 0.0 then Error "SGDP: zero effective sensitivity"
+          else begin
+            let weights = Array.map (fun r -> r *. r) rho in
+            polarity_of_trend ~what:"SGDP" ctx (trend ~weights ctx region)
+          end
+        with
+        | r -> r
+        | exception Unsupported reason -> Error reason);
     run =
       (fun ctx ->
         let shift =

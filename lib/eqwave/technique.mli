@@ -31,6 +31,14 @@ exception Unsupported of string
 type t = {
   name : string;
   describe : string;
+  applicable : ctx -> (unit, string) result;
+      (** Cheap precondition probe: [Error reason] when the technique
+          would reject this context (missing crossing region, polarity
+          contradiction, zero sensitivity, ...). Must not run the fit
+          itself — a fallback ladder consults it to skip a rung without
+          paying for the fit. [Ok ()] is a prediction, not a guarantee:
+          [run] may still raise [Unsupported] for conditions only the
+          fit can detect. *)
   run : ctx -> Waveform.Ramp.t;
 }
 
@@ -45,6 +53,12 @@ val noisy_critical_region : ctx -> float * float
 
 val noiseless_critical_region : ctx -> float * float
 
+val noisy_critical_region_opt : ctx -> (float * float) option
+(** Non-raising variant of {!noisy_critical_region} for applicability
+    predicates. *)
+
+val noiseless_critical_region_opt : ctx -> (float * float) option
+
 val sample_times : float * float -> int -> float array
 (** [sample_times (a, b) p] is [p] uniformly spaced times covering
     [a, b] inclusive. *)
@@ -53,7 +67,31 @@ val latest_mid_crossing : ctx -> float
 (** The paper's arrival-time anchor: latest 0.5 Vdd crossing of the
     noisy waveform. Raises [Unsupported] if there is none. *)
 
+val latest_mid_crossing_opt : ctx -> float option
+(** Non-raising variant of {!latest_mid_crossing}. *)
+
 val check_polarity : ctx -> Waveform.Ramp.t -> Waveform.Ramp.t
 (** Returns the ramp unchanged, or raises [Unsupported] when the fitted
     slope direction contradicts the transition direction (a meaningless
     result for STA). *)
+
+val trend : ?weights:float array -> ctx -> float * float -> float
+(** Weighted covariance of [(t, v_noisy(t))] over the region, sampled at
+    [ctx.samples] points. Its sign equals the sign of the slope a
+    weighted least-squares line fit with the same weights would produce,
+    so predicates can detect polarity contradictions before fitting.
+    [weights] must have length [ctx.samples] when given. *)
+
+val polarity_of_trend :
+  what:string -> ctx -> float -> (unit, string) result
+(** [Ok ()] when the trend sign matches the transition direction;
+    [Error reason] for a flat trend or a polarity contradiction.
+    [what] prefixes the reason (normally the technique name). *)
+
+val require : bool -> string -> (unit, string) result
+(** [require cond reason] is [Ok ()] or [Error reason]. *)
+
+val applicable_of_run : (ctx -> Waveform.Ramp.t) -> ctx -> (unit, string) result
+(** Conservative adapter for externally defined techniques: runs the fit
+    and converts [Unsupported] into [Error]. Accurate but pays the full
+    fit cost — prefer a purpose-built predicate. *)

@@ -6,6 +6,32 @@ let wls5 =
   {
     name = "WLS5";
     describe = "rho-weighted least squares over the noiseless region";
+    applicable =
+      (fun ctx ->
+        match noiseless_critical_region_opt ctx with
+        | None -> Error "WLS5: noiseless input does not span the thresholds"
+        | Some region -> (
+            (* Probe sensitivity and the rho^2-weighted trend: the trend
+               sign equals the sign of the slope the weighted fit would
+               produce, so polarity contradictions and flat fits are
+               rejected before fitting. *)
+            match
+              let sens = Sensitivity.compute ctx in
+              let ts = sample_times region ctx.samples in
+              let rho = Array.map (Sensitivity.rho_at_time sens) ts in
+              let peak =
+                Array.fold_left (fun a r -> Float.max a (abs_float r)) 0.0 rho
+              in
+              if peak = 0.0 then
+                Error "WLS5: zero sensitivity (non-overlapping gate?)"
+              else begin
+                let floor = weights_floor *. peak *. peak in
+                let weights = Array.map (fun r -> (r *. r) +. floor) rho in
+                polarity_of_trend ~what:"WLS5" ctx (trend ~weights ctx region)
+              end
+            with
+            | r -> r
+            | exception Unsupported reason -> Error reason));
     run =
       (fun ctx ->
         let sens = Sensitivity.compute ctx in

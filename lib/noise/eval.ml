@@ -1,5 +1,17 @@
 type reference = Replay | Chain
 
+(* How the Gamma_eff ladder resolved a case: which rung accepted the
+   waveform, what the degradation cost (RMS deviation of the accepted
+   ramp from the sampled noisy waveform), and why earlier rungs
+   skipped. Defined before [case_metrics] so the shared [technique]
+   field resolves to the latter under type-directed disambiguation. *)
+type degradation = {
+  technique : string;
+  rung : int;
+  score_v : float;
+  skipped : (string * string) list;
+}
+
 type case_metrics = {
   technique : string;
   ramp : Waveform.Ramp.t option;
@@ -15,6 +27,7 @@ type case_eval = {
   delay_ref : float;
   ref_out_arrival : float;
   chain_vs_replay : float;
+  mapping : (degradation, Runtime.Failure.t) result;
   metrics : case_metrics list;
 }
 
@@ -54,6 +67,7 @@ let failed_case techniques ~tau msg =
     delay_ref = Float.nan;
     ref_out_arrival = Float.nan;
     chain_vs_replay = Float.nan;
+    mapping = Error msg;
     metrics =
       List.map
         (fun (tech : Eqwave.Technique.t) ->
@@ -61,8 +75,45 @@ let failed_case techniques ~tau msg =
         techniques;
   }
 
-let evaluate_case ?(reference = Replay) ?techniques ?samples ?cache ?engine
-    scenario ~noiseless ~tau =
+(* Run the degradation ladder over an already-built context and convert
+   its result into the typed mapping carried on the case. *)
+let run_ladder ?metrics ladder ctx =
+  match Eqwave.Ladder.run ladder ctx with
+  | Ok o ->
+      (match metrics with
+      | Some m ->
+          Runtime.Metrics.incr m
+            (Printf.sprintf "ladder.rung%d" o.Eqwave.Ladder.rung);
+          if o.Eqwave.Ladder.rung > 0 then
+            Runtime.Metrics.incr m "ladder.degraded"
+      | None -> ());
+      Ok
+        {
+          technique = o.Eqwave.Ladder.technique;
+          rung = o.Eqwave.Ladder.rung;
+          score_v = o.Eqwave.Ladder.score_v;
+          skipped =
+            List.map
+              (fun (s : Eqwave.Ladder.skip) ->
+                (s.Eqwave.Ladder.technique, s.Eqwave.Ladder.reason))
+              o.Eqwave.Ladder.skipped;
+        }
+  | Error skips ->
+      (match metrics with
+      | Some m -> Runtime.Metrics.incr m "ladder.exhausted"
+      | None -> ());
+      let last =
+        match List.rev skips with
+        | s :: _ -> s.Eqwave.Ladder.reason
+        | [] -> "empty ladder"
+      in
+      Error
+        (Runtime.Failure.Mapping_exhausted
+           { tried = List.length skips; last })
+
+let evaluate_case ?(reference = Replay) ?techniques ?samples
+    ?(ladder = Eqwave.Ladder.default) ?cache ?engine scenario ~noiseless ~tau
+    =
   let engine = Runtime.Engine.resolve ?cache engine in
   let techniques =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
@@ -126,11 +177,17 @@ let evaluate_case ?(reference = Replay) ?techniques ?samples ?cache ?engine
                   failure = None;
                 }))
   in
+  (* The ladder mapping is a handful of array fits — microseconds next
+     to the simulations above — so every case gets one. *)
+  let mapping =
+    run_ladder ?metrics:(Runtime.Engine.metrics engine) ladder ctx
+  in
   {
     tau;
     delay_ref;
     ref_out_arrival = t_out_ref;
     chain_vs_replay = t_out_chain -. t_out_replay;
+    mapping;
     metrics = List.map eval_technique techniques;
   }
 
@@ -142,10 +199,23 @@ type row = {
   n_failed : int;
 }
 
+(* Ladder outcome distribution over a sweep: [rung_counts.(k)] cases
+   resolved at rung k; [n_exhausted] ran out of rungs; [n_unmapped]
+   never reached the ladder (their reference simulation failed).
+   [avg_score_v] averages the deviation score over the mapped cases. *)
+type degradation_summary = {
+  ladder : string list;
+  rung_counts : int array;
+  n_exhausted : int;
+  n_unmapped : int;
+  avg_score_v : float;
+}
+
 type table = {
   scenario : string;
   rows : row list;
   cases : case_eval list;
+  degradation : degradation_summary;
 }
 
 let summarize_rows techniques cases =
@@ -181,13 +251,42 @@ let summarize_rows techniques cases =
           })
     techniques
 
+let summarize_degradation ladder cases =
+  let names = Eqwave.Ladder.names ladder in
+  let rung_counts = Array.make (Eqwave.Ladder.length ladder) 0 in
+  let n_exhausted = ref 0 and n_unmapped = ref 0 in
+  let score_sum = ref 0.0 and n_mapped = ref 0 in
+  List.iter
+    (fun c ->
+      match c.mapping with
+      | Ok d ->
+          if d.rung < Array.length rung_counts then
+            rung_counts.(d.rung) <- rung_counts.(d.rung) + 1;
+          score_sum := !score_sum +. d.score_v;
+          incr n_mapped
+      | Error (Runtime.Failure.Mapping_exhausted _) -> incr n_exhausted
+      | Error _ -> incr n_unmapped)
+    cases;
+  {
+    ladder = names;
+    rung_counts;
+    n_exhausted = !n_exhausted;
+    n_unmapped = !n_unmapped;
+    avg_score_v =
+      (if !n_mapped = 0 then 0.0 else !score_sum /. float_of_int !n_mapped);
+  }
+
 (* Everything that determines a per-case result, so a checkpoint
    journal written by a different sweep (or an older payload layout)
    can never be replayed into this one. [Scenario.fingerprint]
    deliberately omits the alignment window and case count; the sweep
-   cares, so they are appended here. *)
-let sweep_fingerprint ~tag ~schema ?reference ?samples ~techs ~engine scenario
-    extra =
+   cares, so they are appended here. The degradation settings matter
+   too: the ladder order decides which rung a case resolves at, the
+   deadline decides which solves get cancelled, and a guard replays
+   extra reference solves (shifting fault-injection indices) — so
+   resumed journals must not mix any of them. *)
+let sweep_fingerprint ~tag ~schema ?reference ?samples
+    ?(ladder = Eqwave.Ladder.default) ~techs ~engine scenario extra =
   String.concat "|"
     ([
        tag;
@@ -202,15 +301,62 @@ let sweep_fingerprint ~tag ~schema ?reference ?samples ~techs ~engine scenario
        | Some Chain -> "chain"
        | Some Replay | None -> "replay");
        (match samples with Some n -> string_of_int n | None -> "default");
+       Eqwave.Ladder.fingerprint ladder;
+       (match Runtime.Engine.deadline_ms engine with
+       | Some ms -> Printf.sprintf "deadline:%h" ms
+       | None -> "deadline:none");
+       (match Runtime.Engine.guard engine with
+       | Some g -> Runtime.Guard.fingerprint g
+       | None -> "guard:none");
      ]
     @ List.map (fun (t : Eqwave.Technique.t) -> t.Eqwave.Technique.name) techs
     @ extra)
 
-let run_table ?reference ?techniques ?samples ?progress ?checkpoint_dir ?pool
-    ?cache ?engine scenario =
+(* Reference delay of one case for the differential guard: re-simulate
+   the noisy run and (for Replay mode) the receiver replay under the
+   reference engine and measure the same mid-to-mid delay
+   [evaluate_case] reports. Kept deliberately light — none of the
+   per-technique work. *)
+let guard_reference_delay ?(reference = Replay) ~engine scenario ~tau =
+  let th = Device.Process.thresholds scenario.Scenario.proc in
+  let noisy = Injection.noisy ~engine scenario ~tau in
+  let t_in = mid_crossing th noisy.Injection.far "noisy input (guard)" in
+  let t_out =
+    match reference with
+    | Chain -> mid_crossing th noisy.Injection.rcv "chain output (guard)"
+    | Replay ->
+        let replay_out =
+          Injection.receiver_response ~engine scenario
+            ~input:(Spice.Source.of_wave noisy.Injection.far)
+            ~tstop:scenario.Scenario.tstop
+        in
+        mid_crossing th replay_out "replayed output (guard)"
+  in
+  t_out -. t_in
+
+let run_table ?reference ?techniques ?samples ?ladder ?progress
+    ?checkpoint_dir ?pool ?cache ?engine scenario =
   let engine = Runtime.Engine.resolve ?pool ?cache engine in
   let techs =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
+  in
+  let the_ladder =
+    match ladder with Some l -> l | None -> Eqwave.Ladder.default
+  in
+  let guard = Runtime.Engine.guard engine in
+  (* The guard's reference engine shares the cache and supervision of
+     the sweep engine (keys differ by config fingerprint, so fast and
+     reference entries never collide) but must not re-enter the pool —
+     guard checks already run inside pool tasks. *)
+  let guard_engine =
+    lazy
+      (let e = Runtime.Engine.reference in
+       let e =
+         match Runtime.Engine.cache engine with
+         | Some c -> Runtime.Engine.with_cache e c
+         | None -> e
+       in
+       Runtime.Engine.with_resilience e (Runtime.Engine.resilience engine))
   in
   (* The noiseless run is shared by every case; if it fails beyond the
      fallback ladder the whole sweep is unmeasurable, but that is still
@@ -233,23 +379,46 @@ let run_table ?reference ?techniques ?samples ?progress ?checkpoint_dir ?pool
           (Runtime.Checkpoint.open_ ~dir
              ~name:("table1-" ^ scenario.Scenario.name)
              ~fingerprint:
-               (sweep_fingerprint ~tag:"eval.run_table" ~schema:"case_eval/1"
-                  ?reference ?samples ~techs ~engine scenario []))
+               (sweep_fingerprint ~tag:"eval.run_table" ~schema:"case_eval/2"
+                  ?reference ?samples ~ladder:the_ladder ~techs ~engine
+                  scenario []))
   in
   (* Cases are independent pure simulations: sweep them on the pool.
      Results land in input order, so parallel output is identical to
      the sequential path. Progress reports completion count, which is
      monotone but not index-ordered under parallelism. *)
   let completed = Atomic.make 0 in
+  (* Differential guard: for the deterministic sample of cases, replay
+     the case's reference delay under the reference preset and compare.
+     Only freshly computed cases are guarded — checkpoint-replayed ones
+     were checked when first computed. *)
+  let guard_check i (c : case_eval) =
+    match guard with
+    | Some g when Runtime.Guard.selects g i && Float.is_finite c.delay_ref -> (
+        match
+          guard_reference_delay ?reference
+            ~engine:(Lazy.force guard_engine)
+            scenario ~tau:taus.(i)
+        with
+        | ref_delay ->
+            ignore (Runtime.Guard.record g ~delta_s:(c.delay_ref -. ref_delay))
+        | exception e -> (
+            match failure_of_exn e with
+            | Some _ -> Runtime.Guard.record_error ()
+            | None -> raise e))
+    | _ -> ()
+  in
   let compute i =
     match noiseless with
     | Error f -> failed_case techs ~tau:taus.(i) f
     | Ok noiseless -> (
         match
-          evaluate_case ?reference ~techniques:techs ?samples ~engine
-            scenario ~noiseless ~tau:taus.(i)
+          evaluate_case ?reference ~techniques:techs ?samples
+            ~ladder:the_ladder ~engine scenario ~noiseless ~tau:taus.(i)
         with
-        | c -> c
+        | c ->
+            guard_check i c;
+            c
         | exception e -> (
             match failure_of_exn e with
             | Some f -> failed_case techs ~tau:taus.(i) f
@@ -278,7 +447,17 @@ let run_table ?reference ?techniques ?samples ?progress ?checkpoint_dir ?pool
     scenario = scenario.Scenario.name;
     rows = summarize_rows techs cases;
     cases;
+    degradation = summarize_degradation the_ladder cases;
   }
+
+let pp_degradation ppf d =
+  Format.fprintf ppf "ladder %s: rungs [%s]"
+    (String.concat ">" d.ladder)
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int d.rung_counts)));
+  if d.n_exhausted > 0 then Format.fprintf ppf ", %d exhausted" d.n_exhausted;
+  if d.n_unmapped > 0 then Format.fprintf ppf ", %d unmapped" d.n_unmapped;
+  Format.fprintf ppf ", avg deviation %.4g V" d.avg_score_v
 
 let pp_table ppf t =
   Format.fprintf ppf "@[<v>%s — gate delay error vs reference (ps)@," t.scenario;
@@ -289,4 +468,5 @@ let pp_table ppf t =
       Format.fprintf ppf "%-8s %10.1f %10.1f %8d %8d@," r.name r.max_abs_ps
         r.avg_abs_ps r.n_cases r.n_failed)
     t.rows;
+  Format.fprintf ppf "%a@," pp_degradation t.degradation;
   Format.fprintf ppf "@]"

@@ -14,6 +14,17 @@
 
 type reference = Replay | Chain
 
+type degradation = {
+  technique : string;  (** the technique whose rung accepted the case *)
+  rung : int;          (** its 0-based position in the ladder *)
+  score_v : float;     (** RMS ramp-vs-noisy deviation, volts *)
+  skipped : (string * string) list;
+      (** (technique, reason) for every rung skipped before acceptance *)
+}
+(** How the Gamma_eff degradation ladder ({!Eqwave.Ladder}) resolved a
+    case. Declared before {!case_metrics} so the shared [technique]
+    field keeps resolving to the latter. *)
+
 type case_metrics = {
   technique : string;
   ramp : Waveform.Ramp.t option;      (** None when the technique bailed *)
@@ -30,6 +41,11 @@ type case_eval = {
   delay_ref : float;                  (** reference gate delay *)
   ref_out_arrival : float;
   chain_vs_replay : float;            (** replay-fidelity diagnostic, s *)
+  mapping : (degradation, Runtime.Failure.t) result;
+      (** ladder outcome: a ramp with rung/score, or a typed failure —
+          [Mapping_exhausted] when every rung rejected the waveform,
+          the underlying solve failure when the reference simulation
+          itself failed *)
   metrics : case_metrics list;
 }
 
@@ -50,6 +66,7 @@ val sweep_fingerprint :
   schema:string ->
   ?reference:reference ->
   ?samples:int ->
+  ?ladder:Eqwave.Ladder.t ->
   techs:Eqwave.Technique.t list ->
   engine:Runtime.Engine.t ->
   Scenario.t ->
@@ -57,15 +74,18 @@ val sweep_fingerprint :
   string
 (** Checkpoint fingerprint covering everything that determines a
     per-case result: scenario (including window and case count),
-    solver config, resilience policy, reference mode, sample count and
-    technique set, plus caller-specific [extra] parts. [schema] tags
-    the marshalled payload layout. Shared by the Table-1 and
-    Monte-Carlo sweep drivers. *)
+    solver config, resilience policy, reference mode, sample count,
+    technique set, degradation-ladder order ([ladder], defaulting to
+    {!Eqwave.Ladder.default}), the engine's deadline and guard
+    settings, plus caller-specific [extra] parts. [schema] tags the
+    marshalled payload layout. Shared by the Table-1 and Monte-Carlo
+    sweep drivers. *)
 
 val evaluate_case :
   ?reference:reference ->
   ?techniques:Eqwave.Technique.t list ->
   ?samples:int ->
+  ?ladder:Eqwave.Ladder.t ->
   ?cache:Runtime.Cache.t ->
   ?engine:Runtime.Engine.t ->
   Scenario.t -> noiseless:Injection.run -> tau:float -> case_eval
@@ -77,7 +97,9 @@ val evaluate_case :
     simulation is memoized by content (scenario, case, and full solver
     configuration), so re-evaluating a case is free. A technique whose
     receiver re-simulation fails to converge is reported as a failed
-    metric rather than raising. *)
+    metric rather than raising. [ladder] (default
+    {!Eqwave.Ladder.default}) produces the case's [mapping]: which
+    rung accepted the waveform and at what deviation score. *)
 
 type row = {
   name : string;
@@ -87,16 +109,40 @@ type row = {
   n_failed : int;
 }
 
+type degradation_summary = {
+  ladder : string list;   (** technique names, rung order *)
+  rung_counts : int array;
+      (** cases resolved at each rung; same length as [ladder] *)
+  n_exhausted : int;      (** cases where every rung rejected *)
+  n_unmapped : int;
+      (** cases that never reached the ladder (reference solve failed) *)
+  avg_score_v : float;    (** mean deviation score over mapped cases *)
+}
+
 type table = {
   scenario : string;
   rows : row list;                    (** in the order techniques were given *)
   cases : case_eval list;
+  degradation : degradation_summary;
 }
+
+val summarize_degradation : Eqwave.Ladder.t -> case_eval list -> degradation_summary
+
+val guard_reference_delay :
+  ?reference:reference ->
+  engine:Runtime.Engine.t ->
+  Scenario.t -> tau:float -> float
+(** The reference-engine delay the differential guard compares
+    against: one noisy chain simulation (plus the receiver replay in
+    [Replay] mode), measured mid-to-mid exactly as [evaluate_case]
+    measures [delay_ref]. Raises on solve failure — callers classify
+    with {!failure_of_exn}. *)
 
 val run_table :
   ?reference:reference ->
   ?techniques:Eqwave.Technique.t list ->
   ?samples:int ->
+  ?ladder:Eqwave.Ladder.t ->
   ?progress:(int -> int -> unit) ->
   ?checkpoint_dir:string ->
   ?pool:Runtime.Pool.t ->
@@ -119,7 +165,17 @@ val run_table :
     With [checkpoint_dir], every completed case is journaled
     ({!Runtime.Checkpoint}) under a fingerprint of the whole sweep; a
     re-run after an interruption replays journaled cases and computes
-    only the missing ones, producing a byte-identical table. *)
+    only the missing ones, producing a byte-identical table.
+
+    When the engine carries a {!Runtime.Guard}, the deterministic
+    sample of cases it selects is re-evaluated under the reference
+    preset and the delay deltas are recorded into the process-global
+    [Runtime.Guard.Stats]; when it carries a deadline, each solve
+    attempt runs under that wall-clock budget and a cancelled case
+    becomes a typed [Deadline_exceeded] failure. *)
+
+val pp_degradation : Format.formatter -> degradation_summary -> unit
 
 val pp_table : Format.formatter -> table -> unit
-(** Render in the shape of the paper's Table 1 (max / avg, ps). *)
+(** Render in the shape of the paper's Table 1 (max / avg, ps), plus a
+    ladder-degradation summary line. *)

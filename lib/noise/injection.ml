@@ -50,6 +50,12 @@ let simulate ?cache ?engine scenario ~aggressor_active ~tau =
           float (if aggressor_active then tau else 0.0);
         ])
   in
+  (* Each solve attempt runs under the engine's per-solve wall-clock
+     budget (cooperative cancellation at step boundaries). The budget
+     is per attempt, not per case, so a resilience-ladder retry gets a
+     fresh allowance; it never enters the cache key because it cannot
+     change a completed solve's result. *)
+  let deadline_ms = Runtime.Engine.deadline_ms engine in
   let attempt config =
     let compute () =
       let ckt, hints = Scenario.build scenario ~aggressor_active ~tau in
@@ -59,7 +65,8 @@ let simulate ?cache ?engine scenario ~aggressor_active ~tau =
         Spice.Transient.probe res (Scenario.victim_rcv_node scenario);
       ]
     in
-    memo_waves cache (key_of config) compute
+    Runtime.Pool.with_deadline ?ms:deadline_ms (fun () ->
+        memo_waves cache (key_of config) compute)
   in
   let policy = Runtime.Engine.resilience engine in
   let proc = scenario.Scenario.proc in
@@ -133,7 +140,11 @@ let receiver_response ?dt ?cache ?engine scenario ~input ~tstop =
           float tstop;
         ])
   in
-  let attempt config = memo_waves cache (key_of config) (compute config) in
+  let deadline_ms = Runtime.Engine.deadline_ms engine in
+  let attempt config =
+    Runtime.Pool.with_deadline ?ms:deadline_ms (fun () ->
+        memo_waves cache (key_of config) (compute config))
+  in
   let policy = Runtime.Engine.resilience engine in
   let proc = scenario.Scenario.proc in
   let validate waves =

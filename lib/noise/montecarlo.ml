@@ -13,8 +13,8 @@ type summary = {
   failed : int;
 }
 
-let run ?(seed = 42) ?(samples = 50) ?techniques ?checkpoint_dir ?pool ?cache
-    ?engine scenario =
+let run ?(seed = 42) ?(samples = 50) ?techniques ?ladder ?checkpoint_dir
+    ?pool ?cache ?engine scenario =
   if samples < 1 then invalid_arg "Montecarlo.run: samples < 1";
   let engine = Runtime.Engine.resolve ?pool ?cache engine in
   let techs =
@@ -43,7 +43,7 @@ let run ?(seed = 42) ?(samples = 50) ?techniques ?checkpoint_dir ?pool ?cache
              ~name:("montecarlo-" ^ scenario.Scenario.name)
              ~fingerprint:
                (Eval.sweep_fingerprint ~tag:"montecarlo.run"
-                  ~schema:"sample/1" ~techs ~engine scenario
+                  ~schema:"sample/2" ?ladder ~techs ~engine scenario
                   [ string_of_int seed; string_of_int samples ]))
   in
   (* The noiseless (victim-only) run depends on the aggressors' quiet
@@ -72,8 +72,8 @@ let run ?(seed = 42) ?(samples = 50) ?techniques ?checkpoint_dir ?pool ?cache
       | Error f -> Eval.failed_case techs ~tau f
       | Ok nl -> (
           match
-            Eval.evaluate_case ~techniques:techs ~engine scen ~noiseless:nl
-              ~tau
+            Eval.evaluate_case ~techniques:techs ?ladder ~engine scen
+              ~noiseless:nl ~tau
           with
           | c -> c
           | exception e -> (
@@ -106,9 +106,9 @@ let run ?(seed = 42) ?(samples = 50) ?techniques ?checkpoint_dir ?pool ?cache
           List.filter_map
             (fun s ->
               List.find_opt
-                (fun m -> m.Eval.technique = name)
+                (fun (m : Eval.case_metrics) -> m.Eval.technique = name)
                 s.case.Eval.metrics
-              |> Option.map (fun m -> m.Eval.delay_err)
+              |> Option.map (fun (m : Eval.case_metrics) -> m.Eval.delay_err)
               |> Option.join)
             cases
           |> List.map (fun e -> abs_float e *. 1e12)
@@ -116,7 +116,10 @@ let run ?(seed = 42) ?(samples = 50) ?techniques ?checkpoint_dir ?pool ?cache
         in
         let failed = samples - Array.length errs in
         if Array.length errs = 0 then
-          { technique = name; p50_ps = nan; p95_ps = nan; max_ps = nan;
+          (* All samples failed: honest zero counts, not nan sentinels
+             that poison downstream arithmetic — same convention as
+             [Eval.summarize_rows]. *)
+          { technique = name; p50_ps = 0.0; p95_ps = 0.0; max_ps = 0.0;
             n = 0; failed }
         else
           {

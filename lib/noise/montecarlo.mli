@@ -14,7 +14,9 @@ type sample = {
 
 type summary = {
   technique : string;
-  p50_ps : float;   (** median |delay error| *)
+  p50_ps : float;
+      (** median |delay error|; 0 (with [n = 0]) when every sample
+          failed *)
   p95_ps : float;
   max_ps : float;
   n : int;
@@ -23,6 +25,7 @@ type summary = {
 
 val run :
   ?seed:int -> ?samples:int -> ?techniques:Eqwave.Technique.t list ->
+  ?ladder:Eqwave.Ladder.t ->
   ?checkpoint_dir:string ->
   ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
   ?engine:Runtime.Engine.t ->
@@ -36,7 +39,8 @@ val run :
     deprecated aliases). Cases whose simulation fails beyond the
     engine's {!Runtime.Resilience} ladder are counted in each
     summary's [failed] (typed, via [Eval.failed_case]) instead of
-    aborting the run.
+    aborting the run. [ladder] (default {!Eqwave.Ladder.default})
+    produces each sample's [case.mapping] degradation record.
 
     With [checkpoint_dir], completed samples are journaled under a
     fingerprint covering the scenario, solver config, policy, seed and

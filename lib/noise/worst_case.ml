@@ -3,6 +3,7 @@ type result = {
   delay : float;
   nominal_delay : float;
   probes : int;
+  gamma : (Eqwave.Ladder.outcome, Runtime.Failure.t) Stdlib.result;
 }
 
 let mid_delay scenario run =
@@ -22,7 +23,8 @@ let delay_at ?cache ?engine scenario ~noiseless:_ ~tau =
 
 let golden = (sqrt 5.0 -. 1.0) /. 2.0
 
-let search ?(coarse = 24) ?(refine = 12) ?pool ?cache ?engine scenario =
+let search ?(coarse = 24) ?(refine = 12) ?samples
+    ?(ladder = Eqwave.Ladder.default) ?pool ?cache ?engine scenario =
   if coarse < 3 then invalid_arg "Worst_case.search: coarse < 3";
   let engine = Runtime.Engine.resolve ?pool ?cache engine in
   let noiseless = Injection.noiseless ~engine scenario in
@@ -73,11 +75,36 @@ let search ?(coarse = 24) ?(refine = 12) ?pool ?cache ?engine scenario =
     let x, d = if !f1 > !f2 then (!x1, !f1) else (!x2, !f2) in
     if d > snd !best then best := (x, d)
   done;
+  (* Map the worst-case waveform to its equivalent ramp through the
+     degradation ladder — the noisy run at the winning tau is already
+     cached, so this costs only the fits. A mapping or solve failure
+     here degrades the gamma report, never the search result. *)
+  let gamma =
+    match
+      let noisy = Injection.noisy ~engine scenario ~tau:(fst !best) in
+      let ctx = Injection.ctx_of_runs ?samples scenario ~noiseless ~noisy in
+      Eqwave.Ladder.run ladder ctx
+    with
+    | Ok o -> Ok o
+    | Error skips ->
+        let last =
+          match List.rev skips with
+          | s :: _ -> s.Eqwave.Ladder.reason
+          | [] -> "empty ladder"
+        in
+        Error
+          (Runtime.Failure.Mapping_exhausted
+             { tried = List.length skips; last })
+    | exception Runtime.Failure.Error f -> Error f
+    | exception Spice.Transient.No_convergence at ->
+        Error (Runtime.Failure.Non_convergence { at })
+  in
   {
     tau = fst !best;
     delay = snd !best;
     nominal_delay;
     probes = !probes;
+    gamma;
   }
 
 let pp ppf r =
@@ -85,4 +112,9 @@ let pp ppf r =
     "worst alignment tau = %.1f ps: delay %.1f ps (nominal %.1f ps, push-out %+.1f ps, %d simulations)"
     (r.tau *. 1e12) (r.delay *. 1e12) (r.nominal_delay *. 1e12)
     ((r.delay -. r.nominal_delay) *. 1e12)
-    r.probes
+    r.probes;
+  match r.gamma with
+  | Ok o ->
+      Format.fprintf ppf "; gamma via %s@@rung %d (deviation %.3g V)"
+        o.Eqwave.Ladder.technique o.Eqwave.Ladder.rung o.Eqwave.Ladder.score_v
+  | Error f -> Format.fprintf ppf "; gamma unmapped: %a" Runtime.Failure.pp f

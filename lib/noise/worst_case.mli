@@ -11,6 +11,10 @@ type result = {
   delay : float;        (** reference gate delay at [tau] *)
   nominal_delay : float;(** noiseless gate delay, for the push-out *)
   probes : int;         (** simulations spent *)
+  gamma : (Eqwave.Ladder.outcome, Runtime.Failure.t) Stdlib.result;
+      (** equivalent-ramp mapping of the worst-case waveform through
+          the degradation ladder — the Gamma_eff a downstream STA
+          would propagate, with its rung and deviation score *)
 }
 
 val delay_at :
@@ -21,6 +25,7 @@ val delay_at :
 
 val search :
   ?coarse:int -> ?refine:int ->
+  ?samples:int -> ?ladder:Eqwave.Ladder.t ->
   ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
   ?engine:Runtime.Engine.t ->
   Scenario.t -> result
@@ -29,6 +34,9 @@ val search :
     steps around the best bracket. The coarse scan fans out over the
     engine's pool; the refinement is sequential. The result is
     independent of the pool. [pool]/[cache] are the deprecated aliases
-    for the engine slots. *)
+    for the engine slots. The worst-case waveform is finally mapped to
+    [gamma] through [ladder] (default {!Eqwave.Ladder.default}) with
+    [samples] sampling points — the noisy run at the winning alignment
+    is served from cache, so this adds only the fits. *)
 
 val pp : Format.formatter -> result -> unit

@@ -5,11 +5,18 @@ type t = {
   cache : Cache.t option;
   metrics : Metrics.t option;
   resilience : Resilience.policy;
+  deadline_ms : float option;
+  guard : Guard.t option;
 }
 
 let make ?(name = "custom") ?(solver = Spice.Transient.default_config) ?pool
-    ?cache ?metrics ?(resilience = Resilience.standard) () =
-  { name; solver; pool; cache; metrics; resilience }
+    ?cache ?metrics ?(resilience = Resilience.standard) ?deadline_ms ?guard ()
+    =
+  (match deadline_ms with
+  | Some ms when (not (Float.is_finite ms)) || ms <= 0.0 ->
+      invalid_arg "Engine.make: deadline_ms must be positive"
+  | _ -> ());
+  { name; solver; pool; cache; metrics; resilience; deadline_ms; guard }
 
 (* Presets share the Newton/gmin settings of [default_config] and only
    disagree about step control. [reference] is the historical fixed
@@ -51,12 +58,21 @@ let pool t = t.pool
 let cache t = t.cache
 let metrics t = t.metrics
 let resilience t = t.resilience
+let deadline_ms t = t.deadline_ms
+let guard t = t.guard
 
 let with_solver t solver = { t with solver }
 let with_pool t pool = { t with pool = Some pool }
 let with_cache t cache = { t with cache = Some cache }
 let with_metrics t metrics = { t with metrics = Some metrics }
 let with_resilience t resilience = { t with resilience }
+
+let with_deadline t ms =
+  if (not (Float.is_finite ms)) || ms <= 0.0 then
+    invalid_arg "Engine.with_deadline: deadline must be positive";
+  { t with deadline_ms = Some ms }
+
+let with_guard t guard = { t with guard = Some guard }
 let map_solver t f = { t with solver = f t.solver }
 
 let resolve ?pool ?cache engine =
@@ -75,9 +91,13 @@ let resolve ?pool ?cache engine =
 let is_adaptive t = Spice.Transient.is_adaptive t.solver
 
 let pp ppf t =
-  Format.fprintf ppf "engine %s (%s%s%s)" t.name
+  Format.fprintf ppf "engine %s (%s%s%s%s)" t.name
     (if is_adaptive t then "adaptive" else "fixed-grid")
     (match t.pool with
     | Some p -> Printf.sprintf ", %d jobs" (Pool.jobs p)
     | None -> "")
     (match t.cache with Some _ -> ", cached" | None -> "")
+    ((match t.deadline_ms with
+     | Some ms -> Printf.sprintf ", deadline %.3g ms" ms
+     | None -> "")
+    ^ match t.guard with Some _ -> ", guarded" | None -> "")

@@ -29,10 +29,14 @@ val make :
   ?cache:Cache.t ->
   ?metrics:Metrics.t ->
   ?resilience:Resilience.policy ->
+  ?deadline_ms:float ->
+  ?guard:Guard.t ->
   unit ->
   t
 (** Defaults: name "custom", {!Spice.Transient.default_config}, no
-    pool, no cache, no metrics, {!Resilience.standard} supervision. *)
+    pool, no cache, no metrics, {!Resilience.standard} supervision, no
+    per-solve deadline, no differential guard. Raises
+    [Invalid_argument] when [deadline_ms] is not positive. *)
 
 val reference : t
 val accurate : t
@@ -55,11 +59,24 @@ val resilience : t -> Resilience.policy
 (** Supervision policy the harnesses run every solve under; presets
     carry {!Resilience.standard}. *)
 
+val deadline_ms : t -> float option
+(** Per-solve wall-clock budget the harnesses install around every
+    solve attempt (via {!Pool.with_deadline}); [None] = unbounded. *)
+
+val guard : t -> Guard.t option
+(** Differential accuracy guard the sweep harnesses consult; [None] =
+    no cross-validation. *)
+
 val with_solver : t -> Spice.Transient.config -> t
 val with_pool : t -> Pool.t -> t
 val with_cache : t -> Cache.t -> t
 val with_metrics : t -> Metrics.t -> t
 val with_resilience : t -> Resilience.policy -> t
+
+val with_deadline : t -> float -> t
+(** Raises [Invalid_argument] when the budget (ms) is not positive. *)
+
+val with_guard : t -> Guard.t -> t
 
 val map_solver : t -> (Spice.Transient.config -> Spice.Transient.config) -> t
 (** Apply a solver-config transform, e.g.

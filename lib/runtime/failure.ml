@@ -7,6 +7,9 @@ type t =
   | Cache_io of { path : string; reason : string }
   | Missing_cell of { cell : string }
   | Unsupported of { what : string }
+  | Mapping_degraded of { technique : string; rung : int; score_v : float }
+  | Mapping_exhausted of { tried : int; last : string }
+  | Deadline_exceeded of { at : float; budget_ms : float }
 
 exception Error of t
 
@@ -21,15 +24,23 @@ let code = function
   | Cache_io _ -> "cache_io"
   | Missing_cell _ -> "missing_cell"
   | Unsupported _ -> "unsupported"
+  | Mapping_degraded _ -> "mapping_degraded"
+  | Mapping_exhausted _ -> "mapping_exhausted"
+  | Deadline_exceeded _ -> "deadline_exceeded"
 
 (* Recoverable = a safer solver configuration could plausibly change
    the outcome, so the resilience ladder should retry. The rest are
-   environment or input defects no re-solve can fix. *)
+   environment or input defects no re-solve can fix: a degraded or
+   exhausted mapping is a property of the waveform, and an expired
+   wall-clock budget cannot be beaten by re-solving the same work
+   under the same budget. *)
 let is_recoverable = function
   | Non_convergence _ | Step_budget _ | Non_finite _ | Rail_bound _
   | Missing_crossing _ ->
       true
-  | Cache_io _ | Missing_cell _ | Unsupported _ -> false
+  | Cache_io _ | Missing_cell _ | Unsupported _ | Mapping_degraded _
+  | Mapping_exhausted _ | Deadline_exceeded _ ->
+      false
 
 let to_string = function
   | Non_convergence { at } ->
@@ -45,6 +56,14 @@ let to_string = function
       Printf.sprintf "cache I/O error on %s: %s" path reason
   | Missing_cell { cell } -> Printf.sprintf "cell not in library: %s" cell
   | Unsupported { what } -> Printf.sprintf "unsupported: %s" what
+  | Mapping_degraded { technique; rung; score_v } ->
+      Printf.sprintf "mapping degraded to %s (rung %d, deviation %.4g V)"
+        technique rung score_v
+  | Mapping_exhausted { tried; last } ->
+      Printf.sprintf "mapping ladder exhausted after %d rungs (last: %s)" tried
+        last
+  | Deadline_exceeded { at; budget_ms } ->
+      Printf.sprintf "deadline of %.4g ms exceeded at t=%.4g s" budget_ms at
 
 let pp ppf f = Format.pp_print_string ppf (to_string f)
 
@@ -53,6 +72,8 @@ let of_exn = function
   | Spice.Transient.No_convergence at -> Some (Non_convergence { at })
   | Spice.Transient.Step_budget_exhausted { at; budget } ->
       Some (Step_budget { at; budget })
+  | Spice.Transient.Deadline_exceeded { at; budget_ms } ->
+      Some (Deadline_exceeded { at; budget_ms })
   | _ -> None
 
 let () =

@@ -24,6 +24,16 @@ type t =
       (** a netlist instance references a cell the library lacks *)
   | Unsupported of { what : string }
       (** the operation is outside a technique's or model's domain *)
+  | Mapping_degraded of { technique : string; rung : int; score_v : float }
+      (** the Gamma_eff ladder fell past its first rung: the mapping
+          succeeded via [technique] at [rung] with RMS deviation
+          [score_v] — informational, the case still has a result *)
+  | Mapping_exhausted of { tried : int; last : string }
+      (** every rung of the Gamma_eff ladder rejected the waveform;
+          [last] is the final skip reason *)
+  | Deadline_exceeded of { at : float; budget_ms : float }
+      (** a solve was cancelled at simulation time [at] by an expired
+          per-solve wall-clock budget of [budget_ms] *)
 
 exception Error of t
 (** Carrier exception, registered with [Printexc] for readable
@@ -33,7 +43,11 @@ val fail : t -> 'a
 (** [fail f] raises [Error f]. *)
 
 val is_recoverable : t -> bool
-(** Whether the fallback ladder should retry with a safer config. *)
+(** Whether the fallback ladder should retry with a safer config.
+    Mapping and deadline failures are not: a degraded/exhausted mapping
+    is a property of the waveform, and re-solving the same work under
+    the same wall-clock budget cannot beat an expired deadline — one
+    hung solve costs one typed failure, not extra retries. *)
 
 val code : t -> string
 (** Stable snake_case tag for metrics and JSON ("non_convergence",
@@ -43,6 +57,7 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 val of_exn : exn -> t option
-(** Classify an exception: [Error], [Spice.Transient.No_convergence]
-    and [Spice.Transient.Step_budget_exhausted] map to their taxonomy
-    entries; anything else is [None] (a bug, not a solve failure). *)
+(** Classify an exception: [Error], [Spice.Transient.No_convergence],
+    [Spice.Transient.Step_budget_exhausted] and
+    [Spice.Transient.Deadline_exceeded] map to their taxonomy entries;
+    anything else is [None] (a bug, not a solve failure). *)

@@ -66,7 +66,8 @@ let capture_spice ?since t =
   set t "spice.gmin_retries" s.Spice.Transient.Stats.gmin_retries;
   set t "spice.rejected_steps" s.Spice.Transient.Stats.rejected_steps;
   set t "spice.lte_rejections" s.Spice.Transient.Stats.lte_rejections;
-  set t "spice.injected_faults" s.Spice.Transient.Stats.injected_faults
+  set t "spice.injected_faults" s.Spice.Transient.Stats.injected_faults;
+  set t "spice.deadline_hits" s.Spice.Transient.Stats.deadline_hits
 
 let capture_cache t cache =
   set t "cache.hits" (Cache.hits cache);
@@ -87,6 +88,18 @@ let capture_resilience ?since t =
   set t "resilience.failures" s.Resilience.Stats.failures;
   set t "resilience.rejected_waveforms" s.Resilience.Stats.rejected_waveforms;
   set t "pool.stray_exceptions" (Pool.stray_exceptions ())
+
+let capture_guard ?since t =
+  let s = Guard.Stats.snapshot () in
+  let s = match since with None -> s | Some base -> Guard.Stats.diff s base in
+  set t "guard.checked" s.Guard.Stats.checked;
+  set t "guard.agreements" s.Guard.Stats.agreements;
+  set t "guard.disagreements" s.Guard.Stats.disagreements;
+  set t "guard.errors" s.Guard.Stats.errors;
+  (* High-water delay delta, expressed in femtoseconds so it fits the
+     integer counter table without losing the interesting digits. *)
+  set t "guard.max_delta_fs"
+    (int_of_float (Float.round (s.Guard.Stats.max_delta_s *. 1e15)))
 
 let reset t =
   locked t (fun () ->

@@ -43,6 +43,12 @@ val capture_resilience : ?since:Resilience.Stats.snapshot -> t -> unit
     "pool.stray_exceptions". With [since], resilience entries record
     only the delta. *)
 
+val capture_guard : ?since:Guard.Stats.snapshot -> t -> unit
+(** Copy the global {!Guard.Stats} counters (checked, agreements,
+    disagreements, errors, plus the high-water delay delta as
+    "guard.max_delta_fs") into "guard.*". With [since], counts record
+    only the delta. *)
+
 val reset : t -> unit
 
 val pp_report : Format.formatter -> t -> unit

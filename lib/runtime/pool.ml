@@ -167,3 +167,12 @@ let maybe_map_list ?chunk pool f xs =
   match pool with
   | None -> List.map f xs
   | Some t -> map_list ?chunk t f xs
+
+(* Cooperative cancellation: the budget is installed in the calling
+   domain's local storage, so a pool worker running [f] as part of a
+   task gets exactly its own deadline and sibling workers are
+   unaffected. [None] means unbounded and costs nothing. *)
+let with_deadline ?ms f =
+  match ms with
+  | None -> f ()
+  | Some ms -> Spice.Transient.Deadline.with_budget ~ms f

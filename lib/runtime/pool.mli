@@ -63,3 +63,12 @@ val map_reduce :
 
 val maybe_map : ?chunk:int -> t option -> int -> (int -> 'a) -> 'a array
 val maybe_map_list : ?chunk:int -> t option -> ('a -> 'b) -> 'a list -> 'b list
+
+val with_deadline : ?ms:float -> (unit -> 'a) -> 'a
+(** Run [f] under a per-task wall-clock budget (milliseconds):
+    transient solves inside [f] check the budget cooperatively at every
+    accepted step boundary and raise
+    [Spice.Transient.Deadline_exceeded] once it expires. The token is
+    domain-local, so each pool worker carries exactly the deadline of
+    its own task. [None] (the default) runs unbounded with zero
+    overhead. Raises [Invalid_argument] for a non-positive budget. *)

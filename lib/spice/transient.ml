@@ -161,6 +161,7 @@ let config_fingerprint cfg =
 
 exception No_convergence of float
 exception Step_budget_exhausted of { at : float; budget : int }
+exception Deadline_exceeded of { at : float; budget_ms : float }
 
 module Stats = struct
   type snapshot = {
@@ -172,6 +173,7 @@ module Stats = struct
     rejected_steps : int;
     lte_rejections : int;
     injected_faults : int;
+    deadline_hits : int;
   }
 
   (* Process-global, updated with atomics so pool domains running
@@ -184,6 +186,7 @@ module Stats = struct
   let rejected_steps = Atomic.make 0
   let lte_rejections = Atomic.make 0
   let injected_faults = Atomic.make 0
+  let deadline_hits = Atomic.make 0
 
   let snapshot () =
     {
@@ -195,6 +198,7 @@ module Stats = struct
       rejected_steps = Atomic.get rejected_steps;
       lte_rejections = Atomic.get lte_rejections;
       injected_faults = Atomic.get injected_faults;
+      deadline_hits = Atomic.get deadline_hits;
     }
 
   let diff a b =
@@ -207,6 +211,7 @@ module Stats = struct
       rejected_steps = a.rejected_steps - b.rejected_steps;
       lte_rejections = a.lte_rejections - b.lte_rejections;
       injected_faults = a.injected_faults - b.injected_faults;
+      deadline_hits = a.deadline_hits - b.deadline_hits;
     }
 
   let reset () =
@@ -217,14 +222,45 @@ module Stats = struct
     Atomic.set gmin_retries 0;
     Atomic.set rejected_steps 0;
     Atomic.set lte_rejections 0;
-    Atomic.set injected_faults 0
+    Atomic.set injected_faults 0;
+    Atomic.set deadline_hits 0
 
   let pp ppf s =
     Format.fprintf ppf
       "%d sims, %d steps (%d rejected, %d by LTE), %d newton iters, %d \
-       bisections, %d gmin retries, %d injected faults"
+       bisections, %d gmin retries, %d injected faults, %d deadline hits"
       s.sims s.steps s.rejected_steps s.lte_rejections s.newton_iters
-      s.bisections s.gmin_retries s.injected_faults
+      s.bisections s.gmin_retries s.injected_faults s.deadline_hits
+end
+
+(* Cooperative per-solve deadlines. A caller installs a wall-clock
+   budget with [with_budget]; [run] then checks it at every accepted
+   step boundary (and once up front) and raises [Deadline_exceeded]
+   when it has expired. The token lives in domain-local storage, so a
+   pool worker's budget never leaks into sibling domains, and checking
+   is free when no budget is installed. *)
+module Deadline = struct
+  let key : (float * float) option Domain.DLS.key =
+    (* (absolute expiry, epoch seconds; original budget, ms) *)
+    Domain.DLS.new_key (fun () -> None)
+
+  let with_budget ~ms f =
+    if not (Float.is_finite ms) || ms <= 0.0 then
+      invalid_arg "Transient.Deadline.with_budget: budget must be positive";
+    let prev = Domain.DLS.get key in
+    Domain.DLS.set key (Some (Unix.gettimeofday () +. (ms /. 1000.0), ms));
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+
+  let active () = Domain.DLS.get key <> None
+
+  let check ~at =
+    match Domain.DLS.get key with
+    | None -> ()
+    | Some (expiry, budget_ms) ->
+        if Unix.gettimeofday () > expiry then begin
+          Atomic.incr Stats.deadline_hits;
+          raise (Deadline_exceeded { at; budget_ms })
+        end
 end
 
 (* Deterministic fault injection: tests, bench, and CI arm a plan and
@@ -233,7 +269,12 @@ end
    scheduling, so a given (plan, workload) pair injects the same faults
    on every run — including across a checkpoint resume. *)
 module Fault = struct
-  type kind = Diverge | Corrupt
+  type kind = Diverge | Corrupt | Slow
+
+  (* Stall injected per accepted step by [Slow] — long enough that any
+     realistic deadline trips after a handful of steps, short enough
+     that an unbounded faulted solve still finishes. *)
+  let slow_step_s = 2e-4
 
   type plan =
     | Nth of { n : int; kind : kind }
@@ -275,14 +316,17 @@ module Fault = struct
         end
         else None
 
-  (* Spec grammar: ["nan:"]("nth:"N | RATE["@"SEED]). Examples:
+  (* Spec grammar: ["nan:"|"slow:"]("nth:"N | RATE["@"SEED]). Examples:
      "0.1" (10% of solves diverge, seed 0), "0.1@7", "nth:3",
-     "nan:0.05@2" (5% of solves return a NaN-corrupted waveform). *)
+     "nan:0.05@2" (5% of solves return a NaN-corrupted waveform),
+     "slow:nth:1" (solve #1 stalls at every step boundary). *)
   let of_string s =
     let kind, rest =
       match String.index_opt s ':' with
       | Some i when String.sub s 0 i = "nan" ->
           (Corrupt, String.sub s (i + 1) (String.length s - i - 1))
+      | Some i when String.sub s 0 i = "slow" ->
+          (Slow, String.sub s (i + 1) (String.length s - i - 1))
       | _ -> (Diverge, s)
     in
     let nth_prefix = "nth:" in
@@ -313,7 +357,7 @@ module Fault = struct
       | _ ->
           Error
             (Printf.sprintf
-               "bad fault spec %S: want [nan:](nth:N | RATE[@SEED])" s)
+               "bad fault spec %S: want [nan:|slow:](nth:N | RATE[@SEED])" s)
 end
 
 (* Compiled, array-based view of the circuit for fast stamping. *)
@@ -582,6 +626,9 @@ let run ?(config = default_config) ?(ic = []) ckt =
   (match fault with
   | Some Fault.Diverge -> raise (No_convergence cfg.tstart)
   | _ -> ());
+  (* Fail fast when the caller's budget is already spent — after the
+     fault roll so solve-index accounting matches an undeadlined run. *)
+  Deadline.check ~at:cfg.tstart;
   if cfg.tstop -. cfg.tstart <= 0.0 then
     invalid_arg "Transient.run: tstop <= tstart";
   if cfg.dt <= 0.0 then invalid_arg "Transient.run: dt must be positive";
@@ -629,6 +676,13 @@ let run ?(config = default_config) ?(ic = []) ckt =
   let steps_taken = ref 0 in
   let charge_step ~at =
     incr steps_taken;
+    Deadline.check ~at;
+    (* A [Slow] fault stalls each accepted step so a deadline trips
+       mid-solve, at a step boundary — the cancellation point the
+       deadline machinery promises. *)
+    (match fault with
+    | Some Fault.Slow -> Unix.sleepf Fault.slow_step_s
+    | _ -> ());
     if cfg.max_steps > 0 && !steps_taken > cfg.max_steps then
       raise (Step_budget_exhausted { at; budget = cfg.max_steps })
   in

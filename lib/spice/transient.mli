@@ -107,6 +107,11 @@ exception Step_budget_exhausted of { at : float; budget : int }
 (** Raised when a [run] accepts more than [config.max_steps] steps —
     the simulation time reached and the configured budget. *)
 
+exception Deadline_exceeded of { at : float; budget_ms : float }
+(** Raised by a [run] whose caller-installed wall-clock budget (see
+    {!Deadline}) expired — the simulation time reached and the budget
+    that was in force. *)
+
 (** Process-global solver effort counters, maintained with atomics so
     concurrent simulations on separate domains account correctly.
     These are the raw feed for [Runtime.Metrics]. *)
@@ -123,6 +128,8 @@ module Stats : sig
         (** rejected steps whose LTE estimate exceeded the tolerance *)
     injected_faults : int;
         (** faults injected by an armed {!Fault} plan *)
+    deadline_hits : int;
+        (** solves cancelled by an expired {!Deadline} budget *)
   }
 
   val snapshot : unit -> snapshot
@@ -131,6 +138,23 @@ module Stats : sig
 
   val reset : unit -> unit
   val pp : Format.formatter -> snapshot -> unit
+end
+
+(** Cooperative per-solve wall-clock deadlines. [with_budget] installs
+    a budget in domain-local storage for the duration of [f]; every
+    {!run} on that domain then checks the clock at each accepted step
+    boundary (and once before stepping) and raises {!Deadline_exceeded}
+    when the budget has expired. Cancellation is cooperative: a solve
+    stops at the next step boundary, never mid-factorisation, so solver
+    state and stats stay consistent. Nested budgets restore the outer
+    one on exit; with no budget installed the per-step check is a
+    domain-local load and costs nothing measurable. *)
+module Deadline : sig
+  val with_budget : ms:float -> (unit -> 'a) -> 'a
+  (** Raises [Invalid_argument] when [ms] is not positive and finite. *)
+
+  val active : unit -> bool
+  (** Whether the calling domain currently has a budget installed. *)
 end
 
 (** Deterministic, seeded fault injection for exercising recovery
@@ -144,6 +168,9 @@ module Fault : sig
   type kind =
     | Diverge  (** raise [No_convergence] at [tstart] *)
     | Corrupt  (** return a waveform with a NaN sample *)
+    | Slow
+        (** stall at every accepted step boundary — the solve still
+            completes (slowly) unless a {!Deadline} budget cancels it *)
 
   type plan =
     | Nth of { n : int; kind : kind }
@@ -160,8 +187,9 @@ module Fault : sig
   (** Total faults injected — alias for [Stats.injected_faults]. *)
 
   val of_string : string -> (plan, string) result
-  (** Parse a CLI spec: [["nan:"]("nth:"N | RATE["@"SEED])] — e.g.
-      ["0.1"], ["0.1@7"], ["nth:3"], ["nan:0.05@2"]. *)
+  (** Parse a CLI spec: [["nan:"|"slow:"]("nth:"N | RATE["@"SEED])] —
+      e.g. ["0.1"], ["0.1@7"], ["nth:3"], ["nan:0.05@2"],
+      ["slow:nth:1"]. *)
 end
 
 type result

@@ -9,22 +9,29 @@ type timing = {
   slew : float;
   dir : Waveform.Wave.direction;
   from_noisy : bool;
+  mapping : Runtime.Failure.t option;
 }
 
 type config = {
   library : Liberty.Nldm.cell_timing list;
   th : Waveform.Thresholds.t;
   technique : Eqwave.Technique.t;
+  ladder : Eqwave.Ladder.t;
   samples : int;
   proc : Device.Process.t;
 }
 
-let config ?(technique = Eqwave.Sgdp.sgdp) ?(samples = 35)
+let config ?(technique = Eqwave.Sgdp.sgdp) ?ladder ?(samples = 35)
     ?(proc = Device.Process.c13) ?th library =
   let th =
     match th with Some t -> t | None -> Device.Process.thresholds proc
   in
-  { library; th; technique; samples; proc }
+  let ladder =
+    match ladder with
+    | Some l -> l
+    | None -> Eqwave.Ladder.prepend technique Eqwave.Ladder.default
+  in
+  { library; th; technique; ladder; samples; proc }
 
 (* Map library cell names back to transistor-level cells so the
    noiseless gate response at a noisy pin can be produced by the delay
@@ -142,22 +149,58 @@ let reduce_noisy cfg netlist net (nominal : timing) wave =
     Eqwave.Technique.make_ctx ~samples:cfg.samples ~th:cfg.th ~noisy_in:wave
       ~noiseless_in:(sample noiseless_in) ~noiseless_out ()
   in
-  let ramp =
-    match cfg.technique.Eqwave.Technique.run ctx with
-    | ramp -> ramp
-    | exception Eqwave.Technique.Unsupported _ ->
-        (* Graceful degradation, as a production tool would do: keep the
-           nominal slew, anchor at the latest noisy mid crossing. *)
-        Ramp.of_arrival_slew
-          ~arrival:(Eqwave.Technique.latest_mid_crossing ctx)
-          ~slew:nominal.slew ~dir:nominal.dir cfg.th
-  in
-  {
-    at = Ramp.arrival ramp cfg.th;
-    slew = Ramp.slew ramp cfg.th;
-    dir = Ramp.direction ramp;
-    from_noisy = true;
-  }
+  (* The configured ladder degrades gracefully: the preferred technique
+     first, fallbacks in order, and — when every rung is inapplicable —
+     a last-resort nominal-slew ramp anchored at the latest noisy mid
+     crossing. Each outcome is recorded in [mapping] so a tool flow can
+     flag degraded pins instead of silently trusting them. *)
+  match Eqwave.Ladder.run cfg.ladder ctx with
+  | Ok o ->
+      let ramp = o.Eqwave.Ladder.ramp in
+      {
+        at = Ramp.arrival ramp cfg.th;
+        slew = Ramp.slew ramp cfg.th;
+        dir = Ramp.direction ramp;
+        from_noisy = true;
+        mapping =
+          (if o.Eqwave.Ladder.rung = 0 then None
+           else
+             Some
+               (Runtime.Failure.Mapping_degraded
+                  {
+                    technique = o.Eqwave.Ladder.technique;
+                    rung = o.Eqwave.Ladder.rung;
+                    score_v = o.Eqwave.Ladder.score_v;
+                  }));
+      }
+  | Error skipped ->
+      let last =
+        match List.rev skipped with
+        | s :: _ -> s.Eqwave.Ladder.reason
+        | [] -> "empty ladder"
+      in
+      let failure =
+        Runtime.Failure.Mapping_exhausted
+          { tried = List.length skipped; last }
+      in
+      (match Eqwave.Technique.latest_mid_crossing_opt ctx with
+      | Some arrival ->
+          let ramp =
+            Ramp.of_arrival_slew ~arrival ~slew:nominal.slew
+              ~dir:nominal.dir cfg.th
+          in
+          {
+            at = Ramp.arrival ramp cfg.th;
+            slew = Ramp.slew ramp cfg.th;
+            dir = Ramp.direction ramp;
+            from_noisy = true;
+            mapping = Some failure;
+          }
+      | None ->
+          (* Not even a mid crossing to anchor on: keep the nominal
+             timing but mark the pin, so downstream sees the most
+             conservative defensible numbers, typed. *)
+          { nominal with from_noisy = true; mapping = Some failure })
 
 type result = {
   timings : (string * timing) list;
@@ -175,7 +218,8 @@ let run ?(noisy_pins = []) cfg netlist ~stimuli =
           | Some s -> s
           | None -> failwith ("Sta: missing stimulus for input " ^ net)
         in
-        { at = s.arrival; slew = s.slew; dir = s.dir; from_noisy = false }
+        { at = s.arrival; slew = s.slew; dir = s.dir; from_noisy = false;
+          mapping = None }
     | `Gate inst ->
         let din = Hashtbl.find table inst.Netlist.input in
         let ct = find_cell cfg inst.Netlist.cell in
@@ -189,6 +233,7 @@ let run ?(noisy_pins = []) cfg netlist ~stimuli =
           slew = sqrt ((out_slew *. out_slew) +. (wslew *. wslew));
           dir = Liberty.Nldm.output_dir ct din.dir;
           from_noisy = false;
+          mapping = None;
         }
     | exception Not_found -> failwith ("Sta: undriven net " ^ net)
   in
@@ -232,9 +277,18 @@ let pp_result ppf r =
   Format.fprintf ppf "@[<v>";
   List.iter
     (fun (net, t) ->
+      let tag =
+        match (t.from_noisy, t.mapping) with
+        | false, _ -> ""
+        | true, None -> "  [noisy->ramp]"
+        | true, Some (Runtime.Failure.Mapping_degraded d) ->
+            Printf.sprintf "  [noisy->%s@rung%d]" d.technique d.rung
+        | true, Some f ->
+            Printf.sprintf "  [noisy!%s]" (Runtime.Failure.code f)
+      in
       Format.fprintf ppf "%-14s at=%8.1f ps slew=%7.1f ps %a%s@,"
         net (t.at *. 1e12) (t.slew *. 1e12) Waveform.Wave.pp_direction t.dir
-        (if t.from_noisy then "  [noisy->ramp]" else ""))
+        tag)
     r.timings;
   (match r.worst_output with
   | Some (n, t) ->

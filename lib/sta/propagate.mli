@@ -20,22 +20,33 @@ type timing = {
   slew : float;
   dir : Waveform.Wave.direction;
   from_noisy : bool;                 (** reduced from a noisy waveform *)
+  mapping : Runtime.Failure.t option;
+      (** degradation record for noisy pins: [None] when the preferred
+          technique (ladder rung 0) produced the ramp,
+          [Some (Mapping_degraded _)] when a fallback rung did, and
+          [Some (Mapping_exhausted _)] when the last-resort
+          nominal-slew anchor was used. Always [None] on clean pins. *)
 }
 
 type config = {
   library : Liberty.Nldm.cell_timing list;
   th : Waveform.Thresholds.t;
-  technique : Eqwave.Technique.t;    (** reduction for noisy pins *)
+  technique : Eqwave.Technique.t;    (** preferred reduction (rung 0) *)
+  ladder : Eqwave.Ladder.t;          (** fallback ladder for noisy pins *)
   samples : int;                     (** P for the technique *)
   proc : Device.Process.t;           (** process used by the delay
                                          calculator at noisy pins *)
 }
 
 val config :
-  ?technique:Eqwave.Technique.t -> ?samples:int ->
+  ?technique:Eqwave.Technique.t -> ?ladder:Eqwave.Ladder.t ->
+  ?samples:int ->
   ?proc:Device.Process.t -> ?th:Waveform.Thresholds.t ->
   Liberty.Nldm.cell_timing list -> config
-(** Defaults: SGDP, P = 35, the c13 corner and its thresholds. *)
+(** Defaults: SGDP, P = 35, the c13 corner and its thresholds. The
+    default [ladder] is [technique] prepended to
+    {!Eqwave.Ladder.default}, so the preferred technique is rung 0 and
+    the stock fallbacks follow. *)
 
 val net_load : config -> Netlist.t -> string -> float
 (** Total capacitive load a driver of the net sees: receiver pin caps

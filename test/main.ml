@@ -11,6 +11,7 @@ let () =
       Test_noise.suite;
       Test_runtime.suite;
       Test_resilience.suite;
+      Test_degradation.suite;
       Test_sta.suite;
       Test_extensions.suite;
       Test_substrate.suite;

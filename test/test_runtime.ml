@@ -394,6 +394,7 @@ let test_all_failed_row_reports_zero () =
     {
       Eqwave.Technique.name = "FAIL";
       describe = "always unsupported (test)";
+      applicable = (fun _ -> Ok ());
       run = (fun _ -> raise (Eqwave.Technique.Unsupported "test"));
     }
   in

@@ -237,6 +237,67 @@ let test_noisy_pin_technique_choice () =
   let a = run cfg_sgdp and b = run cfg_p1 in
   check_true "within 100 ps" (abs_float (a -. b) < 100e-12)
 
+let test_config_ladder_composition () =
+  let cfg = Propagate.config [] in
+  Alcotest.(check (list string))
+    "default: SGDP rung 0 + stock fallbacks"
+    [ "SGDP"; "WLS5"; "LSF3"; "E4"; "P1" ]
+    (Eqwave.Ladder.names cfg.Propagate.ladder);
+  let cfg_p1 = Propagate.config ~technique:Eqwave.Point_based.p1 [] in
+  match Eqwave.Ladder.names cfg_p1.Propagate.ladder with
+  | "P1" :: rest ->
+      check_true "stock rungs follow, deduped" (not (List.mem "P1" rest))
+  | l -> Alcotest.failf "P1 not rung 0: %s" (String.concat "," l)
+
+let test_noisy_pin_mapping_reported () =
+  let lib = Lazy.force library in
+  let n = two_stage () in
+  let cfg = Propagate.config lib in
+  let r0 = Propagate.run cfg n ~stimuli:[ ("a", stim) ] in
+  let at_b = (List.assoc "b" r0.Propagate.timings).Propagate.at in
+  let wave = noisy_wave_for_pin at_b in
+  let r1 =
+    Propagate.run ~noisy_pins:[ ("b", wave) ] cfg n ~stimuli:[ ("a", stim) ]
+  in
+  let tb = List.assoc "b" r1.Propagate.timings in
+  check_true "marked noisy" tb.Propagate.from_noisy;
+  (match tb.Propagate.mapping with
+  | None | Some (Runtime.Failure.Mapping_degraded _) -> ()
+  | Some f ->
+      Alcotest.failf "unexpected mapping failure: %s" (Runtime.Failure.code f));
+  (* Clean pins never carry a mapping record. *)
+  check_true "clean pin unmapped"
+    ((List.assoc "c" r1.Propagate.timings).Propagate.mapping = None)
+
+let test_noisy_pin_exhaustion_last_resort () =
+  let lib = Lazy.force library in
+  let n = two_stage () in
+  let cfg = Propagate.config lib in
+  let r0 = Propagate.run cfg n ~stimuli:[ ("a", stim) ] in
+  let at_b = (List.assoc "b" r0.Propagate.timings).Propagate.at in
+  (* A flat waveform stuck below mid-rail: no rung can map it. *)
+  let flat =
+    Waveform.Wave.create
+      [| 0.0; at_b; at_b +. 1e-9 |]
+      [| 0.35; 0.35; 0.35 |]
+  in
+  let r1 =
+    Propagate.run ~noisy_pins:[ ("b", flat) ] cfg n ~stimuli:[ ("a", stim) ]
+  in
+  let tb = List.assoc "b" r1.Propagate.timings in
+  check_true "marked noisy" tb.Propagate.from_noisy;
+  (match tb.Propagate.mapping with
+  | Some (Runtime.Failure.Mapping_exhausted _) -> ()
+  | Some f ->
+      Alcotest.failf "expected exhaustion, got %s" (Runtime.Failure.code f)
+  | None -> Alcotest.fail "exhaustion not recorded");
+  check_true "timing stays finite"
+    (Float.is_finite tb.Propagate.at && Float.is_finite tb.Propagate.slew);
+  check_true "downstream still timed"
+    (Float.is_finite (List.assoc "c" r1.Propagate.timings).Propagate.at);
+  let s = Format.asprintf "%a" Propagate.pp_result r1 in
+  check_true "report renders" (String.length s > 20)
+
 let test_critical_path () =
   let cfg = Propagate.config (Lazy.force library) in
   let n = two_stage () in
@@ -268,6 +329,10 @@ let suite =
       slow_case "propagate: matches spice" test_sta_vs_spice_chain;
       slow_case "noisy pin: reduction applies" test_noisy_pin_reduction;
       slow_case "noisy pin: technique pluggable" test_noisy_pin_technique_choice;
+      case "config: ladder composition" test_config_ladder_composition;
+      slow_case "noisy pin: mapping reported" test_noisy_pin_mapping_reported;
+      slow_case "noisy pin: exhaustion uses last resort"
+        test_noisy_pin_exhaustion_last_resort;
       slow_case "report: critical path" test_critical_path;
       slow_case "report: pp" test_pp_result;
     ] )
