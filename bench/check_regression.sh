@@ -1,0 +1,33 @@
+#!/bin/sh
+# Solver hot-path regression gate.
+#
+# Re-runs the kernel benchmark (20-case Config II sweep, dense LU
+# without reuse vs auto-selected banded kernel with Jacobian reuse)
+# and compares it against a committed baseline via the benchmark's
+# own --compare mode. The gate fails (non-zero exit) when either
+#
+#   * the optimized per-solve time regressed by more than 25% against
+#     the baseline's opt_per_solve_ms, or
+#   * any Config II case's reference delay drifted by more than
+#     0.01 ps against the baseline's delays_ps array.
+#
+# The timing limb is advisory across machines (the committed baseline
+# records one host's numbers); the delay-drift limb is
+# machine-independent and must always hold. Refresh the baseline on a
+# quiet machine with:
+#
+#   dune exec bench/main.exe -- kernel --json BENCH_baseline.json
+#
+# Usage: bench/check_regression.sh [BASELINE.json] [extra bench args...]
+set -eu
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_baseline.json}"
+[ $# -gt 0 ] && shift
+
+if [ ! -f "$baseline" ]; then
+  echo "check_regression: baseline $baseline not found" >&2
+  exit 2
+fi
+
+exec dune exec bench/main.exe -- kernel --compare "$baseline" "$@"

@@ -8,6 +8,10 @@
      table1   — accuracy comparison across all techniques (Table 1)
      runtime  — per-technique extraction latency and the SGDP cost vs P
                 sweep (Section 4.2), measured with Bechamel
+     kernel   — solver hot-path A/B on a Config II sweep: dense LU with
+                per-iteration refactorization vs the auto-selected
+                bordered-banded kernel with Jacobian reuse (per-solve
+                wall time, factorization counts, delay drift)
      ablation — SGDP design-choice ablations (DESIGN.md)
      nonoverlap — the two-stage-buffer receiver extension (the paper's
                 non-overlapping-transition case)
@@ -51,7 +55,12 @@
                     deterministic sample of fast-engine cases is
                     re-checked against the reference preset
      --guard-every N  guard sampling stride (default 8; 1 = every case)
-     --guard-tol-ps X guard delay tolerance in picoseconds (default 1) *)
+     --guard-tol-ps X guard delay tolerance in picoseconds (default 1)
+     --solver KIND  linear-kernel selection: dense | banded | auto
+     --no-jac-reuse refactor the Jacobian on every Newton iteration
+     --compare FILE regression gate for the kernel section: fail when
+                    the per-solve time regressed >25% or delays drifted
+                    >0.01 ps against FILE (a previous --json output) *)
 
 let cases = ref 100
 let jobs = ref 1
@@ -71,6 +80,10 @@ let ladder_names : string list option ref = ref None
 let use_guard = ref false
 let guard_every = ref 8
 let guard_tol_ps = ref 1.0
+let solver_kind : Spice.Transient.solver_kind option ref = ref None
+let jac_reuse = ref true
+let compare_file : string option ref = ref None
+let exit_code = ref 0
 
 let ladder =
   lazy
@@ -116,6 +129,14 @@ let engine =
            (Runtime.Guard.make ~every:!guard_every
               ~tol_s:(!guard_tol_ps *. 1e-12) ())
        else e
+     in
+     let e =
+       match !solver_kind with
+       | Some k -> Runtime.Engine.with_solver_kind e k
+       | None -> e
+     in
+     let e =
+       if !jac_reuse then e else Runtime.Engine.with_jac_reuse e false
      in
      let e =
        match Lazy.force pool with
@@ -472,6 +493,188 @@ let runtime () =
          ])
 
 (* ------------------------------------------------------------------ *)
+(* Kernel: solver hot-path A/B (dense vs banded + Jacobian reuse)      *)
+
+(* JSON fragment from the kernel comparison, for --json and the
+   regression gate. *)
+let kernel_json : string option ref = ref None
+
+(* Minimal JSON scanning for --compare: pull one numeric scalar or one
+   numeric array out of a baseline file by key, without a JSON parser
+   dependency. Good enough because BENCH_baseline.json is produced by
+   this very program. *)
+let find_sub text pat =
+  let n = String.length text and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub text i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let scan_number text key =
+  match find_sub text (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some pos ->
+      let buf = Buffer.create 24 in
+      let n = String.length text in
+      let rec take i =
+        if i < n then
+          match text.[i] with
+          | ',' | '}' | ']' -> ()
+          | c ->
+              Buffer.add_char buf c;
+              take (i + 1)
+      in
+      take pos;
+      float_of_string_opt (String.trim (Buffer.contents buf))
+
+let scan_array text key =
+  match find_sub text (Printf.sprintf "\"%s\":[" key) with
+  | None -> None
+  | Some pos -> (
+      match String.index_from_opt text pos ']' with
+      | None -> None
+      | Some close ->
+          let body = String.sub text pos (close - pos) in
+          if String.trim body = "" then Some []
+          else
+            String.split_on_char ',' body
+            |> List.map (fun s -> float_of_string_opt (String.trim s))
+            |> List.fold_left
+                 (fun acc x ->
+                   match (acc, x) with
+                   | Some l, Some v -> Some (v :: l)
+                   | _ -> None)
+                 (Some [])
+            |> Option.map List.rev)
+
+let kernel_compare ~opt_per_solve_ms ~delays_ps path =
+  let text =
+    In_channel.with_open_text path In_channel.input_all
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.printf "  REGRESSION vs %s: %s\n" path msg;
+        exit_code := 1)
+      fmt
+  in
+  (match scan_number text "opt_per_solve_ms" with
+  | None -> fail "baseline has no opt_per_solve_ms"
+  | Some base ->
+      let limit = base *. 1.25 in
+      if opt_per_solve_ms > limit then
+        fail "per-solve %.3f ms exceeds baseline %.3f ms by >25%%"
+          opt_per_solve_ms base
+      else
+        Printf.printf "  per-solve %.3f ms vs baseline %.3f ms: ok\n"
+          opt_per_solve_ms base);
+  match scan_array text "delays_ps" with
+  | None -> fail "baseline has no delays_ps array"
+  | Some base ->
+      if List.length base <> List.length delays_ps then
+        Printf.printf
+          "  (baseline has %d delays, this run %d — skipping drift check; \
+           re-run with matching --cases)\n"
+          (List.length base) (List.length delays_ps)
+      else
+        let drift =
+          List.fold_left2
+            (fun acc a b -> Float.max acc (abs_float (a -. b)))
+            0.0 base delays_ps
+        in
+        if drift > 0.01 then
+          fail "delay drift %.4f ps vs baseline exceeds 0.01 ps" drift
+        else Printf.printf "  delay drift %.4f ps vs baseline: ok\n" drift
+
+let kernel () =
+  header "Kernel: solver hot path (dense vs banded + Jacobian reuse)";
+  let n = Int.min !cases 20 in
+  let scen = Noise.Scenario.with_cases Noise.Scenario.config_ii n in
+  (* Fresh engines with neither pool nor cache so elapsed time and the
+     Stats counters measure real solver work. Both sides share the
+     CLI preset's step control; only the linear kernel and reuse
+     policy differ. *)
+  let base =
+    let e = Runtime.Engine.of_name !engine_name in
+    match !ltetol with
+    | Some tol ->
+        Runtime.Engine.map_solver e (fun c ->
+            Spice.Transient.with_adaptive ~lte_tol:tol c)
+    | None -> e
+  in
+  let dense_engine =
+    Runtime.Engine.with_jac_reuse
+      (Runtime.Engine.with_solver_kind base Spice.Transient.Dense)
+      false
+  in
+  let opt_engine =
+    Runtime.Engine.with_jac_reuse
+      (Runtime.Engine.with_solver_kind base Spice.Transient.Auto)
+      true
+  in
+  let sweep engine =
+    let before = Spice.Transient.Stats.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let table =
+      Noise.Eval.run_table ~techniques:[ Eqwave.Sgdp.sgdp ] ~engine scen
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let d = Spice.Transient.Stats.(diff (snapshot ()) before) in
+    ( List.map
+        (fun c -> c.Noise.Eval.delay_ref *. 1e12)
+        table.Noise.Eval.cases,
+      d,
+      elapsed )
+  in
+  let d_dense, s_dense, t_dense = sweep dense_engine in
+  let d_opt, s_opt, t_opt = sweep opt_engine in
+  let open Spice.Transient.Stats in
+  let per_solve_ms elapsed (s : snapshot) =
+    if s.sims = 0 then 0.0 else elapsed *. 1e3 /. float_of_int s.sims
+  in
+  let dense_ms = per_solve_ms t_dense s_dense in
+  let opt_ms = per_solve_ms t_opt s_opt in
+  let speedup = if opt_ms > 0.0 then dense_ms /. opt_ms else 0.0 in
+  let drift_ps =
+    List.fold_left2
+      (fun acc a b -> Float.max acc (abs_float (a -. b)))
+      0.0 d_dense d_opt
+  in
+  Printf.printf
+    "  %d-case Config II sweep, %d sims per side\n\
+    \  dense, no reuse   %8.3f ms/solve  (%d factorizations / %d iters)\n\
+    \  auto + reuse      %8.3f ms/solve  (%d factorizations / %d iters, \
+     %d reused, %d banded sims)\n\
+    \  speedup %.2fx; max delay drift %.4f ps\n"
+    n s_dense.sims dense_ms s_dense.factorizations s_dense.newton_iters
+    opt_ms s_opt.factorizations s_opt.newton_iters s_opt.jac_reuses
+    s_opt.banded_solves speedup drift_ps;
+  kernel_json :=
+    Some
+      (json_obj
+         [
+           ("n_cases", string_of_int n);
+           ("sims", string_of_int s_opt.sims);
+           ("dense_per_solve_ms", Printf.sprintf "%.6f" dense_ms);
+           ("opt_per_solve_ms", Printf.sprintf "%.6f" opt_ms);
+           ("speedup", Printf.sprintf "%.4f" speedup);
+           ("dense_factorizations", string_of_int s_dense.factorizations);
+           ("dense_newton_iters", string_of_int s_dense.newton_iters);
+           ("opt_factorizations", string_of_int s_opt.factorizations);
+           ("opt_newton_iters", string_of_int s_opt.newton_iters);
+           ("jac_reuses", string_of_int s_opt.jac_reuses);
+           ("banded_solves", string_of_int s_opt.banded_solves);
+           ("max_delay_delta_ps", Printf.sprintf "%.6f" drift_ps);
+           ( "delays_ps",
+             json_list (List.map (Printf.sprintf "%.6f") d_opt) );
+         ]);
+  match !compare_file with
+  | Some path -> kernel_compare ~opt_per_solve_ms:opt_ms ~delays_ps:d_opt path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 
 let ablation () =
@@ -748,9 +951,12 @@ let write_json path =
                !table1_results) );
         ("metrics", Runtime.Metrics.to_json metrics);
       ]
+      @ (match !adaptive_json with
+        | Some j -> [ ("adaptive", j) ]
+        | None -> [])
       @
-      match !adaptive_json with
-      | Some j -> [ ("adaptive", j) ]
+      match !kernel_json with
+      | Some j -> [ ("kernel", j) ]
       | None -> [])
   in
   let oc = open_out path in
@@ -768,13 +974,19 @@ let usage () =
     \       [--json FILE] [--retries N] [--fallback POLICY]\n\
     \       [--checkpoint DIR] [--inject-faults SPEC] [--deadline MS]\n\
     \       [--ladder LIST] [--guard] [--guard-every N] [--guard-tol-ps X]\n\
+    \       [--solver KIND] [--no-jac-reuse] [--compare BASELINE.json]\n\
      engines: reference (fixed grid) | accurate | fast (adaptive)\n\
+     solvers: dense | banded | auto (per-circuit sparsity analysis)\n\
+     --no-jac-reuse  refactor the Jacobian on every Newton iteration\n\
+     --compare FILE  after the kernel section, fail if the per-solve\n\
+    \             time regressed >25%% or delays drifted >0.01 ps\n\
+    \             against FILE (a previous --json output)\n\
      fallback policies: standard | none\n\
      fault specs: nth:N | RATE[@SEED], nan: prefix corrupts instead of\n\
     \             diverging, slow: stalls solves (examples: 0.1@7,\n\
     \             nth:3, nan:0.05, slow:nth:5)\n\
      ladder: comma-separated technique names, e.g. SGDP,WLS5,P1\n\
-     sections: figure1 figure2 table1 runtime ablation nonoverlap\n\
+     sections: figure1 figure2 table1 runtime kernel ablation nonoverlap\n\
     \          worstcase corners montecarlo awe (default: all)";
   exit 2
 
@@ -853,6 +1065,20 @@ let () =
             Printf.eprintf "--ladder: %s\n" msg;
             usage ());
         parse rest
+    | "--solver" :: v :: rest ->
+        (match Spice.Transient.solver_kind_of_string v with
+        | Ok k -> solver_kind := Some k
+        | Error msg ->
+            Printf.eprintf "--solver: %s\n" msg;
+            usage ());
+        parse rest
+    | "--no-jac-reuse" :: rest -> jac_reuse := false; parse rest
+    | "--compare" :: v :: rest ->
+        if not (Sys.file_exists v) then (
+          Printf.eprintf "--compare: no such baseline file %s\n" v;
+          usage ());
+        compare_file := Some v;
+        parse rest
     | "--guard" :: rest -> use_guard := true; parse rest
     | "--guard-every" :: v :: rest ->
         int_opt "--guard-every" v (fun n ->
@@ -870,7 +1096,8 @@ let () =
         parse rest
     | ( "--cases" | "--jobs" | "--json" | "--cache-dir" | "--engine" | "--ltetol"
       | "--retries" | "--fallback" | "--checkpoint" | "--inject-faults"
-      | "--deadline" | "--ladder" | "--guard-every" | "--guard-tol-ps" )
+      | "--deadline" | "--ladder" | "--guard-every" | "--guard-tol-ps"
+      | "--solver" | "--compare" )
       :: [] ->
         usage ()
     | s :: _ when String.length s > 0 && s.[0] = '-' ->
@@ -893,6 +1120,7 @@ let () =
   stage "figure2" figure2;
   stage "table1" table1;
   stage "runtime" runtime;
+  stage "kernel" kernel;
   stage "ablation" ablation;
   stage "nonoverlap" nonoverlap;
   stage "worstcase" worstcase;
@@ -919,4 +1147,5 @@ let () =
      Printf.printf "\nresilience: %d injected faults; %s\n"
        (Spice.Transient.Fault.injected ())
        (Format.asprintf "%a" pp d));
-  Printf.printf "\nDone.\n"
+  Printf.printf "\nDone.\n";
+  if !exit_code <> 0 then exit !exit_code

@@ -178,8 +178,27 @@ let rt_term =
                    disagreements beyond 1 ps are counted in the \
                    metrics report.")
   in
+  let solver_conv =
+    Arg.conv
+      ( (fun s ->
+          match Spice.Transient.solver_kind_of_string s with
+          | Ok k -> Ok k
+          | Error msg -> Error (`Msg msg)),
+        fun ppf k ->
+          Format.pp_print_string ppf
+            (Spice.Transient.solver_kind_to_string k) )
+  in
+  let solver =
+    Arg.(value & opt (some solver_conv) None
+         & info [ "solver" ] ~docv:"KIND"
+             ~doc:"Linear-kernel selection for the transient solver: \
+                   $(b,dense) (always dense LU), $(b,banded) (force \
+                   the reordered bordered-banded kernel), or \
+                   $(b,auto) (per-circuit sparsity analysis picks \
+                   whichever is cheaper; the default).")
+  in
   let make engine ltetol jobs no_cache cache_dir metrics fallback retries
-      checkpoint inject deadline guard ladder =
+      checkpoint inject deadline guard ladder solver =
     let engine =
       match ltetol with
       | Some tol ->
@@ -213,6 +232,11 @@ let rt_term =
       if guard then Runtime.Engine.with_guard engine Runtime.Guard.default
       else engine
     in
+    let engine =
+      match solver with
+      | Some kind -> Runtime.Engine.with_solver_kind engine kind
+      | None -> engine
+    in
     (match inject with
     | Some plan -> Spice.Transient.Fault.arm plan
     | None -> ());
@@ -220,7 +244,8 @@ let rt_term =
   in
   Term.(
     const make $ engine $ ltetol $ jobs $ no_cache $ cache_dir $ metrics
-    $ fallback $ retries $ checkpoint $ inject $ deadline $ guard $ ladder)
+    $ fallback $ retries $ checkpoint $ inject $ deadline $ guard $ ladder
+    $ solver)
 
 (* Run a subcommand body under the runtime options: time it, then
    report metrics and release the pool. *)

@@ -12,6 +12,14 @@ let get m i j = m.data.((i * m.cols) + j)
 let set m i j x = m.data.((i * m.cols) + j) <- x
 let add_to m i j x = m.data.((i * m.cols) + j) <- m.data.((i * m.cols) + j) +. x
 
+(* Resolve an entry to its backing array and flat offset, so static
+   stamp patterns can be compiled once and applied with plain array
+   writes in hot loops. *)
+let slot m i j =
+  if i < 0 || j < 0 || i >= m.rows || j >= m.cols then
+    invalid_arg "Matrix.slot: out of range";
+  (m.data, (i * m.cols) + j)
+
 let identity n =
   let m = create n n in
   for i = 0 to n - 1 do
@@ -138,6 +146,92 @@ let lu_solve { n; lu_data = a; perm } b =
   x
 
 let solve a b = lu_solve (lu_factor a) b
+
+let blit src dst =
+  if src.rows <> dst.rows || src.cols <> dst.cols then
+    invalid_arg "Matrix.blit: shape mismatch";
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
+(* Preallocated, reusable factorization workspace. Unlike [lu], row
+   exchanges are recorded as successive swaps (LAPACK ipiv style) so the
+   permutation can be applied to a right-hand side in place. *)
+type fact = { fn : int; fdata : float array; fipiv : int array }
+
+let fact_create n =
+  if n <= 0 then invalid_arg "Matrix.fact_create: size must be positive";
+  { fn = n; fdata = Array.make (n * n) 0.0; fipiv = Array.make n 0 }
+
+let factor_into m f =
+  if m.rows <> m.cols then invalid_arg "Matrix.factor_into: not square";
+  if m.rows <> f.fn then invalid_arg "Matrix.factor_into: size mismatch";
+  let n = f.fn in
+  let a = f.fdata in
+  Array.blit m.data 0 a 0 (n * n);
+  for k = 0 to n - 1 do
+    let pmax = ref (abs_float a.((k * n) + k)) in
+    let prow = ref k in
+    for i = k + 1 to n - 1 do
+      let v = abs_float a.((i * n) + k) in
+      if v > !pmax then begin
+        pmax := v;
+        prow := i
+      end
+    done;
+    if !pmax < pivot_eps then raise (Singular k);
+    f.fipiv.(k) <- !prow;
+    if !prow <> k then begin
+      let p = !prow in
+      for j = 0 to n - 1 do
+        let tmp = a.((k * n) + j) in
+        a.((k * n) + j) <- a.((p * n) + j);
+        a.((p * n) + j) <- tmp
+      done
+    end;
+    let akk = a.((k * n) + k) in
+    (* Unsafe accesses in the O(n^3) update: rows and columns stay in
+       [0, n) by construction. *)
+    for i = k + 1 to n - 1 do
+      let ib = i * n and kb = k * n in
+      let fmul = Array.unsafe_get a (ib + k) /. akk in
+      Array.unsafe_set a (ib + k) fmul;
+      if fmul <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Array.unsafe_set a (ib + j)
+            (Array.unsafe_get a (ib + j)
+            -. (fmul *. Array.unsafe_get a (kb + j)))
+        done
+    done
+  done
+
+let solve_into f b =
+  let n = f.fn in
+  if Array.length b <> n then invalid_arg "Matrix.solve_into: size mismatch";
+  let a = f.fdata in
+  for k = 0 to n - 1 do
+    let p = f.fipiv.(k) in
+    if p <> k then begin
+      let tmp = b.(k) in
+      b.(k) <- b.(p);
+      b.(p) <- tmp
+    end
+  done;
+  (* Unsafe accesses: [b] length was checked against [n] above. *)
+  for i = 1 to n - 1 do
+    let ib = i * n in
+    let s = ref (Array.unsafe_get b i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Array.unsafe_get a (ib + j) *. Array.unsafe_get b j)
+    done;
+    Array.unsafe_set b i !s
+  done;
+  for i = n - 1 downto 0 do
+    let ib = i * n in
+    let s = ref (Array.unsafe_get b i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Array.unsafe_get a (ib + j) *. Array.unsafe_get b j)
+    done;
+    Array.unsafe_set b i (!s /. Array.unsafe_get a (ib + i))
+  done
 
 let residual_norm a x b =
   let ax = mul_vec a x in

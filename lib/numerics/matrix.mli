@@ -29,6 +29,12 @@ val add_to : t -> int -> int -> float -> unit
 (** [add_to m i j x] adds [x] to element (i, j); the basic stamping
     operation used by MNA assembly. *)
 
+val slot : t -> int -> int -> float array * int
+(** Backing array and flat offset of element (i, j). Lets callers with
+    a static sparsity pattern compile their stamp positions once and
+    apply them with plain array writes in hot loops; writing through
+    the pair is equivalent to [set]/[add_to] at that position. *)
+
 val copy : t -> t
 val fill : t -> float -> unit
 
@@ -55,6 +61,32 @@ val lu_solve : lu -> float array -> float array
 
 val solve : t -> float array -> float array
 (** One-shot [solve a b]: factor and solve. *)
+
+val blit : t -> t -> unit
+(** [blit src dst] copies [src]'s contents into [dst]. Raises
+    [Invalid_argument] on shape mismatch. The baseline-restore
+    operation of the solver hot path: restamping only the nonlinear
+    devices on top of a pre-stamped linear part. *)
+
+type fact
+(** A preallocated, reusable LU workspace. Unlike {!lu}, factoring
+    into it allocates nothing and solving overwrites the right-hand
+    side in place — the allocation-free inner loop of
+    [Spice.Transient]. *)
+
+val fact_create : int -> fact
+(** [fact_create n] allocates a workspace for n x n systems. Raises
+    [Invalid_argument] when [n] is not positive. *)
+
+val factor_into : t -> fact -> unit
+(** [factor_into a f] factors the square matrix [a] into [f],
+    overwriting any previous factorization. [a] is not modified.
+    Raises {!Singular} on a vanishing pivot and [Invalid_argument] on
+    size mismatch. Allocation-free. *)
+
+val solve_into : fact -> float array -> unit
+(** [solve_into f b] solves [A x = b] for the factored [A],
+    overwriting [b] with [x]. Allocation-free. *)
 
 val residual_norm : t -> float array -> float array -> float
 (** [residual_norm a x b] is the max-norm of [a*x - b]; used by tests. *)

@@ -75,6 +75,12 @@ let with_deadline t ms =
 let with_guard t guard = { t with guard = Some guard }
 let map_solver t f = { t with solver = f t.solver }
 
+let with_solver_kind t kind =
+  map_solver t (fun c -> Spice.Transient.with_solver_kind c kind)
+
+let with_jac_reuse t reuse =
+  map_solver t (fun c -> Spice.Transient.with_jac_reuse c reuse)
+
 let resolve ?pool ?cache engine =
   match engine with
   | Some e ->

@@ -11,6 +11,18 @@ type adaptive = {
 }
 
 type step_control = Fixed | Adaptive of adaptive
+type solver_kind = Dense | Banded | Auto
+
+let solver_kind_to_string = function
+  | Dense -> "dense"
+  | Banded -> "banded"
+  | Auto -> "auto"
+
+let solver_kind_of_string = function
+  | "dense" -> Ok Dense
+  | "banded" -> Ok Banded
+  | "auto" -> Ok Auto
+  | s -> Error (Printf.sprintf "bad solver %S: want dense|banded|auto" s)
 
 type config = {
   dt : float;
@@ -25,6 +37,8 @@ type config = {
   max_bisection : int;
   step_control : step_control;
   max_steps : int;
+  solver : solver_kind;
+  jac_reuse : bool;
 }
 
 let default_adaptive =
@@ -52,6 +66,8 @@ let default_config =
     max_bisection = 10;
     step_control = Fixed;
     max_steps = 0;
+    solver = Auto;
+    jac_reuse = true;
   }
 
 let with_dt cfg dt = { cfg with dt }
@@ -60,6 +76,8 @@ let with_tstop cfg tstop = { cfg with tstop }
 let with_tstart cfg tstart = { cfg with tstart }
 let with_integration cfg integration = { cfg with integration }
 let with_step_control cfg step_control = { cfg with step_control }
+let with_solver_kind cfg solver = { cfg with solver }
+let with_jac_reuse cfg jac_reuse = { cfg with jac_reuse }
 
 let with_adaptive ?lte_tol ?dt_min ?dt_max ?grow_limit ?safety
     ?crossing_levels ?crossing_dt cfg =
@@ -113,6 +131,8 @@ let config_fingerprint cfg =
     max_bisection;
     step_control;
     max_steps;
+    solver;
+    jac_reuse;
   } =
     cfg
   in
@@ -156,6 +176,8 @@ let config_fingerprint cfg =
       f gmin;
       string_of_int max_bisection;
       string_of_int max_steps;
+      solver_kind_to_string solver;
+      (if jac_reuse then "reuse" else "noreuse");
       sc;
     ]
 
@@ -174,6 +196,9 @@ module Stats = struct
     lte_rejections : int;
     injected_faults : int;
     deadline_hits : int;
+    factorizations : int;
+    jac_reuses : int;
+    banded_solves : int;
   }
 
   (* Process-global, updated with atomics so pool domains running
@@ -187,6 +212,9 @@ module Stats = struct
   let lte_rejections = Atomic.make 0
   let injected_faults = Atomic.make 0
   let deadline_hits = Atomic.make 0
+  let factorizations = Atomic.make 0
+  let jac_reuses = Atomic.make 0
+  let banded_solves = Atomic.make 0
 
   let snapshot () =
     {
@@ -199,6 +227,9 @@ module Stats = struct
       lte_rejections = Atomic.get lte_rejections;
       injected_faults = Atomic.get injected_faults;
       deadline_hits = Atomic.get deadline_hits;
+      factorizations = Atomic.get factorizations;
+      jac_reuses = Atomic.get jac_reuses;
+      banded_solves = Atomic.get banded_solves;
     }
 
   let diff a b =
@@ -212,6 +243,9 @@ module Stats = struct
       lte_rejections = a.lte_rejections - b.lte_rejections;
       injected_faults = a.injected_faults - b.injected_faults;
       deadline_hits = a.deadline_hits - b.deadline_hits;
+      factorizations = a.factorizations - b.factorizations;
+      jac_reuses = a.jac_reuses - b.jac_reuses;
+      banded_solves = a.banded_solves - b.banded_solves;
     }
 
   let reset () =
@@ -223,14 +257,19 @@ module Stats = struct
     Atomic.set rejected_steps 0;
     Atomic.set lte_rejections 0;
     Atomic.set injected_faults 0;
-    Atomic.set deadline_hits 0
+    Atomic.set deadline_hits 0;
+    Atomic.set factorizations 0;
+    Atomic.set jac_reuses 0;
+    Atomic.set banded_solves 0
 
   let pp ppf s =
     Format.fprintf ppf
-      "%d sims, %d steps (%d rejected, %d by LTE), %d newton iters, %d \
-       bisections, %d gmin retries, %d injected faults, %d deadline hits"
-      s.sims s.steps s.rejected_steps s.lte_rejections s.newton_iters
-      s.bisections s.gmin_retries s.injected_faults s.deadline_hits
+      "%d sims (%d banded), %d steps (%d rejected, %d by LTE), %d newton \
+       iters, %d factorizations (%d reused), %d bisections, %d gmin retries, \
+       %d injected faults, %d deadline hits"
+      s.sims s.banded_solves s.steps s.rejected_steps s.lte_rejections
+      s.newton_iters s.factorizations s.jac_reuses s.bisections s.gmin_retries
+      s.injected_faults s.deadline_hits
 end
 
 (* Cooperative per-solve deadlines. A caller installs a wall-clock
@@ -419,121 +458,578 @@ let compile ckt =
 let is_gnd i = i < 0
 let getv x i = if is_gnd i then 0.0 else x.(i)
 
-(* Newton solve of f(x) = 0 at time [t].
+(* ------------------------------------------------------------------ *)
+(* Solver hot path.
 
-   [stamp_caps] adds the capacitor companion contributions (absent for
-   DC). [gmin] loads every node to ground. Returns true on
-   convergence, mutating [x] in place. *)
-let newton cp cfg ~gmin ~t ~stamp_caps x =
+   The Newton/transient kernel is built around a per-solve workspace
+   created once in [run] and reused across every step and iteration:
+
+   - The system matrix is either dense or bordered-banded. The MNA
+     sparsity pattern is fixed at compile time, so [Auto] runs
+     [Numerics.Ordering.plan] over it: RCM narrows the band and hub
+     unknowns that no ordering can narrow (the shared supply node and
+     its source branch row) are demoted to a small dense border,
+     giving the arrowhead form [Numerics.Bordered] factors in O(n)
+     per solve. When no narrow plan exists (or the system is tiny)
+     the dense [Numerics.Matrix] path is used.
+   - The matrix is split into a constant linear part — gmin loads,
+     resistors, voltage-source rows, plus the dt-dependent capacitor
+     companion conductances — stamped only when its (gmin, h,
+     integration) key changes, and the MOSFET stamps, re-applied per
+     Newton iteration on top of a baseline copy.
+   - The factorization is kept across iterations and accepted steps
+     (modified Newton) while the iteration keeps contracting; it is
+     refactored when progress stalls, the linear key changes, or a
+     solve fails. The residual is always exact, so reuse changes the
+     iteration count, never the converged answer beyond the Newton
+     tolerances.
+   - All vectors ([f], [rhs], trial states, capacitor snapshots) are
+     preallocated; the inner loop negates the residual into the rhs
+     buffer and the solvers overwrite it in place, so a Newton
+     iteration allocates nothing beyond the device-eval results. *)
+
+type sysmat =
+  | MDense of {
+      m : Numerics.Matrix.t;
+      lin : Numerics.Matrix.t;
+      fact : Numerics.Matrix.fact;
+    }
+  | MBord of {
+      m : Numerics.Bordered.t;
+      lin : Numerics.Bordered.t;
+      fact : Numerics.Bordered.fact;
+    }
+
+type ws = {
+  nu : int;
+  order : int array; (* unknown -> matrix position (identity for dense) *)
+  mat : sysmat;
+  banded : bool;
+  f : float array; (* residual, unknown order *)
+  rhs : float array; (* negated residual / solution, matrix order *)
+  x0 : float array; (* newton entry state, for the pure-Newton restart *)
+  vvals : float array; (* per-vsource value at the current solve time *)
+  ivals : float array; (* per-isource value at the current solve time *)
+  fet_vals : float array; (* per-fet (ids, dg, dd, ds) from the residual *)
+  cap_geq : float array; (* per-cap companion conductance for this call *)
+  cap_ieq : float array; (* per-cap companion current for this call *)
+  (* Compiled MOSFET stamp pattern: the sparsity is static, so every
+     Jacobian entry a fet touches is resolved once to its backing
+     array and flat offset; [restamp] is then a single tight loop. *)
+  stamp_arr : float array array; (* target array per stamp entry *)
+  stamp_idx : int array; (* flat offset into [stamp_arr.(e)] *)
+  stamp_src : int array; (* index into [fet_vals] *)
+  stamp_sign : float array;
+  (* Device topology unpacked structure-of-arrays: the residual loop
+     runs every Newton iteration, and reading parallel int/float
+     arrays beats chasing the compiled tuples' boxed float fields. *)
+  res_a : int array;
+  res_b : int array;
+  res_g : float array;
+  isrc_a : int array;
+  isrc_b : int array;
+  cap_a : int array;
+  cap_b : int array;
+  cap_c : float array;
+  fet_g : int array;
+  fet_d : int array;
+  fet_s : int array;
+  fet_eval : Circuit.mosfet_eval array;
+  vsrc_nd : int array;
+  mutable lin_valid : bool;
+  mutable lin_gmin : float;
+  mutable lin_h : float; (* 0 = DC: no capacitor companions *)
+  mutable lin_integ : integration;
+  mutable fact_valid : bool;
+  mutable fact_stale : int; (* iterations solved since last factor *)
+  (* step-level scratch owned by [run] *)
+  vcap0 : float array;
+  icap0 : float array;
+  xtrial : float array;
+  xcomp : float array;
+  (* Predictor state: the last accepted solution and its step size,
+     for the linear-extrapolation initial guess on the next step. *)
+  xprev : float array;
+  mutable hprev : float;
+  mutable have_prev : bool;
+  nscr : float array;
+      (* Newton loop float state (max dv / max f / previous dv): a
+         float array instead of refs so stores stay unboxed. *)
+  (* Newton loop int/bool state as mutable fields rather than local
+     refs, so a solve allocates nothing: immediate values need neither
+     a ref cell nor a write barrier. *)
+  mutable nw_iter : int;
+  mutable nw_stale : int;
+  mutable nw_conv : bool;
+  mutable nw_total : int;
+  mutable nw_reused : bool;
+}
+
+(* Banded pays off once the reordered band is decisively narrower than
+   the full system; tiny systems stay dense (the constant factors win). *)
+let auto_min_unknowns = 10
+
+let plan_for cp cfg =
   let nu = cp.n + cp.m in
-  let jac = Numerics.Matrix.create nu nu in
-  let f = Array.make nu 0.0 in
-  let converged = ref false in
-  let iter = ref 0 in
-  let stamp_conductance a b g =
-    (* current a->b = g (va - vb) *)
-    if not (is_gnd a) then begin
-      f.(a) <- f.(a) +. (g *. (getv x a -. getv x b));
-      Numerics.Matrix.add_to jac a a g;
-      if not (is_gnd b) then Numerics.Matrix.add_to jac a b (-.g)
-    end;
-    if not (is_gnd b) then begin
-      f.(b) <- f.(b) -. (g *. (getv x a -. getv x b));
-      Numerics.Matrix.add_to jac b b g;
-      if not (is_gnd a) then Numerics.Matrix.add_to jac b a (-.g)
-    end
+  let want_banded =
+    match cfg.solver with
+    | Dense -> false
+    | Banded -> nu >= 2
+    | Auto -> nu >= auto_min_unknowns
   in
-  let stamp_current a b i =
-    if not (is_gnd a) then f.(a) <- f.(a) +. i;
-    if not (is_gnd b) then f.(b) <- f.(b) -. i
+  if not want_banded then None
+  else begin
+    let edges = ref [] in
+    let add a b = if a >= 0 && b >= 0 then edges := (a, b) :: !edges in
+    Array.iter (fun (a, b, _) -> add a b) cp.res;
+    Array.iter (fun (a, b, _) -> add a b) cp.caps;
+    Array.iter
+      (fun (g, d, s, _) ->
+        add d g;
+        add d s;
+        add s g)
+      cp.fets;
+    let coupled = ref [] in
+    Array.iteri
+      (fun j (nd, _) ->
+        let row = cp.n + j in
+        add nd row;
+        coupled := (nd, row) :: !coupled)
+      cp.vsrc;
+    let max_bandwidth, max_border =
+      match cfg.solver with
+      | Banded -> (Int.max 2 (nu / 2), Int.max 2 (nu / 4))
+      | _ -> (Int.max 2 (nu / 4), Int.max 2 (nu / 8))
+    in
+    Numerics.Ordering.plan ~n:nu ~edges:!edges ~coupled:!coupled
+      ~max_bandwidth ~max_border ()
+  end
+
+let make_ws cp cfg =
+  let nu = cp.n + cp.m in
+  let order, mat =
+    match plan_for cp cfg with
+    | Some p when p.Numerics.Ordering.core > 0 ->
+        let nb = p.Numerics.Ordering.core in
+        let bw = Int.max 1 p.Numerics.Ordering.bandwidth in
+        let border = nu - nb in
+        let make () =
+          Numerics.Bordered.create ~nb ~kl:bw ~ku:bw ~border
+        in
+        let m = make () in
+        ( p.Numerics.Ordering.order,
+          MBord { m; lin = make (); fact = Numerics.Bordered.fact_create m } )
+    | _ ->
+        let m = Numerics.Matrix.create nu nu in
+        ( Array.init nu (fun i -> i),
+          MDense
+            {
+              m;
+              lin = Numerics.Matrix.create nu nu;
+              fact = Numerics.Matrix.fact_create nu;
+            } )
   in
+  let banded = match mat with MBord _ -> true | MDense _ -> false in
+  if banded then Atomic.incr Stats.banded_solves;
+  let ncap = Array.length cp.caps in
+  let stamps =
+    let slot_of i j =
+      match mat with
+      | MDense d -> Numerics.Matrix.slot d.m order.(i) order.(j)
+      | MBord b -> Numerics.Bordered.slot b.m order.(i) order.(j)
+    in
+    let acc = ref [] in
+    Array.iteri
+      (fun k (g, d, s, _) ->
+        let base = 4 * k in
+        let entry i j src sign =
+          if (not (is_gnd i)) && not (is_gnd j) then begin
+            let arr, idx = slot_of i j in
+            acc := (arr, idx, src, sign) :: !acc
+          end
+        in
+        entry d g (base + 1) 1.0;
+        entry d d (base + 2) 1.0;
+        entry d s (base + 3) 1.0;
+        entry s g (base + 1) (-1.0);
+        entry s d (base + 2) (-1.0);
+        entry s s (base + 3) (-1.0))
+      cp.fets;
+    Array.of_list (List.rev !acc)
+  in
+  {
+    nu;
+    order;
+    mat;
+    banded;
+    f = Array.make nu 0.0;
+    rhs = Array.make nu 0.0;
+    x0 = Array.make nu 0.0;
+    vvals = Array.make (Array.length cp.vsrc) 0.0;
+    ivals = Array.make (Array.length cp.isrc) 0.0;
+    fet_vals = Array.make (4 * Array.length cp.fets) 0.0;
+    cap_geq = Array.make ncap 0.0;
+    cap_ieq = Array.make ncap 0.0;
+    stamp_arr = Array.map (fun (a, _, _, _) -> a) stamps;
+    stamp_idx = Array.map (fun (_, i, _, _) -> i) stamps;
+    stamp_src = Array.map (fun (_, _, s, _) -> s) stamps;
+    stamp_sign = Array.map (fun (_, _, _, sg) -> sg) stamps;
+    res_a = Array.map (fun (a, _, _) -> a) cp.res;
+    res_b = Array.map (fun (_, b, _) -> b) cp.res;
+    res_g = Array.map (fun (_, _, g) -> g) cp.res;
+    isrc_a = Array.map (fun (a, _, _) -> a) cp.isrc;
+    isrc_b = Array.map (fun (_, b, _) -> b) cp.isrc;
+    cap_a = Array.map (fun (a, _, _) -> a) cp.caps;
+    cap_b = Array.map (fun (_, b, _) -> b) cp.caps;
+    cap_c = Array.map (fun (_, _, c) -> c) cp.caps;
+    fet_g = Array.map (fun (g, _, _, _) -> g) cp.fets;
+    fet_d = Array.map (fun (_, d, _, _) -> d) cp.fets;
+    fet_s = Array.map (fun (_, _, s, _) -> s) cp.fets;
+    fet_eval = Array.map (fun (_, _, _, e) -> e) cp.fets;
+    vsrc_nd = Array.map (fun (nd, _) -> nd) cp.vsrc;
+    lin_valid = false;
+    lin_gmin = 0.0;
+    lin_h = 0.0;
+    lin_integ = Trapezoidal;
+    fact_valid = false;
+    fact_stale = 0;
+    vcap0 = Array.make ncap 0.0;
+    icap0 = Array.make ncap 0.0;
+    xtrial = Array.make nu 0.0;
+    xcomp = Array.make nu 0.0;
+    xprev = Array.make nu 0.0;
+    hprev = 0.0;
+    have_prev = false;
+    nscr = Array.make 3 0.0;
+    nw_iter = 0;
+    nw_stale = 0;
+    nw_conv = false;
+    nw_total = 0;
+    nw_reused = false;
+  }
+
+let geq_of ~integ ~h c =
+  match integ with
+  | Backward_euler -> c /. h
+  | Trapezoidal -> 2.0 *. c /. h
+
+(* Restamp the linear baseline — gmin loads, resistors, capacitor
+   companion conductances for the current step size, voltage-source
+   rows — when its key changes. On a fixed grid this happens once per
+   solve; adaptive stepping restamps when h or the companion model
+   changes. Any change invalidates the kept factorization. *)
+let ensure_lin ws cp ~gmin ~h ~integ =
+  (* Grid arithmetic jitters [h] by a few ulps between nominally equal
+     fixed-grid steps; stamping the companion conductances at a step
+     size within 1e-9 relative of the last one leaves the Jacobian
+     stale by the same negligible factor (the residual always uses the
+     exact [h]), so treat such steps as equal rather than restamping
+     and refactoring every step. *)
+  let same_h =
+    h = ws.lin_h || abs_float (h -. ws.lin_h) <= 1e-9 *. abs_float h
+  in
+  if
+    (not ws.lin_valid)
+    || ws.lin_gmin <> gmin
+    || (not same_h)
+    || (h > 0.0 && ws.lin_integ <> integ && Array.length cp.caps > 0)
+  then begin
+    let order = ws.order in
+    let add =
+      match ws.mat with
+      | MDense d ->
+          fun i j v -> Numerics.Matrix.add_to d.lin order.(i) order.(j) v
+      | MBord b ->
+          fun i j v -> Numerics.Bordered.add_to b.lin order.(i) order.(j) v
+    in
+    (match ws.mat with
+    | MDense d -> Numerics.Matrix.fill d.lin 0.0
+    | MBord b -> Numerics.Bordered.fill b.lin 0.0);
+    for i = 0 to cp.n - 1 do
+      add i i gmin
+    done;
+    for k = 0 to Array.length cp.res - 1 do
+      let a, b, g = cp.res.(k) in
+      if not (is_gnd a) then begin
+        add a a g;
+        if not (is_gnd b) then add a b (-.g)
+      end;
+      if not (is_gnd b) then begin
+        add b b g;
+        if not (is_gnd a) then add b a (-.g)
+      end
+    done;
+    if h > 0.0 then
+      for k = 0 to Array.length cp.caps - 1 do
+        let a, b, c = cp.caps.(k) in
+        let geq = geq_of ~integ ~h c in
+        if not (is_gnd a) then begin
+          add a a geq;
+          if not (is_gnd b) then add a b (-.geq)
+        end;
+        if not (is_gnd b) then begin
+          add b b geq;
+          if not (is_gnd a) then add b a (-.geq)
+        end
+      done;
+    for j = 0 to Array.length cp.vsrc - 1 do
+      let nd, _ = cp.vsrc.(j) in
+      let row = cp.n + j in
+      add nd row 1.0;
+      add row nd 1.0
+    done;
+    ws.lin_valid <- true;
+    ws.lin_gmin <- gmin;
+    ws.lin_h <- h;
+    ws.lin_integ <- integ;
+    ws.fact_valid <- false
+  end
+
+(* Exact KCL residual at [x], into [ws.f]. Device evaluations are also
+   what the Jacobian restamp needs, so the per-fet derivatives are
+   parked in [ws.fet_vals] — one [eval] per fet per iteration. *)
+(* Node indices in the unpacked topology arrays were validated at
+   compile time (gnd encoded negative, others < n <= nu), so the
+   device loops below use unsafe accesses on the nu-sized vectors. *)
+let ugetv x i = if is_gnd i then 0.0 else Array.unsafe_get x i
+
+let uacc f i v = Array.unsafe_set f i (Array.unsafe_get f i +. v)
+
+let residual ws cp ~gmin ~h x =
+  let f = ws.f in
+  Array.fill f 0 ws.nu 0.0;
+  for i = 0 to cp.n - 1 do
+    Array.unsafe_set f i (gmin *. Array.unsafe_get x i)
+  done;
+  let ra = ws.res_a and rb = ws.res_b and rg = ws.res_g in
+  for k = 0 to Array.length ra - 1 do
+    let a = Array.unsafe_get ra k and b = Array.unsafe_get rb k in
+    let i = Array.unsafe_get rg k *. (ugetv x a -. ugetv x b) in
+    if not (is_gnd a) then uacc f a i;
+    if not (is_gnd b) then uacc f b (-.i)
+  done;
+  let ia = ws.isrc_a and ib = ws.isrc_b in
+  for k = 0 to Array.length ia - 1 do
+    let a = Array.unsafe_get ia k and b = Array.unsafe_get ib k in
+    let i = ws.ivals.(k) in
+    if not (is_gnd a) then uacc f a i;
+    if not (is_gnd b) then uacc f b (-.i)
+  done;
+  if h > 0.0 then begin
+    (* Companion values precomputed once per Newton call ([newton]
+       fills [cap_geq]/[cap_ieq]); the capacitor state is fixed for
+       the whole call. *)
+    let ca = ws.cap_a and cb = ws.cap_b in
+    let geq = ws.cap_geq and ieq = ws.cap_ieq in
+    for k = 0 to Array.length ca - 1 do
+      let a = Array.unsafe_get ca k and b = Array.unsafe_get cb k in
+      let i =
+        (Array.unsafe_get geq k *. (ugetv x a -. ugetv x b))
+        +. Array.unsafe_get ieq k
+      in
+      if not (is_gnd a) then uacc f a i;
+      if not (is_gnd b) then uacc f b (-.i)
+    done
+  end;
+  let fg = ws.fet_g and fd = ws.fet_d and fs = ws.fet_s in
+  let fe = ws.fet_eval and fv = ws.fet_vals in
+  for k = 0 to Array.length fe - 1 do
+    let d = fd.(k) and s = fs.(k) in
+    let ids, dg, dd, ds =
+      fe.(k) ~vg:(ugetv x fg.(k)) ~vd:(ugetv x d) ~vs:(ugetv x s)
+    in
+    let base = 4 * k in
+    Array.unsafe_set fv base ids;
+    Array.unsafe_set fv (base + 1) dg;
+    Array.unsafe_set fv (base + 2) dd;
+    Array.unsafe_set fv (base + 3) ds;
+    if not (is_gnd d) then uacc f d ids;
+    if not (is_gnd s) then uacc f s (-.ids)
+  done;
+  let vn = ws.vsrc_nd in
+  for j = 0 to Array.length vn - 1 do
+    let nd = vn.(j) in
+    let row = cp.n + j in
+    f.(nd) <- f.(nd) +. x.(row);
+    f.(row) <- x.(nd) -. ws.vvals.(j)
+  done
+
+(* Full Jacobian = linear baseline copy + MOSFET stamps at the
+   derivatives the residual pass just evaluated. *)
+let restamp ws =
+  (match ws.mat with
+  | MDense d -> Numerics.Matrix.blit d.lin d.m
+  | MBord b -> Numerics.Bordered.blit b.lin b.m);
+  let fv = ws.fet_vals in
+  let idx = ws.stamp_idx and src = ws.stamp_src and sg = ws.stamp_sign in
+  for e = 0 to Array.length idx - 1 do
+    let arr = ws.stamp_arr.(e) in
+    let i = idx.(e) in
+    arr.(i) <- arr.(i) +. (sg.(e) *. fv.(src.(e)))
+  done
+
+let factorize ws =
+  ws.fact_valid <- false;
+  (match ws.mat with
+  | MDense d -> Numerics.Matrix.factor_into d.m d.fact
+  | MBord b -> Numerics.Bordered.factor_into b.m b.fact);
+  ws.fact_valid <- true;
+  ws.fact_stale <- 0;
+  Atomic.incr Stats.factorizations
+
+let solve_rhs ws =
+  match ws.mat with
+  | MDense d -> Numerics.Matrix.solve_into d.fact ws.rhs
+  | MBord b -> Numerics.Bordered.solve_into b.fact ws.rhs
+
+(* A reused Jacobian must keep the error contracting; once the update
+   stops shrinking by at least this factor per iteration, refactor. *)
+let reuse_contraction = 0.5
+
+(* A single Newton call may spend at most this many iterations on a
+   stale factorization before refactoring: steps that converge
+   immediately (the quiescent bulk of a transient) pay nothing, while
+   transition steps get a fresh Jacobian after two cut-rate iterations
+   instead of grinding linearly toward the tolerance. *)
+let max_stale_iters = 2
+
+(* One Newton phase: iterate to convergence, optionally reusing a stale
+   Jacobian factorization. Lifted to the top level (rather than a
+   closure inside [newton]) and with loop state in [ws] scratch fields
+   so a converging phase allocates nothing. Returns true on
+   convergence. *)
+let solve_phase ws cp cfg ~gmin ~h ~reuse x =
+  let nu = ws.nu in
+  let order = ws.order in
+  ws.nw_conv <- false;
+  ws.nw_iter <- 0;
+  ws.nw_stale <- 0;
+  (* Float loop state lives in the [nscr] scratch array: a bare
+     [ref 0.0] would box a fresh float on every store (no flambda),
+     wrecking the allocation-free inner loop. Slot 0 is max |dv|,
+     slot 1 max |f|, slot 2 the previous iteration's max |dv|. *)
+  let sc = ws.nscr in
+  sc.(2) <- infinity;
   (try
-     while not !converged do
-       if !iter >= cfg.max_newton then raise Exit;
-       incr iter;
-       Numerics.Matrix.fill jac 0.0;
-       Array.fill f 0 nu 0.0;
-       (* gmin to ground on every node *)
-       for i = 0 to cp.n - 1 do
-         f.(i) <- f.(i) +. (gmin *. x.(i));
-         Numerics.Matrix.add_to jac i i gmin
+     while not ws.nw_conv do
+       if ws.nw_iter >= cfg.max_newton then raise Exit;
+       ws.nw_iter <- ws.nw_iter + 1;
+       residual ws cp ~gmin ~h x;
+       if (not reuse) || not ws.fact_valid then begin
+         restamp ws;
+         factorize ws
+       end
+       else begin
+         ws.fact_stale <- ws.fact_stale + 1;
+         ws.nw_stale <- ws.nw_stale + 1;
+         ws.nw_reused <- true;
+         Atomic.incr Stats.jac_reuses
+       end;
+       for i = 0 to nu - 1 do
+         ws.rhs.(order.(i)) <- -.ws.f.(i)
        done;
-       Array.iter (fun (a, b, g) -> stamp_conductance a b g) cp.res;
-       Array.iter
-         (fun (a, b, src) -> stamp_current a b (Source.value src t))
-         cp.isrc;
-       stamp_caps ~stamp_conductance ~stamp_current;
-       Array.iter
-         (fun (g, d, s, eval) ->
-           let ids, dg, dd, ds =
-             eval ~vg:(getv x g) ~vd:(getv x d) ~vs:(getv x s)
-           in
-           if not (is_gnd d) then begin
-             f.(d) <- f.(d) +. ids;
-             if not (is_gnd g) then Numerics.Matrix.add_to jac d g dg;
-             Numerics.Matrix.add_to jac d d dd;
-             if not (is_gnd s) then Numerics.Matrix.add_to jac d s ds
-           end;
-           if not (is_gnd s) then begin
-             f.(s) <- f.(s) -. ids;
-             if not (is_gnd g) then
-               Numerics.Matrix.add_to jac s g (-.dg);
-             if not (is_gnd d) then
-               Numerics.Matrix.add_to jac s d (-.dd);
-             Numerics.Matrix.add_to jac s s (-.ds)
-           end)
-         cp.fets;
-       Array.iteri
-         (fun j (nd, src) ->
-           let row = cp.n + j in
-           (* branch current leaves the node into the source *)
-           f.(nd) <- f.(nd) +. x.(row);
-           Numerics.Matrix.add_to jac nd row 1.0;
-           f.(row) <- x.(nd) -. Source.value src t;
-           Numerics.Matrix.add_to jac row nd 1.0)
-         cp.vsrc;
-       let rhs = Array.map (fun v -> -.v) f in
-       let dx =
-         try Numerics.Matrix.lu_solve (Numerics.Matrix.lu_factor jac) rhs
-         with Numerics.Matrix.Singular _ -> raise Exit
-       in
-       (* Clamp voltage updates for robustness; branch currents free. *)
-       let max_dv = ref 0.0 in
+       solve_rhs ws;
+       (* Clamp voltage updates for robustness; branch currents
+          free. *)
+       sc.(0) <- 0.0;
        for i = 0 to cp.n - 1 do
-         let d = dx.(i) in
+         let d = ws.rhs.(order.(i)) in
          let d =
            if d > cfg.vstep_limit then cfg.vstep_limit
            else if d < -.cfg.vstep_limit then -.cfg.vstep_limit
            else d
          in
          x.(i) <- x.(i) +. d;
-         if abs_float d > !max_dv then max_dv := abs_float d
+         if abs_float d > sc.(0) then sc.(0) <- abs_float d
        done;
        for i = cp.n to nu - 1 do
-         x.(i) <- x.(i) +. dx.(i)
+         x.(i) <- x.(i) +. ws.rhs.(order.(i))
        done;
-       let max_f = ref 0.0 in
+       sc.(1) <- 0.0;
        for i = 0 to cp.n - 1 do
-         if abs_float f.(i) > !max_f then max_f := abs_float f.(i)
+         if abs_float ws.f.(i) > sc.(1) then sc.(1) <- abs_float ws.f.(i)
        done;
-       if !max_dv < cfg.newton_tol_v && !max_f < cfg.newton_tol_i then
-         converged := true
+       if sc.(0) < cfg.newton_tol_v && sc.(1) < cfg.newton_tol_i then
+         ws.nw_conv <- true
+       else if
+           reuse && ws.fact_stale > 0
+           && (ws.nw_stale >= max_stale_iters
+              || sc.(0) >= reuse_contraction *. sc.(2))
+       then
+         (* Stalled — or burning too many cut-rate iterations — under
+            a stale Jacobian: refactor at the new iterate next time
+            round. Quiescent steps converge on their first (reused)
+            iteration and never get here. *)
+         ws.fact_valid <- false;
+       sc.(2) <- sc.(0)
      done
-   with Exit -> ());
-  ignore (Atomic.fetch_and_add Stats.newton_iters !iter);
-  !converged
+   with
+  | Exit -> ()
+  | Numerics.Matrix.Singular _ -> ());
+  ws.nw_total <- ws.nw_total + ws.nw_iter;
+  ws.nw_conv
 
-let no_caps ~stamp_conductance:_ ~stamp_current:_ = ()
+(* Newton solve of f(x) = 0 at time [t], mutating [x] in place.
+   [h] = 0 means DC (capacitors open); otherwise the companion model
+   for step size [h] with state in [ws.vcap0]/[ws.icap0]. Returns true
+   on convergence. *)
+let newton ws cp cfg ~gmin ~t ~h ~integ x =
+  let nu = ws.nu in
+  ensure_lin ws cp ~gmin ~h ~integ;
+  for j = 0 to Array.length cp.vsrc - 1 do
+    let _, src = cp.vsrc.(j) in
+    ws.vvals.(j) <- Source.value src t
+  done;
+  for k = 0 to Array.length cp.isrc - 1 do
+    let _, _, src = cp.isrc.(k) in
+    ws.ivals.(k) <- Source.value src t
+  done;
+  (if h > 0.0 then
+     (* The capacitor companion is constant for the whole call: [h],
+        the model, and the cap state are all fixed until the caller
+        commits the step. The integrator match is hoisted so the loop
+        body is straight-line unboxed float stores. *)
+     let cc = ws.cap_c and geq = ws.cap_geq and ieq = ws.cap_ieq in
+     let v0 = ws.vcap0 and i0 = ws.icap0 in
+     match integ with
+     | Backward_euler ->
+         for k = 0 to Array.length cc - 1 do
+           let g = cc.(k) /. h in
+           geq.(k) <- g;
+           ieq.(k) <- -.(g *. v0.(k))
+         done
+     | Trapezoidal ->
+         for k = 0 to Array.length cc - 1 do
+           let g = 2.0 *. cc.(k) /. h in
+           geq.(k) <- g;
+           ieq.(k) <- -.((g *. v0.(k)) +. i0.(k))
+         done);
+  Array.blit x 0 ws.x0 0 nu;
+  ws.nw_total <- 0;
+  ws.nw_reused <- false;
+  let ok = solve_phase ws cp cfg ~gmin ~h ~reuse:cfg.jac_reuse x in
+  let ok =
+    if ok || not ws.nw_reused then ok
+    else begin
+      (* Jacobian reuse must never fail a solve full Newton would have
+         converged: restart from the entry state without reuse. *)
+      Array.blit ws.x0 0 x 0 nu;
+      ws.fact_valid <- false;
+      solve_phase ws cp cfg ~gmin ~h ~reuse:false x
+    end
+  in
+  ignore (Atomic.fetch_and_add Stats.newton_iters ws.nw_total);
+  if not ok then ws.fact_valid <- false;
+  ok
 
-let dc_solve cp cfg ~at x =
-  if newton cp cfg ~gmin:cfg.gmin ~t:at ~stamp_caps:no_caps x then true
+let dc_solve ws cp cfg ~at x =
+  let solve g = newton ws cp cfg ~gmin:g ~t:at ~h:0.0 ~integ:cfg.integration x in
+  if solve cfg.gmin then true
   else begin
     (* gmin stepping: load the circuit heavily, then relax. *)
     Atomic.incr Stats.gmin_retries;
     let steps = [ 1e-3; 1e-5; 1e-7; 1e-9; cfg.gmin ] in
-    List.for_all
-      (fun g -> newton cp cfg ~gmin:g ~t:at ~stamp_caps:no_caps x)
-      steps
+    List.for_all solve steps
   end
 
 type result = {
@@ -588,25 +1084,42 @@ let build_grid cp cfg =
   if span <= 0.0 then invalid_arg "Transient.run: tstop <= tstart";
   if cfg.dt <= 0.0 then invalid_arg "Transient.run: dt must be positive";
   let nsteps = int_of_float (ceil (span /. cfg.dt)) in
-  let base =
-    List.init (nsteps + 1) (fun i ->
-        Float.min cfg.tstop (cfg.tstart +. (cfg.dt *. float_of_int i)))
-  in
   let breaks =
     Array.to_list cp.vsrc
     |> List.concat_map (fun (_, s) -> Source.breakpoints s)
     |> List.filter (fun t -> t > cfg.tstart && t < cfg.tstop)
+    |> List.sort_uniq compare |> Array.of_list
   in
-  let all = List.sort_uniq compare (base @ breaks) in
-  (* Drop points closer than dt/100 to their predecessor to keep the
-     grid strictly increasing with sane step sizes. *)
+  (* Merge the uniform grid with the (few, sorted) source breakpoints
+     into a preallocated array. Building the grid through intermediate
+     lists costs tens of words per point — comparable to the entire
+     step loop — so the merge works directly on the output array.
+     Points closer than dt/100 to their predecessor are dropped,
+     keeping the grid strictly increasing with sane step sizes. *)
   let eps = cfg.dt /. 100.0 in
-  let rec dedup = function
-    | a :: b :: rest when b -. a < eps -> dedup (a :: rest)
-    | a :: rest -> a :: dedup rest
-    | [] -> []
+  let out = Array.make (nsteps + 1 + Array.length breaks) 0.0 in
+  let m = ref 0 in
+  let push t =
+    if !m = 0 || t -. out.(!m - 1) >= eps then begin
+      out.(!m) <- t;
+      incr m
+    end
   in
-  Array.of_list (dedup all)
+  let bi = ref 0 in
+  let nbreaks = Array.length breaks in
+  for i = 0 to nsteps do
+    let t = Float.min cfg.tstop (cfg.tstart +. (cfg.dt *. float_of_int i)) in
+    while !bi < nbreaks && breaks.(!bi) < t do
+      push breaks.(!bi);
+      incr bi
+    done;
+    push t
+  done;
+  while !bi < nbreaks do
+    push breaks.(!bi);
+    incr bi
+  done;
+  Array.sub out 0 !m
 
 let validate_adaptive a =
   if a.lte_tol <= 0.0 then
@@ -636,7 +1149,8 @@ let run ?(config = default_config) ?(ic = []) ckt =
   | Fixed -> ()
   | Adaptive a -> validate_adaptive a);
   let cp = compile ckt in
-  let nu = cp.n + cp.m in
+  let ws = make_ws cp cfg in
+  let nu = ws.nu in
   let x = Array.make nu 0.0 in
   List.iter
     (fun (name, v) ->
@@ -644,7 +1158,7 @@ let run ?(config = default_config) ?(ic = []) ckt =
       | Some i -> x.(i) <- v
       | None -> invalid_arg ("Transient.run: unknown ic node " ^ name))
     ic;
-  if not (dc_solve cp cfg ~at:cfg.tstart x) then
+  if not (dc_solve ws cp cfg ~at:cfg.tstart x) then
     raise (No_convergence cfg.tstart);
   (* Capacitor state: voltage across and (trapezoidal) current. *)
   let ncap = Array.length cp.caps in
@@ -653,24 +1167,15 @@ let run ?(config = default_config) ?(ic = []) ckt =
     (fun k (a, b, _) -> vcap.(k) <- getv x a -. getv x b)
     cp.caps;
   (* One integration step of size h ending at time t, with the given
-     companion model. Returns false if Newton diverged. On success, cap
-     state is NOT yet committed; the caller commits via [commit]. *)
-  let attempt ~integ ~t ~h ~vcap0 ~icap0 xtrial =
-    let stamp_caps ~stamp_conductance ~stamp_current =
-      Array.iteri
-        (fun k (a, b, c) ->
-          match integ with
-          | Backward_euler ->
-              let geq = c /. h in
-              stamp_conductance a b geq;
-              stamp_current a b (-.geq *. vcap0.(k))
-          | Trapezoidal ->
-              let geq = 2.0 *. c /. h in
-              stamp_conductance a b geq;
-              stamp_current a b (-.((geq *. vcap0.(k)) +. icap0.(k))))
-        cp.caps
-    in
-    newton cp cfg ~gmin:cfg.gmin ~t ~stamp_caps xtrial
+     companion model and capacitor state in [ws.vcap0]/[ws.icap0].
+     Returns false if Newton diverged. On success, cap state is NOT
+     yet committed; the caller commits via [commit]. *)
+  let attempt ~integ ~t ~h xtrial =
+    newton ws cp cfg ~gmin:cfg.gmin ~t ~h ~integ xtrial
+  in
+  let load_cap_state () =
+    Array.blit vcap 0 ws.vcap0 0 ncap;
+    Array.blit icap 0 ws.icap0 0 ncap
   in
   (* Accepted-step budget shared by both grid modes; 0 = unlimited. *)
   let steps_taken = ref 0 in
@@ -686,32 +1191,70 @@ let run ?(config = default_config) ?(ic = []) ckt =
     if cfg.max_steps > 0 && !steps_taken > cfg.max_steps then
       raise (Step_budget_exhausted { at; budget = cfg.max_steps })
   in
-  let commit ~integ ~h ~vcap0 ~icap0 xnew =
-    Array.iteri
-      (fun k (a, b, c) ->
-        let v = getv xnew a -. getv xnew b in
-        (match integ with
-        | Backward_euler -> icap.(k) <- c /. h *. (v -. vcap0.(k))
-        | Trapezoidal ->
-            icap.(k) <- ((2.0 *. c /. h) *. (v -. vcap0.(k))) -. icap0.(k));
-        vcap.(k) <- v)
-      cp.caps
+  (* The integrator match is hoisted out of the loop (like the
+     companion fill in [newton]) so each arm is straight-line unboxed
+     float arithmetic — keeping [v] live across a branch join boxes it
+     on every iteration. *)
+  let commit ~integ ~h xnew =
+    let ca = ws.cap_a and cb = ws.cap_b and cc = ws.cap_c in
+    let v0 = ws.vcap0 and i0 = ws.icap0 in
+    match integ with
+    | Backward_euler ->
+        for k = 0 to ncap - 1 do
+          let v = ugetv xnew ca.(k) -. ugetv xnew cb.(k) in
+          icap.(k) <- cc.(k) /. h *. (v -. v0.(k));
+          vcap.(k) <- v
+        done
+    | Trapezoidal ->
+        for k = 0 to ncap - 1 do
+          let v = ugetv xnew ca.(k) -. ugetv xnew cb.(k) in
+          icap.(k) <- ((2.0 *. cc.(k) /. h) *. (v -. v0.(k))) -. i0.(k);
+          vcap.(k) <- v
+        done
   in
-  (* ---------------- fixed grid (legacy, bit-exact) ---------------- *)
+  (* ---------------- fixed grid (legacy behaviour) ----------------- *)
   let run_fixed () =
     let grid = build_grid cp cfg in
     let npts = Array.length grid in
     let data = Array.make npts [||] in
     data.(0) <- Array.copy x;
-    (* Advance from t0 to t1, bisecting on failure. *)
+    (* Advance from t0 to t1, bisecting on failure. The ws scratch
+       buffers are safe across the recursion: a failed attempt's
+       parent state is dead by the time a child reloads them. *)
     let rec advance depth t0 t1 =
       let h = t1 -. t0 in
-      let vcap0 = Array.copy vcap and icap0 = Array.copy icap in
-      let xtrial = Array.copy x in
-      if attempt ~integ:cfg.integration ~t:t1 ~h ~vcap0 ~icap0 xtrial then begin
+      load_cap_state ();
+      let xtrial = ws.xtrial in
+      (* Linear-extrapolation predictor: seed Newton with the solution
+         continued along the last accepted step's slope. Near-free on
+         quiescent spans and typically saves an iteration through
+         transitions; a failed predicted solve retries once from the
+         flat (previous-solution) guess before bisecting. *)
+      let predicted = ws.have_prev && ws.hprev > 0.0 in
+      if predicted then begin
+        let r = h /. ws.hprev in
+        let xp = ws.xprev in
+        for i = 0 to nu - 1 do
+          xtrial.(i) <- x.(i) +. ((x.(i) -. xp.(i)) *. r)
+        done
+      end
+      else Array.blit x 0 xtrial 0 nu;
+      let ok =
+        attempt ~integ:cfg.integration ~t:t1 ~h xtrial
+        ||
+        (predicted
+        &&
+        (load_cap_state ();
+         Array.blit x 0 xtrial 0 nu;
+         attempt ~integ:cfg.integration ~t:t1 ~h xtrial))
+      in
+      if ok then begin
         Atomic.incr Stats.steps;
         charge_step ~at:t1;
-        commit ~integ:cfg.integration ~h ~vcap0 ~icap0 xtrial;
+        commit ~integ:cfg.integration ~h xtrial;
+        Array.blit x 0 ws.xprev 0 nu;
+        ws.hprev <- h;
+        ws.have_prev <- true;
         Array.blit xtrial 0 x 0 nu
       end
       else if depth >= cfg.max_bisection then raise (No_convergence t1)
@@ -787,19 +1330,20 @@ let run ?(config = default_config) ?(ic = []) ckt =
          it as a floor step or the reject/retry loop never advances. *)
       let floor_dt = dt_min *. (1.0 +. 1e-9) in
       let at_floor = h <= floor_dt || (landing && !dt <= floor_dt) in
-      let vcap0 = Array.copy vcap and icap0 = Array.copy icap in
-      let xtrial = Array.copy x in
-      if not (attempt ~integ:cfg.integration ~t:t1 ~h ~vcap0 ~icap0 xtrial)
-      then begin
+      load_cap_state ();
+      let xtrial = ws.xtrial in
+      Array.blit x 0 xtrial 0 nu;
+      if not (attempt ~integ:cfg.integration ~t:t1 ~h xtrial) then begin
         if at_floor then raise (No_convergence t1);
         Atomic.incr Stats.bisections;
         Atomic.incr Stats.rejected_steps;
         dt := Float.max dt_min (0.5 *. h)
       end
       else begin
-        let xcomp = Array.copy x in
+        let xcomp = ws.xcomp in
+        Array.blit x 0 xcomp 0 nu;
         let err =
-          if attempt ~integ:other ~t:t1 ~h ~vcap0 ~icap0 xcomp then begin
+          if attempt ~integ:other ~t:t1 ~h xcomp then begin
             let e = ref 0.0 in
             for i = 0 to cp.n - 1 do
               let d = abs_float (xtrial.(i) -. xcomp.(i)) in
@@ -818,7 +1362,7 @@ let run ?(config = default_config) ?(ic = []) ckt =
         if (lte_ok && not crossing_viol) || at_floor then begin
           Atomic.incr Stats.steps;
           charge_step ~at:t1;
-          commit ~integ:cfg.integration ~h ~vcap0 ~icap0 xtrial;
+          commit ~integ:cfg.integration ~h xtrial;
           Array.blit xtrial 0 x 0 nu;
           t := t1;
           ts_rev := t1 :: !ts_rev;
@@ -883,6 +1427,7 @@ let run ?(config = default_config) ?(ic = []) ckt =
 
 let dc_operating_point ?(config = default_config) ?(guess = []) ~at ckt =
   let cp = compile ckt in
+  let ws = make_ws cp config in
   let x = Array.make (cp.n + cp.m) 0.0 in
   List.iter
     (fun (name, v) ->
@@ -890,7 +1435,7 @@ let dc_operating_point ?(config = default_config) ?(guess = []) ~at ckt =
       | Some i -> x.(i) <- v
       | None -> invalid_arg ("Transient.dc_operating_point: unknown node " ^ name))
     guess;
-  if not (dc_solve cp config ~at x) then raise (No_convergence at);
+  if not (dc_solve ws cp config ~at x) then raise (No_convergence at);
   List.map
     (fun name -> (name, x.(Hashtbl.find cp.name_index name)))
     (Circuit.node_names ckt)

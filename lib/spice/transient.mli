@@ -7,8 +7,9 @@
     Two step-control modes:
     - {b Fixed} (default): a uniform grid at [dt] with source
       breakpoints inserted; a step whose Newton fails is bisected
-      recursively. Bit-exact with the historical engine; use it for
-      regression references.
+      recursively. Grid-compatible with the historical engine (same
+      time points, answers equal within the Newton tolerances); use it
+      for regression references.
     - {b Adaptive}: local-truncation-error-controlled variable steps.
       Every step is solved with both companion models; their
       discrepancy estimates the LTE, which the controller keeps under
@@ -36,6 +37,21 @@ type adaptive = {
 
 type step_control = Fixed | Adaptive of adaptive
 
+type solver_kind =
+  | Dense  (** always the dense LU kernel *)
+  | Banded  (** force the reordered banded/bordered kernel *)
+  | Auto
+      (** analyse the MNA sparsity per solve: RCM-reorder, demote hub
+          unknowns (shared supply rail + its source branch) to a small
+          dense border, and use the bordered-banded kernel when the
+          remaining core bandwidth is decisively narrow; dense
+          otherwise *)
+
+val solver_kind_to_string : solver_kind -> string
+
+val solver_kind_of_string : string -> (solver_kind, string) result
+(** Parses ["dense" | "banded" | "auto"] (the [--solver] CLI values). *)
+
 type config = {
   dt : float;            (** nominal step, seconds *)
   tstop : float;
@@ -52,12 +68,22 @@ type config = {
       (** accepted-integration-step budget per [run]; 0 = unlimited.
           Exceeding it raises {!Step_budget_exhausted} — the safety net
           against floor-dt grinds under adaptive stepping. *)
+  solver : solver_kind;  (** linear-kernel selection; see {!solver_kind} *)
+  jac_reuse : bool;
+      (** modified Newton: keep the last LU factorization across
+          iterations and accepted steps while the update keeps
+          contracting; refactor on stalls, step-size changes, or
+          failures. The residual stays exact, so only iteration counts
+          change, never converged answers beyond the Newton
+          tolerances. A solve that fails under reuse is retried as
+          pure Newton before being reported non-convergent. *)
 }
 
 val default_config : config
 (** dt = 1 ps, tstop = 4 ns, tstart = 0, trapezoidal, tolerances
     1e-7 V / 1e-9 A, 60 Newton iterations, 0.6 V update clamp,
-    gmin = 1e-12 S, 10 bisections, fixed grid, unlimited steps. *)
+    gmin = 1e-12 S, 10 bisections, fixed grid, unlimited steps,
+    [Auto] solver with Jacobian reuse on. *)
 
 val default_adaptive : adaptive
 (** lte_tol = 0.5 mV, dt_min = 10 fs, dt_max = 100 ps, grow 2x,
@@ -72,6 +98,8 @@ val with_tstop : config -> float -> config
 val with_tstart : config -> float -> config
 val with_integration : config -> integration -> config
 val with_step_control : config -> step_control -> config
+val with_solver_kind : config -> solver_kind -> config
+val with_jac_reuse : config -> bool -> config
 
 val with_adaptive :
   ?lte_tol:float ->
@@ -130,6 +158,15 @@ module Stats : sig
         (** faults injected by an armed {!Fault} plan *)
     deadline_hits : int;
         (** solves cancelled by an expired {!Deadline} budget *)
+    factorizations : int;
+        (** LU factorizations (dense or banded) actually performed *)
+    jac_reuses : int;
+        (** Newton iterations served by a kept factorization — the
+            modified-Newton win; [newton_iters] =
+            [factorizations + jac_reuses] when no solve fails *)
+    banded_solves : int;
+        (** [run]s (and DC solves) that selected the bordered-banded
+            kernel rather than dense *)
   }
 
   val snapshot : unit -> snapshot

@@ -85,6 +85,265 @@ let test_bad_dims () =
       ignore (Matrix.mul_vec a [| 1.0 |]))
 
 (* ------------------------------------------------------------------ *)
+(* Matrix: preallocated workspace (factor_into / solve_into)           *)
+
+let test_fact_matches_lu () =
+  for seed = 1 to 15 do
+    let n = 2 + (seed mod 9) in
+    let data = lcg_array seed (n * n) (-5.0) 5.0 in
+    let a = Matrix.create n n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        Matrix.set a i j data.((i * n) + j)
+      done;
+      Matrix.add_to a i i 15.0
+    done;
+    let b = lcg_array (seed * 31) n (-4.0) 4.0 in
+    let expected = Matrix.solve a b in
+    let f = Matrix.fact_create n in
+    Matrix.factor_into a f;
+    let x = Array.copy b in
+    Matrix.solve_into f x;
+    Array.iteri (fun i v -> approx ~eps:1e-12 "fact vs lu" v x.(i)) expected
+  done
+
+let test_fact_reusable () =
+  (* One workspace, two different systems in sequence. *)
+  let f = Matrix.fact_create 2 in
+  let a1 = Matrix.of_arrays [| [| 2.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  Matrix.factor_into a1 f;
+  let x = [| 2.0; 8.0 |] in
+  Matrix.solve_into f x;
+  approx "first" 1.0 x.(0);
+  approx "first" 2.0 x.(1);
+  let a2 = Matrix.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  Matrix.factor_into a2 f;
+  let y = [| 3.0; 5.0 |] in
+  Matrix.solve_into f y;
+  approx "pivoted" 5.0 y.(0);
+  approx "pivoted" 3.0 y.(1)
+
+let test_fact_singular () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  let f = Matrix.fact_create 2 in
+  match Matrix.factor_into a f with
+  | exception Matrix.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+(* ------------------------------------------------------------------ *)
+(* Banded                                                              *)
+
+(* Deterministic diagonally dominant banded system. *)
+let random_banded seed n kl ku =
+  let bd = Banded.create ~n ~kl ~ku in
+  let kl = Banded.kl bd and ku = Banded.ku bd in
+  let vals = lcg_array seed (n * (kl + ku + 1)) (-3.0) 3.0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    for j = max 0 (i - kl) to min (n - 1) (i + ku) do
+      Banded.set bd i j vals.(!k);
+      incr k
+    done;
+    Banded.add_to bd i i (if vals.(!k - 1) >= 0.0 then 12.0 else -12.0)
+  done;
+  bd
+
+let test_banded_vs_dense () =
+  for seed = 1 to 40 do
+    let n = 1 + (seed mod 25) in
+    let kl = seed mod 5 and ku = (seed / 3) mod 5 in
+    let bd = random_banded seed n kl ku in
+    let b = lcg_array (seed * 13) n (-2.0) 2.0 in
+    let x = Banded.solve bd b in
+    let xd = Matrix.solve (Banded.to_dense bd) b in
+    Array.iteri (fun i v -> approx ~eps:1e-12 "banded vs dense" v x.(i)) xd
+  done
+
+let test_banded_pivoting () =
+  (* Zero diagonal forces a within-band row exchange. *)
+  let bd = Banded.create ~n:2 ~kl:1 ~ku:1 in
+  Banded.set bd 0 1 1.0;
+  Banded.set bd 1 0 1.0;
+  let x = Banded.solve bd [| 2.0; 7.0 |] in
+  approx "x0" 7.0 x.(0);
+  approx "x1" 2.0 x.(1)
+
+let test_banded_fact_reuse_inplace () =
+  let bd = random_banded 3 12 2 1 in
+  let f = Banded.fact_create bd in
+  Banded.factor_into bd f;
+  let b = lcg_array 99 12 (-1.0) 1.0 in
+  let x = Array.copy b in
+  Banded.solve_into f x;
+  check_true "residual"
+    (Matrix.residual_norm (Banded.to_dense bd) x b < 1e-10);
+  (* Restamping the matrix must not disturb the old factorization. *)
+  let x2 = Array.copy b in
+  Banded.add_to bd 0 0 1000.0;
+  Banded.solve_into f x2;
+  Array.iteri (fun i v -> approx ~eps:0.0 "snapshot" v x2.(i)) x
+
+let test_banded_solve_pos_offset () =
+  let bd = random_banded 7 6 1 2 in
+  let f = Banded.fact_create bd in
+  Banded.factor_into bd f;
+  let b = lcg_array 41 6 (-2.0) 2.0 in
+  let block = Array.make 18 nan in
+  Array.blit b 0 block 6 6;
+  Banded.solve_into f ~pos:6 block;
+  let x = Banded.solve bd b in
+  for i = 0 to 5 do
+    approx ~eps:0.0 "offset slice" x.(i) block.(6 + i)
+  done;
+  check_true "outside untouched"
+    (Float.is_nan block.(0) && Float.is_nan block.(17))
+
+let test_banded_singular () =
+  let bd = Banded.create ~n:3 ~kl:1 ~ku:1 in
+  Banded.set bd 0 0 1.0;
+  (* Row 1 entirely zero. *)
+  Banded.set bd 2 2 1.0;
+  match Banded.solve bd [| 1.0; 1.0; 1.0 |] with
+  | exception Matrix.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+let test_banded_out_of_band () =
+  let bd = Banded.create ~n:5 ~kl:1 ~ku:0 in
+  approx "out-of-band reads zero" 0.0 (Banded.get bd 0 4);
+  Alcotest.check_raises "write outside band"
+    (Invalid_argument "Banded.add_to: outside band") (fun () ->
+      Banded.add_to bd 0 4 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Ordering                                                            *)
+
+let test_rcm_chain_bandwidth () =
+  (* A scrambled path graph must come back with bandwidth 1. *)
+  let n = 9 in
+  let scramble = [| 4; 7; 0; 8; 2; 5; 1; 6; 3 |] in
+  let edges =
+    List.init (n - 1) (fun i -> (scramble.(i), scramble.(i + 1)))
+  in
+  let g = Ordering.build ~n edges in
+  let seq = Ordering.rcm g in
+  let pos = Array.make n (-1) in
+  Array.iteri (fun k v -> pos.(v) <- k) seq;
+  Alcotest.(check int) "bandwidth" 1 (Ordering.bandwidth g pos)
+
+let test_rcm_is_permutation () =
+  let edges = [ (0, 5); (5, 2); (2, 7); (1, 4); (4, 6); (3, 3); (9, 0) ] in
+  let g = Ordering.build ~n:10 edges in
+  let seq = Ordering.rcm g in
+  Alcotest.(check int) "covers all" 10 (Array.length seq);
+  let sorted = Array.copy seq in
+  Array.sort compare sorted;
+  Array.iteri (fun i v -> Alcotest.(check int) "bijection" i v) sorted
+
+let test_plan_demotes_hub () =
+  (* Path graph plus a hub touching every vertex: bandwidth is only
+     small once the hub is demoted to the border. *)
+  let n = 12 in
+  let hub = n - 1 in
+  let edges =
+    List.init (n - 2) (fun i -> (i, i + 1))
+    @ List.init (n - 1) (fun i -> (hub, i))
+  in
+  match
+    Ordering.plan ~n ~edges ~max_bandwidth:2 ~max_border:3 ()
+  with
+  | None -> Alcotest.fail "expected a plan"
+  | Some p ->
+      check_true "hub in border" (p.Ordering.order.(hub) >= p.Ordering.core);
+      check_true "small core bandwidth" (p.Ordering.bandwidth <= 2);
+      Alcotest.(check int) "core size" (n - 1) p.Ordering.core
+
+let test_plan_coupled_follow () =
+  (* Demoting the hub must drag its coupled partner along. *)
+  let n = 10 in
+  let hub = 8 and partner = 9 in
+  let edges =
+    List.init 7 (fun i -> (i, i + 1)) @ List.init 8 (fun i -> (hub, i))
+    @ [ (hub, partner) ]
+  in
+  match
+    Ordering.plan ~n ~edges ~coupled:[ (hub, partner) ] ~max_bandwidth:2
+      ~max_border:4 ()
+  with
+  | None -> Alcotest.fail "expected a plan"
+  | Some p ->
+      check_true "hub demoted" (p.Ordering.order.(hub) >= p.Ordering.core);
+      check_true "partner follows"
+        (p.Ordering.order.(partner) >= p.Ordering.core)
+
+let test_plan_gives_up () =
+  (* A dense clique cannot be banded within the border budget. *)
+  let n = 8 in
+  let edges =
+    List.concat_map (fun i -> List.init i (fun j -> (i, j))) (List.init n Fun.id)
+  in
+  check_true "no plan"
+    (Ordering.plan ~n ~edges ~max_bandwidth:1 ~max_border:2 () = None)
+
+(* ------------------------------------------------------------------ *)
+(* Bordered                                                            *)
+
+(* Random arrowhead system: banded core + dense border rows. *)
+let random_bordered seed nb border kl ku =
+  let t = Bordered.create ~nb ~kl ~ku ~border in
+  let n = nb + border in
+  let vals = lcg_array seed (n * n) (-2.0) 2.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let core = i < nb && j < nb in
+      let inside = (not core) || (j - i <= ku && i - j <= kl) in
+      if inside then Bordered.add_to t i j vals.((i * n) + j)
+    done;
+    Bordered.add_to t i i 14.0
+  done;
+  t
+
+let test_bordered_vs_dense () =
+  for seed = 1 to 30 do
+    let nb = 2 + (seed mod 12) in
+    let border = seed mod 4 in
+    let kl = 1 + (seed mod 3) and ku = 1 + ((seed / 2) mod 3) in
+    let t = random_bordered seed nb border kl ku in
+    let n = nb + border in
+    let b = lcg_array (seed * 17) n (-3.0) 3.0 in
+    let f = Bordered.fact_create t in
+    Bordered.factor_into t f;
+    let x = Array.copy b in
+    Bordered.solve_into f x;
+    let xd = Matrix.solve (Bordered.to_dense t) b in
+    Array.iteri (fun i v -> approx ~eps:1e-11 "bordered vs dense" v x.(i)) xd
+  done
+
+let test_bordered_factor_snapshot () =
+  (* Solves with an old factorization must not see later restamps. *)
+  let t = random_bordered 5 6 2 1 1 in
+  let f = Bordered.fact_create t in
+  Bordered.factor_into t f;
+  let b = lcg_array 23 8 (-1.0) 1.0 in
+  let x1 = Array.copy b in
+  Bordered.solve_into f x1;
+  Bordered.add_to t 7 0 100.0;
+  (* border x core: G changed *)
+  Bordered.add_to t 0 0 100.0;
+  let x2 = Array.copy b in
+  Bordered.solve_into f x2;
+  Array.iteri (fun i v -> approx ~eps:0.0 "stale solves identical" v x2.(i)) x1
+
+let test_bordered_zero_border () =
+  let t = random_bordered 9 5 0 1 2 in
+  let b = lcg_array 31 5 (-2.0) 2.0 in
+  let f = Bordered.fact_create t in
+  Bordered.factor_into t f;
+  let x = Array.copy b in
+  Bordered.solve_into f x;
+  let xd = Matrix.solve (Bordered.to_dense t) b in
+  Array.iteri (fun i v -> approx ~eps:1e-11 "pure banded" v x.(i)) xd
+
+(* ------------------------------------------------------------------ *)
 (* Tridiag                                                             *)
 
 let test_tridiag_vs_dense () =
@@ -344,6 +603,35 @@ let qcheck_tests =
         let s = Stats.summarize xs in
         s.Stats.min <= s.Stats.mean +. 1e-9
         && s.Stats.mean <= s.Stats.max +. 1e-9);
+    qcase "banded: random SPD-ish systems match dense LU"
+      QCheck2.Gen.(triple (int_range 1 24) (int_range 0 4) (int_range 0 999))
+      (fun (n, band, seed) ->
+        (* Symmetric bandwidth + strong diagonal: comfortably regular. *)
+        let bd = random_banded (seed + (7 * n)) n band band in
+        let b = lcg_array (seed + 1) n (-2.0) 2.0 in
+        let x = Banded.solve bd b in
+        let xd = Matrix.solve (Banded.to_dense bd) b in
+        let ok = ref true in
+        Array.iteri
+          (fun i v -> if abs_float (v -. x.(i)) > 1e-12 then ok := false)
+          xd;
+        !ok);
+    qcase "bordered: arrowhead systems match dense LU"
+      QCheck2.Gen.(triple (int_range 2 14) (int_range 0 3) (int_range 0 999))
+      (fun (nb, border, seed) ->
+        let t = random_bordered (seed + 3) nb border 2 2 in
+        let n = nb + border in
+        let b = lcg_array (seed + 11) n (-3.0) 3.0 in
+        let f = Bordered.fact_create t in
+        Bordered.factor_into t f;
+        let x = Array.copy b in
+        Bordered.solve_into f x;
+        let xd = Matrix.solve (Bordered.to_dense t) b in
+        let ok = ref true in
+        Array.iteri
+          (fun i v -> if abs_float (v -. x.(i)) > 1e-11 then ok := false)
+          xd;
+        !ok);
     qcase "tridiag: solution satisfies the system"
       QCheck2.Gen.(int_range 2 12)
       (fun n ->
@@ -376,6 +664,26 @@ let suite =
       case "matrix: mul_vec" test_mul_vec;
       case "matrix: transpose & mul" test_transpose_mul;
       case "matrix: dimension checks" test_bad_dims;
+      case "matrix: workspace factor/solve matches lu" test_fact_matches_lu;
+      case "matrix: workspace reusable" test_fact_reusable;
+      case "matrix: workspace singular detected" test_fact_singular;
+      case "banded: 40 random systems match dense" test_banded_vs_dense;
+      case "banded: pivoting" test_banded_pivoting;
+      case "banded: factorization snapshot semantics"
+        test_banded_fact_reuse_inplace;
+      case "banded: offset in-place solve" test_banded_solve_pos_offset;
+      case "banded: singular detected" test_banded_singular;
+      case "banded: out-of-band access" test_banded_out_of_band;
+      case "ordering: rcm path bandwidth" test_rcm_chain_bandwidth;
+      case "ordering: rcm is a permutation" test_rcm_is_permutation;
+      case "ordering: plan demotes hub" test_plan_demotes_hub;
+      case "ordering: coupled vertices follow" test_plan_coupled_follow;
+      case "ordering: clique has no plan" test_plan_gives_up;
+      case "bordered: 30 random arrowheads match dense" test_bordered_vs_dense;
+      case "bordered: factorization snapshot semantics"
+        test_bordered_factor_snapshot;
+      case "bordered: zero border degenerates to banded"
+        test_bordered_zero_border;
       case "tridiag: matches dense LU" test_tridiag_vs_dense;
       case "tridiag: size checks" test_tridiag_size_checks;
       case "tridiag: 1x1" test_tridiag_single;

@@ -405,6 +405,136 @@ let test_adaptive_validation () =
     (Transient.with_adaptive ~grow_limit:0.5 Transient.default_config);
   bad "safety" (Transient.with_adaptive ~safety:1.5 Transient.default_config)
 
+(* ------------------------------------------------------------------ *)
+(* Solver hot path: kernel selection, Jacobian reuse, allocation       *)
+
+(* One noisy Config II chain case — the solver-stress circuit of the
+   paper's Table 1 sweeps: 38 unknowns, 24 FETs, stiff coupled RC
+   lines. [tau] centred on the victim transition maximizes overlap. *)
+let noisy_chain () =
+  let scen = Noise.Scenario.config_ii in
+  let ckt, ic =
+    Noise.Scenario.build scen ~aggressor_active:true
+      ~tau:scen.Noise.Scenario.victim_t0
+  in
+  let config =
+    {
+      Transient.default_config with
+      dt = scen.Noise.Scenario.dt;
+      tstop = scen.Noise.Scenario.tstop;
+    }
+  in
+  (ckt, ic, config, Noise.Scenario.victim_rcv_node scen)
+
+let run_noisy_chain (ckt, ic, config, node) kind reuse =
+  let config =
+    Transient.(with_jac_reuse (with_solver_kind config kind) reuse)
+  in
+  let r, s = stats_of (fun () -> Transient.run ~config ~ic ckt) in
+  (Transient.probe r node, s)
+
+(* Fixed grid: identical time axes, so compare samples directly. *)
+let wave_max_diff tag wa wb =
+  let va = Waveform.Wave.values wa and vb = Waveform.Wave.values wb in
+  Alcotest.(check int)
+    (tag ^ ": same grid")
+    (Array.length va) (Array.length vb);
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let d = abs_float (v -. vb.(i)) in
+      if d > !worst then worst := d)
+    va;
+  !worst
+
+let test_solver_kinds_agree () =
+  let case = noisy_chain () in
+  let w_dense, _ = run_noisy_chain case Transient.Dense false in
+  let w_banded, s_banded = run_noisy_chain case Transient.Banded false in
+  let w_auto, s_auto = run_noisy_chain case Transient.Auto false in
+  check_true "banded kernel selected"
+    (s_banded.Transient.Stats.banded_solves > 0);
+  check_true "auto picked banded" (s_auto.Transient.Stats.banded_solves > 0);
+  check_true "banded matches dense"
+    (wave_max_diff "banded" w_dense w_banded < 1e-5);
+  check_true "auto matches dense"
+    (wave_max_diff "auto" w_dense w_auto < 1e-5)
+
+let test_jac_reuse_agrees_and_wins () =
+  let case = noisy_chain () in
+  let w_full, s_full = run_noisy_chain case Transient.Auto false in
+  let w_reuse, s_reuse = run_noisy_chain case Transient.Auto true in
+  check_true "reuse matches full Newton"
+    (wave_max_diff "reuse" w_full w_reuse < 1e-5);
+  check_true "reuse happened" (s_reuse.Transient.Stats.jac_reuses > 0);
+  (* The modified-Newton win on the stiff chain: most iterations ride
+     a kept factorization (the CI perf-smoke criterion is 2x). *)
+  check_true "at least 2x fewer factorizations than iterations"
+    (2 * s_reuse.Transient.Stats.factorizations
+    <= s_reuse.Transient.Stats.newton_iters);
+  check_true "fewer factorizations than the full-Newton run"
+    (s_reuse.Transient.Stats.factorizations
+    < s_full.Transient.Stats.factorizations);
+  check_true "iteration accounting"
+    (s_reuse.Transient.Stats.factorizations
+     + s_reuse.Transient.Stats.jac_reuses
+    = s_reuse.Transient.Stats.newton_iters)
+
+let test_forced_banded_tiny_circuit () =
+  (* A 2-node RC is far below the auto threshold; forcing Banded must
+     still give the dense answer, and Auto must stay dense. *)
+  let run kind =
+    let config =
+      Transient.with_solver_kind
+        { Transient.default_config with dt = 10e-12; tstop = 2e-9 }
+        kind
+    in
+    stats_of (fun () ->
+        Transient.probe (Transient.run ~config (rc_step_circuit ())) "out")
+  in
+  let w_dense, _ = run Transient.Dense in
+  let w_banded, s_banded = run Transient.Banded in
+  let _, s_auto = run Transient.Auto in
+  check_true "banded forced on" (s_banded.Transient.Stats.banded_solves > 0);
+  check_true "auto stays dense" (s_auto.Transient.Stats.banded_solves = 0);
+  check_true "tiny banded matches dense"
+    (wave_max_diff "tiny" w_dense w_banded < 1e-9)
+
+let test_newton_loop_allocation_free () =
+  (* A 20-node RC ladder over 1000 fixed steps. The Newton inner loop
+     is allocation-free, so the minor-heap delta is dominated by the
+     per-step result row (~21 boxed floats): comfortably under 60
+     words per accepted step. A single per-iteration temporary of
+     system size (the old rhs [Array.map]) would more than double
+     this; a per-iteration matrix copy would blow it by 10x. *)
+  let ladder () =
+    let c = Circuit.create () in
+    let src = Circuit.node c "src" in
+    Circuit.vsource c src
+      (Source.ramp ~t0:0.1e-9 ~v0:0.0 ~v1:1.0 ~trans:0.2e-9);
+    let prev = ref src in
+    for i = 1 to 19 do
+      let n = Circuit.node c (Printf.sprintf "n%d" i) in
+      Circuit.resistor c !prev n 200.0;
+      Circuit.capacitor c n (Circuit.gnd c) 20e-15;
+      prev := n
+    done;
+    c
+  in
+  let config = { Transient.default_config with dt = 1e-12; tstop = 1e-9 } in
+  let c = ladder () in
+  ignore (Transient.run ~config c);
+  let before = Gc.minor_words () in
+  let r, s = stats_of (fun () -> Transient.run ~config c) in
+  let words = Gc.minor_words () -. before in
+  ignore r;
+  let steps = s.Transient.Stats.steps in
+  check_true "enough steps" (steps >= 1000);
+  check_true
+    (Printf.sprintf "minor words per step bounded: %.0f words / %d steps"
+       words steps)
+    (words < 60.0 *. float_of_int steps)
+
 let suite =
   ( "spice",
     [
@@ -440,4 +570,11 @@ let suite =
       case "adaptive: tight tol rejects" test_adaptive_tight_tol_rejects;
       case "adaptive: crossing refinement" test_adaptive_crossing_refinement;
       case "adaptive: invalid config rejected" test_adaptive_validation;
+      case "solver: dense/banded/auto kernels agree" test_solver_kinds_agree;
+      case "solver: jacobian reuse agrees and wins"
+        test_jac_reuse_agrees_and_wins;
+      case "solver: forced banded on tiny circuit"
+        test_forced_banded_tiny_circuit;
+      case "solver: newton loop is allocation-free"
+        test_newton_loop_allocation_free;
     ] )
