@@ -816,6 +816,286 @@ let awe () =
     specs
 
 (* ------------------------------------------------------------------ *)
+(* serve — load-test the sta_serve daemon.
+
+   Explicit-only section (never part of the default sweep): spin up an
+   in-process daemon (or connect to an external one via --connect),
+   drive --clients concurrent synthetic clients through a small
+   deterministic request mix, and report throughput, latency
+   percentiles, shed rate, cache hit rate, and whether every non-shed
+   socket response was byte-identical to a direct Protocol.execute
+   rendering on the same engine.                                       *)
+
+let serve_clients = ref 1000
+let serve_reqs = ref 4
+let serve_connect : string option ref = ref None
+let serve_queue_depth = ref 64
+let serve_json : string option ref = ref None
+
+let serve_parse_connect s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let tail = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt tail with
+      | Some port when host <> "" -> Server.Client.Tcp (host, port)
+      | _ -> Server.Client.Unix_path s)
+  | None -> Server.Client.Unix_path s
+
+(* The deterministic request mix: request [i] always has id [i], so
+   the expected response bytes for id [i] are computable offline. *)
+let serve_requests () =
+  let configs = [ "i"; "ii" ] in
+  let delay_taus = [ 20.; 40.; 60.; 80.; 100.; 120. ] in
+  let gamma_taus = [ 30.; 70.; 110. ] in
+  let reqs = ref [] in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun tau_ps ->
+          reqs :=
+            Server.Protocol.Delay
+              { config; tau = tau_ps *. 1e-12; technique = "SGDP" }
+            :: !reqs)
+        delay_taus;
+      List.iter
+        (fun tau_ps ->
+          reqs :=
+            Server.Protocol.Gamma
+              { config; tau = tau_ps *. 1e-12; ladder = None }
+            :: !reqs)
+        gamma_taus)
+    configs;
+  Array.of_list
+    (List.mapi
+       (fun i query -> { Server.Protocol.id = i; query; deadline_ms = None })
+       (List.rev !reqs))
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(Int.min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
+
+let serve_stage () =
+  header "sta_serve load";
+  let requests = serve_requests () in
+  let daemon, addr =
+    match !serve_connect with
+    | Some s -> (None, serve_parse_connect s)
+    | None ->
+        let sock =
+          Printf.sprintf "/tmp/sta_bench_%d.sock" (Unix.getpid ())
+        in
+        let config =
+          {
+            Server.Daemon.default_config with
+            addr = Server.Client.Unix_path sock;
+            engine = Lazy.force engine;
+            queue_depth = !serve_queue_depth;
+          }
+        in
+        (Some (Server.Daemon.start config), Server.Client.Unix_path sock)
+  in
+  (* Engine for the offline byte-identity rendering: the daemon's own
+     engine when in-process, else the preset the external daemon
+     reports over ping. *)
+  let compare_engine =
+    match daemon with
+    | Some _ -> Lazy.force engine
+    | None -> (
+        let c = Server.Client.connect addr in
+        let e =
+          match Server.Client.ping c with
+          | Ok doc -> (
+              match Server.Json.(member "ok" doc) with
+              | Some ok -> (
+                  match Server.Json.(member "engine" ok) with
+                  | Some (Server.Json.Str name) -> (
+                      match Runtime.Engine.of_name name with
+                      | e -> e
+                      | exception Invalid_argument _ -> Lazy.force engine)
+                  | _ -> Lazy.force engine)
+              | None -> Lazy.force engine)
+          | Error _ -> Lazy.force engine
+        in
+        Server.Client.close c;
+        Runtime.Engine.with_cache e (Runtime.Cache.create ()))
+  in
+  let n_clients = Int.max 1 !serve_clients in
+  let n_reqs = Int.max 1 !serve_reqs in
+  let n_distinct = Array.length requests in
+  Printf.printf
+    "driving %d concurrent clients x %d requests (%d distinct cases) at %s\n%!"
+    n_clients n_reqs n_distinct
+    (Server.Client.addr_to_string addr);
+  (* Per-thread result slots: no shared mutable state during the run. *)
+  let latencies = Array.make n_clients [||] in
+  let payloads = Array.make n_clients [||] in
+  let transport_errors = Array.make n_clients 0 in
+  let worker k () =
+    match Server.Client.connect ~retries:400 addr with
+    | exception _ -> transport_errors.(k) <- transport_errors.(k) + n_reqs
+    | client ->
+        let lats = Array.make n_reqs nan in
+        let pays = Array.make n_reqs (-1, "") in
+        for r = 0 to n_reqs - 1 do
+          let idx = ((k * n_reqs) + r) mod n_distinct in
+          let t0 = Unix.gettimeofday () in
+          match Server.Client.call_raw client requests.(idx) with
+          | Ok payload ->
+              lats.(r) <- (Unix.gettimeofday () -. t0) *. 1e3;
+              pays.(r) <- (idx, payload)
+          | Error _ ->
+              transport_errors.(k) <- transport_errors.(k) + 1
+        done;
+        Server.Client.close client;
+        latencies.(k) <- lats;
+        payloads.(k) <- pays
+  in
+  let t_start = Unix.gettimeofday () in
+  let threads =
+    Array.init n_clients (fun k -> Thread.create (worker k) ())
+  in
+  Array.iter Thread.join threads;
+  let duration_s = Unix.gettimeofday () -. t_start in
+  (* Server-side counters before shutdown. *)
+  let stats_counters =
+    match Server.Client.connect ~retries:10 addr with
+    | exception _ -> []
+    | c -> (
+        let r =
+          Server.Client.call c
+            { Server.Protocol.id = 0; query = Server.Protocol.Stats;
+              deadline_ms = None }
+        in
+        Server.Client.close c;
+        match r with
+        | Ok doc -> (
+            match Server.Json.member "ok" doc with
+            | Some ok -> (
+                match Server.Json.member "counters" ok with
+                | Some (Server.Json.Obj kvs) ->
+                    List.filter_map
+                      (fun (k, v) ->
+                        match v with
+                        | Server.Json.Num x -> Some (k, int_of_float x)
+                        | _ -> None)
+                      kvs
+                | _ -> [])
+            | None -> [])
+        | Error _ -> [])
+  in
+  (match daemon with Some d -> Server.Daemon.stop d | None -> ());
+  (* Offline rendering of every distinct case on the same engine. *)
+  let expected =
+    Array.map
+      (fun (req : Server.Protocol.request) ->
+        Server.Json.to_string
+          (Server.Protocol.response ~id:req.Server.Protocol.id
+             (Server.Protocol.execute ~engine:compare_engine
+                req.Server.Protocol.query)))
+      requests
+  in
+  let ok_identical = ref 0
+  and mismatches = ref 0
+  and shed = ref 0
+  and queue_timeouts = ref 0
+  and other_errors = ref 0 in
+  let classify payload idx =
+    if payload = expected.(idx) then incr ok_identical
+    else
+      let code =
+        match Server.Json.parse payload with
+        | Ok doc -> (
+            match Server.Json.member "error" doc with
+            | Some err -> (
+                match Server.Json.member "code" err with
+                | Some (Server.Json.Str c) -> c
+                | _ -> "?")
+            | None -> "?")
+        | Error _ -> "?"
+      in
+      match code with
+      | "overloaded" -> incr shed
+      | "queue_timeout" -> incr queue_timeouts
+      | "shutting_down" -> incr other_errors
+      | _ -> incr mismatches
+  in
+  Array.iter
+    (Array.iter (fun (idx, payload) -> if idx >= 0 then classify payload idx))
+    payloads;
+  let completed = !ok_identical + !mismatches + !shed + !queue_timeouts + !other_errors in
+  let transport = Array.fold_left ( + ) 0 transport_errors in
+  let lats =
+    Array.concat (Array.to_list latencies)
+    |> Array.to_seq
+    |> Seq.filter (fun x -> not (Float.is_nan x))
+    |> Array.of_seq
+  in
+  Array.sort compare lats;
+  let p50 = percentile lats 0.50
+  and p95 = percentile lats 0.95
+  and p99 = percentile lats 0.99 in
+  let rps = float_of_int completed /. Float.max duration_s 1e-9 in
+  let shed_total = !shed + !queue_timeouts in
+  let shed_rate =
+    if completed > 0 then float_of_int shed_total /. float_of_int completed
+    else 0.0
+  in
+  let counter name =
+    match List.assoc_opt name stats_counters with Some v -> v | None -> 0
+  in
+  let cache_hit_rate =
+    let hits = counter "cache.hits" and misses = counter "cache.misses" in
+    if hits + misses > 0 then
+      float_of_int hits /. float_of_int (hits + misses)
+    else 0.0
+  in
+  let protocol_errors = !mismatches + transport in
+  Printf.printf
+    "completed %d/%d in %.2f s (%.0f req/s)\n\
+     latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n\
+     shed %d (overloaded %d, queue_timeout %d) — shed rate %.1f%%\n\
+     byte-identical ok responses: %d, mismatches: %d, transport errors: %d\n\
+     server counters: accepted %d, shed %d, batches %d; cache hit rate %.1f%%\n%!"
+    completed
+    ((n_clients * n_reqs) + transport)
+    duration_s rps p50 p95 p99 shed_total !shed !queue_timeouts
+    (100.0 *. shed_rate) !ok_identical !mismatches transport
+    (counter "server.accepted") (counter "server.shed")
+    (counter "server.batches")
+    (100.0 *. cache_hit_rate);
+  if !mismatches > 0 || transport > 0 then exit_code := 1;
+  serve_json :=
+    Some
+      (json_obj
+         [
+           ("clients", string_of_int n_clients);
+           ("requests_per_client", string_of_int n_reqs);
+           ("distinct_cases", string_of_int n_distinct);
+           ("completed", string_of_int completed);
+           ("duration_s", Printf.sprintf "%.6f" duration_s);
+           ("requests_per_sec", Printf.sprintf "%.3f" rps);
+           ("p50_ms", Printf.sprintf "%.4f" p50);
+           ("p95_ms", Printf.sprintf "%.4f" p95);
+           ("p99_ms", Printf.sprintf "%.4f" p99);
+           ("shed", string_of_int shed_total);
+           ("shed_overloaded", string_of_int !shed);
+           ("shed_queue_timeout", string_of_int !queue_timeouts);
+           ("shed_rate", Printf.sprintf "%.6f" shed_rate);
+           ("ok_byte_identical", string_of_int !ok_identical);
+           ("mismatches", string_of_int !mismatches);
+           ("transport_errors", string_of_int transport);
+           ("protocol_errors", string_of_int protocol_errors);
+           ( "byte_identical",
+             if !mismatches = 0 then "true" else "false" );
+           ("cache_hit_rate", Printf.sprintf "%.6f" cache_hit_rate);
+           ("server_accepted", string_of_int (counter "server.accepted"));
+           ("server_shed", string_of_int (counter "server.shed"));
+           ("server_batches", string_of_int (counter "server.batches"));
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output (--json)                                    *)
 
 let json_row (r : Noise.Eval.row) =
@@ -954,9 +1234,12 @@ let write_json path =
       @ (match !adaptive_json with
         | Some j -> [ ("adaptive", j) ]
         | None -> [])
+      @ (match !kernel_json with
+        | Some j -> [ ("kernel", j) ]
+        | None -> [])
       @
-      match !kernel_json with
-      | Some j -> [ ("kernel", j) ]
+      match !serve_json with
+      | Some j -> [ ("serve", j) ]
       | None -> [])
   in
   let oc = open_out path in
@@ -987,7 +1270,10 @@ let usage () =
     \             nth:3, nan:0.05, slow:nth:5)\n\
      ladder: comma-separated technique names, e.g. SGDP,WLS5,P1\n\
      sections: figure1 figure2 table1 runtime kernel ablation nonoverlap\n\
-    \          worstcase corners montecarlo awe (default: all)";
+    \          worstcase corners montecarlo awe (default: all)\n\
+    \          serve (explicit only): load-test the sta_serve daemon —\n\
+    \          [--clients N] [--reqs N] [--queue-depth N]\n\
+    \          [--connect PATH|HOST:PORT]";
   exit 2
 
 let () =
@@ -1073,6 +1359,16 @@ let () =
             usage ());
         parse rest
     | "--no-jac-reuse" :: rest -> jac_reuse := false; parse rest
+    | "--clients" :: v :: rest ->
+        int_opt "--clients" v (fun n -> serve_clients := Int.max 1 n);
+        parse rest
+    | "--reqs" :: v :: rest ->
+        int_opt "--reqs" v (fun n -> serve_reqs := Int.max 1 n);
+        parse rest
+    | "--queue-depth" :: v :: rest ->
+        int_opt "--queue-depth" v (fun n -> serve_queue_depth := Int.max 1 n);
+        parse rest
+    | "--connect" :: v :: rest -> serve_connect := Some v; parse rest
     | "--compare" :: v :: rest ->
         if not (Sys.file_exists v) then (
           Printf.eprintf "--compare: no such baseline file %s\n" v;
@@ -1097,7 +1393,8 @@ let () =
     | ( "--cases" | "--jobs" | "--json" | "--cache-dir" | "--engine" | "--ltetol"
       | "--retries" | "--fallback" | "--checkpoint" | "--inject-faults"
       | "--deadline" | "--ladder" | "--guard-every" | "--guard-tol-ps"
-      | "--solver" | "--compare" )
+      | "--solver" | "--compare" | "--clients" | "--reqs" | "--queue-depth"
+      | "--connect" )
       :: [] ->
         usage ()
     | s :: _ when String.length s > 0 && s.[0] = '-' ->
@@ -1127,6 +1424,9 @@ let () =
   stage "corners" corners;
   stage "montecarlo" montecarlo;
   stage "awe" awe;
+  (* Explicit-only: a daemon load test is not part of the default
+     simulation sweep. *)
+  if List.mem "serve" !sections then stage "serve" serve_stage;
   Runtime.Metrics.set metrics "pool.jobs" !jobs;
   Runtime.Metrics.capture_spice ~since:before metrics;
   Runtime.Metrics.capture_resilience ~since:!resil_before metrics;

@@ -1,0 +1,179 @@
+(* sta_serve: STA-as-a-service daemon.
+
+   Subcommands:
+     serve   (default) run the daemon until SIGINT/SIGTERM
+     ping    liveness round-trip against a running daemon *)
+
+open Cmdliner
+
+let default_socket = "/tmp/sta_serve.sock"
+
+let addr_of socket port =
+  match port with
+  | Some p -> Server.Client.Tcp ("127.0.0.1", p)
+  | None -> Server.Client.Unix_path socket
+
+let socket_arg =
+  Arg.(value & opt string default_socket
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket to serve (or connect to). Ignored \
+                 when $(b,--port) is given.")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"Serve the wire protocol over loopback TCP on $(docv) \
+                 instead of a Unix socket.")
+
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+let engine_conv =
+  Arg.conv
+    ( (fun s ->
+        match Runtime.Engine.of_name s with
+        | e -> Ok e
+        | exception Invalid_argument msg -> Error (`Msg msg)),
+      fun ppf e -> Format.pp_print_string ppf (Runtime.Engine.name e) )
+
+let serve_cmd =
+  let http_port =
+    Arg.(value & opt (some int) None
+         & info [ "http-port" ] ~docv:"PORT"
+             ~doc:"Expose $(b,GET /metrics) (Prometheus text format) \
+                   and $(b,GET /health) over loopback HTTP on $(docv).")
+  in
+  let queue_depth =
+    Arg.(value & opt int 64
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Admission queue bound. Requests arriving while $(docv) \
+                   are already queued are shed immediately with a typed \
+                   $(b,overloaded) error instead of growing memory.")
+  in
+  let batch =
+    Arg.(value & opt int 16
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Maximum single-case solves merged into one pool \
+                   submission.")
+  in
+  let queue_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "queue-timeout" ] ~docv:"MS"
+             ~doc:"Shed requests that waited longer than $(docv) ms in \
+                   the queue with a typed $(b,queue_timeout) error \
+                   instead of computing an answer nobody is waiting \
+                   for.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"MS"
+             ~doc:"Default per-request solve budget in milliseconds, \
+                   used when a request carries no $(b,deadline_ms) of \
+                   its own.")
+  in
+  let engine =
+    Arg.(value & opt engine_conv Runtime.Engine.fast
+         & info [ "engine" ] ~docv:"NAME"
+             ~doc:"Solver engine preset: $(b,reference), $(b,accurate) \
+                   or $(b,fast) (the default — adaptive stepping tuned \
+                   for interactive service).")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains shared by batched solves and sweep \
+                   fan-out.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Disable the content-keyed simulation memo cache.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist the simulation cache in $(docv); a restarted \
+                   daemon starts warm.")
+  in
+  let run socket port http_port queue_depth batch queue_timeout deadline
+      engine jobs no_cache cache_dir =
+    let engine =
+      if jobs > 1 then
+        Runtime.Engine.with_pool engine (Runtime.Pool.create ~jobs ())
+      else engine
+    in
+    let engine =
+      if no_cache then engine
+      else
+        Runtime.Engine.with_cache engine
+          (Runtime.Cache.create ?disk_dir:cache_dir ())
+    in
+    let addr = addr_of socket port in
+    let config =
+      {
+        Server.Daemon.addr;
+        http_port;
+        engine;
+        queue_depth;
+        max_batch = batch;
+        queue_timeout_ms = queue_timeout;
+        default_deadline_ms = deadline;
+      }
+    in
+    Printf.printf "sta_serve %s: engine %s, queue depth %d, listening on %s%s\n%!"
+      Server.Protocol.version
+      (Runtime.Engine.name engine)
+      queue_depth
+      (Server.Client.addr_to_string addr)
+      (match http_port with
+      | Some p -> Printf.sprintf ", metrics on http://127.0.0.1:%d/metrics" p
+      | None -> "");
+    Server.Daemon.run config;
+    Printf.printf "sta_serve: drained, bye\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the STA daemon (default command)")
+    Term.(
+      const run $ socket_arg $ port_arg $ http_port $ queue_depth $ batch
+      $ queue_timeout $ deadline $ engine $ jobs $ no_cache $ cache_dir)
+
+(* ------------------------------------------------------------------ *)
+(* ping *)
+
+let ping_cmd =
+  let retries =
+    Arg.(value & opt int 20
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Connection attempts, 50 ms apart, before giving up.")
+  in
+  let run socket port retries =
+    let addr = addr_of socket port in
+    match Server.Client.connect ~retries addr with
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "sta_serve ping: cannot connect to %s: %s\n"
+          (Server.Client.addr_to_string addr)
+          (Unix.error_message e);
+        exit 1
+    | client -> (
+        let result = Server.Client.ping client in
+        Server.Client.close client;
+        match result with
+        | Ok doc ->
+            print_endline (Server.Json.to_string doc)
+        | Error msg ->
+            Printf.eprintf "sta_serve ping: %s\n" msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Liveness round-trip against a running daemon")
+    Term.(const run $ socket_arg $ port_arg $ retries)
+
+let () =
+  let info =
+    Cmd.info "sta_serve" ~version:Server.Protocol.version
+      ~doc:"STA-as-a-service: timing and noise queries over a socket"
+  in
+  let default =
+    Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ serve_cmd; ping_cmd ]))

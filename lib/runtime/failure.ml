@@ -10,6 +10,8 @@ type t =
   | Mapping_degraded of { technique : string; rung : int; score_v : float }
   | Mapping_exhausted of { tried : int; last : string }
   | Deadline_exceeded of { at : float; budget_ms : float }
+  | Overloaded of { queue_depth : int }
+  | Queue_timeout of { waited_ms : float; budget_ms : float }
 
 exception Error of t
 
@@ -27,6 +29,8 @@ let code = function
   | Mapping_degraded _ -> "mapping_degraded"
   | Mapping_exhausted _ -> "mapping_exhausted"
   | Deadline_exceeded _ -> "deadline_exceeded"
+  | Overloaded _ -> "overloaded"
+  | Queue_timeout _ -> "queue_timeout"
 
 (* Recoverable = a safer solver configuration could plausibly change
    the outcome, so the resilience ladder should retry. The rest are
@@ -34,9 +38,12 @@ let code = function
    exhausted mapping is a property of the waveform, and an expired
    wall-clock budget cannot be beaten by re-solving the same work
    under the same budget. *)
+(* The admission-control variants are recoverable in the client-retry
+   sense: shedding says nothing about the query, only about transient
+   server load, so retrying after backoff is the right move. *)
 let is_recoverable = function
   | Non_convergence _ | Step_budget _ | Non_finite _ | Rail_bound _
-  | Missing_crossing _ ->
+  | Missing_crossing _ | Overloaded _ | Queue_timeout _ ->
       true
   | Cache_io _ | Missing_cell _ | Unsupported _ | Mapping_degraded _
   | Mapping_exhausted _ | Deadline_exceeded _ ->
@@ -64,6 +71,14 @@ let to_string = function
         last
   | Deadline_exceeded { at; budget_ms } ->
       Printf.sprintf "deadline of %.4g ms exceeded at t=%.4g s" budget_ms at
+  | Overloaded { queue_depth } ->
+      Printf.sprintf
+        "server overloaded: admission queue full at depth %d, request shed"
+        queue_depth
+  | Queue_timeout { waited_ms; budget_ms } ->
+      Printf.sprintf
+        "request waited %.4g ms in queue, past its %.4g ms queueing budget"
+        waited_ms budget_ms
 
 let pp ppf f = Format.pp_print_string ppf (to_string f)
 

@@ -34,6 +34,14 @@ type t =
   | Deadline_exceeded of { at : float; budget_ms : float }
       (** a solve was cancelled at simulation time [at] by an expired
           per-solve wall-clock budget of [budget_ms] *)
+  | Overloaded of { queue_depth : int }
+      (** the server's bounded admission queue was full ([queue_depth]
+          requests already waiting) and the request was shed — the
+          client should back off and retry *)
+  | Queue_timeout of { waited_ms : float; budget_ms : float }
+      (** the request waited [waited_ms] in the admission queue, past
+          its queueing budget of [budget_ms], and was dropped before
+          execution — its answer would have arrived too late to use *)
 
 exception Error of t
 (** Carrier exception, registered with [Printexc] for readable
@@ -43,11 +51,16 @@ val fail : t -> 'a
 (** [fail f] raises [Error f]. *)
 
 val is_recoverable : t -> bool
-(** Whether the fallback ladder should retry with a safer config.
-    Mapping and deadline failures are not: a degraded/exhausted mapping
-    is a property of the waveform, and re-solving the same work under
-    the same wall-clock budget cannot beat an expired deadline — one
-    hung solve costs one typed failure, not extra retries. *)
+(** Whether the failure is worth retrying. For solve failures this
+    drives the {!Resilience} fallback ladder (retry with a safer
+    config). Mapping and deadline failures are not: a
+    degraded/exhausted mapping is a property of the waveform, and
+    re-solving the same work under the same wall-clock budget cannot
+    beat an expired deadline — one hung solve costs one typed failure,
+    not extra retries. The admission-control failures ([Overloaded],
+    [Queue_timeout]) are recoverable: they say nothing about the query
+    itself, only about transient server load, so a client retry after
+    backoff is the right move. *)
 
 val code : t -> string
 (** Stable snake_case tag for metrics and JSON ("non_convergence",

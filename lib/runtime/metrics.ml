@@ -141,6 +141,63 @@ let json_obj fields =
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) v) fields)
   ^ "}"
 
+(* Prometheus text exposition. Registry names are dotted identifiers,
+   optionally carrying a literal label suffix in braces
+   ("server.latency_ms_bucket{le=\"5\"}"); the label part is emitted
+   verbatim while the base name is sanitized into a metric name. *)
+
+let prom_sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    s
+
+let prom_split name =
+  match String.index_opt name '{' with
+  | Some i when name.[String.length name - 1] = '}' ->
+      (String.sub name 0 i, String.sub name i (String.length name - i))
+  | _ -> (name, "")
+
+let prom_type base =
+  let counterish suffix =
+    String.length base >= String.length suffix
+    && String.sub base
+         (String.length base - String.length suffix)
+         (String.length suffix)
+       = suffix
+  in
+  if List.exists counterish [ "_total"; "_bucket"; "_count"; "_sum" ] then
+    "counter"
+  else "gauge"
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
+  let family base =
+    if not (Hashtbl.mem seen base) then begin
+      Hashtbl.add seen base ();
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" base (prom_type base))
+    end
+  in
+  List.iter
+    (fun (name, v) ->
+      let base, labels = prom_split name in
+      let base = "sta_" ^ prom_sanitize base in
+      family base;
+      Buffer.add_string buf (Printf.sprintf "%s%s %d\n" base labels v))
+    (counters t);
+  List.iter
+    (fun (name, v) ->
+      let base, labels = prom_split name in
+      let base = "sta_" ^ prom_sanitize base ^ "_seconds" in
+      family base;
+      Buffer.add_string buf (Printf.sprintf "%s%s %.6f\n" base labels v))
+    (timers t);
+  Buffer.contents buf
+
 let to_json t =
   json_obj
     [

@@ -57,3 +57,16 @@ val pp_report : Format.formatter -> t -> unit
 val to_json : t -> string
 (** [{"counters": {...}, "timers_s": {...}}] — flat, machine-readable;
     used by the bench [--json] output. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition (version 0.0.4) of the registry, served
+    by the daemon's [/metrics] endpoint. Every dotted counter name maps
+    to [sta_] plus the name with non-identifier characters replaced by
+    underscores ("server.accepted" -> "sta_server_accepted"); timers
+    get a [_seconds] suffix and are rendered in seconds. A name may
+    carry a literal label suffix in braces — e.g. the counter
+    ["server.latency_ms_bucket{le=\"5\"}"] is exposed as the series
+    [sta_server_latency_ms_bucket{le="5"}] — and all series of one base
+    name share a single [# TYPE] line. Names ending in [_total],
+    [_bucket], [_count] or [_sum] are typed [counter], everything else
+    [gauge]. Output is sorted by name, so it is stable across calls. *)

@@ -1,0 +1,151 @@
+module Job = struct
+  type t = {
+    request : Protocol.request;
+    enqueued_at : float;
+    m : Mutex.t;
+    cv : Condition.t;
+    mutable response : Json.t option;
+  }
+
+  let make request =
+    {
+      request;
+      enqueued_at = Unix.gettimeofday ();
+      m = Mutex.create ();
+      cv = Condition.create ();
+      response = None;
+    }
+
+  let request t = t.request
+
+  let fill t resp =
+    Mutex.lock t.m;
+    if t.response = None then begin
+      t.response <- Some resp;
+      Condition.broadcast t.cv
+    end;
+    Mutex.unlock t.m
+
+  let await t =
+    Mutex.lock t.m;
+    while t.response = None do
+      Condition.wait t.cv t.m
+    done;
+    let v = match t.response with Some v -> v | None -> assert false in
+    Mutex.unlock t.m;
+    v
+end
+
+(* One request's effective engine: the shared engine plus its own
+   wall-clock budget. [Engine.with_deadline] is the per-solve budget the
+   harness entry points install around every solve attempt, so a
+   deadlined sweep sheds exactly its slow cases as typed failures. *)
+let effective_engine ~engine ~default_deadline_ms (req : Protocol.request) =
+  match (req.Protocol.deadline_ms, default_deadline_ms) with
+  | Some ms, _ | None, Some ms -> Runtime.Engine.with_deadline engine ms
+  | None, None -> engine
+
+let run_job ~engine ~metrics ~default_deadline_ms (job : Job.t) =
+  let req = Job.request job in
+  let response =
+    match
+      Protocol.execute
+        ~engine:(effective_engine ~engine ~default_deadline_ms req)
+        ~metrics req.Protocol.query
+    with
+    | result ->
+        (match result with
+        | Ok _ -> Runtime.Metrics.incr metrics "server.executed"
+        | Error _ -> Runtime.Metrics.incr metrics "server.exec_errors");
+        Protocol.response ~id:req.Protocol.id result
+    | exception e ->
+        (* A bug in a technique or the server itself: answer the client
+           and keep serving — one poisoned request must not take the
+           daemon down. *)
+        Runtime.Metrics.incr metrics "server.internal_errors";
+        Protocol.error_response ~id:req.Protocol.id ~code:"internal"
+          (Printexc.to_string e)
+  in
+  Job.fill job response
+
+(* Queue-wait admission recheck at pop time: an answer the client
+   stopped waiting for is pure wasted compute. *)
+let timed_out ~queue_timeout_ms (job : Job.t) =
+  match queue_timeout_ms with
+  | None -> None
+  | Some budget_ms ->
+      let waited_ms = (Unix.gettimeofday () -. job.Job.enqueued_at) *. 1e3 in
+      if waited_ms > budget_ms then Some (waited_ms, budget_ms) else None
+
+let shed_timeout ~metrics (job : Job.t) (waited_ms, budget_ms) =
+  Runtime.Metrics.incr metrics "server.queue_timeouts";
+  let req = Job.request job in
+  Job.fill job
+    (Protocol.response ~id:req.Protocol.id
+       (Error (Runtime.Failure.Queue_timeout { waited_ms; budget_ms })))
+
+let serve ~queue ~engine ~metrics ?(max_batch = 16) ?queue_timeout_ms
+    ?default_deadline_ms () =
+  let run_one = run_job ~engine ~metrics ~default_deadline_ms in
+  (* Jobs are batched only while consecutive and single-case; the first
+     incompatible pop is carried into the next round so nothing is
+     reordered across a sweep boundary. *)
+  let carry = ref None in
+  let next () =
+    match !carry with
+    | Some j ->
+        carry := None;
+        Some j
+    | None -> Workqueue.pop queue
+  in
+  let rec gather acc n =
+    if n >= max_batch then List.rev acc
+    else
+      match Workqueue.try_pop queue with
+      | None -> List.rev acc
+      | Some j -> (
+          match timed_out ~queue_timeout_ms j with
+          | Some t ->
+              shed_timeout ~metrics j t;
+              gather acc n
+          | None -> (
+              match Protocol.klass (Job.request j).Protocol.query with
+              | Protocol.Single _ -> gather (j :: acc) (n + 1)
+              | _ ->
+                  carry := Some j;
+                  List.rev acc))
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some head -> (
+        match timed_out ~queue_timeout_ms head with
+        | Some t ->
+            shed_timeout ~metrics head t;
+            loop ()
+        | None ->
+            let batch =
+              match Protocol.klass (Job.request head).Protocol.query with
+              | Protocol.Single _ -> head :: gather [] 1
+              | _ -> [ head ]
+            in
+            let n = List.length batch in
+            Runtime.Metrics.incr metrics "server.batches";
+            if n > 1 then
+              Runtime.Metrics.incr ~n metrics "server.batched_requests";
+            Runtime.Metrics.set metrics "server.in_flight" n;
+            (match batch with
+            | [ job ] -> run_one job
+            | jobs ->
+                let jobs = Array.of_list jobs in
+                (* One pool submission for the whole batch; [chunk:1] so
+                   each domain claims one request at a time. *)
+                ignore
+                  (Runtime.Pool.maybe_map ~chunk:1
+                     (Runtime.Engine.pool engine)
+                     (Array.length jobs)
+                     (fun i -> run_one jobs.(i))));
+            Runtime.Metrics.set metrics "server.in_flight" 0;
+            loop ())
+  in
+  loop ()

@@ -1,0 +1,70 @@
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | a -> a
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          failwith ("cannot resolve host " ^ host)
+      | h -> h.Unix.h_addr_list.(0)
+      | exception Not_found -> failwith ("cannot resolve host " ^ host))
+
+let sockaddr = function
+  | Unix_path p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+  | Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (resolve host, port))
+
+let connect ?(retries = 100) addr =
+  let domain, sa = sockaddr addr in
+  let rec go attempt =
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> { fd; open_ = true }
+    | exception
+        Unix.Unix_error ((ECONNREFUSED | ENOENT | EAGAIN | EINTR), _, _)
+      when attempt < retries ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Thread.delay 0.05;
+        go (attempt + 1)
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  go 0
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let call_raw t request =
+  if not t.open_ then Error "client closed"
+  else
+    match
+      Protocol.write_frame t.fd (Json.to_string (Protocol.request_to_json request))
+    with
+    | () -> (
+        match Protocol.read_frame t.fd with
+        | Ok payload -> Ok payload
+        | Error `Eof -> Error "connection closed by server"
+        | Error (`Err msg) -> Error msg)
+    | exception Unix.Unix_error (e, _, _) ->
+        Error ("send failed: " ^ Unix.error_message e)
+
+let call t request =
+  match call_raw t request with
+  | Error _ as e -> e
+  | Ok payload -> (
+      match Json.parse payload with
+      | Ok doc -> Ok doc
+      | Error msg -> Error ("malformed response: " ^ msg))
+
+let ping t =
+  call t { Protocol.id = 0; query = Protocol.Ping; deadline_ms = None }

@@ -1,0 +1,37 @@
+(** Blocking client for the sta_serve wire protocol.
+
+    One {!t} wraps one connected socket; calls are synchronous
+    request/response pairs over {!Protocol.read_frame}/[write_frame].
+    A client is not thread-safe — concurrent load generators open one
+    client per thread, which is also how real callers behave.
+
+    {!call_raw} exposes the response payload bytes untouched, which is
+    what the bench's byte-identity check compares against a direct
+    {!Protocol.execute} rendering. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+val addr_to_string : addr -> string
+
+type t
+
+val connect : ?retries:int -> addr -> t
+(** Connect, retrying [retries] times (default 100, 50 ms apart) while
+    the target refuses or does not exist yet — absorbs the daemon
+    startup race in tests and CI. Raises [Unix.Unix_error] once the
+    retries are exhausted. *)
+
+val close : t -> unit
+
+val call_raw : t -> Protocol.request -> (string, string) result
+(** Send one request, return the raw response payload. [Error] means a
+    transport-level problem (closed connection, truncated frame) — a
+    typed failure from the server still arrives as [Ok] bytes carrying
+    an [error] document. *)
+
+val call : t -> Protocol.request -> (Json.t, string) result
+(** {!call_raw} plus JSON parsing. *)
+
+val ping : t -> (Json.t, string) result
+(** [{"op":"ping"}] round-trip; the [ok] body reports the daemon's
+    protocol version and engine name. *)

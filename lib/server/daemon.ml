@@ -1,0 +1,297 @@
+type config = {
+  addr : Client.addr;
+  http_port : int option;
+  engine : Runtime.Engine.t;
+  queue_depth : int;
+  max_batch : int;
+  queue_timeout_ms : float option;
+  default_deadline_ms : float option;
+}
+
+let default_config =
+  {
+    addr = Client.Unix_path "/tmp/sta_serve.sock";
+    http_port = None;
+    engine = Runtime.Engine.fast;
+    queue_depth = 64;
+    max_batch = 16;
+    queue_timeout_ms = None;
+    default_deadline_ms = None;
+  }
+
+type t = {
+  config : config;
+  metrics : Runtime.Metrics.t;
+  engine : Runtime.Engine.t;
+  queue : Batcher.Job.t Workqueue.t;
+  stop_flag : bool Atomic.t;
+  draining : bool Atomic.t;
+  listen_fd : Unix.file_descr;
+  http_fd : Unix.file_descr option;
+  batcher : Thread.t;
+  acceptors : Thread.t list;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns_m : Mutex.t;
+  threads : Thread.t list ref;
+  threads_m : Mutex.t;
+  stopped : bool Atomic.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Latency histogram: cumulative Prometheus-convention buckets kept in
+   the plain counter registry via label-suffixed names. *)
+
+let latency_buckets = [ 1.; 2.; 5.; 10.; 25.; 50.; 100.; 250.; 500.; 1000.; 2500.; 5000. ]
+
+let bucket_counter le =
+  Printf.sprintf "server.latency_ms_bucket{le=\"%s\"}" le
+
+let observe_latency metrics ms =
+  List.iter
+    (fun le ->
+      if ms <= le then
+        Runtime.Metrics.incr metrics (bucket_counter (Printf.sprintf "%g" le)))
+    latency_buckets;
+  Runtime.Metrics.incr metrics (bucket_counter "+Inf");
+  Runtime.Metrics.incr metrics "server.latency_ms_count";
+  Runtime.Metrics.incr
+    ~n:(max 0 (int_of_float (Float.round ms)))
+    metrics "server.latency_ms_sum"
+
+(* ------------------------------------------------------------------ *)
+(* Sockets *)
+
+let bind_listen addr =
+  let domain, sa = Client.(
+    match addr with
+    | Unix_path p ->
+        (try Unix.unlink p with Unix.Unix_error _ -> ());
+        (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+    | Tcp (host, port) ->
+        let resolved =
+          match Unix.inet_addr_of_string host with
+          | a -> a
+          | exception Failure _ -> Unix.inet_addr_loopback
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (resolved, port)))
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (match sa with
+  | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+  | Unix.ADDR_UNIX _ -> ());
+  (try Unix.bind fd sa
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen fd 128;
+  fd
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection protocol loop *)
+
+let write_response fd doc = Protocol.write_frame fd (Json.to_string doc)
+
+let handle_request t fd payload =
+  let started = Unix.gettimeofday () in
+  (match Protocol.parse_request payload with
+  | Error msg ->
+      Runtime.Metrics.incr t.metrics "server.bad_requests";
+      write_response fd (Protocol.error_response ~id:0 ~code:"bad_request" msg)
+  | Ok req -> (
+      let id = req.Protocol.id in
+      match Protocol.klass req.Protocol.query with
+      | Protocol.Inline ->
+          (* ping/stats never solve: safe on the connection thread and
+             never queued, so liveness survives overload. *)
+          Runtime.Metrics.incr t.metrics "server.accepted";
+          let result =
+            Protocol.execute ~engine:t.engine ~metrics:t.metrics
+              req.Protocol.query
+          in
+          write_response fd (Protocol.response ~id result)
+      | Protocol.Single _ | Protocol.Sweep -> (
+          let job = Batcher.Job.make req in
+          match Workqueue.try_push t.queue job with
+          | Ok () ->
+              Runtime.Metrics.incr t.metrics "server.accepted";
+              Runtime.Metrics.set t.metrics "server.queue_depth"
+                (Workqueue.length t.queue);
+              write_response fd (Batcher.Job.await job)
+          | Error `Overloaded ->
+              Runtime.Metrics.incr t.metrics "server.shed";
+              write_response fd
+                (Protocol.response ~id
+                   (Error
+                      (Runtime.Failure.Overloaded
+                         { queue_depth = Workqueue.depth t.queue })))
+          | Error `Closed ->
+              write_response fd
+                (Protocol.error_response ~id ~code:"shutting_down"
+                   "server is draining"))));
+  observe_latency t.metrics ((Unix.gettimeofday () -. started) *. 1e3)
+
+let conn_loop t key fd =
+  let finish () =
+    Mutex.lock t.conns_m;
+    Hashtbl.remove t.conns key;
+    Mutex.unlock t.conns_m;
+    close_quietly fd
+  in
+  Fun.protect ~finally:finish (fun () ->
+      let rec go () =
+        match Protocol.read_frame fd with
+        | Error `Eof -> ()
+        | Error (`Err msg) ->
+            (* Framing is broken; we cannot resync, so answer and drop
+               the connection. *)
+            (try
+               write_response fd
+                 (Protocol.error_response ~id:0 ~code:"bad_request" msg)
+             with Unix.Unix_error _ -> ())
+        | Ok payload -> (
+            match handle_request t fd payload with
+            | () -> go ()
+            | exception Unix.Unix_error _ -> ())
+      in
+      go ())
+
+let spawn t f =
+  let th = Thread.create f () in
+  Mutex.lock t.threads_m;
+  t.threads := th :: !(t.threads);
+  Mutex.unlock t.threads_m
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let conn_counter = Atomic.make 0
+
+let start (config : config) =
+  (* A client vanishing mid-write must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let metrics =
+    match Runtime.Engine.metrics config.engine with
+    | Some m -> m
+    | None -> Runtime.Metrics.create ()
+  in
+  let engine = Runtime.Engine.with_metrics config.engine metrics in
+  let queue = Workqueue.create ~depth:config.queue_depth in
+  let stop_flag = Atomic.make false in
+  let draining = Atomic.make false in
+  let listen_fd = bind_listen config.addr in
+  let http_fd =
+    Option.map
+      (fun port -> bind_listen (Client.Tcp ("127.0.0.1", port)))
+      config.http_port
+  in
+  let batcher =
+    Thread.create
+      (fun () ->
+        Batcher.serve ~queue ~engine ~metrics ~max_batch:config.max_batch
+          ?queue_timeout_ms:config.queue_timeout_ms
+          ?default_deadline_ms:config.default_deadline_ms ())
+      ()
+  in
+  let t =
+    {
+      config;
+      metrics;
+      engine;
+      queue;
+      stop_flag;
+      draining;
+      listen_fd;
+      http_fd;
+      batcher;
+      acceptors = [];
+      conns = Hashtbl.create 64;
+      conns_m = Mutex.create ();
+      threads = ref [];
+      threads_m = Mutex.create ();
+      stopped = Atomic.make false;
+    }
+  in
+  let proto_acceptor =
+    Thread.create
+      (fun () ->
+        Listener.accept_loop ~stop:stop_flag listen_fd (fun fd _peer ->
+            Runtime.Metrics.incr metrics "server.connections";
+            let key = Atomic.fetch_and_add conn_counter 1 in
+            Mutex.lock t.conns_m;
+            Hashtbl.replace t.conns key fd;
+            Mutex.unlock t.conns_m;
+            spawn t (fun () -> conn_loop t key fd)))
+      ()
+  in
+  let http_acceptor =
+    Option.map
+      (fun fd ->
+        let health () =
+          if Atomic.get draining then "draining\n" else "ok\n"
+        in
+        Thread.create
+          (fun () ->
+            Listener.accept_loop ~stop:stop_flag fd (fun cfd _peer ->
+                spawn t (fun () ->
+                    Listener.handle_http ~metrics ~health cfd)))
+          ())
+      http_fd
+  in
+  { t with acceptors = proto_acceptor :: Option.to_list http_acceptor }
+
+let addr t = t.config.addr
+let metrics t = t.metrics
+
+let stop t =
+  if Atomic.compare_and_set t.stopped false true then begin
+    Atomic.set t.draining true;
+    (* 1. Stop accepting. *)
+    Atomic.set t.stop_flag true;
+    List.iter Thread.join t.acceptors;
+    close_quietly t.listen_fd;
+    Option.iter close_quietly t.http_fd;
+    (match t.config.addr with
+    | Client.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | Client.Tcp _ -> ());
+    (* 2. Refuse new work, then let the batcher answer everything
+       already queued. *)
+    Workqueue.close t.queue;
+    Thread.join t.batcher;
+    (* 3. Unblock idle readers: half-close the receive side so blocked
+       [read_frame]s see EOF while responses still flush out. *)
+    Mutex.lock t.conns_m;
+    let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+    Mutex.unlock t.conns_m;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      fds;
+    (* 4. Join every connection/http thread. *)
+    let threads =
+      Mutex.lock t.threads_m;
+      let ts = !(t.threads) in
+      Mutex.unlock t.threads_m;
+      ts
+    in
+    List.iter Thread.join threads
+  end
+
+let run config =
+  let wants_stop = Atomic.make false in
+  let request_stop _ = Atomic.set wants_stop true in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
+  let t = start config in
+  Fun.protect
+    ~finally:(fun () ->
+      stop t;
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigterm old_term)
+    (fun () ->
+      while not (Atomic.get wants_stop) do
+        Thread.delay 0.1
+      done)

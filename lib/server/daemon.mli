@@ -1,0 +1,62 @@
+(** The sta_serve daemon: lifecycle, admission control, drain.
+
+    Thread layout (everything on domain 0; compute fans out through
+    the engine's domain {!Runtime.Pool}):
+    - one accept thread per listening socket (protocol + optional
+      HTTP), polling a stop flag;
+    - one thread per protocol connection, reading frames, answering
+      [ping]/[stats] inline and enqueueing everything else onto a
+      bounded {!Workqueue};
+    - exactly one {!Batcher} thread popping that queue — the only
+      thread that runs solves, so per-request deadlines installed via
+      domain-local storage never leak between requests.
+
+    Admission control: when the queue is full, the connection thread
+    sheds the request immediately with a typed
+    {!Runtime.Failure.Overloaded} response — the daemon never blocks
+    accepts or grows memory under overload.
+
+    Shutdown sequence ({!stop}, also run on SIGINT/SIGTERM by {!run}):
+    stop accepting → close the queue (new requests answered
+    [shutting_down]) → batcher drains and answers every queued job →
+    half-close connection reads to unblock idle readers → join
+    connection threads → unlink the Unix socket. In-flight requests
+    always get their response; results cached to disk are already
+    persistent (the cache writes through on insert). *)
+
+type config = {
+  addr : Client.addr;  (** protocol listener: Unix socket or TCP *)
+  http_port : int option;
+      (** optional loopback HTTP listener for /metrics and /health *)
+  engine : Runtime.Engine.t;
+      (** shared evaluation engine; its metrics slot is populated by
+          {!start} when empty so server counters and runtime counters
+          land in one registry *)
+  queue_depth : int;  (** admission queue bound (requests) *)
+  max_batch : int;  (** max single-case solves per pool submission *)
+  queue_timeout_ms : float option;
+      (** shed queued requests older than this with [Queue_timeout] *)
+  default_deadline_ms : float option;
+      (** per-request solve budget when the request carries none *)
+}
+
+val default_config : config
+(** Unix socket ["/tmp/sta_serve.sock"], no HTTP listener, the [fast]
+    engine preset, queue depth 64, max batch 16, no queue timeout, no
+    default deadline. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen, and spawn the serving threads; returns immediately.
+    Raises [Unix.Unix_error] when the address cannot be bound. *)
+
+val addr : t -> Client.addr
+val metrics : t -> Runtime.Metrics.t
+
+val stop : t -> unit
+(** Graceful drain as described above; blocks until every thread has
+    exited. Idempotent. *)
+
+val run : config -> unit
+(** {!start}, then block until SIGINT or SIGTERM, then {!stop}. *)

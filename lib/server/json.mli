@@ -1,0 +1,47 @@
+(** Minimal JSON values for the wire protocol.
+
+    The daemon speaks length-prefixed JSON without any external JSON
+    dependency, so this module carries its own recursive-descent parser
+    and a deterministic printer: object fields keep their insertion
+    order, floats render via the shortest ["%.12g"]/["%.17g"]
+    representation that round-trips, and integral values within the
+    exact-double range print without a fractional part. Determinism
+    matters — the bench asserts that a response served over the socket
+    is byte-identical to the same query executed in-process. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; trailing non-whitespace is an error. The
+    error string carries a character offset. *)
+
+val to_string : t -> string
+(** Compact (no whitespace), deterministic rendering. *)
+
+val num_to_string : float -> string
+(** The float rendering [to_string] uses, exposed so other printers in
+    the repo can match it. Non-finite floats render as [null] tokens
+    ("nan" is not valid JSON). *)
+
+(** Accessors: total functions returning [option], so protocol parsing
+    can fold missing and mis-typed fields into one error path. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [to_int] accepts only integral [Num] values in the exact range. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val str_list : t -> string list option
+(** An [Arr] of [Str] values. *)

@@ -1,0 +1,99 @@
+(** Wire protocol of the STA daemon.
+
+    Frames are length-prefixed JSON: a 4-byte big-endian payload length
+    followed by one JSON document. Requests carry a client-chosen [id]
+    (echoed back verbatim), an [op], op-specific parameters, and an
+    optional per-request [deadline_ms]; responses are either
+    [{"id":..,"ok":<body>}] or [{"id":..,"error":{"code","message",
+    "recoverable"}}] where [code] is {!Runtime.Failure.code} for typed
+    failures, or ["bad_request"]/["internal"] for protocol-level ones.
+
+    Ops:
+    - [ping] — liveness; answered inline, never queued.
+    - [stats] — server counter snapshot; answered inline.
+    - [delay] — one noise-injection case ([config], [tau_ps],
+      [technique]): reference gate delay plus the technique's
+      Gamma_eff delay estimate (a Table-1 cell).
+    - [gamma] — the Gamma_eff mapping alone ([config], [tau_ps],
+      optional [ladder] name list): accepted rung, ramp arrival/slew,
+      deviation score.
+    - [table1] — a full Table-1 sweep ([config], [cases], optional
+      [techniques], [samples]).
+    - [montecarlo] — a Monte-Carlo shard ([config], [samples], [seed]).
+
+    {!execute} is the single evaluation path: the daemon's batcher runs
+    it on queued requests, and the bench runs it directly to assert
+    that socket responses are byte-identical to in-process calls. *)
+
+type query =
+  | Ping
+  | Stats
+  | Delay of { config : string; tau : float; technique : string }
+  | Gamma of { config : string; tau : float; ladder : string list option }
+  | Table1 of {
+      config : string;
+      cases : int;
+      techniques : string list option;
+      samples : int option;
+    }
+  | Montecarlo of { config : string; samples : int; seed : int }
+
+type request = { id : int; query : query; deadline_ms : float option }
+
+val version : string
+(** Protocol/daemon version reported by [ping] and [--version]. *)
+
+val scenario_of_name : string -> (Noise.Scenario.t, string) result
+(** "i"/"1", "ii"/"2", "i_buffer"/"buffer" (case-insensitive). *)
+
+(** {1 Request parsing} *)
+
+val parse_request : string -> (request, string) result
+(** Parse and validate one request payload. The error string is a
+    human-readable reason, sent back as a [bad_request] response (with
+    id 0 when the payload was too broken to extract one). *)
+
+val request_to_json : request -> Json.t
+(** Client-side rendering of a request (inverse of {!parse_request}). *)
+
+(** {1 Batching} *)
+
+type klass =
+  | Inline  (** ping/stats: answered on the connection thread *)
+  | Single of string
+      (** one-case solves, keyed by scenario name: compatible requests
+          are batched into a single pool submission *)
+  | Sweep  (** table1/montecarlo: run alone, parallel internally *)
+
+val klass : query -> klass
+
+(** {1 Execution} *)
+
+val execute :
+  engine:Runtime.Engine.t ->
+  ?metrics:Runtime.Metrics.t ->
+  query ->
+  (Json.t, Runtime.Failure.t) result
+(** Evaluate one query on [engine]. Deterministic for deterministic
+    engines: the response body contains no timestamps or host state,
+    so a warm server cache and a cold in-process run yield identical
+    bytes. Solve failures escaping the engine's resilience ladder are
+    classified into typed failures; unknown technique/scenario names
+    surface as [Unsupported]. [metrics] backs the [stats] op. *)
+
+val response : id:int -> (Json.t, Runtime.Failure.t) result -> Json.t
+val error_response : id:int -> code:string -> string -> Json.t
+
+(** {1 Framing} *)
+
+val max_frame : int
+(** Refuse payloads above this size (16 MiB) — a corrupt length prefix
+    must not allocate unboundedly. *)
+
+val read_frame :
+  Unix.file_descr -> (string, [ `Eof | `Err of string ]) result
+(** Read one length-prefixed frame, blocking. [`Eof] on clean
+    connection close at a frame boundary. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame; raises [Unix.Unix_error] on a dead peer. *)

@@ -15,4 +15,5 @@ let () =
       Test_sta.suite;
       Test_extensions.suite;
       Test_substrate.suite;
+      Test_server.suite;
     ]

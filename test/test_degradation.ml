@@ -447,6 +447,43 @@ let test_sweep_deadline_cancellation () =
       | _ -> Alcotest.fail "metric does not carry the deadline failure")
   | _ -> Alcotest.fail "expected a single technique metric"
 
+(* Many concurrent deadlined tasks on one pool: the budget token is
+   domain-local, so every worker carries exactly the deadline of its
+   own task — each cancels cleanly with its own budget in the payload,
+   nothing leaks to the caller, and the pool survives. *)
+let test_pool_deadline_concurrent_cancellation () =
+  Spice.Transient.Fault.(arm (Fraction { rate = 1.0; seed = 11; kind = Slow }));
+  Fun.protect ~finally:Spice.Transient.Fault.disarm (fun () ->
+      Runtime.Pool.with_pool ~jobs:4 (fun pool ->
+          let n = 12 in
+          let outcomes =
+            Runtime.Pool.map ~chunk:1 pool n (fun i ->
+                (* Distinct budgets per task prove the worker reads its
+                   own token, not a neighbour's. *)
+                let ms = 2.0 +. (0.5 *. float_of_int (i mod 3)) in
+                match
+                  Runtime.Pool.with_deadline ~ms (fun () ->
+                      Spice.Transient.run ~config:rc_config (rc_circuit ()))
+                with
+                | (_ : Spice.Transient.result) -> `Completed
+                | exception Spice.Transient.Deadline_exceeded { budget_ms; _ }
+                  ->
+                    if budget_ms = ms then `Cancelled else `Wrong_budget)
+          in
+          Array.iteri
+            (fun i o ->
+              check_true
+                (Printf.sprintf "task %d cancelled under its own budget" i)
+                (o = `Cancelled))
+            outcomes;
+          check_true "no budget leaked to the caller"
+            (not (Spice.Transient.Deadline.active ()));
+          let after = Runtime.Pool.map pool 8 (fun i -> i * i) in
+          Alcotest.(check (array int))
+            "pool still serves work"
+            (Array.init 8 (fun i -> i * i))
+            after))
+
 (* ------------------------------------------------------------------ *)
 (* Differential guard                                                  *)
 
@@ -608,6 +645,8 @@ let suite =
       case "deadline: slow without budget completes"
         test_slow_fault_without_deadline_completes;
       slow_case "deadline: sweep cancellation" test_sweep_deadline_cancellation;
+      slow_case "deadline: concurrent pool budgets"
+        test_pool_deadline_concurrent_cancellation;
       case "guard: validation" test_guard_validation;
       case "guard: deterministic selection" test_guard_selection_deterministic;
       case "guard: record and stats" test_guard_record_and_stats;

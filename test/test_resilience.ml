@@ -45,6 +45,8 @@ let all_failures : Failure.t list =
     Cache_io { path = "/tmp/x"; reason = "truncated" };
     Missing_cell { cell = "NAND9" };
     Unsupported { what = "non-monotone input" };
+    Overloaded { queue_depth = 64 };
+    Queue_timeout { waited_ms = 120.0; budget_ms = 100.0 };
   ]
 
 let test_failure_codes () =
@@ -54,6 +56,7 @@ let test_failure_codes () =
     [
       "non_convergence"; "step_budget"; "non_finite"; "rail_bound";
       "missing_crossing"; "cache_io"; "missing_cell"; "unsupported";
+      "overloaded"; "queue_timeout";
     ]
     codes;
   (* every to_string is nonempty and mentions the code's domain *)
@@ -62,8 +65,11 @@ let test_failure_codes () =
     all_failures
 
 let test_failure_recoverability () =
+  (* Admission-control sheds are recoverable in the client-retry
+     sense: the same request succeeds once the daemon's queue has
+     drained. *)
   let expect =
-    [ true; true; true; true; true; false; false; false ]
+    [ true; true; true; true; true; false; false; false; true; true ]
   in
   List.iter2
     (fun f e ->
