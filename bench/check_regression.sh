@@ -1,33 +1,52 @@
 #!/bin/sh
-# Solver hot-path regression gate.
+# Solver hot-path and batch-kernel regression gate.
 #
-# Re-runs the kernel benchmark (20-case Config II sweep, dense LU
-# without reuse vs auto-selected banded kernel with Jacobian reuse)
-# and compares it against a committed baseline via the benchmark's
-# own --compare mode. The gate fails (non-zero exit) when either
+# Re-runs two benchmark stages against committed baselines via the
+# benchmark's own --compare mode:
 #
-#   * the optimized per-solve time regressed by more than 25% against
-#     the baseline's opt_per_solve_ms, or
-#   * any Config II case's reference delay drifted by more than
-#     0.01 ps against the baseline's delays_ps array.
+#   * kernel — the 20-case Config II sweep, dense LU without reuse vs
+#     the auto-selected banded kernel with Jacobian reuse, compared
+#     against BENCH_baseline.json. Fails when the optimized per-solve
+#     time regressed by more than 25% or any reference delay drifted
+#     by more than 0.01 ps.
+#   * batch — the same sweep through the batch-first lockstep kernel
+#     vs the one-at-a-time scalar loop, compared against
+#     BENCH_batch.json. Fails on >25% per-solve regression, >0.01 ps
+#     drift against the baseline delays, a sweep that never selects
+#     the batch path, or any drift at all between the batch kernel
+#     and the scalar loop (byte-identity is exact, not a tolerance).
 #
-# The timing limb is advisory across machines (the committed baseline
-# records one host's numbers); the delay-drift limb is
-# machine-independent and must always hold. Refresh the baseline on a
-# quiet machine with:
+# The timing limbs are advisory across machines (the committed
+# baselines record one host's numbers); the drift limbs are
+# machine-independent and must always hold. Refresh the baselines on
+# a quiet machine with:
 #
 #   dune exec bench/main.exe -- kernel --json BENCH_baseline.json
+#   dune exec bench/main.exe -- batch --json BENCH_batch.json
 #
 # Usage: bench/check_regression.sh [BASELINE.json] [extra bench args...]
+#        BATCH_BASELINE=path overrides the batch baseline file.
 set -eu
 cd "$(dirname "$0")/.."
 
 baseline="${1:-BENCH_baseline.json}"
 [ $# -gt 0 ] && shift
+batch_baseline="${BATCH_BASELINE:-BENCH_batch.json}"
 
 if [ ! -f "$baseline" ]; then
   echo "check_regression: baseline $baseline not found" >&2
   exit 2
 fi
 
-exec dune exec bench/main.exe -- kernel --compare "$baseline" "$@"
+status=0
+dune exec bench/main.exe -- kernel --compare "$baseline" "$@" || status=$?
+
+if [ -f "$batch_baseline" ]; then
+  dune exec bench/main.exe -- batch --compare "$batch_baseline" "$@" \
+    || status=$?
+else
+  echo "check_regression: batch baseline $batch_baseline not found;" \
+    "skipping batch gate" >&2
+fi
+
+exit $status

@@ -12,6 +12,10 @@
                 per-iteration refactorization vs the auto-selected
                 bordered-banded kernel with Jacobian reuse (per-solve
                 wall time, factorization counts, delay drift)
+     batch    — batch-first A/B on the same sweep: the lockstep
+                multi-case kernel behind Transient.run_batch vs the
+                one-at-a-time scalar loop (per-solve wall time,
+                batched/peeled counts, exact-identity drift check)
      ablation — SGDP design-choice ablations (DESIGN.md)
      nonoverlap — the two-stage-buffer receiver extension (the paper's
                 non-overlapping-transition case)
@@ -58,30 +62,24 @@
      --guard-tol-ps X guard delay tolerance in picoseconds (default 1)
      --solver KIND  linear-kernel selection: dense | banded | auto
      --no-jac-reuse refactor the Jacobian on every Newton iteration
-     --compare FILE regression gate for the kernel section: fail when
-                    the per-solve time regressed >25% or delays drifted
-                    >0.01 ps against FILE (a previous --json output) *)
+     --batch N      lockstep batch width the engine submits at a time
+                    (default 16; 1 disables lockstep batching)
+     --compare FILE regression gate for the kernel and batch sections:
+                    fail when the per-solve time regressed >25% or
+                    delays drifted >0.01 ps against FILE (a previous
+                    --json output) *)
+
+(* The engine/runtime flags are the shared Runtime.Cli set; the parsed
+   spec lands here before any section runs. *)
+let cli : Runtime.Cli.spec option ref = ref None
+let cli_spec () = Option.get !cli
 
 let cases = ref 100
-let jobs = ref 1
-let engine_name = ref "reference"
-let ltetol : float option ref = ref None
-let use_cache = ref true
-let cache_dir = ref ".noisy_sta_cache"
 let want_metrics = ref false
 let json_out : string option ref = ref None
 let sections : string list ref = ref []
-let retries : int option ref = ref None
-let fallback = ref "standard"
 let checkpoint_dir : string option ref = ref None
-let fault_plan : Spice.Transient.Fault.plan option ref = ref None
-let deadline_ms : float option ref = ref None
 let ladder_names : string list option ref = ref None
-let use_guard = ref false
-let guard_every = ref 8
-let guard_tol_ps = ref 1.0
-let solver_kind : Spice.Transient.solver_kind option ref = ref None
-let jac_reuse = ref true
 let compare_file : string option ref = ref None
 let exit_code = ref 0
 
@@ -91,61 +89,12 @@ let ladder =
     | Some names -> Eqwave.Ladder.of_names names
     | None -> Eqwave.Ladder.default)
 
-let pool =
-  lazy (if !jobs > 1 then Some (Runtime.Pool.create ~jobs:!jobs ()) else None)
-
-let cache =
-  lazy
-    (if !use_cache then Some (Runtime.Cache.create ~disk_dir:!cache_dir ())
-     else None)
-
-(* The one engine every sweep below runs on: preset solver config with
-   the CLI overrides layered on, sharing the global pool and cache. *)
-let engine =
-  lazy
-    (let e = Runtime.Engine.of_name !engine_name in
-     let e =
-       match !ltetol with
-       | Some tol ->
-           Runtime.Engine.map_solver e (fun c ->
-               Spice.Transient.with_adaptive ~lte_tol:tol c)
-       | None -> e
-     in
-     let policy =
-       let p = Runtime.Resilience.of_name !fallback in
-       match !retries with
-       | Some n -> Runtime.Resilience.with_max_attempts p n
-       | None -> p
-     in
-     let e = Runtime.Engine.with_resilience e policy in
-     let e =
-       match !deadline_ms with
-       | Some ms -> Runtime.Engine.with_deadline e ms
-       | None -> e
-     in
-     let e =
-       if !use_guard then
-         Runtime.Engine.with_guard e
-           (Runtime.Guard.make ~every:!guard_every
-              ~tol_s:(!guard_tol_ps *. 1e-12) ())
-       else e
-     in
-     let e =
-       match !solver_kind with
-       | Some k -> Runtime.Engine.with_solver_kind e k
-       | None -> e
-     in
-     let e =
-       if !jac_reuse then e else Runtime.Engine.with_jac_reuse e false
-     in
-     let e =
-       match Lazy.force pool with
-       | Some p -> Runtime.Engine.with_pool e p
-       | None -> e
-     in
-     match Lazy.force cache with
-     | Some c -> Runtime.Engine.with_cache e c
-     | None -> e)
+(* The one engine every sweep below runs on: the shared Runtime.Cli
+   assembly (preset solver config with the flag overrides layered on,
+   plus the pool and cache the whole run shares). *)
+let engine = lazy (Runtime.Cli.engine_of_spec (cli_spec ()))
+let pool = lazy (Runtime.Engine.pool (Lazy.force engine))
+let cache = lazy (Runtime.Engine.cache (Lazy.force engine))
 
 let metrics = Runtime.Metrics.create ()
 
@@ -597,8 +546,9 @@ let kernel () =
      CLI preset's step control; only the linear kernel and reuse
      policy differ. *)
   let base =
-    let e = Runtime.Engine.of_name !engine_name in
-    match !ltetol with
+    let s = cli_spec () in
+    let e = Runtime.Engine.of_name s.Runtime.Cli.engine_name in
+    match s.Runtime.Cli.ltetol with
     | Some tol ->
         Runtime.Engine.map_solver e (fun c ->
             Spice.Transient.with_adaptive ~lte_tol:tol c)
@@ -672,6 +622,155 @@ let kernel () =
          ]);
   match !compare_file with
   | Some path -> kernel_compare ~opt_per_solve_ms:opt_ms ~delays_ps:d_opt path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Batch: the lockstep multi-case kernel behind the batch-first API    *)
+
+(* JSON fragment from the batch-vs-scalar comparison, for --json and
+   the regression gate. *)
+let batch_json : string option ref = ref None
+
+let batch_compare ~batch_per_solve_ms ~delays_ps path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.printf "  REGRESSION vs %s: %s\n" path msg;
+        exit_code := 1)
+      fmt
+  in
+  (match scan_number text "batch_per_solve_ms" with
+  | None -> fail "baseline has no batch_per_solve_ms"
+  | Some base ->
+      let limit = base *. 1.25 in
+      if batch_per_solve_ms > limit then
+        fail "batch per-solve %.3f ms exceeds baseline %.3f ms by >25%%"
+          batch_per_solve_ms base
+      else
+        Printf.printf "  batch per-solve %.3f ms vs baseline %.3f ms: ok\n"
+          batch_per_solve_ms base);
+  match scan_array text "delays_ps" with
+  | None -> fail "baseline has no delays_ps array"
+  | Some base ->
+      if List.length base <> List.length delays_ps then
+        Printf.printf
+          "  (baseline has %d delays, this run %d — skipping drift check; \
+           re-run with matching --cases)\n"
+          (List.length base) (List.length delays_ps)
+      else
+        let drift =
+          List.fold_left2
+            (fun acc a b -> Float.max acc (abs_float (a -. b)))
+            0.0 base delays_ps
+        in
+        if drift > 0.01 then
+          fail "delay drift %.4f ps vs baseline exceeds 0.01 ps" drift
+        else Printf.printf "  delay drift %.4f ps vs baseline: ok\n" drift
+
+let batch_stage () =
+  header "Batch: lockstep multi-case kernel vs one-at-a-time scalar loop";
+  let n = Int.min !cases 20 in
+  let scen = Noise.Scenario.with_cases Noise.Scenario.config_ii n in
+  let s = cli_spec () in
+  (* Scalar side: the CLI preset exactly as the kernel section's
+     optimized engine runs it — sequential, uncached, one case at a
+     time. This is the BENCH_baseline.json configuration. *)
+  let scalar_engine =
+    let e = Runtime.Engine.of_name s.Runtime.Cli.engine_name in
+    match s.Runtime.Cli.ltetol with
+    | Some tol ->
+        Runtime.Engine.map_solver e (fun c ->
+            Spice.Transient.with_adaptive ~lte_tol:tol c)
+    | None -> e
+  in
+  (* Batch side: the same solver config behind the batch-first surface
+     — a lockstep batch width sized so the prewarm groups fill the
+     pool, a fresh in-memory cache for the kernel to publish into, and
+     worker domains for the fan-out. *)
+  let jobs =
+    if s.Runtime.Cli.jobs > 1 then s.Runtime.Cli.jobs
+    else Domain.recommended_domain_count ()
+  in
+  let bpool = if jobs > 1 then Some (Runtime.Pool.create ~jobs ()) else None in
+  let width =
+    match s.Runtime.Cli.batch with
+    | Some b -> b
+    | None -> Int.max 1 ((n + jobs - 1) / jobs)
+  in
+  let batch_engine =
+    let e = Runtime.Engine.with_batch scalar_engine width in
+    let e =
+      match bpool with Some p -> Runtime.Engine.with_pool e p | None -> e
+    in
+    Runtime.Engine.with_cache e (Runtime.Cache.create ())
+  in
+  let sweep engine =
+    let before = Spice.Transient.Stats.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let table =
+      Noise.Eval.run_table ~techniques:[ Eqwave.Sgdp.sgdp ] ~engine scen
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let d = Spice.Transient.Stats.(diff (snapshot ()) before) in
+    ( List.map
+        (fun c -> c.Noise.Eval.delay_ref *. 1e12)
+        table.Noise.Eval.cases,
+      d,
+      elapsed )
+  in
+  let d_scalar, s_scalar, t_scalar = sweep scalar_engine in
+  let d_batch, s_batch, t_batch = sweep batch_engine in
+  Option.iter Runtime.Pool.shutdown bpool;
+  let open Spice.Transient.Stats in
+  let per_solve_ms elapsed (st : snapshot) =
+    if st.sims = 0 then 0.0 else elapsed *. 1e3 /. float_of_int st.sims
+  in
+  let scalar_ms = per_solve_ms t_scalar s_scalar in
+  let batch_ms = per_solve_ms t_batch s_batch in
+  let speedup = if batch_ms > 0.0 then scalar_ms /. batch_ms else 0.0 in
+  let drift_ps =
+    List.fold_left2
+      (fun acc a b -> Float.max acc (abs_float (a -. b)))
+      0.0 d_scalar d_batch
+  in
+  Printf.printf
+    "  %d-case Config II sweep\n\
+    \  scalar loop       %8.3f ms/solve  (%d sims, jobs 1)\n\
+    \  batch-first       %8.3f ms/solve  (%d sims, jobs %d, width %d, \
+     %d batched, %d peeled)\n\
+    \  speedup %.2fx; max delay drift %.4f ps\n"
+    n scalar_ms s_scalar.sims batch_ms s_batch.sims jobs width
+    s_batch.batched_solves s_batch.peeled_solves speedup drift_ps;
+  if s_batch.batched_solves = 0 then begin
+    Printf.printf "  FAIL: batch path never selected for the sweep\n";
+    exit_code := 1
+  end;
+  if drift_ps <> 0.0 then begin
+    Printf.printf
+      "  FAIL: batch kernel must be byte-identical to the scalar loop\n";
+    exit_code := 1
+  end;
+  batch_json :=
+    Some
+      (json_obj
+         [
+           ("n_cases", string_of_int n);
+           ("jobs", string_of_int jobs);
+           ("width", string_of_int width);
+           ("scalar_sims", string_of_int s_scalar.sims);
+           ("batch_sims", string_of_int s_batch.sims);
+           ("scalar_per_solve_ms", Printf.sprintf "%.6f" scalar_ms);
+           ("batch_per_solve_ms", Printf.sprintf "%.6f" batch_ms);
+           ("speedup", Printf.sprintf "%.4f" speedup);
+           ("batched_solves", string_of_int s_batch.batched_solves);
+           ("peeled_solves", string_of_int s_batch.peeled_solves);
+           ("max_delay_delta_ps", Printf.sprintf "%.6f" drift_ps);
+           ( "delays_ps",
+             json_list (List.map (Printf.sprintf "%.6f") d_batch) );
+         ]);
+  match !compare_file with
+  | Some path -> batch_compare ~batch_per_solve_ms:batch_ms ~delays_ps:d_batch path
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -1167,9 +1266,9 @@ let guard_json () =
   in
   json_obj
     [
-      ("enabled", if !use_guard then "true" else "false");
-      ("every", string_of_int !guard_every);
-      ("tol_ps", Printf.sprintf "%.4f" !guard_tol_ps);
+      ("enabled", if (cli_spec ()).Runtime.Cli.guard then "true" else "false");
+      ("every", string_of_int (cli_spec ()).Runtime.Cli.guard_every);
+      ("tol_ps", Printf.sprintf "%.4f" (cli_spec ()).Runtime.Cli.guard_tol_ps);
       ("checked", string_of_int d.checked);
       ("agreements", string_of_int d.agreements);
       ("disagreements", string_of_int d.disagreements);
@@ -1188,7 +1287,7 @@ let resilience_json () =
   in
   json_obj
     [
-      ("policy", json_str !fallback);
+      ("policy", json_str (cli_spec ()).Runtime.Cli.fallback);
       ("solves", string_of_int d.solves);
       ("attempts", string_of_int d.attempts);
       ("retries", string_of_int d.retries);
@@ -1205,8 +1304,8 @@ let write_json path =
       ([
         ("schema", json_str "noisy-sta-bench/1");
         ("cases", string_of_int !cases);
-        ("jobs", string_of_int !jobs);
-        ("cache", if !use_cache then "true" else "false");
+        ("jobs", string_of_int (cli_spec ()).Runtime.Cli.jobs);
+        ("cache", if (cli_spec ()).Runtime.Cli.use_cache then "true" else "false");
         ("resilience", resilience_json ());
         ("degradation", degradation_json ());
         ("guard", guard_json ());
@@ -1237,6 +1336,9 @@ let write_json path =
       @ (match !kernel_json with
         | Some j -> [ ("kernel", j) ]
         | None -> [])
+      @ (match !batch_json with
+        | Some j -> [ ("batch", j) ]
+        | None -> [])
       @
       match !serve_json with
       | Some j -> [ ("serve", j) ]
@@ -1250,202 +1352,167 @@ let write_json path =
 
 (* ------------------------------------------------------------------ *)
 
-let usage () =
-  prerr_endline
-    "usage: main.exe [SECTION...] [--cases N] [--jobs N] [--engine NAME]\n\
-    \       [--ltetol X] [--no-cache] [--cache-dir DIR] [--metrics]\n\
-    \       [--json FILE] [--retries N] [--fallback POLICY]\n\
-    \       [--checkpoint DIR] [--inject-faults SPEC] [--deadline MS]\n\
-    \       [--ladder LIST] [--guard] [--guard-every N] [--guard-tol-ps X]\n\
-    \       [--solver KIND] [--no-jac-reuse] [--compare BASELINE.json]\n\
-     engines: reference (fixed grid) | accurate | fast (adaptive)\n\
-     solvers: dense | banded | auto (per-circuit sparsity analysis)\n\
-     --no-jac-reuse  refactor the Jacobian on every Newton iteration\n\
-     --compare FILE  after the kernel section, fail if the per-solve\n\
-    \             time regressed >25%% or delays drifted >0.01 ps\n\
-    \             against FILE (a previous --json output)\n\
-     fallback policies: standard | none\n\
-     fault specs: nth:N | RATE[@SEED], nan: prefix corrupts instead of\n\
-    \             diverging, slow: stalls solves (examples: 0.1@7,\n\
-    \             nth:3, nan:0.05, slow:nth:5)\n\
-     ladder: comma-separated technique names, e.g. SGDP,WLS5,P1\n\
-     sections: figure1 figure2 table1 runtime kernel ablation nonoverlap\n\
-    \          worstcase corners montecarlo awe (default: all)\n\
-    \          serve (explicit only): load-test the sta_serve daemon —\n\
-    \          [--clients N] [--reqs N] [--queue-depth N]\n\
-    \          [--connect PATH|HOST:PORT]";
-  exit 2
 
 let () =
-  let int_opt name v k =
-    match int_of_string_opt v with
-    | Some n -> k n
-    | None ->
-        Printf.eprintf "%s: expected an integer, got %s\n" name v;
-        usage ()
+  let open Cmdliner in
+  let sections_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SECTION"
+          ~doc:
+            "Sections to run (default: all): $(b,figure1) $(b,figure2) \
+             $(b,table1) $(b,runtime) $(b,kernel) $(b,ablation) \
+             $(b,nonoverlap) $(b,worstcase) $(b,corners) $(b,montecarlo) \
+             $(b,awe); $(b,serve) (explicit only) load-tests the \
+             sta_serve daemon.")
   in
-  let rec parse = function
-    | [] -> ()
-    | "--cases" :: v :: rest -> int_opt "--cases" v (fun n -> cases := n); parse rest
-    | "--jobs" :: v :: rest -> int_opt "--jobs" v (fun n -> jobs := Int.max 1 n); parse rest
-    | "--json" :: v :: rest ->
-        (* Fail on an unwritable path now, not after minutes of sims. *)
-        (match open_out v with
+  let cases_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "cases" ] ~docv:"N"
+          ~doc:
+            "Per-configuration case count (the paper's full 200 is used \
+             by $(b,sta_main table1 --cases 200), see EXPERIMENTS.md).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write machine-readable results (table rows plus the metrics \
+             snapshot) to $(docv) for cross-PR perf tracking.")
+  in
+  let compare_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "compare" ] ~docv:"FILE"
+          ~doc:
+            "Regression gate for the kernel and batch sections: fail \
+             when the per-solve time regressed >25% or delays drifted \
+             >0.01 ps against $(docv) (a previous $(b,--json) output).")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Concurrent synthetic clients for the serve section.")
+  in
+  let reqs_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "reqs" ] ~docv:"N"
+          ~doc:"Requests per client for the serve section.")
+  in
+  let queue_depth_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Admission queue bound for the in-process serve daemon.")
+  in
+  let connect_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "connect" ] ~docv:"PATH|HOST:PORT"
+          ~doc:
+            "Load-test an externally running daemon instead of an \
+             in-process one (serve section).")
+  in
+  let run sections_v cases_v json_v compare_v clients_v reqs_v queue_depth_v
+      connect_v spec (sweep : Runtime.Cli.sweep) =
+    (* Fail on an unwritable --json path now, not after minutes of
+       sims; same for a missing --compare baseline or a bad ladder. *)
+    let usage_error msg =
+      prerr_endline ("bench: " ^ msg);
+      exit 2
+    in
+    (match json_v with
+    | None -> ()
+    | Some path -> (
+        match open_out path with
         | oc -> close_out oc
-        | exception Sys_error msg ->
-            Printf.eprintf "--json: %s\n" msg;
-            usage ());
-        json_out := Some v;
-        parse rest
-    | "--engine" :: v :: rest ->
-        (match Runtime.Engine.of_name v with
-        | (_ : Runtime.Engine.t) -> engine_name := v
-        | exception Invalid_argument msg ->
-            prerr_endline msg;
-            usage ());
-        parse rest
-    | "--ltetol" :: v :: rest ->
-        (match float_of_string_opt v with
-        | Some x when x > 0.0 -> ltetol := Some x
-        | _ ->
-            Printf.eprintf "--ltetol: expected a positive float, got %s\n" v;
-            usage ());
-        parse rest
-    | "--cache-dir" :: v :: rest -> cache_dir := v; parse rest
-    | "--no-cache" :: rest -> use_cache := false; parse rest
-    | "--metrics" :: rest -> want_metrics := true; parse rest
-    | "--retries" :: v :: rest ->
-        int_opt "--retries" v (fun n ->
-            if n < 1 then (
-              prerr_endline "--retries: expected a positive attempt budget";
-              usage ());
-            retries := Some n);
-        parse rest
-    | "--fallback" :: v :: rest ->
-        (match Runtime.Resilience.of_name v with
-        | (_ : Runtime.Resilience.policy) -> fallback := v
-        | exception Invalid_argument msg ->
-            prerr_endline msg;
-            usage ());
-        parse rest
-    | "--checkpoint" :: v :: rest -> checkpoint_dir := Some v; parse rest
-    | "--inject-faults" :: v :: rest ->
-        (match Spice.Transient.Fault.of_string v with
-        | Ok plan -> fault_plan := Some plan
-        | Error msg ->
-            Printf.eprintf "--inject-faults: %s\n" msg;
-            usage ());
-        parse rest
-    | "--deadline" :: v :: rest ->
-        (match float_of_string_opt v with
-        | Some ms when ms > 0.0 && Float.is_finite ms -> deadline_ms := Some ms
-        | _ ->
-            Printf.eprintf "--deadline: expected positive milliseconds, got %s\n" v;
-            usage ());
-        parse rest
-    | "--ladder" :: v :: rest ->
-        let names = String.split_on_char ',' v |> List.map String.trim in
-        (match Eqwave.Ladder.of_names names with
-        | (_ : Eqwave.Ladder.t) -> ladder_names := Some names
-        | exception Invalid_argument msg ->
-            Printf.eprintf "--ladder: %s\n" msg;
-            usage ());
-        parse rest
-    | "--solver" :: v :: rest ->
-        (match Spice.Transient.solver_kind_of_string v with
-        | Ok k -> solver_kind := Some k
-        | Error msg ->
-            Printf.eprintf "--solver: %s\n" msg;
-            usage ());
-        parse rest
-    | "--no-jac-reuse" :: rest -> jac_reuse := false; parse rest
-    | "--clients" :: v :: rest ->
-        int_opt "--clients" v (fun n -> serve_clients := Int.max 1 n);
-        parse rest
-    | "--reqs" :: v :: rest ->
-        int_opt "--reqs" v (fun n -> serve_reqs := Int.max 1 n);
-        parse rest
-    | "--queue-depth" :: v :: rest ->
-        int_opt "--queue-depth" v (fun n -> serve_queue_depth := Int.max 1 n);
-        parse rest
-    | "--connect" :: v :: rest -> serve_connect := Some v; parse rest
-    | "--compare" :: v :: rest ->
-        if not (Sys.file_exists v) then (
-          Printf.eprintf "--compare: no such baseline file %s\n" v;
-          usage ());
-        compare_file := Some v;
-        parse rest
-    | "--guard" :: rest -> use_guard := true; parse rest
-    | "--guard-every" :: v :: rest ->
-        int_opt "--guard-every" v (fun n ->
-            if n < 1 then (
-              prerr_endline "--guard-every: expected a positive stride";
-              usage ());
-            guard_every := n);
-        parse rest
-    | "--guard-tol-ps" :: v :: rest ->
-        (match float_of_string_opt v with
-        | Some x when Float.is_finite x -> guard_tol_ps := x
-        | _ ->
-            Printf.eprintf "--guard-tol-ps: expected a float, got %s\n" v;
-            usage ());
-        parse rest
-    | ( "--cases" | "--jobs" | "--json" | "--cache-dir" | "--engine" | "--ltetol"
-      | "--retries" | "--fallback" | "--checkpoint" | "--inject-faults"
-      | "--deadline" | "--ladder" | "--guard-every" | "--guard-tol-ps"
-      | "--solver" | "--compare" | "--clients" | "--reqs" | "--queue-depth"
-      | "--connect" )
-      :: [] ->
-        usage ()
-    | s :: _ when String.length s > 0 && s.[0] = '-' ->
-        Printf.eprintf "unknown option %s\n" s;
-        usage ()
-    | s :: rest -> sections := !sections @ [ s ]; parse rest
+        | exception Sys_error msg -> usage_error ("--json: " ^ msg)));
+    (match compare_v with
+    | None -> ()
+    | Some path ->
+        if not (Sys.file_exists path) then
+          usage_error ("--compare: no such baseline file " ^ path));
+    (match sweep.Runtime.Cli.ladder with
+    | None -> ()
+    | Some names -> (
+        match Eqwave.Ladder.of_names names with
+        | (_ : Eqwave.Ladder.t) -> ()
+        | exception Invalid_argument msg -> usage_error ("--ladder: " ^ msg)));
+    cli := Some spec;
+    cases := cases_v;
+    want_metrics := sweep.Runtime.Cli.metrics;
+    json_out := json_v;
+    sections := sections_v;
+    checkpoint_dir := sweep.Runtime.Cli.checkpoint_dir;
+    ladder_names := sweep.Runtime.Cli.ladder;
+    compare_file := compare_v;
+    serve_clients := Int.max 1 clients_v;
+    serve_reqs := Int.max 1 reqs_v;
+    serve_queue_depth := Int.max 1 queue_depth_v;
+    serve_connect := connect_v;
+    Runtime.Cli.arm_faults spec;
+    resil_before := Runtime.Resilience.Stats.snapshot ();
+    spice_before := Spice.Transient.Stats.snapshot ();
+    guard_before := Runtime.Guard.Stats.snapshot ();
+    let stage name f =
+      if section_enabled name then
+        Runtime.Metrics.time metrics ("stage." ^ name) f
+    in
+    let before = Spice.Transient.Stats.snapshot () in
+    stage "figure1" figure1;
+    stage "figure2" figure2;
+    stage "table1" table1;
+    stage "runtime" runtime;
+    stage "kernel" kernel;
+    stage "batch" batch_stage;
+    stage "ablation" ablation;
+    stage "nonoverlap" nonoverlap;
+    stage "worstcase" worstcase;
+    stage "corners" corners;
+    stage "montecarlo" montecarlo;
+    stage "awe" awe;
+    (* Explicit-only: a daemon load test is not part of the default
+       simulation sweep. *)
+    if List.mem "serve" !sections then stage "serve" serve_stage;
+    Runtime.Metrics.set metrics "pool.jobs" spec.Runtime.Cli.jobs;
+    Runtime.Metrics.capture_spice ~since:before metrics;
+    Runtime.Metrics.capture_resilience ~since:!resil_before metrics;
+    Runtime.Metrics.capture_guard ~since:!guard_before metrics;
+    (if Lazy.is_val cache then
+       match Lazy.force cache with
+       | Some c -> Runtime.Metrics.capture_cache metrics c
+       | None -> ());
+    if !want_metrics then
+      Format.printf "@.%a@." Runtime.Metrics.pp_report metrics;
+    (match !json_out with Some path -> write_json path | None -> ());
+    (if Lazy.is_val pool then
+       match Lazy.force pool with
+       | Some p -> Runtime.Pool.shutdown p
+       | None -> ());
+    (let d = Runtime.Resilience.Stats.(diff (snapshot ()) !resil_before) in
+     let open Runtime.Resilience.Stats in
+     if Spice.Transient.Fault.is_armed () || d.retries > 0 || d.failures > 0
+     then
+       Printf.printf "\nresilience: %d injected faults; %s\n"
+         (Spice.Transient.Fault.injected ())
+         (Format.asprintf "%a" pp d));
+    Printf.printf "\nDone.\n";
+    if !exit_code <> 0 then exit !exit_code
   in
-  parse (List.tl (Array.to_list Sys.argv));
-  (match !fault_plan with
-  | Some plan -> Spice.Transient.Fault.arm plan
-  | None -> ());
-  resil_before := Runtime.Resilience.Stats.snapshot ();
-  spice_before := Spice.Transient.Stats.snapshot ();
-  guard_before := Runtime.Guard.Stats.snapshot ();
-  let stage name f =
-    if section_enabled name then Runtime.Metrics.time metrics ("stage." ^ name) f
+  let term =
+    Term.(
+      const run $ sections_arg $ cases_arg $ json_arg $ compare_arg
+      $ clients_arg $ reqs_arg $ queue_depth_arg $ connect_arg
+      $ Runtime.Cli.spec_term ~default_cache_dir:".noisy_sta_cache" ()
+      $ Runtime.Cli.sweep_term ())
   in
-  let before = Spice.Transient.Stats.snapshot () in
-  stage "figure1" figure1;
-  stage "figure2" figure2;
-  stage "table1" table1;
-  stage "runtime" runtime;
-  stage "kernel" kernel;
-  stage "ablation" ablation;
-  stage "nonoverlap" nonoverlap;
-  stage "worstcase" worstcase;
-  stage "corners" corners;
-  stage "montecarlo" montecarlo;
-  stage "awe" awe;
-  (* Explicit-only: a daemon load test is not part of the default
-     simulation sweep. *)
-  if List.mem "serve" !sections then stage "serve" serve_stage;
-  Runtime.Metrics.set metrics "pool.jobs" !jobs;
-  Runtime.Metrics.capture_spice ~since:before metrics;
-  Runtime.Metrics.capture_resilience ~since:!resil_before metrics;
-  Runtime.Metrics.capture_guard ~since:!guard_before metrics;
-  (if Lazy.is_val cache then
-     match Lazy.force cache with
-     | Some c -> Runtime.Metrics.capture_cache metrics c
-     | None -> ());
-  if !want_metrics then Format.printf "@.%a@." Runtime.Metrics.pp_report metrics;
-  (match !json_out with Some path -> write_json path | None -> ());
-  (if Lazy.is_val pool then
-     match Lazy.force pool with
-     | Some p -> Runtime.Pool.shutdown p
-     | None -> ());
-  (let d = Runtime.Resilience.Stats.(diff (snapshot ()) !resil_before) in
-   let open Runtime.Resilience.Stats in
-   if !fault_plan <> None || d.retries > 0 || d.failures > 0 then
-     Printf.printf "\nresilience: %d injected faults; %s\n"
-       (Spice.Transient.Fault.injected ())
-       (Format.asprintf "%a" pp d));
-  Printf.printf "\nDone.\n";
-  if !exit_code <> 0 then exit !exit_code
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "bench"
+             ~doc:"Regenerate every table and figure of the paper")
+          term))

@@ -36,8 +36,9 @@ let technique_conv =
 
 (* ------------------------------------------------------------------ *)
 (* Shared evaluation-runtime options: every simulation-heavy
-   subcommand takes --engine/--ltetol/--jobs/--no-cache/--cache-dir/
-   --metrics, all folded into one Runtime.Engine value.               *)
+   subcommand takes the Runtime.Cli flag set (--engine/--jobs/
+   --batch/--no-cache/--deadline/... plus the sweep flags), all folded
+   into one Runtime.Engine value.                                      *)
 
 type rt = {
   engine : Runtime.Engine.t;
@@ -46,206 +47,26 @@ type rt = {
   ladder : Eqwave.Ladder.t option;
 }
 
-let engine_conv =
-  Arg.conv
-    ( (fun s ->
-        match Runtime.Engine.of_name s with
-        | e -> Ok e
-        | exception Invalid_argument msg -> Error (`Msg msg)),
-      fun ppf e -> Format.pp_print_string ppf (Runtime.Engine.name e) )
-
 let rt_term =
-  let engine =
-    Arg.(value & opt engine_conv Runtime.Engine.reference
-         & info [ "engine" ] ~docv:"NAME"
-             ~doc:"Solver engine preset: $(b,reference) (fixed 1 ps \
-                   grid, the bit-exact regression baseline), \
-                   $(b,accurate) or $(b,fast) (LTE-controlled adaptive \
-                   time stepping, several-fold fewer steps at \
-                   sub-0.01 ps gate-delay drift).")
-  in
-  let ltetol =
-    Arg.(value & opt (some float) None
-         & info [ "ltetol" ] ~docv:"VOLTS"
-             ~doc:"Adaptive local-truncation-error tolerance; implies \
-                   adaptive stepping on top of the selected engine.")
-  in
-  let jobs =
-    Arg.(value & opt int 1
-         & info [ "j"; "jobs" ] ~docv:"N"
-             ~doc:"Worker domains for the simulation sweeps. 1 runs \
-                   sequentially; higher values fan the independent \
-                   simulations out over OCaml domains with results \
-                   identical to the sequential run.")
-  in
-  let no_cache =
-    Arg.(value & flag
-         & info [ "no-cache" ]
-             ~doc:"Disable the content-keyed simulation memo cache.")
-  in
-  let cache_dir =
-    Arg.(value & opt (some string) None
-         & info [ "cache-dir" ] ~docv:"DIR"
-             ~doc:"Persist the simulation cache in $(docv) so repeated \
-                   invocations skip already-simulated cases.")
-  in
-  let metrics =
-    Arg.(value & flag
-         & info [ "metrics" ]
-             ~doc:"Print runtime metrics (simulation counts, Newton \
-                   iterations, cache hits, wall time) after the run.")
-  in
-  let policy_conv =
-    Arg.conv
-      ( (fun s ->
-          match Runtime.Resilience.of_name s with
-          | p -> Ok p
-          | exception Invalid_argument msg -> Error (`Msg msg)),
-        fun ppf (p : Runtime.Resilience.policy) ->
-          Format.pp_print_string ppf p.Runtime.Resilience.name )
-  in
-  let fallback =
-    Arg.(value & opt policy_conv Runtime.Resilience.standard
-         & info [ "fallback" ] ~docv:"POLICY"
-             ~doc:"Solver supervision policy: $(b,standard) retries a \
-                   failed or invalid solve down an escalating ladder \
-                   (tightened stepping, then the fixed reference grid); \
-                   $(b,none) disables supervision.")
-  in
-  let retries =
-    Arg.(value & opt (some int) None
-         & info [ "retries" ] ~docv:"N"
-             ~doc:"Resilience attempt budget: total solve attempts \
-                   including the first (overrides the policy default).")
-  in
-  let checkpoint =
-    Arg.(value & opt (some string) None
-         & info [ "checkpoint" ] ~docv:"DIR"
-             ~doc:"Journal completed sweep cases under $(docv); an \
-                   interrupted table1/montecarlo run resumes from the \
-                   journal with byte-identical results.")
-  in
-  let fault_conv =
-    Arg.conv
-      ( (fun s ->
-          match Spice.Transient.Fault.of_string s with
-          | Ok plan -> Ok plan
-          | Error msg -> Error (`Msg msg)),
-        fun ppf _ -> Format.pp_print_string ppf "<fault-plan>" )
-  in
-  let inject =
-    Arg.(value & opt (some fault_conv) None
-         & info [ "inject-faults" ] ~docv:"SPEC"
-             ~doc:"Deterministic solver fault injection for resilience \
-                   testing: $(b,nth:N) (the Nth solve) or \
-                   $(b,RATE[@SEED]) (seeded fraction); prefix \
-                   $(b,nan:) to corrupt the waveform instead of \
-                   diverging, $(b,slow:) to stall the solve. \
-                   Examples: 0.1@7, nth:3, nan:0.05, slow:nth:5.")
-  in
-  let deadline =
-    Arg.(value & opt (some float) None
-         & info [ "deadline" ] ~docv:"MS"
-             ~doc:"Per-solve wall-clock budget in milliseconds. A solve \
-                   exceeding it is cancelled cooperatively at a step \
-                   boundary and surfaces as a typed deadline_exceeded \
-                   failure on that case instead of hanging the sweep.")
-  in
-  let ladder_conv =
-    Arg.conv
-      ( (fun s ->
-          match Eqwave.Ladder.of_names (String.split_on_char ',' s) with
-          | l -> Ok l
-          | exception Invalid_argument msg -> Error (`Msg msg)),
-        fun ppf l ->
-          Format.pp_print_string ppf
-            (String.concat "," (Eqwave.Ladder.names l)) )
-  in
-  let ladder =
-    Arg.(value & opt (some ladder_conv) None
-         & info [ "ladder" ] ~docv:"NAMES"
-             ~doc:"Comma-separated technique names for the Gamma_eff \
-                   degradation ladder, tried in order until one \
-                   accepts (default SGDP,WLS5,LSF3,E4,P1). Example: \
-                   $(b,SGDP,LSF3,P1).")
-  in
-  let guard =
-    Arg.(value & flag
-         & info [ "guard" ]
-             ~doc:"Enable the differential accuracy guard: a \
-                   deterministic sample of sweep cases is re-evaluated \
-                   under the $(b,reference) engine preset and delay \
-                   disagreements beyond 1 ps are counted in the \
-                   metrics report.")
-  in
-  let solver_conv =
-    Arg.conv
-      ( (fun s ->
-          match Spice.Transient.solver_kind_of_string s with
-          | Ok k -> Ok k
-          | Error msg -> Error (`Msg msg)),
-        fun ppf k ->
-          Format.pp_print_string ppf
-            (Spice.Transient.solver_kind_to_string k) )
-  in
-  let solver =
-    Arg.(value & opt (some solver_conv) None
-         & info [ "solver" ] ~docv:"KIND"
-             ~doc:"Linear-kernel selection for the transient solver: \
-                   $(b,dense) (always dense LU), $(b,banded) (force \
-                   the reordered bordered-banded kernel), or \
-                   $(b,auto) (per-circuit sparsity analysis picks \
-                   whichever is cheaper; the default).")
-  in
-  let make engine ltetol jobs no_cache cache_dir metrics fallback retries
-      checkpoint inject deadline guard ladder solver =
-    let engine =
-      match ltetol with
-      | Some tol ->
-          Runtime.Engine.map_solver engine (fun c ->
-              Spice.Transient.with_adaptive ~lte_tol:tol c)
-      | None -> engine
-    in
-    let engine =
-      if jobs > 1 then
-        Runtime.Engine.with_pool engine (Runtime.Pool.create ~jobs ())
-      else engine
-    in
-    let engine =
-      if no_cache then engine
-      else
-        Runtime.Engine.with_cache engine
-          (Runtime.Cache.create ?disk_dir:cache_dir ())
-    in
-    let policy =
-      match retries with
-      | Some n -> Runtime.Resilience.with_max_attempts fallback n
-      | None -> fallback
-    in
-    let engine = Runtime.Engine.with_resilience engine policy in
-    let engine =
-      match deadline with
-      | Some ms -> Runtime.Engine.with_deadline engine ms
-      | None -> engine
-    in
-    let engine =
-      if guard then Runtime.Engine.with_guard engine Runtime.Guard.default
-      else engine
-    in
-    let engine =
-      match solver with
-      | Some kind -> Runtime.Engine.with_solver_kind engine kind
-      | None -> engine
-    in
-    (match inject with
-    | Some plan -> Spice.Transient.Fault.arm plan
-    | None -> ());
-    { engine; metrics; checkpoint_dir = checkpoint; ladder }
+  let make spec (sweep : Runtime.Cli.sweep) =
+    (* The ladder names are validated here rather than in Runtime.Cli:
+       the runtime layer doesn't know the technique registry. *)
+    match
+      Option.map (fun ns -> Eqwave.Ladder.of_names ns) sweep.Runtime.Cli.ladder
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | ladder ->
+        Runtime.Cli.arm_faults spec;
+        `Ok
+          {
+            engine = Runtime.Cli.engine_of_spec spec;
+            metrics = sweep.Runtime.Cli.metrics;
+            checkpoint_dir = sweep.Runtime.Cli.checkpoint_dir;
+            ladder;
+          }
   in
   Term.(
-    const make $ engine $ ltetol $ jobs $ no_cache $ cache_dir $ metrics
-    $ fallback $ retries $ checkpoint $ inject $ deadline $ guard $ ladder
-    $ solver)
+    ret (const make $ Runtime.Cli.spec_term () $ Runtime.Cli.sweep_term ()))
 
 (* Run a subcommand body under the runtime options: time it, then
    report metrics and release the pool. *)

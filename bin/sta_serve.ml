@@ -28,14 +28,6 @@ let port_arg =
 (* ------------------------------------------------------------------ *)
 (* serve *)
 
-let engine_conv =
-  Arg.conv
-    ( (fun s ->
-        match Runtime.Engine.of_name s with
-        | e -> Ok e
-        | exception Invalid_argument msg -> Error (`Msg msg)),
-      fun ppf e -> Format.pp_print_string ppf (Runtime.Engine.name e) )
-
 let serve_cmd =
   let http_port =
     Arg.(value & opt (some int) None
@@ -50,12 +42,6 @@ let serve_cmd =
                    are already queued are shed immediately with a typed \
                    $(b,overloaded) error instead of growing memory.")
   in
-  let batch =
-    Arg.(value & opt int 16
-         & info [ "batch" ] ~docv:"N"
-             ~doc:"Maximum single-case solves merged into one pool \
-                   submission.")
-  in
   let queue_timeout =
     Arg.(value & opt (some float) None
          & info [ "queue-timeout" ] ~docv:"MS"
@@ -64,50 +50,9 @@ let serve_cmd =
                    instead of computing an answer nobody is waiting \
                    for.")
   in
-  let deadline =
-    Arg.(value & opt (some float) None
-         & info [ "deadline" ] ~docv:"MS"
-             ~doc:"Default per-request solve budget in milliseconds, \
-                   used when a request carries no $(b,deadline_ms) of \
-                   its own.")
-  in
-  let engine =
-    Arg.(value & opt engine_conv Runtime.Engine.fast
-         & info [ "engine" ] ~docv:"NAME"
-             ~doc:"Solver engine preset: $(b,reference), $(b,accurate) \
-                   or $(b,fast) (the default — adaptive stepping tuned \
-                   for interactive service).")
-  in
-  let jobs =
-    Arg.(value & opt int 1
-         & info [ "j"; "jobs" ] ~docv:"N"
-             ~doc:"Worker domains shared by batched solves and sweep \
-                   fan-out.")
-  in
-  let no_cache =
-    Arg.(value & flag
-         & info [ "no-cache" ]
-             ~doc:"Disable the content-keyed simulation memo cache.")
-  in
-  let cache_dir =
-    Arg.(value & opt (some string) None
-         & info [ "cache-dir" ] ~docv:"DIR"
-             ~doc:"Persist the simulation cache in $(docv); a restarted \
-                   daemon starts warm.")
-  in
-  let run socket port http_port queue_depth batch queue_timeout deadline
-      engine jobs no_cache cache_dir =
-    let engine =
-      if jobs > 1 then
-        Runtime.Engine.with_pool engine (Runtime.Pool.create ~jobs ())
-      else engine
-    in
-    let engine =
-      if no_cache then engine
-      else
-        Runtime.Engine.with_cache engine
-          (Runtime.Cache.create ?disk_dir:cache_dir ())
-    in
+  let run socket port http_port queue_depth queue_timeout spec =
+    Runtime.Cli.arm_faults spec;
+    let engine = Runtime.Cli.engine_of_spec spec in
     let addr = addr_of socket port in
     let config =
       {
@@ -115,9 +60,13 @@ let serve_cmd =
         http_port;
         engine;
         queue_depth;
-        max_batch = batch;
+        (* The engine's batch width doubles as the merge bound: how
+           many single-case solves one queue drain hands to the pool. *)
+        max_batch = Runtime.Engine.batch engine;
         queue_timeout_ms = queue_timeout;
-        default_deadline_ms = deadline;
+        (* --deadline is both the engine's per-solve budget and the
+           default per-request budget for requests that carry none. *)
+        default_deadline_ms = spec.Runtime.Cli.deadline_ms;
       }
     in
     Printf.printf "sta_serve %s: engine %s, queue depth %d, listening on %s%s\n%!"
@@ -134,8 +83,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the STA daemon (default command)")
     Term.(
-      const run $ socket_arg $ port_arg $ http_port $ queue_depth $ batch
-      $ queue_timeout $ deadline $ engine $ jobs $ no_cache $ cache_dir)
+      const run $ socket_arg $ port_arg $ http_port $ queue_depth
+      $ queue_timeout $ Runtime.Cli.spec_term ~default_engine:"fast" ())
 
 (* ------------------------------------------------------------------ *)
 (* ping *)

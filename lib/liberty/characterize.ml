@@ -20,10 +20,10 @@ let solver_config engine proc ~dt ~tstop =
   with_crossing_levels_if_empty c
     Waveform.Thresholds.[ v_low th; v_mid th; v_high th ]
 
-let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?cache ?engine proc cell
+let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?engine proc cell
     ~input ~tstop =
   let open Spice in
-  let engine = Runtime.Engine.resolve ?cache engine in
+  let engine = Runtime.Engine.resolve engine in
   let base_config = solver_config engine proc ~dt ~tstop in
   let compute config () =
     let ckt = Circuit.create () in
@@ -85,7 +85,7 @@ let measure_gate ?(dt = 0.5e-12) ?(extra_load = 0.0) ?cache ?engine proc cell
 
 (* The input ramp starts after a settling pad so the DC point is clean;
    tstop leaves room for slow outputs (heavy loads on weak cells). *)
-let measure_point ?dt ?cache ?engine proc cell ~slew ~load ~input_rising =
+let measure_point ?dt ?engine proc cell ~slew ~load ~input_rising =
   let th = Device.Process.thresholds proc in
   let vdd = proc.Device.Process.vdd in
   let t0 = 100e-12 in
@@ -95,7 +95,7 @@ let measure_point ?dt ?cache ?engine proc cell ~slew ~load ~input_rising =
   let input = Spice.Source.ramp ~t0 ~v0 ~v1 ~trans in
   let tstop = t0 +. trans +. 3e-9 in
   let wa, wy =
-    measure_gate ?dt ?cache ?engine proc cell ~extra_load:load ~input ~tstop
+    measure_gate ?dt ?engine proc cell ~extra_load:load ~input ~tstop
   in
   let arr_in = Waveform.Wave.arrival wa th in
   let arr_out = Waveform.Wave.arrival wy th in
@@ -112,8 +112,8 @@ let measure_point ?dt ?cache ?engine proc cell ~slew ~load ~input_rising =
              level = Waveform.Thresholds.v_mid th;
            })
 
-let run ?grid ?(dt = 0.5e-12) ?pool ?cache ?engine proc cell =
-  let engine = Runtime.Engine.resolve ?pool ?cache engine in
+let run ?grid ?(dt = 0.5e-12) ?engine proc cell =
+  let engine = Runtime.Engine.resolve engine in
   let grid =
     match grid with Some g -> g | None -> default_grid proc cell
   in
@@ -122,7 +122,7 @@ let run ?grid ?(dt = 0.5e-12) ?pool ?cache ?engine proc cell =
      them into one job list so a pool stays busy across the whole
      characterization, then scatter the results back into tables. *)
   let points =
-    Runtime.Pool.maybe_map (Runtime.Engine.pool engine) (2 * n * m) (fun k ->
+    Runtime.Engine.submit_batch engine (2 * n * m) (fun k ->
         let input_rising = k < n * m in
         let r = k mod (n * m) in
         let i = r / m and j = r mod m in

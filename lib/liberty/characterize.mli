@@ -16,21 +16,20 @@ val default_grid : Device.Process.t -> Device.Cell.t -> grid
 
 val run :
   ?grid:grid -> ?dt:float ->
-  ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
   ?engine:Runtime.Engine.t ->
   Device.Process.t -> Device.Cell.t -> Nldm.cell_timing
 (** Characterize one cell. [dt] defaults to 0.5 ps. Both polarities'
-    grid points fan out over the engine's pool as one job list (the
-    tables are identical to the sequential sweep); the engine's cache
-    memoizes each measurement simulation by content — scenario plus
-    full solver-config fingerprint — so re-characterizing an unchanged
-    cell is free. [pool]/[cache] are the deprecated aliases for the
-    engine slots. Raises [Runtime.Failure.Error] with
+    grid points fan out over the engine's pool as one job list via
+    {!Runtime.Engine.submit_batch} (the tables are identical to the
+    sequential sweep); the engine's cache memoizes each measurement
+    simulation by content — scenario plus full solver-config
+    fingerprint — so re-characterizing an unchanged cell is free.
+    Raises [Runtime.Failure.Error] with
     [Missing_crossing] when a measurement point produces no output
     transition (which indicates a broken cell or an absurd grid). *)
 
 val measure_gate :
-  ?dt:float -> ?extra_load:float -> ?cache:Runtime.Cache.t ->
+  ?dt:float -> ?extra_load:float ->
   ?engine:Runtime.Engine.t ->
   Device.Process.t -> Device.Cell.t ->
   input:Spice.Source.t -> tstop:float -> Waveform.Wave.t * Waveform.Wave.t

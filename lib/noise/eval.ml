@@ -112,9 +112,8 @@ let run_ladder ?metrics ladder ctx =
            { tried = List.length skips; last })
 
 let evaluate_case ?(reference = Replay) ?techniques ?samples
-    ?(ladder = Eqwave.Ladder.default) ?cache ?engine scenario ~noiseless ~tau
-    =
-  let engine = Runtime.Engine.resolve ?cache engine in
+    ?(ladder = Eqwave.Ladder.default) ?engine scenario ~noiseless ~tau =
+  let engine = Runtime.Engine.resolve engine in
   let techniques =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
   in
@@ -335,8 +334,8 @@ let guard_reference_delay ?(reference = Replay) ~engine scenario ~tau =
   t_out -. t_in
 
 let run_table ?reference ?techniques ?samples ?ladder ?progress
-    ?checkpoint_dir ?pool ?cache ?engine scenario =
-  let engine = Runtime.Engine.resolve ?pool ?cache engine in
+    ?checkpoint_dir ?engine scenario =
+  let engine = Runtime.Engine.resolve engine in
   let techs =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
   in
@@ -382,6 +381,46 @@ let run_table ?reference ?techniques ?samples ?ladder ?progress
                (sweep_fingerprint ~tag:"eval.run_table" ~schema:"case_eval/2"
                   ?reference ?samples ~ladder:the_ladder ~techs ~engine
                   scenario []))
+  in
+  (* Batch-first warm-up: solve the alignment sweep's noisy runs
+     through the lockstep multi-case kernel before the per-case
+     evaluation walks them, splitting batch-sized groups over the
+     pool. The kernel produces byte-identical waveforms (same stepping
+     code path), published into the cache under the keys the scalar
+     path reads, so the sweep below sees cache hits; cases the batch
+     failed to solve or validate stay uncached and go through the full
+     scalar resilience ladder as before. Skipped when there is no
+     cache (nowhere to publish), when batching is off, and when a
+     fault plan is armed — deterministic fault assignment is by solve
+     index, which warm-up would reorder. Checkpoint-replayed cases are
+     not warmed: they will not simulate at all. *)
+  let () =
+    let b = Runtime.Engine.batch engine in
+    if
+      b > 1
+      && Option.is_some (Runtime.Engine.cache engine)
+      && (not (Spice.Transient.Fault.is_armed ()))
+      && Result.is_ok noiseless
+    then begin
+      let wanted =
+        Array.to_list (Array.mapi (fun i tau -> (i, tau)) taus)
+        |> List.filter (fun (i, _) ->
+               match checkpoint with
+               | None -> true
+               | Some cp ->
+                   Option.is_none
+                     (Runtime.Checkpoint.find cp i : case_eval option))
+        |> List.map snd |> Array.of_list
+      in
+      let ngroups = (Array.length wanted + b - 1) / b in
+      if ngroups > 0 then
+        ignore
+          (Runtime.Engine.submit_batch ~chunk:1 engine ngroups (fun g ->
+               let lo = g * b in
+               let len = Int.min b (Array.length wanted - lo) in
+               Injection.prewarm_noisy ~engine scenario
+                 (Array.sub wanted lo len)))
+    end
   in
   (* Cases are independent pure simulations: sweep them on the pool.
      Results land in input order, so parallel output is identical to
@@ -440,9 +479,7 @@ let run_table ?reference ?techniques ?samples ?ladder ?progress
     (match progress with Some f -> f k total | None -> ());
     c
   in
-  let cases =
-    Array.to_list (Runtime.Pool.maybe_map (Runtime.Engine.pool engine) total eval)
-  in
+  let cases = Array.to_list (Runtime.Engine.submit_batch engine total eval) in
   {
     scenario = scenario.Scenario.name;
     rows = summarize_rows techs cases;

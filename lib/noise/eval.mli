@@ -86,14 +86,12 @@ val evaluate_case :
   ?techniques:Eqwave.Technique.t list ->
   ?samples:int ->
   ?ladder:Eqwave.Ladder.t ->
-  ?cache:Runtime.Cache.t ->
   ?engine:Runtime.Engine.t ->
   Scenario.t -> noiseless:Injection.run -> tau:float -> case_eval
 (** Runs one noisy full-chain simulation plus one receiver simulation
     per technique. [techniques] defaults to [Eqwave.Registry.all];
     [samples] is the paper's P (default 35). [engine] selects solver
-    config and cache (see {!Runtime.Engine}); [cache] is the
-    deprecated alias. With a cache, every underlying transient
+    config and cache (see {!Runtime.Engine}). With a cache, every underlying transient
     simulation is memoized by content (scenario, case, and full solver
     configuration), so re-evaluating a case is free. A technique whose
     receiver re-simulation fails to converge is reported as a failed
@@ -145,17 +143,22 @@ val run_table :
   ?ladder:Eqwave.Ladder.t ->
   ?progress:(int -> int -> unit) ->
   ?checkpoint_dir:string ->
-  ?pool:Runtime.Pool.t ->
-  ?cache:Runtime.Cache.t ->
   ?engine:Runtime.Engine.t ->
   Scenario.t -> table
 (** Sweep all scenario cases. [progress done_ total] is called after
     each case with the number completed so far (from worker domains
     when the engine carries a pool, so it must be quick and
-    thread-safe). Cases are distributed over the engine's pool when
-    present; the resulting table is identical to the sequential one —
-    rows and cases stay in input order. [pool]/[cache] are the
-    deprecated aliases for the corresponding engine slots.
+    thread-safe). Cases are distributed over the engine's pool via
+    {!Runtime.Engine.submit_batch}; the resulting table is identical
+    to the sequential one — rows and cases stay in input order.
+
+    When the engine carries a cache and its batch width is above 1,
+    the not-yet-cached (and not-yet-checkpointed) alignments are first
+    warmed through the lockstep multi-case transient kernel
+    ({!Injection.prewarm_noisy}) in engine-batch-sized groups, so the
+    per-case evaluations below hit the cache. Warming publishes only
+    validated results under the exact keys the scalar path reads, so
+    the table stays byte-identical to the unwarmed sweep.
 
     Sweeps always return a table: a case whose simulation fails beyond
     the engine's {!Runtime.Resilience} fallback ladder becomes a row

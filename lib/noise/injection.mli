@@ -9,9 +9,7 @@
     All entry points take a [?engine] ({!Runtime.Engine.t}) selecting
     the solver configuration and cache; under an adaptive engine the
     process 10/50/90 thresholds are installed as crossing-refinement
-    levels unless the engine configured its own. [?cache] is a
-    deprecated alias kept for the PR-1 call sites — it is honored only
-    when the engine (if any) carries no cache of its own.
+    levels unless the engine configured its own.
 
     Every solve runs under the engine's {!Runtime.Resilience.policy}:
     a failed or invalid attempt walks the fallback ladder, and results
@@ -27,19 +25,30 @@ type run = {
   rcv : Waveform.Wave.t; (** receiver (INVx16) output (out_u) *)
 }
 
-val noiseless :
-  ?cache:Runtime.Cache.t -> ?engine:Runtime.Engine.t -> Scenario.t -> run
-(** Victim switches alone; aggressors hold their rails. With a cache,
-    the run is memoized under the scenario's content fingerprint plus
-    the full solver-config fingerprint. *)
+val noiseless : ?engine:Runtime.Engine.t -> Scenario.t -> run
+(** Victim switches alone; aggressors hold their rails. With a cached
+    engine, the run is memoized under the scenario's content
+    fingerprint plus the full solver-config fingerprint. *)
 
-val noisy :
-  ?cache:Runtime.Cache.t -> ?engine:Runtime.Engine.t ->
-  Scenario.t -> tau:float -> run
+val noisy : ?engine:Runtime.Engine.t -> Scenario.t -> tau:float -> run
 (** Victim switches at its nominal time, aggressors start at [tau]. *)
 
+val prewarm_noisy :
+  ?engine:Runtime.Engine.t -> Scenario.t -> float array -> int
+(** Batch-first warm-up for an alignment sweep: solve every
+    not-yet-cached alignment through the lockstep multi-case kernel
+    ({!Spice.Transient.run_batch_outcomes}) and publish the validated
+    results into the engine's cache under the keys the scalar {!noisy}
+    path reads, so the sweep's subsequent per-case calls are cache
+    hits. Cases that fail to solve or validate are left uncached and
+    fall back to the scalar resilience ladder when the sweep reaches
+    them. Returns the number of cases the batch kernel solved; 0
+    without a cache (there is nowhere to publish) and 0 when a fault
+    plan is armed (warming would reorder solve-index fault
+    assignment). *)
+
 val receiver_response :
-  ?dt:float -> ?cache:Runtime.Cache.t -> ?engine:Runtime.Engine.t ->
+  ?dt:float -> ?engine:Runtime.Engine.t ->
   Scenario.t -> input:Spice.Source.t -> tstop:float ->
   Waveform.Wave.t
 (** Drive the victim receiver (INVx16 loaded by INVx64) with an ideal

@@ -14,9 +14,9 @@ type summary = {
 }
 
 let run ?(seed = 42) ?(samples = 50) ?techniques ?ladder ?checkpoint_dir
-    ?pool ?cache ?engine scenario =
+    ?engine scenario =
   if samples < 1 then invalid_arg "Montecarlo.run: samples < 1";
-  let engine = Runtime.Engine.resolve ?pool ?cache engine in
+  let engine = Runtime.Engine.resolve engine in
   let techs =
     match techniques with Some t -> t | None -> Eqwave.Registry.all
   in
@@ -95,8 +95,7 @@ let run ?(seed = 42) ?(samples = 50) ?techniques ?ladder ?checkpoint_dir
             s)
   in
   let cases =
-    Array.to_list
-      (Runtime.Pool.maybe_map (Runtime.Engine.pool engine) samples eval)
+    Array.to_list (Runtime.Engine.submit_batch engine samples eval)
   in
   let summaries =
     List.map

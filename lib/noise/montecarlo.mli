@@ -27,16 +27,15 @@ val run :
   ?seed:int -> ?samples:int -> ?techniques:Eqwave.Technique.t list ->
   ?ladder:Eqwave.Ladder.t ->
   ?checkpoint_dir:string ->
-  ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
   ?engine:Runtime.Engine.t ->
   Scenario.t -> sample list * summary list
 (** [run scenario] draws [samples] (default 50) cases with uniformly
     random alignment over the scenario window and random aggressor
     polarity. [seed] defaults to 42. All draws happen before any
     evaluation, so the result is deterministic for a given seed even
-    when the cases are swept on the engine's pool; the engine's cache
-    memoizes the underlying simulations ([pool]/[cache] are the
-    deprecated aliases). Cases whose simulation fails beyond the
+    when the cases are swept on the engine's pool
+    ({!Runtime.Engine.submit_batch}); the engine's cache
+    memoizes the underlying simulations. Cases whose simulation fails beyond the
     engine's {!Runtime.Resilience} ladder are counted in each
     summary's [failed] (typed, via [Eval.failed_case]) instead of
     aborting the run. [ladder] (default {!Eqwave.Ladder.default})

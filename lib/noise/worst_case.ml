@@ -18,15 +18,15 @@ let mid_delay scenario run =
       Runtime.Failure.fail
         (Missing_crossing { what = "worst-case probe"; level = vm })
 
-let delay_at ?cache ?engine scenario ~noiseless:_ ~tau =
-  mid_delay scenario (Injection.noisy ?cache ?engine scenario ~tau)
+let delay_at ?engine scenario ~noiseless:_ ~tau =
+  mid_delay scenario (Injection.noisy ?engine scenario ~tau)
 
 let golden = (sqrt 5.0 -. 1.0) /. 2.0
 
 let search ?(coarse = 24) ?(refine = 12) ?samples
-    ?(ladder = Eqwave.Ladder.default) ?pool ?cache ?engine scenario =
+    ?(ladder = Eqwave.Ladder.default) ?engine scenario =
   if coarse < 3 then invalid_arg "Worst_case.search: coarse < 3";
-  let engine = Runtime.Engine.resolve ?pool ?cache engine in
+  let engine = Runtime.Engine.resolve engine in
   let noiseless = Injection.noiseless ~engine scenario in
   let nominal_delay = mid_delay scenario noiseless in
   let probes = ref 0 in
@@ -39,8 +39,11 @@ let search ?(coarse = 24) ?(refine = 12) ?samples
      Folding the delays in input order keeps the argmax (first maximum
      wins) identical to the sequential scan. The golden-section probes
      below are inherently sequential. *)
+  (* Warm the coarse scan through the lockstep batch kernel (cache
+     hits for the per-probe calls below), then fan the probes out. *)
+  ignore (Injection.prewarm_noisy ~engine scenario scan);
   let coarse_delays =
-    Runtime.Pool.maybe_map (Runtime.Engine.pool engine) coarse (fun i ->
+    Runtime.Engine.submit_batch engine coarse (fun i ->
         delay_at ~engine scenario ~noiseless ~tau:scan.(i))
   in
   probes := !probes + coarse;

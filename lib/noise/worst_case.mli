@@ -18,7 +18,7 @@ type result = {
 }
 
 val delay_at :
-  ?cache:Runtime.Cache.t -> ?engine:Runtime.Engine.t ->
+  ?engine:Runtime.Engine.t ->
   Scenario.t -> noiseless:Injection.run -> tau:float -> float
 (** Reference gate delay (latest 0.5 Vdd crossings, input to output) of
     one injection case. Raises [Failure] when a crossing is missing. *)
@@ -26,15 +26,16 @@ val delay_at :
 val search :
   ?coarse:int -> ?refine:int ->
   ?samples:int -> ?ladder:Eqwave.Ladder.t ->
-  ?pool:Runtime.Pool.t -> ?cache:Runtime.Cache.t ->
   ?engine:Runtime.Engine.t ->
   Scenario.t -> result
 (** [search scenario] scans [coarse] (default 24) alignments across the
     scenario window, then runs [refine] (default 12) golden-section
-    steps around the best bracket. The coarse scan fans out over the
-    engine's pool; the refinement is sequential. The result is
-    independent of the pool. [pool]/[cache] are the deprecated aliases
-    for the engine slots. The worst-case waveform is finally mapped to
+    steps around the best bracket. The coarse scan is first warmed
+    through the lockstep batch kernel ({!Injection.prewarm_noisy})
+    when the engine carries a cache, then fans out over the engine's
+    pool ({!Runtime.Engine.submit_batch}); the refinement is
+    sequential. The result is independent of the pool and of the
+    warm-up. The worst-case waveform is finally mapped to
     [gamma] through [ladder] (default {!Eqwave.Ladder.default}) with
     [samples] sampling points — the noisy run at the winning alignment
     is served from cache, so this adds only the fits. *)

@@ -1,0 +1,69 @@
+(** Shared command-line vocabulary for the front-ends.
+
+    [bin/sta_main], [bin/sta_serve], and [bench/main] all configure the
+    same evaluation runtime; this module defines the cmdliner flags
+    once — engine preset, adaptive tolerance, worker domains, batch
+    width, cache, resilience policy, per-solve deadline, differential
+    guard, linear-kernel selection, fault injection — and folds the
+    parsed values into a {!Engine.t}.
+
+    The term yields a transparent {!spec} first (the raw flag values),
+    so front-ends that echo their configuration (the bench [--json]
+    report) don't have to reverse-engineer it from the engine. *)
+
+type spec = {
+  engine_name : string;       (** [--engine], a validated preset name *)
+  ltetol : float option;      (** [--ltetol], volts *)
+  jobs : int;                 (** [--jobs], clamped to >= 1 *)
+  batch : int option;         (** [--batch], lockstep batch width *)
+  use_cache : bool;           (** negated [--no-cache] *)
+  cache_dir : string option;  (** [--cache-dir] *)
+  fallback : string;          (** [--fallback], a validated policy name *)
+  retries : int option;       (** [--retries] *)
+  deadline_ms : float option; (** [--deadline] *)
+  guard : bool;               (** [--guard] *)
+  guard_every : int;          (** [--guard-every] *)
+  guard_tol_ps : float;       (** [--guard-tol-ps] *)
+  solver : Spice.Transient.solver_kind option; (** [--solver] *)
+  jac_reuse : bool;           (** negated [--no-jac-reuse] *)
+  fault : Spice.Transient.Fault.plan option;   (** [--inject-faults] *)
+}
+
+type sweep = {
+  metrics : bool;               (** [--metrics] *)
+  checkpoint_dir : string option; (** [--checkpoint] *)
+  ladder : string list option;
+      (** [--ladder], comma-split technique names. Left as raw strings
+          — the runtime layer doesn't know the technique registry;
+          callers resolve via [Eqwave.Ladder.of_names]. *)
+}
+
+val engine_conv : string Cmdliner.Arg.conv
+(** Engine preset name, validated against {!Engine.of_name}. *)
+
+val spec_term :
+  ?default_engine:string -> ?default_cache_dir:string -> unit ->
+  spec Cmdliner.Term.t
+(** The engine-configuration flags. [default_engine] defaults to
+    ["reference"] ([sta_serve] passes ["fast"]); [default_cache_dir]
+    is the default for [--cache-dir] (the bench passes its on-disk
+    cache directory, the binaries keep the cache in memory). *)
+
+val sweep_term : unit -> sweep Cmdliner.Term.t
+(** The sweep-harness flags ([--metrics]/[--checkpoint]/[--ladder]) —
+    separate from {!spec_term} so a front-end without sweeps (the
+    daemon) doesn't advertise them. *)
+
+val engine_of_spec : spec -> Engine.t
+(** Assemble the engine: preset, then tolerance, resilience policy
+    (with the retry budget), deadline, guard, solver kind, Jacobian
+    reuse, batch width; a fresh {!Pool} when [jobs > 1] and a fresh
+    {!Cache} unless disabled. The caller owns the pool
+    ({!Engine.pool}) and must shut it down. Does NOT arm fault
+    injection — call {!arm_faults} exactly once per process. *)
+
+val policy_of_spec : spec -> Resilience.policy
+(** Just the resilience policy ([--fallback]/[--retries]). *)
+
+val arm_faults : spec -> unit
+(** Arm [--inject-faults] (process-global); no-op without the flag. *)

@@ -7,16 +7,20 @@ type t = {
   resilience : Resilience.policy;
   deadline_ms : float option;
   guard : Guard.t option;
+  batch : int;
 }
 
+let default_batch = 16
+
 let make ?(name = "custom") ?(solver = Spice.Transient.default_config) ?pool
-    ?cache ?metrics ?(resilience = Resilience.standard) ?deadline_ms ?guard ()
-    =
+    ?cache ?metrics ?(resilience = Resilience.standard) ?deadline_ms ?guard
+    ?(batch = default_batch) () =
   (match deadline_ms with
   | Some ms when (not (Float.is_finite ms)) || ms <= 0.0 ->
       invalid_arg "Engine.make: deadline_ms must be positive"
   | _ -> ());
-  { name; solver; pool; cache; metrics; resilience; deadline_ms; guard }
+  if batch < 1 then invalid_arg "Engine.make: batch must be >= 1";
+  { name; solver; pool; cache; metrics; resilience; deadline_ms; guard; batch }
 
 (* Presets share the Newton/gmin settings of [default_config] and only
    disagree about step control. [reference] is the historical fixed
@@ -60,6 +64,7 @@ let metrics t = t.metrics
 let resilience t = t.resilience
 let deadline_ms t = t.deadline_ms
 let guard t = t.guard
+let batch t = t.batch
 
 let with_solver t solver = { t with solver }
 let with_pool t pool = { t with pool = Some pool }
@@ -73,6 +78,11 @@ let with_deadline t ms =
   { t with deadline_ms = Some ms }
 
 let with_guard t guard = { t with guard = Some guard }
+
+let with_batch t batch =
+  if batch < 1 then invalid_arg "Engine.with_batch: batch must be >= 1";
+  { t with batch }
+
 let map_solver t f = { t with solver = f t.solver }
 
 let with_solver_kind t kind =
@@ -81,18 +91,16 @@ let with_solver_kind t kind =
 let with_jac_reuse t reuse =
   map_solver t (fun c -> Spice.Transient.with_jac_reuse c reuse)
 
-let resolve ?pool ?cache engine =
-  match engine with
-  | Some e ->
-      (* The engine wins; the deprecated aliases only fill slots the
-         engine left empty, so old call sites keep working while
-         migrating. *)
-      {
-        e with
-        pool = (match e.pool with Some _ -> e.pool | None -> pool);
-        cache = (match e.cache with Some _ -> e.cache | None -> cache);
-      }
-  | None -> { reference with pool; cache }
+let resolve = function Some e -> e | None -> reference
+
+(* The single fan-out point for every harness: split [n] work items
+   over the engine's pool (or run them inline without one). [?chunk]
+   overrides the work-splitting granularity; the default lets the pool
+   chunk by [batch]-sized slices so a batched solve kernel sees whole
+   sub-batches per domain rather than interleaved singletons. *)
+let submit_batch ?chunk t n f =
+  let chunk = match chunk with Some c -> c | None -> t.batch in
+  Pool.maybe_map ~chunk t.pool n f
 
 let is_adaptive t = Spice.Transient.is_adaptive t.solver
 

@@ -2,14 +2,14 @@
 
     An engine bundles everything a simulation harness needs — the
     transient solver configuration, an optional domain {!Pool}, an
-    optional result {!Cache}, and an optional {!Metrics} sink — behind
-    one value, replacing the [?pool]/[?cache] optional-argument sprawl
-    of the PR-1 API. Harness entry points ([Noise.Eval.run_table],
-    [Noise.Montecarlo.run], [Noise.Worst_case.search],
-    [Liberty.Characterize.run], [Noise.Injection.*]) take a single
-    [?engine]; the old [?pool]/[?cache] arguments remain as deprecated
-    aliases for one release and are honored only for slots the engine
-    leaves empty (see {!resolve}).
+    optional result {!Cache}, an optional {!Metrics} sink, and a batch
+    width — behind one value. Harness entry points
+    ([Noise.Eval.run_table], [Noise.Montecarlo.run],
+    [Noise.Worst_case.search], [Liberty.Characterize.run],
+    [Noise.Injection.*], [Server.Batcher]) take a single [?engine] and
+    fan work out exclusively through {!submit_batch}; the
+    [?pool]/[?cache] optional-argument aliases of the PR-1 API are
+    gone.
 
     Named presets:
     - ["reference"] — fixed 1 ps grid, bit-exact with the historical
@@ -31,12 +31,14 @@ val make :
   ?resilience:Resilience.policy ->
   ?deadline_ms:float ->
   ?guard:Guard.t ->
+  ?batch:int ->
   unit ->
   t
 (** Defaults: name "custom", {!Spice.Transient.default_config}, no
     pool, no cache, no metrics, {!Resilience.standard} supervision, no
-    per-solve deadline, no differential guard. Raises
-    [Invalid_argument] when [deadline_ms] is not positive. *)
+    per-solve deadline, no differential guard, batch width 16. Raises
+    [Invalid_argument] when [deadline_ms] is not positive or [batch]
+    is not >= 1. *)
 
 val reference : t
 val accurate : t
@@ -67,6 +69,11 @@ val guard : t -> Guard.t option
 (** Differential accuracy guard the sweep harnesses consult; [None] =
     no cross-validation. *)
 
+val batch : t -> int
+(** Batch width: how many cases a harness groups into one
+    [Spice.Transient.run_batch] submission (and the default pool chunk
+    of {!submit_batch}). 1 disables lockstep batching. *)
+
 val with_solver : t -> Spice.Transient.config -> t
 val with_pool : t -> Pool.t -> t
 val with_cache : t -> Cache.t -> t
@@ -77,6 +84,9 @@ val with_deadline : t -> float -> t
 (** Raises [Invalid_argument] when the budget (ms) is not positive. *)
 
 val with_guard : t -> Guard.t -> t
+
+val with_batch : t -> int -> t
+(** Raises [Invalid_argument] when the width is not >= 1. *)
 
 val map_solver : t -> (Spice.Transient.config -> Spice.Transient.config) -> t
 (** Apply a solver-config transform, e.g.
@@ -89,12 +99,17 @@ val with_solver_kind : t -> Spice.Transient.solver_kind -> t
 val with_jac_reuse : t -> bool -> t
 (** Toggle modified-Newton Jacobian reuse (on in every preset). *)
 
-val resolve : ?pool:Pool.t -> ?cache:Cache.t -> t option -> t
-(** Normalize a harness entry point's arguments: with an engine, the
-    engine wins and the deprecated [?pool]/[?cache] aliases only fill
-    slots it left empty; without one, the aliases are wrapped in a
-    {!reference} engine. This is what keeps PR-1 call sites working
-    unchanged. *)
+val resolve : t option -> t
+(** Normalize a harness entry point's [?engine] argument: [None] means
+    the {!reference} engine. *)
+
+val submit_batch : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
+(** [submit_batch engine n f] evaluates [f 0 .. f (n-1)] on the
+    engine's pool (inline when it has none) and returns the results in
+    input order — the single fan-out point every harness routes
+    through. [chunk] overrides how many consecutive indices a domain
+    claims at a time; the default is the engine's {!batch} width, so a
+    worker that batches its slice sees whole sub-batches. *)
 
 val is_adaptive : t -> bool
 val pp : Format.formatter -> t -> unit

@@ -138,11 +138,10 @@ let serve ~queue ~engine ~metrics ?(max_batch = 16) ?queue_timeout_ms
             | [ job ] -> run_one job
             | jobs ->
                 let jobs = Array.of_list jobs in
-                (* One pool submission for the whole batch; [chunk:1] so
-                   each domain claims one request at a time. *)
+                (* One engine submission for the whole batch; [chunk:1]
+                   so each domain claims one request at a time. *)
                 ignore
-                  (Runtime.Pool.maybe_map ~chunk:1
-                     (Runtime.Engine.pool engine)
+                  (Runtime.Engine.submit_batch ~chunk:1 engine
                      (Array.length jobs)
                      (fun i -> run_one jobs.(i))));
             Runtime.Metrics.set metrics "server.in_flight" 0;

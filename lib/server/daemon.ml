@@ -96,9 +96,12 @@ let write_response fd doc = Protocol.write_frame fd (Json.to_string doc)
 let handle_request t fd payload =
   let started = Unix.gettimeofday () in
   (match Protocol.parse_request payload with
-  | Error msg ->
-      Runtime.Metrics.incr t.metrics "server.bad_requests";
-      write_response fd (Protocol.error_response ~id:0 ~code:"bad_request" msg)
+  | Error err ->
+      Runtime.Metrics.incr t.metrics
+        (match err with
+        | Protocol.Bad_request _ -> "server.bad_requests"
+        | Protocol.Version_mismatch _ -> "server.version_mismatches");
+      write_response fd (Protocol.parse_error_response err)
   | Ok req -> (
       let id = req.Protocol.id in
       match Protocol.klass req.Protocol.query with

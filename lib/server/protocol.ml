@@ -1,4 +1,18 @@
-let version = "1.0.0"
+let version = "1.1.0"
+
+(* Compatibility is decided on the major component alone: a client may
+   be older or newer within a major series (fields it doesn't know are
+   ignored; fields it omits have defaults), but across majors the
+   framing or field semantics may have changed, so the request is
+   rejected before any parameter is interpreted. *)
+let major_of v =
+  match String.index_opt v '.' with
+  | Some i -> int_of_string_opt (String.sub v 0 i)
+  | None -> int_of_string_opt v
+
+type parse_error =
+  | Bad_request of string
+  | Version_mismatch of { id : int; got : string }
 
 type query =
   | Ping
@@ -126,28 +140,46 @@ let parse_query op v =
 
 let parse_request text =
   match Json.parse text with
-  | Error e -> Error ("invalid JSON: " ^ e)
-  | Ok v ->
+  | Error e -> Error (Bad_request ("invalid JSON: " ^ e))
+  | Ok v -> (
       let id =
         Option.value ~default:0 (Option.bind (field "id" v) Json.to_int)
       in
       let tag r =
         (* Attach the id we did manage to extract so the error response
            still correlates with the request. *)
-        Result.map_error (fun e -> Printf.sprintf "[id %d] %s" id e) r
+        Result.map_error
+          (fun e -> Bad_request (Printf.sprintf "[id %d] %s" id e))
+          r
       in
-      tag
-        (let* op = str_field "op" v in
-         let* query = parse_query op v in
-         let* deadline_ms =
-           match field "deadline_ms" v with
-           | None -> Ok None
-           | Some j -> (
-               match Json.to_float j with
-               | Some ms when Float.is_finite ms && ms > 0.0 -> Ok (Some ms)
-               | _ -> Error "field \"deadline_ms\" must be positive")
-         in
-         Ok { id; query; deadline_ms })
+      let body () =
+        tag
+          (let* op = str_field "op" v in
+           let* query = parse_query op v in
+           let* deadline_ms =
+             match field "deadline_ms" v with
+             | None -> Ok None
+             | Some j -> (
+                 match Json.to_float j with
+                 | Some ms when Float.is_finite ms && ms > 0.0 ->
+                     Ok (Some ms)
+                 | _ -> Error "field \"deadline_ms\" must be positive")
+           in
+           Ok { id; query; deadline_ms })
+      in
+      (* Version gate first: an incompatible client's parameters must
+         not be interpreted at all. Requests without a version are
+         accepted (pre-1.1 clients never sent one). *)
+      match field "version" v with
+      | None -> body ()
+      | Some (Json.Str got)
+        when major_of got <> None && major_of got = major_of version ->
+          body ()
+      | Some j ->
+          let got =
+            match Json.to_str j with Some s -> s | None -> Json.to_string j
+          in
+          Error (Version_mismatch { id; got }))
 
 let request_to_json { id; query; deadline_ms } =
   let base =
@@ -200,7 +232,10 @@ let request_to_json { id; query; deadline_ms } =
     | Some ms -> [ ("deadline_ms", Json.Num ms) ]
     | None -> []
   in
-  Json.Obj ((("id", Json.Num (float_of_int id)) :: base) @ tail)
+  Json.Obj
+    ((("id", Json.Num (float_of_int id))
+      :: ("version", Json.Str version) :: base)
+    @ tail)
 
 (* ------------------------------------------------------------------ *)
 (* Batching class                                                      *)
@@ -464,15 +499,19 @@ let execute ~engine ?metrics query =
           Ok (montecarlo_body scen ~samples ~seed summaries))
 
 let response ~id result =
+  let envelope body =
+    Json.Obj
+      [ ("id", num (float_of_int id)); ("version", Json.Str version); body ]
+  in
   match result with
-  | Ok body -> Json.Obj [ ("id", num (float_of_int id)); ("ok", body) ]
-  | Error f ->
-      Json.Obj [ ("id", num (float_of_int id)); ("error", failure_json f) ]
+  | Ok body -> envelope ("ok", body)
+  | Error f -> envelope ("error", failure_json f)
 
 let error_response ~id ~code message =
   Json.Obj
     [
       ("id", num (float_of_int id));
+      ("version", Json.Str version);
       ( "error",
         Json.Obj
           [
@@ -481,6 +520,15 @@ let error_response ~id ~code message =
             ("recoverable", Json.Bool false);
           ] );
     ]
+
+let parse_error_response = function
+  | Bad_request msg -> error_response ~id:0 ~code:"bad_request" msg
+  | Version_mismatch { id; got } ->
+      error_response ~id ~code:"version_mismatch"
+        (Printf.sprintf
+           "client speaks protocol %s, this server speaks %s (major \
+            versions must match)"
+           got version)
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                             *)

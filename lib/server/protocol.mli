@@ -41,20 +41,41 @@ type query =
 type request = { id : int; query : query; deadline_ms : float option }
 
 val version : string
-(** Protocol/daemon version reported by [ping] and [--version]. *)
+(** Protocol/daemon version reported by [ping], [--version], and the
+    [version] field of every request and response envelope. *)
+
+val major_of : string -> int option
+(** Major component of a ["major.minor.patch"] version string, [None]
+    when the leading component is not an integer. *)
 
 val scenario_of_name : string -> (Noise.Scenario.t, string) result
 (** "i"/"1", "ii"/"2", "i_buffer"/"buffer" (case-insensitive). *)
 
 (** {1 Request parsing} *)
 
-val parse_request : string -> (request, string) result
-(** Parse and validate one request payload. The error string is a
-    human-readable reason, sent back as a [bad_request] response (with
-    id 0 when the payload was too broken to extract one). *)
+type parse_error =
+  | Bad_request of string
+      (** malformed payload; the string is a human-readable reason *)
+  | Version_mismatch of { id : int; got : string }
+      (** the request carried a [version] whose major component differs
+          from (or cannot be compared with) this server's {!version};
+          its parameters were not interpreted *)
+
+val parse_request : string -> (request, parse_error) result
+(** Parse and validate one request payload. A [version] field, when
+    present, is checked first: same-major versions are accepted,
+    anything else is rejected as {!Version_mismatch} before any other
+    field is read. Requests without a [version] are accepted (pre-1.1
+    clients never sent one). *)
+
+val parse_error_response : parse_error -> Json.t
+(** The response frame for a rejected payload: code ["bad_request"]
+    (id 0 when the payload was too broken to extract one) or
+    ["version_mismatch"] (echoing the request id). *)
 
 val request_to_json : request -> Json.t
-(** Client-side rendering of a request (inverse of {!parse_request}). *)
+(** Client-side rendering of a request (inverse of {!parse_request});
+    stamps this library's {!version} into the envelope. *)
 
 (** {1 Batching} *)
 

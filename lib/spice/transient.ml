@@ -199,6 +199,8 @@ module Stats = struct
     factorizations : int;
     jac_reuses : int;
     banded_solves : int;
+    batched_solves : int;
+    peeled_solves : int;
   }
 
   (* Process-global, updated with atomics so pool domains running
@@ -215,6 +217,8 @@ module Stats = struct
   let factorizations = Atomic.make 0
   let jac_reuses = Atomic.make 0
   let banded_solves = Atomic.make 0
+  let batched_solves = Atomic.make 0
+  let peeled_solves = Atomic.make 0
 
   let snapshot () =
     {
@@ -230,6 +234,8 @@ module Stats = struct
       factorizations = Atomic.get factorizations;
       jac_reuses = Atomic.get jac_reuses;
       banded_solves = Atomic.get banded_solves;
+      batched_solves = Atomic.get batched_solves;
+      peeled_solves = Atomic.get peeled_solves;
     }
 
   let diff a b =
@@ -246,6 +252,8 @@ module Stats = struct
       factorizations = a.factorizations - b.factorizations;
       jac_reuses = a.jac_reuses - b.jac_reuses;
       banded_solves = a.banded_solves - b.banded_solves;
+      batched_solves = a.batched_solves - b.batched_solves;
+      peeled_solves = a.peeled_solves - b.peeled_solves;
     }
 
   let reset () =
@@ -260,16 +268,19 @@ module Stats = struct
     Atomic.set deadline_hits 0;
     Atomic.set factorizations 0;
     Atomic.set jac_reuses 0;
-    Atomic.set banded_solves 0
+    Atomic.set banded_solves 0;
+    Atomic.set batched_solves 0;
+    Atomic.set peeled_solves 0
 
   let pp ppf s =
     Format.fprintf ppf
-      "%d sims (%d banded), %d steps (%d rejected, %d by LTE), %d newton \
-       iters, %d factorizations (%d reused), %d bisections, %d gmin retries, \
-       %d injected faults, %d deadline hits"
-      s.sims s.banded_solves s.steps s.rejected_steps s.lte_rejections
-      s.newton_iters s.factorizations s.jac_reuses s.bisections s.gmin_retries
-      s.injected_faults s.deadline_hits
+      "%d sims (%d banded, %d batched, %d peeled), %d steps (%d rejected, %d \
+       by LTE), %d newton iters, %d factorizations (%d reused), %d \
+       bisections, %d gmin retries, %d injected faults, %d deadline hits"
+      s.sims s.banded_solves s.batched_solves s.peeled_solves s.steps
+      s.rejected_steps s.lte_rejections s.newton_iters s.factorizations
+      s.jac_reuses s.bisections s.gmin_retries s.injected_faults
+      s.deadline_hits
 end
 
 (* Cooperative per-solve deadlines. A caller installs a wall-clock
@@ -327,6 +338,7 @@ module Fault = struct
     Atomic.set armed (Some plan)
 
   let disarm () = Atomic.set armed None
+  let is_armed () = Option.is_some (Atomic.get armed)
   let injected () = Atomic.get Stats.injected_faults
 
   (* Hash the (seed, index) pair to a uniform float in [0, 1). MD5 is
@@ -605,10 +617,14 @@ let plan_for cp cfg =
       ~max_bandwidth ~max_border ()
   end
 
-let make_ws cp cfg =
+(* Build a workspace from a precomputed ordering plan. The plan (RCM
+   reordering + border selection) depends only on the sparsity pattern,
+   so a batch of structurally identical cases computes it once and
+   instantiates one workspace per lane from it. *)
+let make_ws_planned plan cp =
   let nu = cp.n + cp.m in
   let order, mat =
-    match plan_for cp cfg with
+    match plan with
     | Some p when p.Numerics.Ordering.core > 0 ->
         let nb = p.Numerics.Ordering.core in
         let bw = Int.max 1 p.Numerics.Ordering.bandwidth in
@@ -707,6 +723,8 @@ let make_ws cp cfg =
     nw_total = 0;
     nw_reused = false;
   }
+
+let make_ws cp cfg = make_ws_planned (plan_for cp cfg) cp
 
 let geq_of ~integ ~h c =
   match integ with
@@ -1132,26 +1150,145 @@ let validate_adaptive a =
   if a.safety <= 0.0 || a.safety > 1.0 then
     invalid_arg "Transient.run: safety must be in (0, 1]"
 
-let run ?(config = default_config) ?(ic = []) ckt =
-  Atomic.incr Stats.sims;
-  let cfg = config in
-  let fault = Fault.roll () in
-  (match fault with
-  | Some Fault.Diverge -> raise (No_convergence cfg.tstart)
+(* ------------------------------------------------------------------ *)
+(* Per-case solve state.
+
+   Everything one transient case needs between accepted steps lives in
+   this record: the compiled circuit, its workspace, the committed
+   solution [c_x], the capacitor state, the accepted-step budget, and
+   (on a fixed grid) the output grid/data plus a cursor. Both the
+   scalar [run] path and the lockstep batch driver advance cases
+   exclusively through [fixed_step] below, so a batched case executes
+   the *same float operations in the same order* as a scalar one —
+   byte-identical results by construction, not by tolerance. *)
+type case_state = {
+  c_cp : compiled;
+  c_ws : ws;
+  c_cfg : config;
+  c_fault : Fault.kind option; (* pre-rolled; [Diverge] handled upstream *)
+  c_x : float array; (* committed solution (shared scratch in a batch) *)
+  c_vcap : float array;
+  c_icap : float array;
+  mutable c_steps : int; (* accepted steps; 0 = nothing charged yet *)
+  mutable c_grid : float array; (* fixed grid only; [||] until started *)
+  mutable c_data : float array array;
+  mutable c_k : int; (* next grid index to fill *)
+}
+
+let case_load_caps st =
+  let ncap = Array.length st.c_vcap in
+  Array.blit st.c_vcap 0 st.c_ws.vcap0 0 ncap;
+  Array.blit st.c_icap 0 st.c_ws.icap0 0 ncap
+
+(* Accepted-step bookkeeping: budget, deadline, and the [Slow] fault
+   stall — a deadline trips mid-solve at a step boundary, the
+   cancellation point the deadline machinery promises. *)
+let case_charge_step st ~at =
+  st.c_steps <- st.c_steps + 1;
+  Deadline.check ~at;
+  (match st.c_fault with
+  | Some Fault.Slow -> Unix.sleepf Fault.slow_step_s
   | _ -> ());
-  (* Fail fast when the caller's budget is already spent — after the
-     fault roll so solve-index accounting matches an undeadlined run. *)
-  Deadline.check ~at:cfg.tstart;
-  if cfg.tstop -. cfg.tstart <= 0.0 then
-    invalid_arg "Transient.run: tstop <= tstart";
-  if cfg.dt <= 0.0 then invalid_arg "Transient.run: dt must be positive";
-  (match cfg.step_control with
-  | Fixed -> ()
-  | Adaptive a -> validate_adaptive a);
-  let cp = compile ckt in
-  let ws = make_ws cp cfg in
+  if st.c_cfg.max_steps > 0 && st.c_steps > st.c_cfg.max_steps then
+    raise (Step_budget_exhausted { at; budget = st.c_cfg.max_steps })
+
+(* The integrator match is hoisted out of the loop (like the companion
+   fill in [newton]) so each arm is straight-line unboxed float
+   arithmetic — keeping [v] live across a branch join boxes it on
+   every iteration. *)
+let case_commit st ~integ ~h xnew =
+  let ws = st.c_ws in
+  let ca = ws.cap_a and cb = ws.cap_b and cc = ws.cap_c in
+  let v0 = ws.vcap0 and i0 = ws.icap0 in
+  let vcap = st.c_vcap and icap = st.c_icap in
+  let ncap = Array.length vcap in
+  match integ with
+  | Backward_euler ->
+      for k = 0 to ncap - 1 do
+        let v = ugetv xnew ca.(k) -. ugetv xnew cb.(k) in
+        icap.(k) <- cc.(k) /. h *. (v -. v0.(k));
+        vcap.(k) <- v
+      done
+  | Trapezoidal ->
+      for k = 0 to ncap - 1 do
+        let v = ugetv xnew ca.(k) -. ugetv xnew cb.(k) in
+        icap.(k) <- ((2.0 *. cc.(k) /. h) *. (v -. v0.(k))) -. i0.(k);
+        vcap.(k) <- v
+      done
+
+(* One integration step of size h ending at time t, with the given
+   companion model and capacitor state in [ws.vcap0]/[ws.icap0].
+   Returns false if Newton diverged. On success, cap state is NOT yet
+   committed; the caller commits via [case_commit]. *)
+let case_attempt st ~integ ~t ~h xtrial =
+  newton st.c_ws st.c_cp st.c_cfg ~gmin:st.c_cfg.gmin ~t ~h ~integ xtrial
+
+(* Advance from t0 to t1, bisecting on failure. The ws scratch buffers
+   are safe across the recursion: a failed attempt's parent state is
+   dead by the time a child reloads them. *)
+let rec fixed_advance st depth t0 t1 =
+  let ws = st.c_ws and cfg = st.c_cfg and x = st.c_x in
   let nu = ws.nu in
-  let x = Array.make nu 0.0 in
+  let h = t1 -. t0 in
+  case_load_caps st;
+  let xtrial = ws.xtrial in
+  (* Linear-extrapolation predictor: seed Newton with the solution
+     continued along the last accepted step's slope. Near-free on
+     quiescent spans and typically saves an iteration through
+     transitions; a failed predicted solve retries once from the
+     flat (previous-solution) guess before bisecting. *)
+  let predicted = ws.have_prev && ws.hprev > 0.0 in
+  if predicted then begin
+    let r = h /. ws.hprev in
+    let xp = ws.xprev in
+    for i = 0 to nu - 1 do
+      xtrial.(i) <- x.(i) +. ((x.(i) -. xp.(i)) *. r)
+    done
+  end
+  else Array.blit x 0 xtrial 0 nu;
+  let ok =
+    case_attempt st ~integ:cfg.integration ~t:t1 ~h xtrial
+    ||
+    (predicted
+    &&
+    (case_load_caps st;
+     Array.blit x 0 xtrial 0 nu;
+     case_attempt st ~integ:cfg.integration ~t:t1 ~h xtrial))
+  in
+  if ok then begin
+    Atomic.incr Stats.steps;
+    case_charge_step st ~at:t1;
+    case_commit st ~integ:cfg.integration ~h xtrial;
+    Array.blit x 0 ws.xprev 0 nu;
+    ws.hprev <- h;
+    ws.have_prev <- true;
+    Array.blit xtrial 0 x 0 nu
+  end
+  else if depth >= cfg.max_bisection then raise (No_convergence t1)
+  else begin
+    Atomic.incr Stats.bisections;
+    let tm = 0.5 *. (t0 +. t1) in
+    fixed_advance st (depth + 1) t0 tm;
+    fixed_advance st (depth + 1) tm t1
+  end
+
+(* Advance one fixed-grid interval and record the sample; returns
+   whether more intervals remain. This is the lockstep quantum: the
+   batch driver round-robins it across cases, the scalar path just
+   loops it to exhaustion. *)
+let fixed_step st =
+  let k = st.c_k in
+  fixed_advance st 0 st.c_grid.(k - 1) st.c_grid.(k);
+  st.c_data.(k) <- Array.copy st.c_x;
+  st.c_k <- k + 1;
+  st.c_k < Array.length st.c_grid
+
+(* DC-solve the case at [tstart] and initialise the capacitor state
+   (voltage across and, for trapezoidal, current). Raises
+   [No_convergence] when no operating point is found. The solution /
+   cap-state arrays are supplied by the caller: the scalar path owns
+   fresh ones, the batch driver passes its shared scratch. *)
+let case_start cp ws cfg fault ic ~x ~vcap ~icap =
   List.iter
     (fun (name, v) ->
       match Hashtbl.find_opt cp.name_index name with
@@ -1160,249 +1297,160 @@ let run ?(config = default_config) ?(ic = []) ckt =
     ic;
   if not (dc_solve ws cp cfg ~at:cfg.tstart x) then
     raise (No_convergence cfg.tstart);
-  (* Capacitor state: voltage across and (trapezoidal) current. *)
-  let ncap = Array.length cp.caps in
-  let vcap = Array.make ncap 0.0 and icap = Array.make ncap 0.0 in
-  Array.iteri
-    (fun k (a, b, _) -> vcap.(k) <- getv x a -. getv x b)
-    cp.caps;
-  (* One integration step of size h ending at time t, with the given
-     companion model and capacitor state in [ws.vcap0]/[ws.icap0].
-     Returns false if Newton diverged. On success, cap state is NOT
-     yet committed; the caller commits via [commit]. *)
-  let attempt ~integ ~t ~h xtrial =
-    newton ws cp cfg ~gmin:cfg.gmin ~t ~h ~integ xtrial
+  Array.iteri (fun k (a, b, _) -> vcap.(k) <- getv x a -. getv x b) cp.caps;
+  {
+    c_cp = cp;
+    c_ws = ws;
+    c_cfg = cfg;
+    c_fault = fault;
+    c_x = x;
+    c_vcap = vcap;
+    c_icap = icap;
+    c_steps = 0;
+    c_grid = [||];
+    c_data = [||];
+    c_k = 1;
+  }
+
+let fixed_start st =
+  let grid = build_grid st.c_cp st.c_cfg in
+  st.c_grid <- grid;
+  st.c_data <- Array.make (Array.length grid) [||];
+  st.c_data.(0) <- Array.copy st.c_x;
+  st.c_k <- 1
+
+(* -------------- adaptive local-truncation-error grid ------------- *)
+(* Each step is solved twice, with the configured companion and with
+   the other one (trapezoidal vs backward Euler). Their discrepancy is
+   an O(h^2) estimate of the local truncation error; the controller
+   holds it below [lte_tol], growing the step on quiescent spans and
+   shrinking it through transitions. Source breakpoints are always
+   landed on exactly, and steps that carry any node across a
+   configured threshold level are refined to [crossing_dt] so
+   downstream crossing searches keep fixed-grid accuracy. *)
+let run_adaptive st a =
+  let cp = st.c_cp and cfg = st.c_cfg and ws = st.c_ws and x = st.c_x in
+  let nu = ws.nu in
+  let dt_min = a.dt_min in
+  let dt_max = a.dt_max in
+  let crossing_dt =
+    let d = if a.crossing_dt > 0.0 then a.crossing_dt else cfg.dt in
+    Float.max dt_min (Float.min d dt_max)
   in
-  let load_cap_state () =
-    Array.blit vcap 0 ws.vcap0 0 ncap;
-    Array.blit icap 0 ws.icap0 0 ncap
+  let levels = Array.of_list a.crossing_levels in
+  let crosses x0 x1 =
+    let hit = ref false in
+    for i = 0 to cp.n - 1 do
+      if not !hit then
+        for l = 0 to Array.length levels - 1 do
+          let lv = levels.(l) in
+          if (x0.(i) -. lv) *. (x1.(i) -. lv) < 0.0 then hit := true
+        done
+    done;
+    !hit
   in
-  (* Accepted-step budget shared by both grid modes; 0 = unlimited. *)
-  let steps_taken = ref 0 in
-  let charge_step ~at =
-    incr steps_taken;
-    Deadline.check ~at;
-    (* A [Slow] fault stalls each accepted step so a deadline trips
-       mid-solve, at a step boundary — the cancellation point the
-       deadline machinery promises. *)
-    (match fault with
-    | Some Fault.Slow -> Unix.sleepf Fault.slow_step_s
+  let other =
+    match cfg.integration with
+    | Trapezoidal -> Backward_euler
+    | Backward_euler -> Trapezoidal
+  in
+  let breaks =
+    ref
+      (Array.to_list cp.vsrc
+      |> List.concat_map (fun (_, s) -> Source.breakpoints s)
+      |> List.filter (fun t -> t > cfg.tstart && t < cfg.tstop)
+      |> fun l -> List.sort_uniq compare (cfg.tstop :: l))
+  in
+  let ts_rev = ref [ cfg.tstart ] in
+  let xs_rev = ref [ Array.copy x ] in
+  let t = ref cfg.tstart in
+  let dt = ref (Float.min dt_max (Float.max dt_min cfg.dt)) in
+  while !t < cfg.tstop do
+    (match !breaks with
+    | b :: rest when b <= !t -> breaks := rest
     | _ -> ());
-    if cfg.max_steps > 0 && !steps_taken > cfg.max_steps then
-      raise (Step_budget_exhausted { at; budget = cfg.max_steps })
-  in
-  (* The integrator match is hoisted out of the loop (like the
-     companion fill in [newton]) so each arm is straight-line unboxed
-     float arithmetic — keeping [v] live across a branch join boxes it
-     on every iteration. *)
-  let commit ~integ ~h xnew =
-    let ca = ws.cap_a and cb = ws.cap_b and cc = ws.cap_c in
-    let v0 = ws.vcap0 and i0 = ws.icap0 in
-    match integ with
-    | Backward_euler ->
-        for k = 0 to ncap - 1 do
-          let v = ugetv xnew ca.(k) -. ugetv xnew cb.(k) in
-          icap.(k) <- cc.(k) /. h *. (v -. v0.(k));
-          vcap.(k) <- v
-        done
-    | Trapezoidal ->
-        for k = 0 to ncap - 1 do
-          let v = ugetv xnew ca.(k) -. ugetv xnew cb.(k) in
-          icap.(k) <- ((2.0 *. cc.(k) /. h) *. (v -. v0.(k))) -. i0.(k);
-          vcap.(k) <- v
-        done
-  in
-  (* ---------------- fixed grid (legacy behaviour) ----------------- *)
-  let run_fixed () =
-    let grid = build_grid cp cfg in
-    let npts = Array.length grid in
-    let data = Array.make npts [||] in
-    data.(0) <- Array.copy x;
-    (* Advance from t0 to t1, bisecting on failure. The ws scratch
-       buffers are safe across the recursion: a failed attempt's
-       parent state is dead by the time a child reloads them. *)
-    let rec advance depth t0 t1 =
-      let h = t1 -. t0 in
-      load_cap_state ();
-      let xtrial = ws.xtrial in
-      (* Linear-extrapolation predictor: seed Newton with the solution
-         continued along the last accepted step's slope. Near-free on
-         quiescent spans and typically saves an iteration through
-         transitions; a failed predicted solve retries once from the
-         flat (previous-solution) guess before bisecting. *)
-      let predicted = ws.have_prev && ws.hprev > 0.0 in
-      if predicted then begin
-        let r = h /. ws.hprev in
-        let xp = ws.xprev in
-        for i = 0 to nu - 1 do
-          xtrial.(i) <- x.(i) +. ((x.(i) -. xp.(i)) *. r)
-        done
-      end
-      else Array.blit x 0 xtrial 0 nu;
-      let ok =
-        attempt ~integ:cfg.integration ~t:t1 ~h xtrial
-        ||
-        (predicted
-        &&
-        (load_cap_state ();
-         Array.blit x 0 xtrial 0 nu;
-         attempt ~integ:cfg.integration ~t:t1 ~h xtrial))
+    let next_bp = match !breaks with b :: _ -> b | [] -> cfg.tstop in
+    let remaining = next_bp -. !t in
+    (* Land exactly on the breakpoint rather than leaving a sliver. *)
+    let landing = remaining <= !dt +. dt_min in
+    let h = if landing then remaining else !dt in
+    let t1 = if landing then next_bp else !t +. h in
+    (* A landing step is pinned to [remaining], so once the controller
+       dt is at the floor a rejection cannot shrink it further — treat
+       it as a floor step or the reject/retry loop never advances. *)
+    let floor_dt = dt_min *. (1.0 +. 1e-9) in
+    let at_floor = h <= floor_dt || (landing && !dt <= floor_dt) in
+    case_load_caps st;
+    let xtrial = ws.xtrial in
+    Array.blit x 0 xtrial 0 nu;
+    if not (case_attempt st ~integ:cfg.integration ~t:t1 ~h xtrial) then begin
+      if at_floor then raise (No_convergence t1);
+      Atomic.incr Stats.bisections;
+      Atomic.incr Stats.rejected_steps;
+      dt := Float.max dt_min (0.5 *. h)
+    end
+    else begin
+      let xcomp = ws.xcomp in
+      Array.blit x 0 xcomp 0 nu;
+      let err =
+        if case_attempt st ~integ:other ~t:t1 ~h xcomp then begin
+          let e = ref 0.0 in
+          for i = 0 to cp.n - 1 do
+            let d = abs_float (xtrial.(i) -. xcomp.(i)) in
+            if d > !e then e := d
+          done;
+          !e
+        end
+        else infinity
       in
-      if ok then begin
+      let lte_ok = err <= a.lte_tol in
+      let crossing_viol =
+        Array.length levels > 0
+        && h > crossing_dt *. (1.0 +. 1e-9)
+        && crosses x xtrial
+      in
+      if (lte_ok && not crossing_viol) || at_floor then begin
         Atomic.incr Stats.steps;
-        charge_step ~at:t1;
-        commit ~integ:cfg.integration ~h xtrial;
-        Array.blit x 0 ws.xprev 0 nu;
-        ws.hprev <- h;
-        ws.have_prev <- true;
-        Array.blit xtrial 0 x 0 nu
+        case_charge_step st ~at:t1;
+        case_commit st ~integ:cfg.integration ~h xtrial;
+        Array.blit xtrial 0 x 0 nu;
+        t := t1;
+        ts_rev := t1 :: !ts_rev;
+        xs_rev := Array.copy x :: !xs_rev;
+        let factor =
+          if err <= 0.0 then a.grow_limit
+          else
+            Float.max 0.2
+              (Float.min a.grow_limit (a.safety *. sqrt (a.lte_tol /. err)))
+        in
+        dt := Float.max dt_min (Float.min dt_max (h *. factor))
       end
-      else if depth >= cfg.max_bisection then raise (No_convergence t1)
       else begin
-        Atomic.incr Stats.bisections;
-        let tm = 0.5 *. (t0 +. t1) in
-        advance (depth + 1) t0 tm;
-        advance (depth + 1) tm t1
-      end
-    in
-    for k = 1 to npts - 1 do
-      advance 0 grid.(k - 1) grid.(k);
-      data.(k) <- Array.copy x
-    done;
-    (grid, data)
-  in
-  (* -------------- adaptive local-truncation-error grid ------------- *)
-  (* Each step is solved twice, with the configured companion and with
-     the other one (trapezoidal vs backward Euler). Their discrepancy is
-     an O(h^2) estimate of the local truncation error; the controller
-     holds it below [lte_tol], growing the step on quiescent spans and
-     shrinking it through transitions. Source breakpoints are always
-     landed on exactly, and steps that carry any node across a
-     configured threshold level are refined to [crossing_dt] so
-     downstream crossing searches keep fixed-grid accuracy. *)
-  let run_adaptive a =
-    let dt_min = a.dt_min in
-    let dt_max = a.dt_max in
-    let crossing_dt =
-      let d = if a.crossing_dt > 0.0 then a.crossing_dt else cfg.dt in
-      Float.max dt_min (Float.min d dt_max)
-    in
-    let levels = Array.of_list a.crossing_levels in
-    let crosses x0 x1 =
-      let hit = ref false in
-      for i = 0 to cp.n - 1 do
-        if not !hit then
-          for l = 0 to Array.length levels - 1 do
-            let lv = levels.(l) in
-            if (x0.(i) -. lv) *. (x1.(i) -. lv) < 0.0 then hit := true
-          done
-      done;
-      !hit
-    in
-    let other =
-      match cfg.integration with
-      | Trapezoidal -> Backward_euler
-      | Backward_euler -> Trapezoidal
-    in
-    let breaks =
-      ref
-        (Array.to_list cp.vsrc
-        |> List.concat_map (fun (_, s) -> Source.breakpoints s)
-        |> List.filter (fun t -> t > cfg.tstart && t < cfg.tstop)
-        |> fun l -> List.sort_uniq compare (cfg.tstop :: l))
-    in
-    let ts_rev = ref [ cfg.tstart ] in
-    let xs_rev = ref [ Array.copy x ] in
-    let t = ref cfg.tstart in
-    let dt = ref (Float.min dt_max (Float.max dt_min cfg.dt)) in
-    while !t < cfg.tstop do
-      (match !breaks with
-      | b :: rest when b <= !t -> breaks := rest
-      | _ -> ());
-      let next_bp = match !breaks with b :: _ -> b | [] -> cfg.tstop in
-      let remaining = next_bp -. !t in
-      (* Land exactly on the breakpoint rather than leaving a sliver. *)
-      let landing = remaining <= !dt +. dt_min in
-      let h = if landing then remaining else !dt in
-      let t1 = if landing then next_bp else !t +. h in
-      (* A landing step is pinned to [remaining], so once the controller
-         dt is at the floor a rejection cannot shrink it further — treat
-         it as a floor step or the reject/retry loop never advances. *)
-      let floor_dt = dt_min *. (1.0 +. 1e-9) in
-      let at_floor = h <= floor_dt || (landing && !dt <= floor_dt) in
-      load_cap_state ();
-      let xtrial = ws.xtrial in
-      Array.blit x 0 xtrial 0 nu;
-      if not (attempt ~integ:cfg.integration ~t:t1 ~h xtrial) then begin
-        if at_floor then raise (No_convergence t1);
-        Atomic.incr Stats.bisections;
         Atomic.incr Stats.rejected_steps;
-        dt := Float.max dt_min (0.5 *. h)
-      end
-      else begin
-        let xcomp = ws.xcomp in
-        Array.blit x 0 xcomp 0 nu;
-        let err =
-          if attempt ~integ:other ~t:t1 ~h xcomp then begin
-            let e = ref 0.0 in
-            for i = 0 to cp.n - 1 do
-              let d = abs_float (xtrial.(i) -. xcomp.(i)) in
-              if d > !e then e := d
-            done;
-            !e
-          end
-          else infinity
+        if not lte_ok then Atomic.incr Stats.lte_rejections;
+        let shrunk =
+          if lte_ok then crossing_dt
+          else if Float.is_finite err then
+            Float.min (0.9 *. h)
+              (h *. Float.max 0.1 (a.safety *. sqrt (a.lte_tol /. err)))
+          else 0.25 *. h
         in
-        let lte_ok = err <= a.lte_tol in
-        let crossing_viol =
-          Array.length levels > 0
-          && h > crossing_dt *. (1.0 +. 1e-9)
-          && crosses x xtrial
-        in
-        if (lte_ok && not crossing_viol) || at_floor then begin
-          Atomic.incr Stats.steps;
-          charge_step ~at:t1;
-          commit ~integ:cfg.integration ~h xtrial;
-          Array.blit xtrial 0 x 0 nu;
-          t := t1;
-          ts_rev := t1 :: !ts_rev;
-          xs_rev := Array.copy x :: !xs_rev;
-          let factor =
-            if err <= 0.0 then a.grow_limit
-            else
-              Float.max 0.2
-                (Float.min a.grow_limit (a.safety *. sqrt (a.lte_tol /. err)))
-          in
-          dt := Float.max dt_min (Float.min dt_max (h *. factor))
-        end
-        else begin
-          Atomic.incr Stats.rejected_steps;
-          if not lte_ok then Atomic.incr Stats.lte_rejections;
-          let shrunk =
-            if lte_ok then crossing_dt
-            else if Float.is_finite err then
-              Float.min (0.9 *. h)
-                (h *. Float.max 0.1 (a.safety *. sqrt (a.lte_tol /. err)))
-            else 0.25 *. h
-          in
-          (* A rejected landing step recomputes [shrunk] from the same
-             pinned h = remaining every retry; halve it so dt strictly
-             decreases until landing disengages or the floor forces
-             acceptance. *)
-          let shrunk = if landing then Float.min shrunk (0.5 *. h) else shrunk in
-          dt := Float.max dt_min (Float.min shrunk dt_max)
-        end
+        (* A rejected landing step recomputes [shrunk] from the same
+           pinned h = remaining every retry; halve it so dt strictly
+           decreases until landing disengages or the floor forces
+           acceptance. *)
+        let shrunk = if landing then Float.min shrunk (0.5 *. h) else shrunk in
+        dt := Float.max dt_min (Float.min shrunk dt_max)
       end
-    done;
-    let grid = Array.of_list (List.rev !ts_rev) in
-    let data = Array.of_list (List.rev !xs_rev) in
-    (grid, data)
-  in
-  let grid, data =
-    match cfg.step_control with
-    | Fixed -> run_fixed ()
-    | Adaptive a -> run_adaptive a
-  in
+    end
+  done;
+  let grid = Array.of_list (List.rev !ts_rev) in
+  let data = Array.of_list (List.rev !xs_rev) in
+  (grid, data)
+
+(* Finalise a trace into a [result]: apply a pending [Corrupt] fault
+   and build the branch index. Shared by the scalar and batch paths. *)
+let assemble (cp : compiled) fault grid data =
   (* A Corrupt fault poisons every node voltage of one mid-trace
      sample, modelling a solver that "succeeded" with garbage —
      downstream validation must catch it whichever node it probes.
@@ -1424,6 +1472,276 @@ let run ?(config = default_config) ?(ic = []) ckt =
       | None -> ())
     cp.vsrc;
   { grid; data; n = cp.n; index = cp.name_index; branch_index }
+
+let validate_config cfg =
+  if cfg.tstop -. cfg.tstart <= 0.0 then
+    invalid_arg "Transient.run: tstop <= tstart";
+  if cfg.dt <= 0.0 then invalid_arg "Transient.run: dt must be positive";
+  match cfg.step_control with
+  | Fixed -> ()
+  | Adaptive a -> validate_adaptive a
+
+(* The solve body shared by [run] and the batch driver's peeled path:
+   everything except the sims counter and the fault roll, which the
+   caller has already done (the batch driver rolls all its cases up
+   front, in index order, so fault plans assign identically to a
+   sequential loop). *)
+let run_internal ~fault ~config:cfg ~ic ckt =
+  (match fault with
+  | Some Fault.Diverge -> raise (No_convergence cfg.tstart)
+  | _ -> ());
+  (* Fail fast when the caller's budget is already spent — after the
+     fault roll so solve-index accounting matches an undeadlined run. *)
+  Deadline.check ~at:cfg.tstart;
+  validate_config cfg;
+  let cp = compile ckt in
+  let ws = make_ws cp cfg in
+  let nu = ws.nu in
+  let ncap = Array.length cp.caps in
+  let x = Array.make nu 0.0 in
+  let vcap = Array.make ncap 0.0 and icap = Array.make ncap 0.0 in
+  let st = case_start cp ws cfg fault ic ~x ~vcap ~icap in
+  let grid, data =
+    match cfg.step_control with
+    | Fixed ->
+        fixed_start st;
+        while fixed_step st do () done;
+        (st.c_grid, st.c_data)
+    | Adaptive a -> run_adaptive st a
+  in
+  assemble cp fault grid data
+
+let run ?(config = default_config) ?(ic = []) ckt =
+  Atomic.incr Stats.sims;
+  let fault = Fault.roll () in
+  run_internal ~fault ~config ~ic ckt
+
+(* ------------------------------------------------------------------ *)
+(* Batch-first entry point: lockstep multi-case transient kernel.
+
+   A batch of structurally identical cases (same topology; source
+   values and device parameters free to differ) shares one ordering
+   plan and advances in lockstep: per round, every live case takes one
+   fixed-grid interval through the same [fixed_step] the scalar path
+   uses. Committed per-case state is parked in structure-of-arrays
+   Bigarray slabs — one row per unknown, contiguous across the case
+   dimension — and swapped through a single shared scratch vector, so
+   the working set stays one case's Newton state plus three slab rows
+   regardless of batch width.
+
+   Per-case masks let finished or failed cases drop out without
+   stalling the rest; cases that don't conform to the batch's
+   reference structure (or an adaptive-stepping config, whose step
+   sequence is inherently per-case) are peeled to the scalar path.
+   Determinism: lanes never mix numerically — each case runs its own
+   Newton loop on its own workspace — so every case's trace is
+   byte-identical to what a sequential [run] loop would produce. *)
+
+(* Structural conformance for lockstep batching. Linear element values
+   (resistors, capacitors) must match exactly — they feed the shared
+   linear pre-stamp reasoning and the grid epsilon — while source
+   values and MOSFET evaluations may differ per case (each lane
+   evaluates its own devices), which is exactly the alignment-sweep /
+   process-corner shape: same netlist, different stimuli. *)
+let conforms (a : compiled) (b : compiled) =
+  a.n = b.n && a.m = b.m && a.res = b.res && a.caps = b.caps
+  && Array.length a.isrc = Array.length b.isrc
+  && Array.for_all2
+       (fun (ia, ib, _) (ja, jb, _) -> ia = ja && ib = jb)
+       a.isrc b.isrc
+  && Array.length a.vsrc = Array.length b.vsrc
+  && Array.for_all2 (fun (i, _) (j, _) -> i = j) a.vsrc b.vsrc
+  && Array.length a.fets = Array.length b.fets
+  && Array.for_all2
+       (fun (g, d, s, _) (g', d', s', _) -> g = g' && d = d' && s = s')
+       a.fets b.fets
+
+let run_batch_outcomes ?(config = default_config) ?ics ckts =
+  let cfg = config in
+  let ncase = Array.length ckts in
+  validate_config cfg;
+  let ics =
+    match ics with
+    | None -> Array.make ncase []
+    | Some a ->
+        if Array.length a <> ncase then
+          invalid_arg "Transient.run_batch: ics length mismatch";
+        a
+  in
+  (* Roll every case's fault up front, in index order, so an armed
+     fault plan assigns the same faults a sequential [run] loop
+     would. *)
+  let faults = Array.make ncase None in
+  for c = 0 to ncase - 1 do
+    Atomic.incr Stats.sims;
+    faults.(c) <- Fault.roll ()
+  done;
+  (* Per-case deadline slices. A caller-installed budget is reinstalled
+     around each case's compute so that each case gets the budget that
+     a scalar [Deadline.with_budget] around its own [run] would give
+     it: one slow case cancels alone, the rest of the batch completes.
+     [remaining] is decremented by the case's own elapsed time, so a
+     case's slice behaves like a contiguous scalar run even though its
+     rounds interleave with other lanes. *)
+  let ambient = Domain.DLS.get Deadline.key in
+  let remaining =
+    match ambient with
+    | None -> [||]
+    | Some (expiry, _) ->
+        Array.make ncase (expiry -. Unix.gettimeofday ())
+  in
+  let with_case c f =
+    match ambient with
+    | None -> f ()
+    | Some (_, ms) ->
+        let start = Unix.gettimeofday () in
+        Domain.DLS.set Deadline.key (Some (start +. remaining.(c), ms));
+        Fun.protect
+          ~finally:(fun () ->
+            remaining.(c) <- remaining.(c) -. (Unix.gettimeofday () -. start);
+            Domain.DLS.set Deadline.key ambient)
+          f
+  in
+  let out : (result, exn) Stdlib.result array = Array.make ncase (Error Exit) in
+  let cps = Array.make ncase None in
+  Array.iteri
+    (fun c ckt ->
+      match faults.(c) with
+      | Some Fault.Diverge -> out.(c) <- Error (No_convergence cfg.tstart)
+      | _ -> (
+          match compile ckt with
+          | cp -> cps.(c) <- Some cp
+          | exception e -> out.(c) <- Error e))
+    ckts;
+  (* Partition: the first compilable case fixes the batch's reference
+     structure; conforming fixed-grid cases form the lockstep lanes,
+     everything else peels to the scalar path. *)
+  let fixed_grid = match cfg.step_control with Fixed -> true | _ -> false in
+  let lanes = ref [] and peeled = ref [] in
+  let ref_cp = ref None in
+  Array.iteri
+    (fun c cpo ->
+      match cpo with
+      | None -> ()
+      | Some cp ->
+          if Option.is_none !ref_cp then ref_cp := Some cp;
+          let lockstep =
+            fixed_grid
+            && match !ref_cp with Some r -> conforms r cp | None -> false
+          in
+          if lockstep then lanes := c :: !lanes else peeled := c :: !peeled)
+    cps;
+  let lanes = Array.of_list (List.rev !lanes) in
+  let peeled = Array.of_list (List.rev !peeled) in
+  let nl = Array.length lanes in
+  if nl > 0 then begin
+    let cp0 = Option.get cps.(lanes.(0)) in
+    (* One ordering plan for the whole batch: the RCM reorder / border
+       selection depends only on the (shared) sparsity pattern. *)
+    let plan = plan_for cp0 cfg in
+    let nu = cp0.n + cp0.m in
+    let ncap = Array.length cp0.caps in
+    (* SoA state slabs: row i holds unknown i (resp. capacitor i)
+       across all lanes, contiguous in memory, so the per-round
+       load/store sweeps touch each cache line once per unknown. *)
+    let open Bigarray in
+    let sx = Array2.create float64 c_layout (Int.max nu 1) nl in
+    let svcap = Array2.create float64 c_layout (Int.max ncap 1) nl in
+    let sicap = Array2.create float64 c_layout (Int.max ncap 1) nl in
+    (* Shared scratch: every lane's Newton state flows through the same
+       vectors; committed state parks in the slabs between rounds. *)
+    let x = Array.make nu 0.0 in
+    let vcap = Array.make ncap 0.0 and icap = Array.make ncap 0.0 in
+    let store l =
+      for i = 0 to nu - 1 do
+        Array2.unsafe_set sx i l (Array.unsafe_get x i)
+      done;
+      for k = 0 to ncap - 1 do
+        Array2.unsafe_set svcap k l (Array.unsafe_get vcap k);
+        Array2.unsafe_set sicap k l (Array.unsafe_get icap k)
+      done
+    in
+    let load l =
+      for i = 0 to nu - 1 do
+        Array.unsafe_set x i (Array2.unsafe_get sx i l)
+      done;
+      for k = 0 to ncap - 1 do
+        Array.unsafe_set vcap k (Array2.unsafe_get svcap k l);
+        Array.unsafe_set icap k (Array2.unsafe_get sicap k l)
+      done
+    in
+    let sts = Array.make nl None in
+    let active = Array.make nl false in
+    let nactive = ref 0 in
+    Array.iteri
+      (fun l c ->
+        Atomic.incr Stats.batched_solves;
+        let cpc = Option.get cps.(c) in
+        match
+          with_case c (fun () ->
+              Deadline.check ~at:cfg.tstart;
+              let ws = make_ws_planned plan cpc in
+              Array.fill x 0 nu 0.0;
+              Array.fill vcap 0 ncap 0.0;
+              Array.fill icap 0 ncap 0.0;
+              let st =
+                case_start cpc ws cfg faults.(c) ics.(c) ~x ~vcap ~icap
+              in
+              fixed_start st;
+              st)
+        with
+        | st ->
+            sts.(l) <- Some st;
+            active.(l) <- true;
+            incr nactive;
+            store l
+        | exception e -> out.(c) <- Error e)
+      lanes;
+    (* Lockstep rounds: every live lane advances one grid interval per
+       round. The mask drops finished or failed lanes so a diverging
+       or deadline-cancelled case never stalls its siblings. *)
+    while !nactive > 0 do
+      for l = 0 to nl - 1 do
+        if active.(l) then begin
+          let c = lanes.(l) in
+          let st = Option.get sts.(l) in
+          load l;
+          match with_case c (fun () -> fixed_step st) with
+          | true -> store l
+          | false ->
+              store l;
+              active.(l) <- false;
+              decr nactive;
+              out.(c) <- Ok (assemble st.c_cp faults.(c) st.c_grid st.c_data)
+          | exception e ->
+              active.(l) <- false;
+              decr nactive;
+              out.(c) <- Error e
+        end
+      done
+    done
+  end;
+  (* Peeled cases run the unmodified scalar path, in index order, with
+     their pre-rolled faults and their own deadline slices — retry
+     ladders and deadline semantics unchanged. *)
+  Array.iter
+    (fun c ->
+      Atomic.incr Stats.peeled_solves;
+      match
+        with_case c (fun () ->
+            run_internal ~fault:faults.(c) ~config:cfg ~ic:ics.(c) ckts.(c))
+      with
+      | r -> out.(c) <- Ok r
+      | exception e -> out.(c) <- Error e)
+    peeled;
+  out
+
+let run_batch ?config ?ics ckts =
+  let out = run_batch_outcomes ?config ?ics ckts in
+  (* Surface the lowest-index failure, like the sequential loop the
+     batch replaces (later cases have still been attempted). *)
+  Array.iter (function Error e -> raise e | Ok _ -> ()) out;
+  Array.map (function Ok r -> r | Error e -> raise e) out
 
 let dc_operating_point ?(config = default_config) ?(guess = []) ~at ckt =
   let cp = compile ckt in

@@ -1,0 +1,301 @@
+open Helpers
+open Spice
+
+(* Semantics of the batch-first solve API: [Transient.run_batch] must
+   be observationally identical to the sequential [Transient.run] loop
+   — byte-identical traces, the same fault-plan assignment by solve
+   index, and per-case deadline cancellation — while actually taking
+   the lockstep multi-case kernel on conforming work. *)
+
+let stats_of f =
+  let before = Transient.Stats.snapshot () in
+  let r = f () in
+  (r, Transient.Stats.diff (Transient.Stats.snapshot ()) before)
+
+let wave_identical msg a b =
+  check_true (msg ^ ": times byte-identical")
+    (Waveform.Wave.times a = Waveform.Wave.times b);
+  check_true (msg ^ ": values byte-identical")
+    (Waveform.Wave.values a = Waveform.Wave.values b)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity on the paper's Config II alignment sweep, with an
+   aggressor-quiet lane mixed in: quiet lanes share the topology (the
+   sources merely hold their rails), so the whole batch conforms. *)
+
+let test_batch_matches_scalar_loop_config_ii () =
+  let scen = Noise.Scenario.with_cases Noise.Scenario.config_ii 3 in
+  let taus = Noise.Scenario.taus scen in
+  let cases =
+    Array.append
+      (Array.map
+         (fun tau -> Noise.Scenario.build scen ~aggressor_active:true ~tau)
+         taus)
+      [| Noise.Scenario.build scen ~aggressor_active:false ~tau:0.0 |]
+  in
+  let config =
+    { Transient.default_config with dt = scen.Noise.Scenario.dt;
+      tstop = scen.Noise.Scenario.tstop }
+  in
+  let circuits = Array.map fst cases in
+  let ics = Array.map snd cases in
+  let scalar =
+    Array.map (fun (c, ic) -> Transient.run ~config ~ic c) cases
+  in
+  let batch, s =
+    stats_of (fun () -> Transient.run_batch ~config ~ics circuits)
+  in
+  Alcotest.(check int) "result count" (Array.length cases)
+    (Array.length batch);
+  Alcotest.(check int) "all cases lockstep" (Array.length cases)
+    s.Transient.Stats.batched_solves;
+  Alcotest.(check int) "nothing peeled" 0 s.Transient.Stats.peeled_solves;
+  let far = Noise.Scenario.victim_far_node scen
+  and rcv = Noise.Scenario.victim_rcv_node scen in
+  Array.iteri
+    (fun i rb ->
+      let rs = scalar.(i) in
+      check_true
+        (Printf.sprintf "case %d: same grid" i)
+        (Transient.times rb = Transient.times rs);
+      wave_identical
+        (Printf.sprintf "case %d: %s" i far)
+        (Transient.probe rb far) (Transient.probe rs far);
+      wave_identical
+        (Printf.sprintf "case %d: %s" i rcv)
+        (Transient.probe rb rcv) (Transient.probe rs rcv))
+    batch
+
+(* ------------------------------------------------------------------ *)
+(* Mixed structures: a Config I circuit (one aggressor, different line)
+   does not conform to a Config II batch reference and must be peeled
+   to the scalar path — with its answer still byte-identical. *)
+
+let test_batch_peels_nonconforming () =
+  let sii = Noise.Scenario.with_cases Noise.Scenario.config_ii 2 in
+  let si = Noise.Scenario.with_cases Noise.Scenario.config_i 2 in
+  let tii = Noise.Scenario.taus sii and ti = Noise.Scenario.taus si in
+  let cases =
+    [|
+      Noise.Scenario.build sii ~aggressor_active:true ~tau:tii.(0);
+      Noise.Scenario.build si ~aggressor_active:true ~tau:ti.(0);
+      Noise.Scenario.build sii ~aggressor_active:true ~tau:tii.(1);
+    |]
+  in
+  let config =
+    { Transient.default_config with dt = sii.Noise.Scenario.dt;
+      tstop = sii.Noise.Scenario.tstop }
+  in
+  let circuits = Array.map fst cases in
+  let ics = Array.map snd cases in
+  let scalar =
+    Array.map (fun (c, ic) -> Transient.run ~config ~ic c) cases
+  in
+  let batch, s =
+    stats_of (fun () -> Transient.run_batch ~config ~ics circuits)
+  in
+  (* Case 0 anchors the batch structure; case 2 conforms, case 1 (the
+     Config I circuit) cannot. *)
+  Alcotest.(check int) "two lockstep lanes" 2
+    s.Transient.Stats.batched_solves;
+  Alcotest.(check int) "one peeled case" 1 s.Transient.Stats.peeled_solves;
+  Array.iteri
+    (fun i rb ->
+      check_true
+        (Printf.sprintf "case %d: same grid" i)
+        (Transient.times rb = Transient.times scalar.(i));
+      wave_identical
+        (Printf.sprintf "case %d: receiver output" i)
+        (Transient.probe rb "vic.rcv")
+        (Transient.probe scalar.(i) "vic.rcv"))
+    batch
+
+(* Adaptive stepping is inherently per-case: every case must peel. *)
+let test_batch_adaptive_all_peeled () =
+  let scen = Noise.Scenario.with_cases Noise.Scenario.config_ii 2 in
+  let taus = Noise.Scenario.taus scen in
+  let cases =
+    Array.map
+      (fun tau -> Noise.Scenario.build scen ~aggressor_active:true ~tau)
+      taus
+  in
+  let config =
+    Transient.with_crossing_levels_if_empty
+      {
+        Transient.default_config with
+        dt = scen.Noise.Scenario.dt;
+        tstop = scen.Noise.Scenario.tstop;
+        step_control =
+          Transient.Adaptive
+            {
+              lte_tol = 2e-3;
+              dt_min = 1e-15;
+              dt_max = 50e-12;
+              grow_limit = 2.0;
+              safety = 0.9;
+              crossing_levels = [];
+              crossing_dt = 0.0;
+            };
+      }
+      [ 0.12; 0.6; 1.08 ]
+  in
+  let circuits = Array.map fst cases in
+  let ics = Array.map snd cases in
+  let scalar =
+    Array.map (fun (c, ic) -> Transient.run ~config ~ic c) cases
+  in
+  let batch, s =
+    stats_of (fun () -> Transient.run_batch ~config ~ics circuits)
+  in
+  Alcotest.(check int) "no lockstep lanes" 0
+    s.Transient.Stats.batched_solves;
+  Alcotest.(check int) "all cases peeled" (Array.length cases)
+    s.Transient.Stats.peeled_solves;
+  Array.iteri
+    (fun i rb ->
+      wave_identical
+        (Printf.sprintf "case %d: receiver output" i)
+        (Transient.probe rb "vic.rcv")
+        (Transient.probe scalar.(i) "vic.rcv"))
+    batch
+
+(* ------------------------------------------------------------------ *)
+(* Mid-batch failures: a deterministic fault plan assigns failures by
+   solve index, so the batch must fail exactly the case the sequential
+   loop would — and only that case. *)
+
+let ladder n_nodes =
+  let c = Circuit.create () in
+  let src = Circuit.node c "src" in
+  Circuit.vsource c src
+    (Source.ramp ~t0:0.1e-9 ~v0:0.0 ~v1:1.0 ~trans:0.2e-9);
+  let prev = ref src in
+  for i = 1 to n_nodes do
+    let n = Circuit.node c (Printf.sprintf "n%d" i) in
+    Circuit.resistor c !prev n 200.0;
+    Circuit.capacitor c n (Circuit.gnd c) 20e-15;
+    prev := n
+  done;
+  c
+
+let ladder_config = { Transient.default_config with dt = 1e-12; tstop = 1e-9 }
+
+let test_batch_fault_assignment_matches_loop () =
+  let circuits = Array.init 4 (fun _ -> ladder 8) in
+  Fun.protect ~finally:Transient.Fault.disarm (fun () ->
+      Transient.Fault.arm (Transient.Fault.Nth { n = 1; kind = Diverge });
+      let batch =
+        Transient.run_batch_outcomes ~config:ladder_config circuits
+      in
+      (* Re-arm to reset the solve index, then replay sequentially. *)
+      Transient.Fault.arm (Transient.Fault.Nth { n = 1; kind = Diverge });
+      let scalar =
+        Array.map
+          (fun c ->
+            match Transient.run ~config:ladder_config c with
+            | r -> Ok r
+            | exception e -> Error e)
+          circuits
+      in
+      Array.iteri
+        (fun i ob ->
+          match (ob, scalar.(i)) with
+          | Ok rb, Ok rs ->
+              check_true
+                (Printf.sprintf "case %d expected to survive" i)
+                (i <> 1);
+              wave_identical
+                (Printf.sprintf "case %d: last node" i)
+                (Transient.probe rb "n8") (Transient.probe rs "n8")
+          | Error (Transient.No_convergence _),
+            Error (Transient.No_convergence _) ->
+              check_true
+                (Printf.sprintf "case %d expected to fail" i)
+                (i = 1)
+          | _ ->
+              Alcotest.failf "case %d: batch and loop outcomes disagree" i)
+        batch;
+      (* run_batch itself raises the lowest-index failure. *)
+      Transient.Fault.arm (Transient.Fault.Nth { n = 1; kind = Diverge });
+      match Transient.run_batch ~config:ladder_config circuits with
+      | (_ : Transient.result array) ->
+          Alcotest.fail "run_batch must raise the injected failure"
+      | exception Transient.No_convergence _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-case deadline slicing: a budget installed around the batch
+   cancels only the case that is actually slow; its siblings complete
+   and stay byte-identical to an unbudgeted run. *)
+
+let test_batch_deadline_cancels_one_case () =
+  let circuits = Array.init 3 (fun _ -> ladder 8) in
+  let clean = Transient.run_batch ~config:ladder_config circuits in
+  Fun.protect ~finally:Transient.Fault.disarm (fun () ->
+      Transient.Fault.arm (Transient.Fault.Nth { n = 1; kind = Slow });
+      let outcomes, s =
+        stats_of (fun () ->
+            Transient.Deadline.with_budget ~ms:60.0 (fun () ->
+                Transient.run_batch_outcomes ~config:ladder_config circuits))
+      in
+      check_true "deadline hit recorded"
+        (s.Transient.Stats.deadline_hits >= 1);
+      Array.iteri
+        (fun i o ->
+          match o with
+          | Error (Transient.Deadline_exceeded _) ->
+              check_true
+                (Printf.sprintf "case %d expected to be cancelled" i)
+                (i = 1)
+          | Error e ->
+              Alcotest.failf "case %d: unexpected failure %s" i
+                (Printexc.to_string e)
+          | Ok r ->
+              check_true
+                (Printf.sprintf "case %d expected to complete" i)
+                (i <> 1);
+              wave_identical
+                (Printf.sprintf "case %d: unaffected by sibling cancel" i)
+                (Transient.probe r "n8")
+                (Transient.probe clean.(i) "n8"))
+        outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* The lockstep inner loop must stay allocation-free: the minor-heap
+   delta across a warm batch is dominated by per-step result rows,
+   exactly as on the scalar path (see the spice suite's bound). SoA
+   slab load/store are bigarray writes and add nothing per step. *)
+
+let test_batch_lockstep_allocation_bounded () =
+  let circuits = Array.init 4 (fun _ -> ladder 19) in
+  ignore (Transient.run_batch ~config:ladder_config circuits);
+  let before = Gc.minor_words () in
+  let r, s = stats_of (fun () ->
+      Transient.run_batch ~config:ladder_config circuits)
+  in
+  let words = Gc.minor_words () -. before in
+  ignore r;
+  let steps = s.Transient.Stats.steps in
+  Alcotest.(check int) "all lanes lockstep" 4
+    s.Transient.Stats.batched_solves;
+  check_true "enough steps" (steps >= 4000);
+  check_true
+    (Printf.sprintf "minor words per step bounded: %.0f words / %d steps"
+       words steps)
+    (words < 80.0 *. float_of_int steps)
+
+let suite =
+  ( "batch",
+    [
+      case "run_batch: byte-identical to scalar loop (Config II A/B)"
+        test_batch_matches_scalar_loop_config_ii;
+      case "run_batch: non-conforming case peeled, identical"
+        test_batch_peels_nonconforming;
+      case "run_batch: adaptive stepping peels every case"
+        test_batch_adaptive_all_peeled;
+      case "run_batch: fault plan assigned by solve index"
+        test_batch_fault_assignment_matches_loop;
+      slow_case "run_batch: deadline cancels only the slow case"
+        test_batch_deadline_cancels_one_case;
+      case "run_batch: lockstep loop allocation bounded"
+        test_batch_lockstep_allocation_bounded;
+    ] )

@@ -316,29 +316,38 @@ let test_engine_presets_and_of_name () =
         (a.Spice.Transient.lte_tol < f.Spice.Transient.lte_tol)
   | _ -> Alcotest.fail "adaptive presets lost their step control"
 
-let test_engine_resolve_aliases () =
-  let cache = Runtime.Cache.create () in
+let test_engine_resolve_and_batch () =
+  (* No engine: resolve falls back to the reference preset. *)
+  let r = Runtime.Engine.resolve None in
+  Alcotest.(check string) "defaults to reference" "reference"
+    (Runtime.Engine.name r);
+  check_true "bare resolve has no pool" (Runtime.Engine.pool r = None);
+  check_true "bare resolve has no cache" (Runtime.Engine.cache r = None);
+  let e = Runtime.Engine.resolve (Some Runtime.Engine.fast) in
+  Alcotest.(check string) "given engine wins" "fast" (Runtime.Engine.name e);
+  (* Batch width: default, override, validation. *)
+  Alcotest.(check int) "default batch width" 16 (Runtime.Engine.batch e);
+  let e8 = Runtime.Engine.with_batch e 8 in
+  Alcotest.(check int) "with_batch" 8 (Runtime.Engine.batch e8);
+  check_true "batch leaves siblings alone"
+    (Runtime.Engine.name e8 = "fast" && Runtime.Engine.batch e = 16);
+  (match Runtime.Engine.with_batch e 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "with_batch accepted 0");
+  (match Runtime.Engine.make ~batch:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "make accepted batch 0");
+  (* submit_batch fans out over the engine's pool (or inline without
+     one) and keeps results in input order either way. *)
+  let expect = Array.init 37 (fun i -> i * i) in
+  check_true "submit_batch inline"
+    (Runtime.Engine.submit_batch e 37 (fun i -> i * i) = expect);
   Runtime.Pool.with_pool ~jobs:2 (fun pool ->
-      (* No engine: the aliases ride on the reference preset. *)
-      let r = Runtime.Engine.resolve ~pool ~cache None in
-      Alcotest.(check string) "defaults to reference" "reference"
-        (Runtime.Engine.name r);
-      check_true "alias pool adopted" (Runtime.Engine.pool r = Some pool);
-      check_true "alias cache adopted" (Runtime.Engine.cache r = Some cache);
-      (* An engine that already has a cache keeps it over the alias. *)
-      let own = Runtime.Cache.create () in
-      let e = Runtime.Engine.with_cache Runtime.Engine.fast own in
-      let r = Runtime.Engine.resolve ~pool ~cache (Some e) in
-      check_true "engine cache wins"
-        (match Runtime.Engine.cache r with
-        | Some c -> c == own
-        | None -> false);
-      check_true "alias fills empty pool slot"
-        (Runtime.Engine.pool r = Some pool);
-      (* No aliases, no engine: plain reference. *)
-      let r = Runtime.Engine.resolve None in
-      check_true "bare resolve has no pool" (Runtime.Engine.pool r = None);
-      check_true "bare resolve has no cache" (Runtime.Engine.cache r = None))
+      let ep = Runtime.Engine.with_pool e8 pool in
+      check_true "submit_batch pooled"
+        (Runtime.Engine.submit_batch ep 37 (fun i -> i * i) = expect);
+      check_true "submit_batch chunk override"
+        (Runtime.Engine.submit_batch ~chunk:1 ep 37 (fun i -> i * i) = expect))
 
 let test_engine_setters () =
   let e = Runtime.Engine.make () in
@@ -371,16 +380,20 @@ let test_parallel_run_table_identical () =
   let sequential = Noise.Eval.run_table scen in
   let parallel =
     Runtime.Pool.with_pool ~jobs:4 (fun pool ->
-        Noise.Eval.run_table ~pool scen)
+        let engine = Runtime.Engine.with_pool Runtime.Engine.reference pool in
+        Noise.Eval.run_table ~engine scen)
   in
   (* Structural equality over the whole table: every row, every case,
      every float bit-identical (compare treats nan = nan). *)
   check_true "tables bit-identical" (compare sequential parallel = 0);
   (* And a cached re-run reproduces it again, entirely from memo hits. *)
-  let cache = Runtime.Cache.create () in
-  let first = Noise.Eval.run_table ~cache scen in
+  let engine =
+    Runtime.Engine.with_cache Runtime.Engine.reference (Runtime.Cache.create ())
+  in
+  let cache = Option.get (Runtime.Engine.cache engine) in
+  let first = Noise.Eval.run_table ~engine scen in
   let miss0 = Runtime.Cache.misses cache in
-  let second = Noise.Eval.run_table ~cache scen in
+  let second = Noise.Eval.run_table ~engine scen in
   check_true "cached table identical" (compare first second = 0);
   check_true "cached run identical to uncached" (compare sequential second = 0);
   Alcotest.(check int) "no new misses on the re-run" miss0
@@ -438,8 +451,8 @@ let suite =
       case "fingerprint: every config field matters"
         test_config_fingerprint_exhaustive;
       case "engine: presets and of_name" test_engine_presets_and_of_name;
-      case "engine: resolve honors deprecated aliases"
-        test_engine_resolve_aliases;
+      case "engine: resolve, batch width, submit_batch"
+        test_engine_resolve_and_batch;
       case "engine: setters" test_engine_setters;
       slow_case "eval: parallel table identical to sequential"
         test_parallel_run_table_identical;

@@ -117,7 +117,10 @@ let test_workqueue_unblocks_consumer () =
 let parse_req s =
   match Server.Protocol.parse_request s with
   | Ok r -> r
-  | Error msg -> Alcotest.failf "parse_request %S: %s" s msg
+  | Error (Server.Protocol.Bad_request msg) ->
+      Alcotest.failf "parse_request %S: %s" s msg
+  | Error (Server.Protocol.Version_mismatch { got; _ }) ->
+      Alcotest.failf "parse_request %S: version mismatch (%s)" s got
 
 let test_protocol_parse () =
   let r =
@@ -184,6 +187,68 @@ let test_protocol_request_roundtrip () =
       in
       check_true "request round-trip" (r = r'))
     reqs
+
+let test_protocol_version_gate () =
+  (* The request_to_json envelope stamps the library version, and the
+     round-trip above already proves stamped requests parse. Spot-check
+     the field is really there. *)
+  let doc =
+    Server.Protocol.request_to_json
+      { Server.Protocol.id = 9; query = Server.Protocol.Ping;
+        deadline_ms = None }
+  in
+  check_true "requests carry the version"
+    (Server.Json.member "version" doc
+    = Some (Server.Json.Str Server.Protocol.version));
+  (* Same major, any minor/patch: accepted. *)
+  let ok_versions = [ Server.Protocol.version; "1.0.0"; "1.9.7"; "1" ] in
+  List.iter
+    (fun v ->
+      let r =
+        parse_req
+          (Printf.sprintf {|{"id":3,"op":"ping","version":%S}|} v)
+      in
+      check_true (v ^ " accepted") (r.Server.Protocol.query = Server.Protocol.Ping))
+    ok_versions;
+  (* No version at all: accepted (pre-1.1 clients). *)
+  ignore (parse_req {|{"id":3,"op":"ping"}|});
+  (* Different major, junk, or non-string: typed rejection that echoes
+     the id and never reads the op. *)
+  let mismatched =
+    [
+      {|{"id":4,"op":"ping","version":"2.0.0"}|};
+      {|{"id":4,"op":"ping","version":"0.9"}|};
+      {|{"id":4,"op":"ping","version":"squid"}|};
+      {|{"id":4,"op":"ping","version":7}|};
+      {|{"id":4,"op":"warp","version":"2.0.0"}|} (* bad op, worse version *);
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Server.Protocol.parse_request s with
+      | Error (Server.Protocol.Version_mismatch { id; _ }) ->
+          Alcotest.(check int) "mismatch echoes id" 4 id
+      | Error (Server.Protocol.Bad_request msg) ->
+          Alcotest.failf "%s: bad_request (%s), wanted version_mismatch" s msg
+      | Ok _ -> Alcotest.failf "%s accepted" s)
+    mismatched;
+  (* The rejection frame is typed and correlates with the request. *)
+  let doc =
+    Server.Protocol.parse_error_response
+      (Server.Protocol.Version_mismatch { id = 4; got = "2.0.0" })
+  in
+  check_true "version_mismatch code"
+    (match Server.Json.member "error" doc with
+    | Some err ->
+        Server.Json.member "code" err
+        = Some (Server.Json.Str "version_mismatch")
+    | None -> false);
+  check_true "mismatch frame id"
+    (Server.Json.member "id" doc = Some (Server.Json.Num 4.0));
+  check_true "responses carry the version"
+    (Server.Json.member "version"
+       (Server.Protocol.response ~id:1 (Ok (Server.Json.Bool true)))
+    = Some (Server.Json.Str Server.Protocol.version))
 
 let test_protocol_klass () =
   let k q = Server.Protocol.klass q in
@@ -501,6 +566,46 @@ let test_daemon_rejects_garbage () =
           check_true "daemon survives garbage"
             (Result.is_ok (Server.Client.ping c2))))
 
+let test_daemon_version_mismatch () =
+  let sock = tmp_sock () in
+  let d = Server.Daemon.start (daemon_config sock) in
+  Fun.protect
+    ~finally:(fun () -> Server.Daemon.stop d)
+    (fun () ->
+      let raw = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect raw (Unix.ADDR_UNIX sock);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close raw with Unix.Unix_error _ -> ())
+        (fun () ->
+          Server.Protocol.write_frame raw
+            {|{"id":11,"op":"ping","version":"99.0.0"}|};
+          (match Server.Protocol.read_frame raw with
+          | Ok payload -> (
+              match Server.Json.parse payload with
+              | Ok doc ->
+                  check_true "typed version_mismatch over the wire"
+                    (match Server.Json.member "error" doc with
+                    | Some err ->
+                        Server.Json.member "code" err
+                        = Some (Server.Json.Str "version_mismatch")
+                    | None -> false);
+                  check_true "mismatch echoes request id"
+                    (Server.Json.member "id" doc
+                    = Some (Server.Json.Num 11.0))
+              | Error _ -> Alcotest.fail "unparseable mismatch response")
+          | Error _ -> Alcotest.fail "no response to mismatched version");
+          (* Same connection, compatible request: still served. *)
+          Server.Protocol.write_frame raw
+            (Printf.sprintf {|{"id":12,"op":"ping","version":%S}|}
+               Server.Protocol.version);
+          match Server.Protocol.read_frame raw with
+          | Ok payload ->
+              check_true "connection survives the mismatch"
+                (match Server.Json.parse payload with
+                | Ok doc -> Server.Json.member "ok" doc <> None
+                | Error _ -> false)
+          | Error _ -> Alcotest.fail "connection dropped after mismatch"))
+
 let suite =
   ( "server",
     [
@@ -513,6 +618,7 @@ let suite =
       case "workqueue: close releases pop" test_workqueue_unblocks_consumer;
       case "protocol: parse and validate" test_protocol_parse;
       case "protocol: request round-trip" test_protocol_request_roundtrip;
+      case "protocol: version gate" test_protocol_version_gate;
       case "protocol: batching class" test_protocol_klass;
       case "protocol: framing" test_protocol_framing;
       case "protocol: frame size limit" test_protocol_frame_limit;
@@ -524,4 +630,6 @@ let suite =
         test_daemon_concurrent_clients_and_shed;
       slow_case "daemon: rejects garbage, stays up"
         test_daemon_rejects_garbage;
+      slow_case "daemon: version mismatch typed, stays up"
+        test_daemon_version_mismatch;
     ] )
