@@ -1195,6 +1195,392 @@ let serve_stage () =
          ])
 
 (* ------------------------------------------------------------------ *)
+(* chaos — availability under injected faults.
+
+   Explicit-only section: an in-process daemon with a deliberately
+   tight connection budget and read deadline, driven by a client herd
+   of which a --misbehave fraction stalls mid-frame, disconnects
+   mid-frame, or speaks garbage — under seeded network faults
+   (--inject-net-faults) and disk-cache faults
+   (--inject-cache-faults, armed for the whole run by the shared CLI
+   spec; the stage arms a default plan when neither is given).
+
+   Published invariants, each wired to the exit code:
+   - every well-behaved request is eventually answered byte-identically
+     to a direct Protocol.execute rendering (retries absorb typed sheds
+     and transit corruption);
+   - misbehaving peers only ever produce typed failures and reclaimed
+     connections, never a wedged or crashed daemon;
+   - the disk-cache circuit breaker opens under disk faults and
+     re-closes after recovery, with memory shards serving throughout;
+   - no connection leaks: the live-connection gauge drains to zero;
+   - a large seeded fuzz sweep through Frame -> Json -> Protocol.parse
+     yields zero escaped exceptions.                                   *)
+
+let chaos_misbehave = ref 0.25
+let chaos_net : Server.Netfault.plan option ref = ref None
+let chaos_fuzz = ref 100_000
+let chaos_json : string option ref = ref None
+
+let chaos_stage () =
+  header "service-boundary chaos";
+  let requests = serve_requests () in
+  let n_distinct = Array.length requests in
+  let n_total = Int.max 8 !serve_clients in
+  let n_reqs = Int.max 1 !serve_reqs in
+  let frac = Float.min 1.0 (Float.max 0.0 !chaos_misbehave) in
+  let n_bad = int_of_float (frac *. float_of_int n_total) in
+  let n_wb = n_total - n_bad in
+  (* Disk-backed cache with a tight breaker: the faulted phase must
+     open it, recovery must re-close it. *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sta_chaos_cache_%d" (Unix.getpid ()))
+  in
+  let cooldown_s = 0.3 in
+  let chaos_cache =
+    Runtime.Cache.create ~disk_dir:cache_dir ~breaker_threshold:4
+      ~breaker_cooldown_s:cooldown_s ()
+  in
+  (* Arm the chaos. Cache faults may already be armed by
+     --inject-cache-faults; otherwise use a deterministic default so a
+     bare `bench chaos` still exercises the breaker. *)
+  if not (Runtime.Cache.Disk_fault.is_armed ()) then
+    (match Runtime.Cache.Disk_fault.of_string "0.8@11" with
+    | Ok plan -> Runtime.Cache.Disk_fault.arm plan
+    | Error _ -> ());
+  Option.iter (Server.Netfault.arm ~stall_s:0.02) !chaos_net;
+  let net_injected_before = Server.Netfault.injected () in
+  let cache_injected_before = Runtime.Cache.Disk_fault.injected () in
+  let sock = Printf.sprintf "/tmp/sta_chaos_%d.sock" (Unix.getpid ()) in
+  let max_conns = Int.max 8 (n_total / 4) in
+  let config =
+    {
+      Server.Daemon.default_config with
+      addr = Server.Client.Unix_path sock;
+      engine = Runtime.Engine.with_cache (Lazy.force engine) chaos_cache;
+      queue_depth = !serve_queue_depth;
+      max_conns;
+      read_timeout_s = Some 0.25;
+      write_timeout_s = Some 2.0;
+      max_frames_per_conn = Some 64;
+    }
+  in
+  let d = Server.Daemon.start config in
+  let counter name =
+    Option.value ~default:0
+      (List.assoc_opt name
+         (Runtime.Metrics.counters (Server.Daemon.metrics d)))
+  in
+  (* Expected bytes for every distinct case, rendered offline on an
+     identically configured engine. *)
+  let compare_engine =
+    Runtime.Engine.with_cache (Lazy.force engine) (Runtime.Cache.create ())
+  in
+  let expected =
+    Array.map
+      (fun (req : Server.Protocol.request) ->
+        Server.Json.to_string
+          (Server.Protocol.response ~id:req.Server.Protocol.id
+             (Server.Protocol.execute ~engine:compare_engine
+                req.Server.Protocol.query)))
+      requests
+  in
+  Printf.printf
+    "driving %d clients (%d misbehaving) x %d requests at %s\n\
+     max_conns %d, read deadline 0.25 s, net faults %s, cache faults %s\n%!"
+    n_total n_bad n_reqs sock max_conns
+    (if Server.Netfault.is_armed () then "armed" else "off")
+    (if Runtime.Cache.Disk_fault.is_armed () then "armed" else "off");
+  (* Per-thread slots: no shared mutable state during the run. *)
+  let served = Array.make (Int.max 1 n_wb) 0 in
+  let retried_typed = Array.make (Int.max 1 n_wb) 0 in
+  let retried_corrupt = Array.make (Int.max 1 n_wb) 0 in
+  let unserved = Array.make (Int.max 1 n_wb) 0 in
+  let latencies = Array.make (Int.max 1 n_wb) [||] in
+  let classify_nonmatching payload =
+    match Server.Json.parse payload with
+    | Ok doc -> (
+        match Server.Json.member "error" doc with
+        | Some _ -> `Typed
+        | None -> `Corrupt)
+    | Error _ -> `Corrupt
+  in
+  let wb_worker k () =
+    let lats = Array.make n_reqs nan in
+    let policy =
+      { Server.Client.attempts = 4; base_delay_s = 0.01; max_delay_s = 0.2;
+        seed = k }
+    in
+    for r = 0 to n_reqs - 1 do
+      let idx = ((k * n_reqs) + r) mod n_distinct in
+      let t0 = Unix.gettimeofday () in
+      (* Outer loop: call_with_retry absorbs transport errors and
+         recoverable typed sheds; anything else (transit corruption, a
+         request corrupted into bad_request) is retried here. Only an
+         exhausted budget counts as unserved. *)
+      let rec attempt tries =
+        if tries >= 6 then unserved.(k) <- unserved.(k) + 1
+        else
+          match
+            Server.Client.call_raw_with_retry ~policy ~retry_recoverable:true
+              ~read_timeout_s:2.0 ~write_timeout_s:2.0
+              (Server.Client.Unix_path sock) requests.(idx)
+          with
+          | Ok payload when payload = expected.(idx) ->
+              served.(k) <- served.(k) + 1;
+              lats.(r) <- (Unix.gettimeofday () -. t0) *. 1e3
+          | Ok payload ->
+              (match classify_nonmatching payload with
+              | `Typed -> retried_typed.(k) <- retried_typed.(k) + 1
+              | `Corrupt -> retried_corrupt.(k) <- retried_corrupt.(k) + 1);
+              attempt (tries + 1)
+          | Error _ -> attempt (tries + 1)
+      in
+      attempt 0
+    done;
+    latencies.(k) <- lats
+  in
+  let bad_worker k () =
+    for _r = 0 to n_reqs - 1 do
+      match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+      | exception _ -> ()
+      | fd ->
+          (try
+             Unix.connect fd (Unix.ADDR_UNIX sock);
+             match k mod 3 with
+             | 0 ->
+                 (* Slowloris: half a header, hold past the deadline. *)
+                 ignore (Unix.write fd (Bytes.of_string "\x00\x00") 0 2);
+                 Thread.delay 0.35
+             | 1 ->
+                 (* Disconnect mid-frame. *)
+                 let b = Bytes.of_string "\x00\x00\x01\x00{\"v\"" in
+                 ignore (Unix.write fd b 0 (Bytes.length b))
+             | _ ->
+                 (* A well-framed garbage payload; the typed bad_request
+                    answer is read and dropped. *)
+                 Server.Protocol.write_frame fd "\xde\xad not json";
+                 ignore (Server.Protocol.read_frame fd)
+           with _ -> ());
+          (try Unix.close fd with _ -> ())
+    done
+  in
+  let t_start = Unix.gettimeofday () in
+  let threads =
+    Array.append
+      (Array.init n_wb (fun k -> Thread.create (wb_worker k) ()))
+      (Array.init n_bad (fun k -> Thread.create (bad_worker k) ()))
+  in
+  Array.iter Thread.join threads;
+  let duration_s = Unix.gettimeofday () -. t_start in
+  (* The connection budget must have shed at least once; if the herd's
+     timing never exceeded it, saturate deliberately so the typed-shed
+     path is exercised on every run. *)
+  if counter "server.conn_shed" = 0 then begin
+    let extras =
+      Array.init (max_conns + 8) (fun _ ->
+          match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+          | exception _ -> None
+          | fd -> (
+              match Unix.connect fd (Unix.ADDR_UNIX sock) with
+              | () -> Some fd
+              | exception _ ->
+                  (try Unix.close fd with _ -> ());
+                  None))
+    in
+    Thread.delay 0.1;
+    Array.iter
+      (Option.iter (fun fd -> try Unix.close fd with _ -> ()))
+      extras
+  end;
+  (* Breaker: the faulted traffic should have opened it; when the mix
+     served entirely from memory, a direct burst of faulted stores
+     opens it deterministically. *)
+  let wave = Waveform.Wave.create [| 0.0; 1e-12 |] [| 0.0; 1.0 |] in
+  if Runtime.Cache.breaker_opens chaos_cache = 0 then begin
+    Runtime.Cache.Disk_fault.disarm ();
+    (match Runtime.Cache.Disk_fault.of_string "1.0@1" with
+    | Ok plan -> Runtime.Cache.Disk_fault.arm plan
+    | Error _ -> ());
+    for i = 0 to 15 do
+      Runtime.Cache.store chaos_cache
+        (Printf.sprintf "chaos:drill:%d" i)
+        [ wave ]
+    done
+  end;
+  let breaker_opens = Runtime.Cache.breaker_opens chaos_cache in
+  let short_circuits = Runtime.Cache.breaker_short_circuits chaos_cache in
+  (* Memory shards keep serving while the breaker is open. *)
+  Runtime.Cache.store chaos_cache "chaos:memory" [ wave ];
+  let memory_serves =
+    Runtime.Cache.find chaos_cache "chaos:memory" <> None
+  in
+  (* Recovery: faults off, past the cooldown, the half-open probe must
+     re-close the breaker and disk writes must resume. *)
+  Runtime.Cache.Disk_fault.disarm ();
+  Server.Netfault.disarm ();
+  Thread.delay (cooldown_s +. 0.15);
+  Runtime.Cache.store chaos_cache "chaos:probe" [ wave ];
+  let breaker_recloses = Runtime.Cache.breaker_recloses chaos_cache in
+  let breaker_reclosed =
+    breaker_recloses >= 1
+    && Runtime.Cache.breaker_state chaos_cache
+       = Some Runtime.Cache.Breaker.Closed
+  in
+  let disk_resumed =
+    let fresh =
+      Runtime.Cache.create ~disk_dir:cache_dir ()
+    in
+    Runtime.Cache.find fresh "chaos:probe" <> None
+  in
+  (* Recovery traffic: with faults disarmed every request must be
+     served byte-identically on the first try. *)
+  let n_recovery = Int.min 64 (Int.max 1 n_wb) in
+  let recovered = Array.make n_recovery false in
+  let rec_worker k () =
+    let idx = k mod n_distinct in
+    match
+      Server.Client.call_raw_with_retry
+        ~policy:
+          { Server.Client.attempts = 3; base_delay_s = 0.01;
+            max_delay_s = 0.1; seed = 1000 + k }
+        ~retry_recoverable:true (Server.Client.Unix_path sock)
+        requests.(idx)
+    with
+    | Ok payload -> recovered.(k) <- payload = expected.(idx)
+    | Error _ -> ()
+  in
+  let rec_threads =
+    Array.init n_recovery (fun k -> Thread.create (rec_worker k) ())
+  in
+  Array.iter Thread.join rec_threads;
+  let recovery_ok =
+    Array.for_all Fun.id recovered
+  in
+  (* No fd leaks: the live-connection gauge must drain to zero now
+     that every client is gone. *)
+  let rec drain deadline =
+    if Server.Daemon.conn_active d = 0 then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.05;
+      drain deadline
+    end
+  in
+  let drained = drain (Unix.gettimeofday () +. 3.0) in
+  let conn_shed = counter "server.conn_shed" in
+  let conn_opened = counter "server.conn_opened" in
+  let conn_closed = counter "server.conn_closed" in
+  let idle_timeouts = counter "server.conn_idle_timeouts" in
+  let read_timeouts = counter "server.conn_read_timeouts" in
+  let conn_errors = counter "server.conn_errors" in
+  let queue_shed = counter "server.shed" in
+  Server.Daemon.stop d;
+  (* The fuzz sweep: totality of Frame -> Json -> Protocol.parse over
+     a large seeded hostile corpus. *)
+  let fuzz_count = Int.max 1 !chaos_fuzz in
+  let fz = Server.Fuzz.run ~seed:11 ~count:fuzz_count () in
+  let fuzz_escapes = List.length fz.Server.Fuzz.escaped in
+  let wb_total = n_wb * n_reqs in
+  let sum a = Array.fold_left ( + ) 0 a in
+  let served_n = sum served
+  and typed_n = sum retried_typed
+  and corrupt_n = sum retried_corrupt
+  and unserved_n = sum unserved in
+  let availability =
+    if wb_total = 0 then 1.0
+    else float_of_int served_n /. float_of_int wb_total
+  in
+  let lats =
+    Array.concat (Array.to_list latencies)
+    |> Array.to_seq
+    |> Seq.filter (fun x -> not (Float.is_nan x))
+    |> Array.of_seq
+  in
+  Array.sort compare lats;
+  let p50 = percentile lats 0.50
+  and p95 = percentile lats 0.95
+  and p99 = percentile lats 0.99 in
+  let net_injected = Server.Netfault.injected () - net_injected_before in
+  let cache_injected =
+    Runtime.Cache.Disk_fault.injected () - cache_injected_before
+  in
+  let passed =
+    unserved_n = 0 && conn_shed >= 1 && breaker_opens >= 1
+    && breaker_reclosed && memory_serves && disk_resumed && drained
+    && recovery_ok && fuzz_escapes = 0
+  in
+  Printf.printf
+    "well-behaved: %d/%d byte-identical in %.2f s (availability %.4f)\n\
+     retries: %d typed, %d corrupted-in-transit; unserved: %d\n\
+     latency-to-success p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n\
+     conns: opened %d closed %d shed %d; idle timeouts %d, mid-frame %d, \
+     errors %d; queue shed %d; drained to zero: %b\n\
+     injected faults: %d net, %d cache-disk\n\
+     breaker: opens %d, recloses %d, short-circuits %d, reclosed %b; \
+     memory served while open: %b; disk resumed: %b\n\
+     recovery wave: %s\n\
+     fuzz: %d inputs (%d parsed, %d bad_request, %d version_mismatch, \
+     %d frame trips), %d escaped\n\
+     chaos invariants: %s\n%!"
+    served_n wb_total duration_s availability typed_n corrupt_n unserved_n
+    p50 p95 p99 conn_opened conn_closed conn_shed idle_timeouts
+    read_timeouts conn_errors queue_shed drained net_injected cache_injected
+    breaker_opens breaker_recloses short_circuits breaker_reclosed
+    memory_serves disk_resumed
+    (if recovery_ok then "all byte-identical" else "FAILED")
+    fz.Server.Fuzz.inputs fz.Server.Fuzz.parsed fz.Server.Fuzz.bad_requests
+    fz.Server.Fuzz.version_mismatches fz.Server.Fuzz.frame_trips
+    fuzz_escapes
+    (if passed then "PASS" else "FAIL");
+  if not passed then exit_code := 1;
+  chaos_json :=
+    Some
+      (json_obj
+         [
+           ("clients", string_of_int n_total);
+           ("misbehaving", string_of_int n_bad);
+           ("requests_per_client", string_of_int n_reqs);
+           ("max_conns", string_of_int max_conns);
+           ("duration_s", Printf.sprintf "%.6f" duration_s);
+           ("wb_total", string_of_int wb_total);
+           ("wb_byte_identical", string_of_int served_n);
+           ("wb_retried_typed", string_of_int typed_n);
+           ("wb_retried_corrupt", string_of_int corrupt_n);
+           ("wb_unserved", string_of_int unserved_n);
+           ("availability", Printf.sprintf "%.6f" availability);
+           ("p50_ms", Printf.sprintf "%.4f" p50);
+           ("p95_ms", Printf.sprintf "%.4f" p95);
+           ("p99_ms", Printf.sprintf "%.4f" p99);
+           ("conn_opened", string_of_int conn_opened);
+           ("conn_closed", string_of_int conn_closed);
+           ("conn_shed", string_of_int conn_shed);
+           ("conn_idle_timeouts", string_of_int idle_timeouts);
+           ("conn_read_timeouts", string_of_int read_timeouts);
+           ("conn_errors", string_of_int conn_errors);
+           ("queue_shed", string_of_int queue_shed);
+           ("conns_drained", if drained then "true" else "false");
+           ("net_faults_injected", string_of_int net_injected);
+           ("cache_faults_injected", string_of_int cache_injected);
+           ("breaker_opens", string_of_int breaker_opens);
+           ("breaker_recloses", string_of_int breaker_recloses);
+           ("breaker_short_circuits", string_of_int short_circuits);
+           ("breaker_reclosed", if breaker_reclosed then "true" else "false");
+           ("memory_served_while_open", if memory_serves then "true" else "false");
+           ("disk_resumed", if disk_resumed then "true" else "false");
+           ("recovery_ok", if recovery_ok then "true" else "false");
+           ("fuzz_inputs", string_of_int fz.Server.Fuzz.inputs);
+           ("fuzz_parsed", string_of_int fz.Server.Fuzz.parsed);
+           ("fuzz_bad_requests", string_of_int fz.Server.Fuzz.bad_requests);
+           ( "fuzz_version_mismatches",
+             string_of_int fz.Server.Fuzz.version_mismatches );
+           ("fuzz_frame_trips", string_of_int fz.Server.Fuzz.frame_trips);
+           ("fuzz_escapes", string_of_int fuzz_escapes);
+           ("passed", if passed then "true" else "false");
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output (--json)                                    *)
 
 let json_row (r : Noise.Eval.row) =
@@ -1339,9 +1725,12 @@ let write_json path =
       @ (match !batch_json with
         | Some j -> [ ("batch", j) ]
         | None -> [])
+      @ (match !serve_json with
+        | Some j -> [ ("serve", j) ]
+        | None -> [])
       @
-      match !serve_json with
-      | Some j -> [ ("serve", j) ]
+      match !chaos_json with
+      | Some j -> [ ("chaos", j) ]
       | None -> [])
   in
   let oc = open_out path in
@@ -1364,7 +1753,10 @@ let () =
              $(b,table1) $(b,runtime) $(b,kernel) $(b,ablation) \
              $(b,nonoverlap) $(b,worstcase) $(b,corners) $(b,montecarlo) \
              $(b,awe); $(b,serve) (explicit only) load-tests the \
-             sta_serve daemon.")
+             sta_serve daemon; $(b,chaos) (explicit only) runs the \
+             service-boundary chaos harness: misbehaving clients, \
+             injected network and disk-cache faults, breaker \
+             open/re-close, and a large protocol fuzz sweep.")
   in
   let cases_arg =
     Arg.(
@@ -1417,8 +1809,41 @@ let () =
             "Load-test an externally running daemon instead of an \
              in-process one (serve section).")
   in
+  let misbehave_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "misbehave" ] ~docv:"FRACTION"
+          ~doc:
+            "Fraction of chaos-section clients that misbehave \
+             (stall mid-frame, disconnect mid-frame, or send garbage).")
+  in
+  let net_fault_arg =
+    let c =
+      Arg.conv
+        ( (fun s ->
+            match Server.Netfault.of_string s with
+            | Ok plan -> Ok plan
+            | Error msg -> Error (`Msg msg)),
+          fun ppf _ -> Format.pp_print_string ppf "<net-fault-plan>" )
+    in
+    Arg.(
+      value & opt (some c) None
+      & info [ "inject-net-faults" ] ~docv:"SPEC"
+          ~doc:
+            "Seeded network fault injection for the chaos section: \
+             $(b,[KIND:])($(b,nth:N) | $(b,RATE[@SEED])) with KIND one \
+             of torn|stall|drop|corrupt (no KIND rotates all four). \
+             Example: 0.05@7.")
+  in
+  let fuzz_count_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "fuzz-count" ] ~docv:"N"
+          ~doc:"Seeded fuzz inputs for the chaos section's sweep.")
+  in
   let run sections_v cases_v json_v compare_v clients_v reqs_v queue_depth_v
-      connect_v spec (sweep : Runtime.Cli.sweep) =
+      connect_v misbehave_v net_fault_v fuzz_count_v spec
+      (sweep : Runtime.Cli.sweep) =
     (* Fail on an unwritable --json path now, not after minutes of
        sims; same for a missing --compare baseline or a bad ladder. *)
     let usage_error msg =
@@ -1442,6 +1867,13 @@ let () =
         match Eqwave.Ladder.of_names names with
         | (_ : Eqwave.Ladder.t) -> ()
         | exception Invalid_argument msg -> usage_error ("--ladder: " ^ msg)));
+    (* The serve/chaos sections write to sockets that a (possibly
+       fault-injected) daemon may drop mid-write; without this the
+       whole bench dies of SIGPIPE instead of counting a typed
+       transport error. In-process runs are already covered because
+       Daemon.start ignores it — this covers --connect runs too. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
     cli := Some spec;
     cases := cases_v;
     want_metrics := sweep.Runtime.Cli.metrics;
@@ -1454,6 +1886,9 @@ let () =
     serve_reqs := Int.max 1 reqs_v;
     serve_queue_depth := Int.max 1 queue_depth_v;
     serve_connect := connect_v;
+    chaos_misbehave := misbehave_v;
+    chaos_net := net_fault_v;
+    chaos_fuzz := fuzz_count_v;
     Runtime.Cli.arm_faults spec;
     resil_before := Runtime.Resilience.Stats.snapshot ();
     spice_before := Spice.Transient.Stats.snapshot ();
@@ -1478,6 +1913,7 @@ let () =
     (* Explicit-only: a daemon load test is not part of the default
        simulation sweep. *)
     if List.mem "serve" !sections then stage "serve" serve_stage;
+    if List.mem "chaos" !sections then stage "chaos" chaos_stage;
     Runtime.Metrics.set metrics "pool.jobs" spec.Runtime.Cli.jobs;
     Runtime.Metrics.capture_spice ~since:before metrics;
     Runtime.Metrics.capture_resilience ~since:!resil_before metrics;
@@ -1507,6 +1943,7 @@ let () =
     Term.(
       const run $ sections_arg $ cases_arg $ json_arg $ compare_arg
       $ clients_arg $ reqs_arg $ queue_depth_arg $ connect_arg
+      $ misbehave_arg $ net_fault_arg $ fuzz_count_arg
       $ Runtime.Cli.spec_term ~default_cache_dir:".noisy_sta_cache" ()
       $ Runtime.Cli.sweep_term ())
   in

@@ -50,8 +50,55 @@ let serve_cmd =
                    instead of computing an answer nobody is waiting \
                    for.")
   in
-  let run socket port http_port queue_depth queue_timeout spec =
+  let max_conns =
+    Arg.(value & opt int 256
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Concurrent protocol-connection budget. Connections \
+                   past $(docv) are answered one typed \
+                   $(b,too_many_connections) frame and closed.")
+  in
+  let read_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-connection read deadline (protocol and HTTP). An \
+                   idle connection past $(docv) is reclaimed; a peer \
+                   that stalls mid-frame (slowloris) is answered \
+                   $(b,timeout) and dropped.")
+  in
+  let write_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "write-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-connection write deadline: a peer that stops \
+                   draining its socket for $(docv) is dropped.")
+  in
+  let max_frames =
+    Arg.(value & opt (some int) None
+         & info [ "max-frames" ] ~docv:"N"
+             ~doc:"Frame budget per connection; answered \
+                   $(b,frame_limit) when exhausted so load balancers \
+                   recycle connections.")
+  in
+  let inject_net =
+    let c =
+      Arg.conv
+        ( (fun s ->
+            match Server.Netfault.of_string s with
+            | Ok plan -> Ok plan
+            | Error msg -> Error (`Msg msg)),
+          fun ppf _ -> Format.pp_print_string ppf "<net-fault-plan>" )
+    in
+    Arg.(value & opt (some c) None
+         & info [ "inject-net-faults" ] ~docv:"SPEC"
+             ~doc:"Deterministic network fault injection for chaos \
+                   testing: $(b,[KIND:])($(b,nth:N) | \
+                   $(b,RATE[@SEED])) with KIND one of \
+                   torn|stall|drop|corrupt (no KIND rotates all \
+                   four). Examples: 0.05@7, drop:nth:3, stall:0.1.")
+  in
+  let run socket port http_port queue_depth queue_timeout max_conns
+      read_timeout write_timeout max_frames inject_net spec =
     Runtime.Cli.arm_faults spec;
+    Option.iter Server.Netfault.arm inject_net;
     let engine = Runtime.Cli.engine_of_spec spec in
     let addr = addr_of socket port in
     let config =
@@ -67,6 +114,10 @@ let serve_cmd =
         (* --deadline is both the engine's per-solve budget and the
            default per-request budget for requests that carry none. *)
         default_deadline_ms = spec.Runtime.Cli.deadline_ms;
+        max_conns;
+        read_timeout_s = read_timeout;
+        write_timeout_s = write_timeout;
+        max_frames_per_conn = max_frames;
       }
     in
     Printf.printf "sta_serve %s: engine %s, queue depth %d, listening on %s%s\n%!"
@@ -84,7 +135,9 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Run the STA daemon (default command)")
     Term.(
       const run $ socket_arg $ port_arg $ http_port $ queue_depth
-      $ queue_timeout $ Runtime.Cli.spec_term ~default_engine:"fast" ())
+      $ queue_timeout $ max_conns $ read_timeout $ write_timeout
+      $ max_frames $ inject_net
+      $ Runtime.Cli.spec_term ~default_engine:"fast" ())
 
 (* ------------------------------------------------------------------ *)
 (* ping *)

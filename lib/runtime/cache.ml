@@ -19,28 +19,229 @@ module Key = struct
     Digest.to_hex (Digest.string (String.concat "\x00" (str tag :: parts)))
 end
 
+(* ------------------------------------------------------------------ *)
+(* Deterministic disk-layer fault injection. Mirrors
+   [Spice.Transient.Fault]'s [nth:N | RATE[@SEED]] grammar so the CLI
+   vocabulary is the same for solver and cache chaos; every armed roll
+   is indexed by a process-global disk-op counter, so a given
+   (plan, op sequence) always faults the same ops. *)
+
+module Disk_fault = struct
+  type plan = Nth of { n : int } | Fraction of { rate : float; seed : int }
+
+  let armed : plan option Atomic.t = Atomic.make None
+  let op_index = Atomic.make 0
+  let injected_ops = Atomic.make 0
+
+  let arm plan =
+    Atomic.set op_index 0;
+    Atomic.set injected_ops 0;
+    Atomic.set armed (Some plan)
+
+  let disarm () = Atomic.set armed None
+  let is_armed () = Option.is_some (Atomic.get armed)
+  let injected () = Atomic.get injected_ops
+
+  let roll_float seed k =
+    let d = Digest.string (Printf.sprintf "cache.fault:%d:%d" seed k) in
+    let x = ref 0 in
+    for i = 0 to 5 do
+      x := (!x lsl 8) lor Char.code d.[i]
+    done;
+    float_of_int !x /. float_of_int (1 lsl 48)
+
+  let roll () =
+    match Atomic.get armed with
+    | None -> false
+    | Some plan ->
+        let k = Atomic.fetch_and_add op_index 1 in
+        let hit =
+          match plan with
+          | Nth { n } -> k = n
+          | Fraction { rate; seed } -> roll_float seed k < rate
+        in
+        if hit then Atomic.incr injected_ops;
+        hit
+
+  (* Spec grammar: "nth:"N | RATE["@"SEED]. Examples: "nth:3" (the
+     third disk op fails), "0.5" (half the disk ops fail, seed 0),
+     "0.8@13". *)
+  let of_string s =
+    let nth_prefix = "nth:" in
+    let has_nth =
+      String.length s > String.length nth_prefix
+      && String.sub s 0 (String.length nth_prefix) = nth_prefix
+    in
+    if has_nth then
+      let num =
+        String.sub s (String.length nth_prefix)
+          (String.length s - String.length nth_prefix)
+      in
+      match int_of_string_opt num with
+      | Some n when n >= 0 -> Ok (Nth { n })
+      | _ ->
+          Error (Printf.sprintf "bad cache fault spec %S: nth:N needs N >= 0" s)
+    else
+      let rate_s, seed =
+        match String.index_opt s '@' with
+        | Some i ->
+            (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+        | None -> (s, "0")
+      in
+      match (float_of_string_opt rate_s, int_of_string_opt seed) with
+      | Some rate, Some seed when rate >= 0.0 && rate <= 1.0 ->
+          Ok (Fraction { rate; seed })
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad cache fault spec %S: want nth:N or RATE[@SEED] with RATE \
+                in [0,1]"
+               s)
+
+  exception Injected
+end
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker guarding the disk layer: after [threshold]
+   consecutive disk failures the breaker opens and every disk op is
+   short-circuited (the memory shards keep serving) until [cooldown_s]
+   has elapsed; then exactly one probe op is admitted (half-open) and
+   its outcome either re-closes the breaker or re-opens it for another
+   cooldown. The clock is injectable so the state machine is testable
+   without sleeping. *)
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  let state_to_string = function
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half_open"
+
+  type t = {
+    threshold : int;
+    cooldown_s : float;
+    now : unit -> float;
+    m : Mutex.t;
+    mutable state : state;
+    mutable consecutive : int;
+    mutable opened_at : float;
+    mutable probing : bool;
+    mutable opens : int;
+    mutable recloses : int;
+    mutable short_circuits : int;
+  }
+
+  let create ?(threshold = 8) ?(cooldown_s = 5.0) ?(now = Unix.gettimeofday)
+      () =
+    if threshold < 1 then invalid_arg "Cache.Breaker.create: threshold < 1";
+    if cooldown_s < 0.0 then
+      invalid_arg "Cache.Breaker.create: cooldown_s < 0";
+    {
+      threshold;
+      cooldown_s;
+      now;
+      m = Mutex.create ();
+      state = Closed;
+      consecutive = 0;
+      opened_at = neg_infinity;
+      probing = false;
+      opens = 0;
+      recloses = 0;
+      short_circuits = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  let state t = locked t (fun () -> t.state)
+  let opens t = locked t (fun () -> t.opens)
+  let recloses t = locked t (fun () -> t.recloses)
+  let short_circuits t = locked t (fun () -> t.short_circuits)
+
+  (* Should this disk op be attempted? Open transitions to half-open
+     once the cooldown has elapsed, admitting exactly one probe;
+     everything else during open/half-open is short-circuited. *)
+  let admit t =
+    locked t (fun () ->
+        match t.state with
+        | Closed -> true
+        | Open when t.now () -. t.opened_at >= t.cooldown_s ->
+            t.state <- Half_open;
+            t.probing <- true;
+            true
+        | Open ->
+            t.short_circuits <- t.short_circuits + 1;
+            false
+        | Half_open when not t.probing ->
+            t.probing <- true;
+            true
+        | Half_open ->
+            t.short_circuits <- t.short_circuits + 1;
+            false)
+
+  let success t =
+    locked t (fun () ->
+        match t.state with
+        | Closed -> t.consecutive <- 0
+        | Half_open ->
+            t.state <- Closed;
+            t.consecutive <- 0;
+            t.probing <- false;
+            t.recloses <- t.recloses + 1
+        | Open -> ())
+
+  let failure t =
+    locked t (fun () ->
+        match t.state with
+        | Closed ->
+            t.consecutive <- t.consecutive + 1;
+            if t.consecutive >= t.threshold then begin
+              t.state <- Open;
+              t.opened_at <- t.now ();
+              t.opens <- t.opens + 1
+            end
+        | Half_open ->
+            t.state <- Open;
+            t.opened_at <- t.now ();
+            t.probing <- false;
+            t.opens <- t.opens + 1
+        | Open -> ())
+end
+
 type shard = { m : Mutex.t; tbl : (string, Waveform.Wave.t list) Hashtbl.t }
 
 type t = {
   shards : shard array;
   disk_dir : string option;
+  breaker : Breaker.t option;
   hits : int Atomic.t;
   disk_hits : int Atomic.t;
   misses : int Atomic.t;
   read_errors : int Atomic.t;
+  write_errors : int Atomic.t;
 }
 
-let create ?(shards = 16) ?disk_dir () =
+let create ?(shards = 16) ?disk_dir ?breaker_threshold ?breaker_cooldown_s
+    ?now () =
   if shards < 1 then invalid_arg "Cache.create: shards < 1";
   {
     shards =
       Array.init shards (fun _ ->
           { m = Mutex.create (); tbl = Hashtbl.create 64 });
     disk_dir;
+    breaker =
+      Option.map
+        (fun (_ : string) ->
+          Breaker.create ?threshold:breaker_threshold
+            ?cooldown_s:breaker_cooldown_s ?now ())
+        disk_dir;
     hits = Atomic.make 0;
     disk_hits = Atomic.make 0;
     misses = Atomic.make 0;
     read_errors = Atomic.make 0;
+    write_errors = Atomic.make 0;
   }
 
 let disk_dir t = t.disk_dir
@@ -64,17 +265,30 @@ let ensure_dir dir =
   if not (Sys.file_exists dir) then
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
+(* Report a disk op's outcome to the breaker (when the cache has one).
+   An absent file is a successful disk interaction: only genuine
+   failures count toward opening the breaker. *)
+let breaker_outcome t ok =
+  match t.breaker with
+  | None -> ()
+  | Some b -> if ok then Breaker.success b else Breaker.failure b
+
+let breaker_admits t =
+  match t.breaker with None -> true | Some b -> Breaker.admit b
+
 (* Every read failure is still a miss — a sweep must never die on a
    bad cache entry — but failures are classified rather than hidden:
    an absent file is a plain miss, a corrupt/truncated entry bumps
    [read_errors] and is unlinked so it cannot poison future runs, and
    an I/O error (permissions, transient FS trouble) bumps
-   [read_errors] but leaves the file alone. *)
+   [read_errors] but leaves the file alone. Armed {!Disk_fault} plans
+   surface here as simulated I/O errors, ahead of any file access. *)
 let disk_read t dir key =
   let path = disk_path dir key in
-  if not (Sys.file_exists path) then None
-  else
-    let parse () =
+  let parse () =
+    if Disk_fault.roll () then raise Disk_fault.Injected;
+    if not (Sys.file_exists path) then Error `Absent
+    else
       let ic = open_in_bin path in
       Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
           let magic = really_input_string ic (String.length disk_magic) in
@@ -84,19 +298,27 @@ let disk_read t dir key =
               Marshal.from_channel ic
             in
             Ok (List.map (fun (ts, vs) -> Waveform.Wave.create ts vs) raw))
-    in
-    match parse () with
-    | Ok waves -> Some waves
-    | Error `Corrupt | (exception (End_of_file | Stdlib.Failure _ | Invalid_argument _)) ->
-        Atomic.incr t.read_errors;
-        (try Sys.remove path with Sys_error _ -> ());
-        None
-    | exception Sys_error _ ->
-        Atomic.incr t.read_errors;
-        None
+  in
+  match parse () with
+  | Ok waves ->
+      breaker_outcome t true;
+      Some waves
+  | Error `Absent ->
+      breaker_outcome t true;
+      None
+  | Error `Corrupt | (exception (End_of_file | Stdlib.Failure _ | Invalid_argument _)) ->
+      Atomic.incr t.read_errors;
+      breaker_outcome t false;
+      (try Sys.remove path with Sys_error _ -> ());
+      None
+  | exception (Sys_error _ | Disk_fault.Injected) ->
+      Atomic.incr t.read_errors;
+      breaker_outcome t false;
+      None
 
-let disk_write dir key waves =
-  try
+let disk_write t dir key waves =
+  match
+    if Disk_fault.roll () then raise Disk_fault.Injected;
     ensure_dir dir;
     let path = disk_path dir key in
     let tmp =
@@ -113,7 +335,12 @@ let disk_write dir key waves =
         in
         Marshal.to_channel oc raw []);
     Sys.rename tmp path
-  with _ -> () (* a full or read-only disk must not fail the run *)
+  with
+  | () -> breaker_outcome t true
+  | exception _ ->
+      (* a full or read-only disk must not fail the run *)
+      Atomic.incr t.write_errors;
+      breaker_outcome t false
 
 (* ------------------------------------------------------------------ *)
 
@@ -126,6 +353,7 @@ let find t key =
   | None -> (
       match t.disk_dir with
       | None -> None
+      | Some dir when not (breaker_admits t) -> ignore dir; None
       | Some dir -> (
           match disk_read t dir key with
           | None -> None
@@ -138,7 +366,10 @@ let find t key =
 let store t key v =
   let s = shard_of t key in
   locked s (fun () -> Hashtbl.replace s.tbl key v);
-  match t.disk_dir with None -> () | Some dir -> disk_write dir key v
+  match t.disk_dir with
+  | None -> ()
+  | Some dir when not (breaker_admits t) -> ignore dir
+  | Some dir -> disk_write t dir key v
 
 let memo t key compute =
   match find t key with
@@ -160,6 +391,20 @@ let hits t = Atomic.get t.hits
 let disk_hits t = Atomic.get t.disk_hits
 let misses t = Atomic.get t.misses
 let read_errors t = Atomic.get t.read_errors
+let write_errors t = Atomic.get t.write_errors
+let breaker t = t.breaker
+
+let breaker_state t =
+  Option.map (fun b -> Breaker.state b) t.breaker
+
+let breaker_opens t =
+  match t.breaker with None -> 0 | Some b -> Breaker.opens b
+
+let breaker_recloses t =
+  match t.breaker with None -> 0 | Some b -> Breaker.recloses b
+
+let breaker_short_circuits t =
+  match t.breaker with None -> 0 | Some b -> Breaker.short_circuits b
 
 let length t =
   Array.fold_left
@@ -171,7 +416,8 @@ let clear t =
   Atomic.set t.hits 0;
   Atomic.set t.disk_hits 0;
   Atomic.set t.misses 0;
-  Atomic.set t.read_errors 0
+  Atomic.set t.read_errors 0;
+  Atomic.set t.write_errors 0
 
 let pp_stats ppf t =
   Format.fprintf ppf

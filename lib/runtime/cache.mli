@@ -16,13 +16,84 @@
     entry — but failures are classified: corrupt or truncated entries
     bump {!read_errors} and are unlinked so they cannot poison future
     runs; I/O errors (permissions and the like) bump {!read_errors}
-    and leave the file in place. *)
+    and leave the file in place.
+
+    The disk layer sits behind a {!Breaker}: after a run of consecutive
+    disk failures the breaker opens and disk ops are short-circuited
+    (the memory shards keep serving) until a cooldown elapses, at which
+    point a single half-open probe either re-closes the breaker or
+    re-opens it. {!Disk_fault} injects deterministic, seeded disk-op
+    failures for chaos testing, mirroring [Spice.Transient.Fault]'s
+    spec grammar. *)
+
+(** Deterministic disk-layer fault injection. Armed process-globally
+    (the cache's disk ops all roll against one plan), indexed by a
+    global op counter so a given plan faults the same ops every run. *)
+module Disk_fault : sig
+  type plan = Nth of { n : int } | Fraction of { rate : float; seed : int }
+
+  val of_string : string -> (plan, string) result
+  (** Spec grammar: ["nth:"N | RATE["@"SEED]] — e.g. ["nth:3"],
+      ["0.5"], ["0.8@13"]. *)
+
+  val arm : plan -> unit
+  (** Arm [plan] and reset the op/injection counters. *)
+
+  val disarm : unit -> unit
+  val is_armed : unit -> bool
+
+  val injected : unit -> int
+  (** Disk ops failed by injection since the last {!arm}. *)
+end
+
+(** Circuit breaker for the disk layer: [Closed] (normal) opens after
+    [threshold] consecutive failures; [Open] short-circuits every op
+    until [cooldown_s] elapses; then [Half_open] admits exactly one
+    probe whose outcome re-closes or re-opens the breaker. *)
+module Breaker : sig
+  type state = Closed | Open | Half_open
+  type t
+
+  val state_to_string : state -> string
+
+  val create :
+    ?threshold:int -> ?cooldown_s:float -> ?now:(unit -> float) -> unit -> t
+  (** [threshold] defaults to 8 consecutive failures, [cooldown_s] to
+      5 s. [now] is injectable for sleep-free state-machine tests. *)
+
+  val state : t -> state
+
+  val admit : t -> bool
+  (** Should a disk op be attempted right now? [false] means it was
+      short-circuited. *)
+
+  val success : t -> unit
+  val failure : t -> unit
+
+  val opens : t -> int
+  (** Closed/half-open → open transitions. *)
+
+  val recloses : t -> int
+  (** Half-open → closed transitions (successful probes). *)
+
+  val short_circuits : t -> int
+  (** Ops refused while open/half-open. *)
+end
 
 type t
 
-val create : ?shards:int -> ?disk_dir:string -> unit -> t
+val create :
+  ?shards:int ->
+  ?disk_dir:string ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  ?now:(unit -> float) ->
+  unit ->
+  t
 (** [shards] defaults to 16. When [disk_dir] is given the directory is
-    created on demand. *)
+    created on demand and a {!Breaker} guards the disk layer
+    ([breaker_threshold], [breaker_cooldown_s] and [now] configure it);
+    without [disk_dir] there is no breaker. *)
 
 val disk_dir : t -> string option
 
@@ -70,6 +141,18 @@ val misses : t -> int
 val read_errors : t -> int
 (** Disk-layer read failures mapped to misses (corrupt entries,
     I/O errors). *)
+
+val write_errors : t -> int
+(** Disk-layer write failures (full/read-only disk, injected faults) —
+    the entry stays memory-only. *)
+
+val breaker : t -> Breaker.t option
+(** The breaker guarding the disk layer, when one exists. *)
+
+val breaker_state : t -> Breaker.state option
+val breaker_opens : t -> int
+val breaker_recloses : t -> int
+val breaker_short_circuits : t -> int
 
 val length : t -> int
 (** Entries currently resident in memory. *)

@@ -23,6 +23,7 @@ type spec = {
   solver : Spice.Transient.solver_kind option;
   jac_reuse : bool;
   fault : Spice.Transient.Fault.plan option;
+  cache_fault : Cache.Disk_fault.plan option;
 }
 
 type sweep = {
@@ -222,8 +223,25 @@ let spec_term ?(default_engine = "reference") ?default_cache_dir () =
                    diverging, $(b,slow:) to stall the solve. \
                    Examples: 0.1@7, nth:3, nan:0.05, slow:nth:5.")
   in
+  let inject_cache =
+    let c =
+      Arg.conv
+        ( (fun s ->
+            match Cache.Disk_fault.of_string s with
+            | Ok plan -> Ok plan
+            | Error msg -> Error (`Msg msg)),
+          fun ppf _ -> Format.pp_print_string ppf "<cache-fault-plan>" )
+    in
+    Arg.(value & opt (some c) None
+         & info [ "inject-cache-faults" ] ~docv:"SPEC"
+             ~doc:"Deterministic disk-cache fault injection for chaos \
+                   testing the circuit breaker: $(b,nth:N) (the Nth \
+                   disk op) or $(b,RATE[@SEED]) (seeded fraction of \
+                   disk ops). Examples: 0.5, nth:3, 0.8@13.")
+  in
   let make engine_name ltetol jobs batch no_cache cache_dir fallback retries
-      deadline_ms guard guard_every guard_tol_ps solver no_jac_reuse fault =
+      deadline_ms guard guard_every guard_tol_ps solver no_jac_reuse fault
+      cache_fault =
     {
       engine_name;
       ltetol;
@@ -240,12 +258,13 @@ let spec_term ?(default_engine = "reference") ?default_cache_dir () =
       solver;
       jac_reuse = not no_jac_reuse;
       fault;
+      cache_fault;
     }
   in
   Term.(
     const make $ engine $ ltetol $ jobs $ batch $ no_cache $ cache_dir
     $ fallback $ retries $ deadline $ guard $ guard_every $ guard_tol_ps
-    $ solver $ no_jac_reuse $ inject)
+    $ solver $ no_jac_reuse $ inject $ inject_cache)
 
 let sweep_term () =
   let metrics =
@@ -321,6 +340,9 @@ let engine_of_spec s =
   else e
 
 let arm_faults s =
-  match s.fault with
+  (match s.fault with
   | Some plan -> Spice.Transient.Fault.arm plan
+  | None -> ());
+  match s.cache_fault with
+  | Some plan -> Cache.Disk_fault.arm plan
   | None -> ()

@@ -27,6 +27,8 @@ type spec = {
   solver : Spice.Transient.solver_kind option; (** [--solver] *)
   jac_reuse : bool;           (** negated [--no-jac-reuse] *)
   fault : Spice.Transient.Fault.plan option;   (** [--inject-faults] *)
+  cache_fault : Cache.Disk_fault.plan option;
+      (** [--inject-cache-faults] *)
 }
 
 type sweep = {
@@ -66,4 +68,5 @@ val policy_of_spec : spec -> Resilience.policy
 (** Just the resilience policy ([--fallback]/[--retries]). *)
 
 val arm_faults : spec -> unit
-(** Arm [--inject-faults] (process-global); no-op without the flag. *)
+(** Arm [--inject-faults] and [--inject-cache-faults] (both
+    process-global); no-op without the flags. *)

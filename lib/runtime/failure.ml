@@ -12,6 +12,7 @@ type t =
   | Deadline_exceeded of { at : float; budget_ms : float }
   | Overloaded of { queue_depth : int }
   | Queue_timeout of { waited_ms : float; budget_ms : float }
+  | Too_many_connections of { active : int; limit : int }
 
 exception Error of t
 
@@ -31,6 +32,7 @@ let code = function
   | Deadline_exceeded _ -> "deadline_exceeded"
   | Overloaded _ -> "overloaded"
   | Queue_timeout _ -> "queue_timeout"
+  | Too_many_connections _ -> "too_many_connections"
 
 (* Recoverable = a safer solver configuration could plausibly change
    the outcome, so the resilience ladder should retry. The rest are
@@ -43,7 +45,8 @@ let code = function
    server load, so retrying after backoff is the right move. *)
 let is_recoverable = function
   | Non_convergence _ | Step_budget _ | Non_finite _ | Rail_bound _
-  | Missing_crossing _ | Overloaded _ | Queue_timeout _ ->
+  | Missing_crossing _ | Overloaded _ | Queue_timeout _
+  | Too_many_connections _ ->
       true
   | Cache_io _ | Missing_cell _ | Unsupported _ | Mapping_degraded _
   | Mapping_exhausted _ | Deadline_exceeded _ ->
@@ -79,6 +82,10 @@ let to_string = function
       Printf.sprintf
         "request waited %.4g ms in queue, past its %.4g ms queueing budget"
         waited_ms budget_ms
+  | Too_many_connections { active; limit } ->
+      Printf.sprintf
+        "server at its connection budget (%d active of %d), connection shed"
+        active limit
 
 let pp ppf f = Format.pp_print_string ppf (to_string f)
 

@@ -42,6 +42,10 @@ type t =
       (** the request waited [waited_ms] in the admission queue, past
           its queueing budget of [budget_ms], and was dropped before
           execution — its answer would have arrived too late to use *)
+  | Too_many_connections of { active : int; limit : int }
+      (** the server was already holding [active] connections of its
+          [limit]-connection budget and shed the new connection — the
+          client should back off and reconnect *)
 
 exception Error of t
 (** Carrier exception, registered with [Printexc] for readable
@@ -58,9 +62,9 @@ val is_recoverable : t -> bool
     re-solving the same work under the same wall-clock budget cannot
     beat an expired deadline — one hung solve costs one typed failure,
     not extra retries. The admission-control failures ([Overloaded],
-    [Queue_timeout]) are recoverable: they say nothing about the query
-    itself, only about transient server load, so a client retry after
-    backoff is the right move. *)
+    [Queue_timeout], [Too_many_connections]) are recoverable: they say
+    nothing about the query itself, only about transient server load,
+    so a client retry after backoff is the right move. *)
 
 val code : t -> string
 (** Stable snake_case tag for metrics and JSON ("non_convergence",

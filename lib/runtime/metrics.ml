@@ -77,7 +77,22 @@ let capture_cache t cache =
   set t "cache.disk_hits" (Cache.disk_hits cache);
   set t "cache.misses" (Cache.misses cache);
   set t "cache.read_errors" (Cache.read_errors cache);
-  set t "cache.resident" (Cache.length cache)
+  set t "cache.write_errors" (Cache.write_errors cache);
+  set t "cache.resident" (Cache.length cache);
+  match Cache.breaker_state cache with
+  | None -> ()
+  | Some st ->
+      (* 0 = closed, 1 = open, 2 = half-open — a gauge operators can
+         alert on. *)
+      set t "cache.breaker_state"
+        (match st with
+        | Cache.Breaker.Closed -> 0
+        | Cache.Breaker.Open -> 1
+        | Cache.Breaker.Half_open -> 2);
+      set t "cache.breaker_opens" (Cache.breaker_opens cache);
+      set t "cache.breaker_recloses" (Cache.breaker_recloses cache);
+      set t "cache.breaker_short_circuits"
+        (Cache.breaker_short_circuits cache)
 
 let capture_resilience ?since t =
   let s = Resilience.Stats.snapshot () in

@@ -20,12 +20,24 @@ let sockaddr = function
   | Unix_path p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
   | Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (resolve host, port))
 
-let connect ?(retries = 100) addr =
+let connect ?(retries = 100) ?read_timeout_s ?write_timeout_s addr =
   let domain, sa = sockaddr addr in
+  let arm fd =
+    let set opt v =
+      match v with
+      | None -> ()
+      | Some s -> (
+          try Unix.setsockopt_float fd opt s with Unix.Unix_error _ -> ())
+    in
+    set Unix.SO_RCVTIMEO read_timeout_s;
+    set Unix.SO_SNDTIMEO write_timeout_s
+  in
   let rec go attempt =
     let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd sa with
-    | () -> { fd; open_ = true }
+    | () ->
+        arm fd;
+        { fd; open_ = true }
     | exception
         Unix.Unix_error ((ECONNREFUSED | ENOENT | EAGAIN | EINTR), _, _)
       when attempt < retries ->
@@ -54,6 +66,7 @@ let call_raw t request =
         match Protocol.read_frame t.fd with
         | Ok payload -> Ok payload
         | Error `Eof -> Error "connection closed by server"
+        | Error (`Timeout _) -> Error "timed out waiting for response"
         | Error (`Err msg) -> Error msg)
     | exception Unix.Unix_error (e, _, _) ->
         Error ("send failed: " ^ Unix.error_message e)
@@ -68,3 +81,118 @@ let call t request =
 
 let ping t =
   call t { Protocol.id = 0; query = Protocol.Ping; deadline_ms = None }
+
+(* ------------------------------------------------------------------ *)
+(* Retrying call: fresh connection per attempt, capped exponential
+   backoff with deterministic (digest-seeded) jitter so concurrent
+   clients desynchronise without a global RNG, and a hard attempt
+   budget so callers always get a typed error rather than an unbounded
+   loop. *)
+
+type retry_policy = {
+  attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  seed : int;
+}
+
+let default_retry_policy =
+  { attempts = 5; base_delay_s = 0.02; max_delay_s = 0.5; seed = 0 }
+
+type retry_error = { attempts : int; last : string }
+
+let retry_error_to_string { attempts; last } =
+  Printf.sprintf "retry budget exhausted after %d attempts (last: %s)"
+    attempts last
+
+let jitter_roll seed k =
+  let d = Digest.string (Printf.sprintf "client.retry:%d:%d" seed k) in
+  let x = ref 0 in
+  for i = 0 to 5 do
+    x := (!x lsl 8) lor Char.code d.[i]
+  done;
+  float_of_int !x /. float_of_int (1 lsl 48)
+
+let backoff_delay policy attempt =
+  let expo = policy.base_delay_s *. (2.0 ** float_of_int (attempt - 1)) in
+  let capped = Float.min policy.max_delay_s expo in
+  (* Jitter in [0.5, 1.0] of the capped delay. *)
+  capped *. (0.5 +. (0.5 *. jitter_roll policy.seed attempt))
+
+(* Does this (well-formed) response carry a recoverable typed error —
+   an admission shed ([overloaded], [too_many_connections], ...) worth
+   retrying on a fresh connection? *)
+let recoverable_error doc =
+  match Json.member "error" doc with
+  | None -> None
+  | Some err -> (
+      match Json.member "recoverable" err with
+      | Some (Json.Bool true) ->
+          Some
+            (match Option.bind (Json.member "code" err) Json.to_str with
+            | Some code -> code
+            | None -> "unknown")
+      | _ -> None)
+
+let call_raw_with_retry ?(policy = default_retry_policy)
+    ?(retry_recoverable = false) ?read_timeout_s ?write_timeout_s addr
+    request =
+  if policy.attempts < 1 then
+    invalid_arg "Client.call_raw_with_retry: attempts < 1";
+  let rec attempt i last =
+    if i >= policy.attempts then Error { attempts = i; last }
+    else begin
+      if i > 0 then Thread.delay (backoff_delay policy i);
+      match connect ~retries:0 ?read_timeout_s ?write_timeout_s addr with
+      | exception Unix.Unix_error (e, _, _) ->
+          attempt (i + 1) ("connect failed: " ^ Unix.error_message e)
+      | exception Stdlib.Failure msg -> attempt (i + 1) msg
+      | c -> (
+          let result = call_raw c request in
+          close c;
+          match result with
+          | Ok payload -> (
+              let recoverable =
+                if retry_recoverable then
+                  match Json.parse payload with
+                  | Ok doc -> recoverable_error doc
+                  | Error _ -> None
+                else None
+              in
+              match recoverable with
+              | Some code ->
+                  attempt (i + 1) ("recoverable server error: " ^ code)
+              | None -> Ok payload)
+          | Error msg -> attempt (i + 1) msg)
+    end
+  in
+  attempt 0 "no attempt made"
+
+let call_with_retry ?(policy = default_retry_policy)
+    ?(retry_recoverable = false) ?read_timeout_s ?write_timeout_s addr
+    request =
+  if policy.attempts < 1 then
+    invalid_arg "Client.call_with_retry: attempts < 1";
+  let rec attempt i last =
+    if i >= policy.attempts then Error { attempts = i; last }
+    else begin
+      if i > 0 then Thread.delay (backoff_delay policy i);
+      match connect ~retries:0 ?read_timeout_s ?write_timeout_s addr with
+      | exception Unix.Unix_error (e, _, _) ->
+          attempt (i + 1) ("connect failed: " ^ Unix.error_message e)
+      | exception Stdlib.Failure msg -> attempt (i + 1) msg
+      | c -> (
+          let result = call c request in
+          close c;
+          match result with
+          | Ok doc -> (
+              match
+                if retry_recoverable then recoverable_error doc else None
+              with
+              | Some code ->
+                  attempt (i + 1) ("recoverable server error: " ^ code)
+              | None -> Ok doc)
+          | Error msg -> attempt (i + 1) msg)
+    end
+  in
+  attempt 0 "no attempt made"

@@ -15,11 +15,15 @@ val addr_to_string : addr -> string
 
 type t
 
-val connect : ?retries:int -> addr -> t
+val connect :
+  ?retries:int -> ?read_timeout_s:float -> ?write_timeout_s:float -> addr -> t
 (** Connect, retrying [retries] times (default 100, 50 ms apart) while
     the target refuses or does not exist yet — absorbs the daemon
     startup race in tests and CI. Raises [Unix.Unix_error] once the
-    retries are exhausted. *)
+    retries are exhausted. [read_timeout_s]/[write_timeout_s] arm
+    socket deadlines ([SO_RCVTIMEO]/[SO_SNDTIMEO]) so a stalled or
+    dead server surfaces as a transport error instead of hanging the
+    caller. *)
 
 val close : t -> unit
 
@@ -35,3 +39,59 @@ val call : t -> Protocol.request -> (Json.t, string) result
 val ping : t -> (Json.t, string) result
 (** [{"op":"ping"}] round-trip; the [ok] body reports the daemon's
     protocol version and engine name. *)
+
+(** {1 Retrying calls}
+
+    Transport failures against a chaotic server (refused, reset,
+    torn frame, timeout) are usually transient; {!call_with_retry}
+    absorbs them with a fresh connection per attempt and capped
+    exponential backoff, under a hard attempt budget so callers always
+    end with a typed {!retry_error} rather than an unbounded loop. *)
+
+type retry_policy = {
+  attempts : int;  (** total attempts including the first (>= 1) *)
+  base_delay_s : float;  (** backoff before attempt 2 *)
+  max_delay_s : float;  (** backoff cap *)
+  seed : int;
+      (** jitter seed — deterministic digest-based jitter in
+          [0.5, 1.0] of the capped delay desynchronises concurrent
+          clients without a global RNG *)
+}
+
+val default_retry_policy : retry_policy
+(** 5 attempts, 20 ms base, 500 ms cap, seed 0. *)
+
+type retry_error = { attempts : int; last : string }
+(** The budget was exhausted; [last] is the final attempt's failure. *)
+
+val retry_error_to_string : retry_error -> string
+
+val call_raw_with_retry :
+  ?policy:retry_policy ->
+  ?retry_recoverable:bool ->
+  ?read_timeout_s:float ->
+  ?write_timeout_s:float ->
+  addr ->
+  Protocol.request ->
+  (string, retry_error) result
+(** {!call_with_retry} on the raw payload bytes — for byte-identity
+    harnesses. An unparseable payload is returned as [Ok] untouched
+    (only transport errors and, with [retry_recoverable], well-formed
+    recoverable errors consume the budget); the caller decides whether
+    garbage bytes warrant another logical attempt. *)
+
+val call_with_retry :
+  ?policy:retry_policy ->
+  ?retry_recoverable:bool ->
+  ?read_timeout_s:float ->
+  ?write_timeout_s:float ->
+  addr ->
+  Protocol.request ->
+  (Json.t, retry_error) result
+(** One logical request with retries: each attempt opens a fresh
+    connection (no [connect]-level retries — refusals feed the backoff
+    loop), sends [request], and reads one response.
+    [retry_recoverable] additionally retries well-formed responses
+    whose [error] document is marked recoverable (admission sheds:
+    [overloaded], [too_many_connections], [queue_timeout]) — off by
+    default since re-running a solve costs server work. *)

@@ -6,6 +6,10 @@ type config = {
   max_batch : int;
   queue_timeout_ms : float option;
   default_deadline_ms : float option;
+  max_conns : int;
+  read_timeout_s : float option;
+  write_timeout_s : float option;
+  max_frames_per_conn : int option;
 }
 
 let default_config =
@@ -17,6 +21,10 @@ let default_config =
     max_batch = 16;
     queue_timeout_ms = None;
     default_deadline_ms = None;
+    max_conns = 256;
+    read_timeout_s = None;
+    write_timeout_s = None;
+    max_frames_per_conn = None;
   }
 
 type t = {
@@ -135,36 +143,94 @@ let handle_request t fd payload =
                    "server is draining"))));
   observe_latency t.metrics ((Unix.gettimeofday () -. started) *. 1e3)
 
+(* Best-effort: the peer may already be gone, and on a write-deadline
+   socket the farewell frame itself may time out. *)
+let try_respond fd doc =
+  try write_response fd doc with Unix.Unix_error _ -> ()
+
+let conn_active t =
+  Mutex.lock t.conns_m;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_m;
+  n
+
 let conn_loop t key fd =
   let finish () =
     Mutex.lock t.conns_m;
     Hashtbl.remove t.conns key;
+    let active = Hashtbl.length t.conns in
     Mutex.unlock t.conns_m;
-    close_quietly fd
+    close_quietly fd;
+    Runtime.Metrics.incr t.metrics "server.conn_closed";
+    Runtime.Metrics.set t.metrics "server.conn_active" active
   in
   Fun.protect ~finally:finish (fun () ->
-      let rec go () =
-        match Protocol.read_frame fd with
-        | Error `Eof -> ()
-        | Error (`Err msg) ->
-            (* Framing is broken; we cannot resync, so answer and drop
-               the connection. *)
-            (try
-               write_response fd
-                 (Protocol.error_response ~id:0 ~code:"bad_request" msg)
-             with Unix.Unix_error _ -> ())
-        | Ok payload -> (
-            match handle_request t fd payload with
-            | () -> go ()
-            | exception Unix.Unix_error _ -> ())
+      let rec go frames =
+        let over_budget =
+          match t.config.max_frames_per_conn with
+          | Some limit -> frames >= limit
+          | None -> false
+        in
+        if over_budget then begin
+          (* The connection did nothing wrong; it just exhausted its
+             frame budget. Tell it to reconnect rather than vanishing. *)
+          Runtime.Metrics.incr t.metrics "server.conn_frame_limit";
+          try_respond fd
+            (Protocol.error_response ~id:0 ~code:"frame_limit"
+               (Printf.sprintf
+                  "per-connection frame budget of %d exhausted, reconnect"
+                  frames))
+        end
+        else
+          match Protocol.read_frame fd with
+          | Error `Eof -> ()
+          | Error (`Timeout `Idle) ->
+              (* Quiet connection past the read deadline: reclaim it. *)
+              Runtime.Metrics.incr t.metrics "server.conn_idle_timeouts"
+          | Error (`Timeout `Mid_frame) ->
+              (* The slowloris signature: a frame was started and never
+                 finished. Answer and drop. *)
+              Runtime.Metrics.incr t.metrics "server.conn_read_timeouts";
+              try_respond fd
+                (Protocol.error_response ~id:0 ~code:"timeout"
+                   "read timed out mid-frame, connection dropped")
+          | Error (`Err msg) ->
+              (* Framing is broken; we cannot resync, so answer and drop
+                 the connection. *)
+              Runtime.Metrics.incr t.metrics "server.conn_errors";
+              try_respond fd
+                (Protocol.error_response ~id:0 ~code:"bad_request" msg)
+          | Ok payload -> (
+              match handle_request t fd payload with
+              | () -> go (frames + 1)
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                ->
+                  (* The peer stopped draining its socket past the write
+                     deadline. *)
+                  Runtime.Metrics.incr t.metrics "server.conn_write_timeouts"
+              | exception Unix.Unix_error _ -> ())
       in
-      go ())
+      go 0)
 
 let spawn t f =
   let th = Thread.create f () in
   Mutex.lock t.threads_m;
   t.threads := th :: !(t.threads);
   Mutex.unlock t.threads_m
+
+(* Per-connection deadlines via socket timeouts: a blocked read/write
+   past the budget surfaces as EAGAIN, which the framing layer maps to
+   [`Timeout] — the slowloris defense needs no extra watcher thread. *)
+let arm_deadlines config fd =
+  let set opt v =
+    match v with
+    | None -> ()
+    | Some s -> (
+        try Unix.setsockopt_float fd opt s with Unix.Unix_error _ -> ())
+  in
+  set Unix.SO_RCVTIMEO config.read_timeout_s;
+  set Unix.SO_SNDTIMEO config.write_timeout_s
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
@@ -221,12 +287,33 @@ let start (config : config) =
     Thread.create
       (fun () ->
         Listener.accept_loop ~stop:stop_flag listen_fd (fun fd _peer ->
-            Runtime.Metrics.incr metrics "server.connections";
-            let key = Atomic.fetch_and_add conn_counter 1 in
-            Mutex.lock t.conns_m;
-            Hashtbl.replace t.conns key fd;
-            Mutex.unlock t.conns_m;
-            spawn t (fun () -> conn_loop t key fd)))
+            let active = conn_active t in
+            if active >= config.max_conns then begin
+              (* Budget exhausted: shed with a typed failure so the
+                 client can tell "back off and reconnect" from a crash,
+                 then close — never hold an fd for a connection we will
+                 not serve. *)
+              Runtime.Metrics.incr metrics "server.conn_shed";
+              arm_deadlines config fd;
+              try_respond fd
+                (Protocol.response ~id:0
+                   (Error
+                      (Runtime.Failure.Too_many_connections
+                         { active; limit = config.max_conns })));
+              close_quietly fd
+            end
+            else begin
+              Runtime.Metrics.incr metrics "server.connections";
+              Runtime.Metrics.incr metrics "server.conn_opened";
+              arm_deadlines config fd;
+              let key = Atomic.fetch_and_add conn_counter 1 in
+              Mutex.lock t.conns_m;
+              Hashtbl.replace t.conns key fd;
+              let now_active = Hashtbl.length t.conns in
+              Mutex.unlock t.conns_m;
+              Runtime.Metrics.set metrics "server.conn_active" now_active;
+              spawn t (fun () -> conn_loop t key fd)
+            end))
       ()
   in
   let http_acceptor =
@@ -238,6 +325,7 @@ let start (config : config) =
         Thread.create
           (fun () ->
             Listener.accept_loop ~stop:stop_flag fd (fun cfd _peer ->
+                arm_deadlines config cfd;
                 spawn t (fun () ->
                     Listener.handle_http ~metrics ~health cfd)))
           ())

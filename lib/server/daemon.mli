@@ -16,6 +16,21 @@
     {!Runtime.Failure.Overloaded} response — the daemon never blocks
     accepts or grows memory under overload.
 
+    Connection lifecycle: at most [max_conns] concurrent protocol
+    connections — past the budget the acceptor answers one typed
+    {!Runtime.Failure.Too_many_connections} frame and closes.
+    Optional per-connection read/write deadlines (socket timeouts)
+    defend both the framed socket and the HTTP endpoints against
+    slowloris peers: an idle timeout silently reclaims the
+    connection, a mid-frame timeout answers [timeout] and drops, a
+    write timeout drops a peer that stopped draining its socket. An
+    optional per-connection frame budget bounds how long one
+    connection can monopolise its handler thread. Everything is
+    counted under [server.conn_*] metrics ([conn_opened],
+    [conn_closed], [conn_active], [conn_shed], [conn_idle_timeouts],
+    [conn_read_timeouts], [conn_write_timeouts], [conn_frame_limit],
+    [conn_errors]).
+
     Shutdown sequence ({!stop}, also run on SIGINT/SIGTERM by {!run}):
     stop accepting → close the queue (new requests answered
     [shutting_down]) → batcher drains and answers every queued job →
@@ -38,12 +53,24 @@ type config = {
       (** shed queued requests older than this with [Queue_timeout] *)
   default_deadline_ms : float option;
       (** per-request solve budget when the request carries none *)
+  max_conns : int;
+      (** concurrent protocol-connection budget; excess connections
+          are shed with [Too_many_connections] *)
+  read_timeout_s : float option;
+      (** per-connection read deadline (SO_RCVTIMEO), protocol and
+          HTTP both *)
+  write_timeout_s : float option;
+      (** per-connection write deadline (SO_SNDTIMEO) *)
+  max_frames_per_conn : int option;
+      (** frame budget per connection; answered [frame_limit] when
+          exhausted *)
 }
 
 val default_config : config
 (** Unix socket ["/tmp/sta_serve.sock"], no HTTP listener, the [fast]
     engine preset, queue depth 64, max batch 16, no queue timeout, no
-    default deadline. *)
+    default deadline, 256 max connections, no read/write deadlines, no
+    frame budget. *)
 
 type t
 
@@ -53,6 +80,11 @@ val start : config -> t
 
 val addr : t -> Client.addr
 val metrics : t -> Runtime.Metrics.t
+
+val conn_active : t -> int
+(** Number of live protocol connections right now. Drains to zero
+    after {!stop}; chaos harnesses poll it to prove no connection (and
+    so no fd) leaked. *)
 
 val stop : t -> unit
 (** Graceful drain as described above; blocks until every thread has

@@ -1,0 +1,212 @@
+(* Seeded byte-stream fuzzing of the request path: Frame -> Json ->
+   Protocol.parse. The contract under test is total: EVERY input —
+   random bytes, mutated valid requests, structural JSON nasties,
+   schema violations, version junk — must come back as a parsed
+   request or a typed Bad_request/Version_mismatch, never an escaped
+   exception. The generator is [Random.State] seeded from the run
+   seed, so a failing input is reproducible from (seed, index) alone
+   and can be promoted into the committed regression corpus. *)
+
+type outcome = Parsed | Bad_request | Version_mismatch
+
+type stats = {
+  inputs : int;
+  parsed : int;
+  bad_requests : int;
+  version_mismatches : int;
+  frame_trips : int;
+  escaped : (int * string * string) list;
+      (* (input index, truncated input, exception) — non-empty means
+         the contract is broken *)
+}
+
+(* One input through the parser, exercising the full error path: a
+   typed parse error must also render to a response frame without
+   raising. Returns an [Error] only for an escaped exception. *)
+let run_one text =
+  match Protocol.parse_request text with
+  | Ok req ->
+      (* A parsed request must also survive re-rendering. *)
+      let (_ : string) = Json.to_string (Protocol.request_to_json req) in
+      let (_ : Protocol.klass) = Protocol.klass req.Protocol.query in
+      Ok Parsed
+  | Error (Protocol.Bad_request _ as e) ->
+      let (_ : string) = Json.to_string (Protocol.parse_error_response e) in
+      Ok Bad_request
+  | Error (Protocol.Version_mismatch _ as e) ->
+      let (_ : string) = Json.to_string (Protocol.parse_error_response e) in
+      Ok Version_mismatch
+  | exception e -> Error (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Input generators                                                    *)
+
+let valid_templates =
+  [
+    {|{"id":1,"op":"ping"}|};
+    {|{"id":2,"op":"stats"}|};
+    {|{"id":3,"op":"delay","config":"i","tau_ps":40,"technique":"SGDP"}|};
+    {|{"id":4,"op":"gamma","config":"ii","tau_ps":25.5,"ladder":["SGDP","P1"]}|};
+    {|{"id":5,"op":"table1","config":"i","cases":10,"samples":3}|};
+    {|{"id":6,"op":"montecarlo","config":"buffer","samples":8,"seed":7}|};
+    {|{"id":7,"version":"1.1.0","op":"delay","config":"1","tau_ps":10,"deadline_ms":50}|};
+  ]
+
+let json_fragments =
+  [
+    "{"; "}"; "["; "]"; ":"; ","; "\""; "\\"; "\\u"; "\\u00"; "null";
+    "true"; "false"; "1e308"; "-1e-308"; "1e999"; "NaN"; "Infinity";
+    "-Infinity"; "0.0.0"; "1.7976931348623157e309"; "9007199254740993";
+    "\"op\""; "\"id\""; "\"version\""; "\"tau_ps\""; "\"config\"";
+    "\"ping\""; "\"delay\""; "\xff\xfe"; "\x00"; "\xc3\x28"; "\"\\ud800\"";
+  ]
+
+let random_bytes st len = String.init len (fun _ -> Char.chr (Random.State.int st 256))
+
+let mutate st s =
+  let b = Bytes.of_string s in
+  let flips = 1 + Random.State.int st 4 in
+  for _ = 1 to flips do
+    if Bytes.length b > 0 then begin
+      let i = Random.State.int st (Bytes.length b) in
+      Bytes.set b i (Char.chr (Random.State.int st 256))
+    end
+  done;
+  Bytes.unsafe_to_string b
+
+let nest st =
+  (* Deep structural nesting probes the parser's depth limit. *)
+  let depth = 1 + Random.State.int st 300 in
+  let opener = if Random.State.bool st then '[' else '{' in
+  let closer = if opener = '[' then ']' else '}' in
+  let closed = Random.State.bool st in
+  String.make depth opener
+  ^ (if closed then String.make depth closer else "")
+
+let fragment_soup st =
+  let n = 1 + Random.State.int st 20 in
+  String.concat ""
+    (List.init n (fun _ ->
+         List.nth json_fragments
+           (Random.State.int st (List.length json_fragments))))
+
+let schema_violation st =
+  (* Valid JSON, wrong shapes: wrong field types, out-of-range values,
+     unknown ops — must all die in validation, not in evaluation. *)
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let id = pick [ "1"; "\"one\""; "null"; "-9"; "1.5"; "[]" ] in
+  let op =
+    pick
+      [
+        "\"ping\""; "\"delay\""; "\"table1\""; "\"montecarlo\"";
+        "\"gamma\""; "\"DELAY\""; "\"nope\""; "42"; "null"; "[\"delay\"]";
+      ]
+  in
+  let tau = pick [ "40"; "-40"; "0"; "\"40\""; "null"; "1e999"; "{}" ] in
+  let config = pick [ "\"i\""; "\"ii\""; "\"iii\""; "17"; "null"; "\"\"" ] in
+  let cases = pick [ "10"; "0"; "-3"; "100000000"; "2.5"; "\"many\"" ] in
+  Printf.sprintf
+    {|{"id":%s,"op":%s,"tau_ps":%s,"config":%s,"cases":%s,"samples":%s}|}
+    id op tau config cases cases
+
+let version_junk st =
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let v =
+    pick
+      [
+        "\"1.1.0\""; "\"1.0.0\""; "\"2.0.0\""; "\"0.9\""; "\"1\"";
+        "\"x.y.z\""; "\"\""; "\"999999999999999999999.0\""; "17"; "null";
+        "[1,1,0]"; "\"1.1.0-rc1\"";
+      ]
+  in
+  Printf.sprintf {|{"id":8,"version":%s,"op":"ping"}|} v
+
+let gen_input st k =
+  match k mod 6 with
+  | 0 -> random_bytes st (Random.State.int st 129)
+  | 1 ->
+      mutate st
+        (List.nth valid_templates
+           (Random.State.int st (List.length valid_templates)))
+  | 2 -> nest st
+  | 3 -> fragment_soup st
+  | 4 -> schema_violation st
+  | _ -> version_junk st
+
+(* ------------------------------------------------------------------ *)
+(* Frame-layer trip: the input rides a real socketpair through
+   [Protocol.write_frame]/[read_frame] (and so through [Netfault] when
+   armed) before parsing, with an occasional deliberately corrupted
+   length prefix. The writer half-closes after writing, so a lying
+   prefix surfaces as a truncated-frame error instead of a blocked
+   read. *)
+
+let frame_trip st input =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = String.length input in
+      let corrupt_prefix = Random.State.int st 4 = 0 in
+      let claimed =
+        if corrupt_prefix then Random.State.full_int st 0x7fffffff else len
+      in
+      let buf = Bytes.create (4 + len) in
+      Bytes.set_int32_be buf 0 (Int32.of_int claimed);
+      Bytes.blit_string input 0 buf 4 len;
+      let rec send ofs =
+        if ofs < 4 + len then
+          match Unix.write a buf ofs (4 + len - ofs) with
+          | n -> send (ofs + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> send ofs
+      in
+      send 0;
+      (try Unix.shutdown a Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+      match Protocol.read_frame b with
+      | Ok payload -> run_one payload
+      | Error (`Eof | `Err _ | `Timeout _) ->
+          (* A refused frame is a typed outcome too. *)
+          Ok Bad_request)
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 0) ?(count = 10_000) ?(frame_every = 64) () =
+  let st = Random.State.make [| seed; 0x57a |] in
+  let stats =
+    ref
+      {
+        inputs = 0;
+        parsed = 0;
+        bad_requests = 0;
+        version_mismatches = 0;
+        frame_trips = 0;
+        escaped = [];
+      }
+  in
+  for k = 0 to count - 1 do
+    let input = gen_input st k in
+    let via_frame = frame_every > 0 && k mod frame_every = 0 in
+    let result =
+      if via_frame then frame_trip st input else run_one input
+    in
+    let s = !stats in
+    let s =
+      { s with inputs = s.inputs + 1;
+        frame_trips = (s.frame_trips + if via_frame then 1 else 0) }
+    in
+    stats :=
+      (match result with
+      | Ok Parsed -> { s with parsed = s.parsed + 1 }
+      | Ok Bad_request -> { s with bad_requests = s.bad_requests + 1 }
+      | Ok Version_mismatch ->
+          { s with version_mismatches = s.version_mismatches + 1 }
+      | Error exn_s ->
+          let shown =
+            if String.length input <= 80 then input
+            else String.sub input 0 80 ^ "..."
+          in
+          { s with escaped = (k, String.escaped shown, exn_s) :: s.escaped })
+  done;
+  { !stats with escaped = List.rev !stats.escaped }

@@ -1,0 +1,38 @@
+(** Seeded fuzzing of the request path: Frame → Json → Protocol.parse.
+
+    The contract under test is totality: every byte string — random
+    bytes, mutated valid requests, structural JSON nasties (deep
+    nesting, huge numbers, broken escapes), schema violations, version
+    junk — must yield a parsed request or a typed
+    [Bad_request]/[Version_mismatch] whose response frame renders,
+    never an escaped exception. A fraction of inputs additionally ride
+    a real socketpair through [write_frame]/[read_frame] (and so
+    through {!Netfault} when armed), some with deliberately corrupted
+    length prefixes.
+
+    Inputs are generated from [Random.State] seeded by the run seed,
+    so a failure is reproducible from (seed, index) alone; crashers
+    get promoted into the committed corpus under [test/fuzz_corpus/]
+    and replayed forever by [test_fuzz]. *)
+
+type outcome = Parsed | Bad_request | Version_mismatch
+
+type stats = {
+  inputs : int;
+  parsed : int;
+  bad_requests : int;
+  version_mismatches : int;
+  frame_trips : int;  (** inputs that rode the socketpair framing *)
+  escaped : (int * string * string) list;
+      (** (input index, truncated escaped input, exception) — any
+          entry means the totality contract is broken *)
+}
+
+val run_one : string -> (outcome, string) result
+(** One input through parse + error rendering; [Error] carries an
+    escaped exception's description. *)
+
+val run : ?seed:int -> ?count:int -> ?frame_every:int -> unit -> stats
+(** Fuzz [count] inputs (default 10k) from [seed] (default 0), every
+    [frame_every]-th (default 64; 0 disables) through the socketpair
+    framing layer. *)

@@ -25,7 +25,11 @@ let contains_substring s sub =
   m = 0 || at 0
 
 (* Read until the blank line ending the header block; we ignore the
-   headers themselves, so the request line is all we need to route. *)
+   headers themselves, so the request line is all we need to route.
+   The cap is a hard limit on the buffered total — a header block that
+   would exceed it is rejected as [`Too_large] (answered 413), never
+   silently truncated — and a read deadline expiring on the socket
+   (SO_RCVTIMEO → EAGAIN) surfaces as [`Timeout] (answered 408). *)
 let read_request fd =
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 512 in
@@ -34,15 +38,19 @@ let read_request fd =
     contains_substring s "\r\n\r\n" || contains_substring s "\n\n"
   in
   let rec go () =
-    if Buffer.length buf > max_http_request || header_done () then
-      Buffer.contents buf
+    if header_done () then Ok (Buffer.contents buf)
     else
       match Unix.read fd chunk 0 (Bytes.length chunk) with
-      | 0 -> Buffer.contents buf
+      | 0 -> Ok (Buffer.contents buf)
       | n ->
-          Buffer.add_subbytes buf chunk 0 n;
-          go ()
+          if Buffer.length buf + n > max_http_request then Error `Too_large
+          else begin
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          end
       | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          Error `Timeout
   in
   go ()
 
@@ -81,13 +89,25 @@ let handle_http ~metrics ~health fd =
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       try
-        let request = read_request fd in
-        let line =
-          match String.index_opt request '\n' with
-          | Some i -> String.sub request 0 i
-          | None -> request
-        in
-        if line <> "" then
-          let status, body = route ~metrics ~health line in
-          respond fd ~status ~body
-      with Unix.Unix_error _ -> ())
+        match read_request fd with
+        | Error `Too_large ->
+            Runtime.Metrics.incr metrics "server.http_errors";
+            respond fd ~status:"413 Content Too Large"
+              ~body:"request header block too large\n"
+        | Error `Timeout ->
+            Runtime.Metrics.incr metrics "server.http_errors";
+            respond fd ~status:"408 Request Timeout"
+              ~body:"request header read timed out\n"
+        | Ok request ->
+            let line =
+              match String.index_opt request '\n' with
+              | Some i -> String.sub request 0 i
+              | None -> request
+            in
+            if line <> "" then
+              let status, body = route ~metrics ~health line in
+              respond fd ~status ~body
+      with Unix.Unix_error _ ->
+        (* The peer vanished mid-exchange. Count it — a flapping scrape
+           target should be visible to operators, not swallowed. *)
+        Runtime.Metrics.incr metrics "server.http_errors")

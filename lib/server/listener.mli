@@ -13,9 +13,12 @@
     - [GET /health] — the [health] callback's body (["ok\n"] while
       serving, ["draining\n"] during shutdown) with status 200.
 
-    Anything else is a 404. There is deliberately no request body
-    handling, keep-alive, or TLS — this is an operability port, not a
-    web server. *)
+    Anything else is a 404. A header block over the request cap is a
+    413, an expired socket read deadline a 408; both — plus any
+    I/O error mid-exchange — count under [server.http_errors] so a
+    flapping scrape target is visible to operators. There is
+    deliberately no request body handling, keep-alive, or TLS — this
+    is an operability port, not a web server. *)
 
 val accept_loop :
   stop:bool Atomic.t ->
@@ -31,4 +34,5 @@ val handle_http :
   health:(unit -> string) ->
   Unix.file_descr ->
   unit
-(** Serve one HTTP request on [fd] and close it (also on error). *)
+(** Serve one HTTP request on [fd] and close it (also on error).
+    Honours an armed [SO_RCVTIMEO]/[SO_SNDTIMEO] on [fd]. *)

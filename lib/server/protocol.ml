@@ -535,14 +535,23 @@ let parse_error_response = function
 
 let max_frame = 16 * 1024 * 1024
 
+(* Fd ops go through [Netfault] (a pass-through to [Unix.read]/
+   [Unix.write] unless a chaos plan is armed). A socket armed with
+   SO_RCVTIMEO surfaces an expired deadline as EAGAIN/EWOULDBLOCK;
+   [~any] distinguishes an idle timeout (no byte of the next frame
+   yet — the caller may treat it as a quiet connection) from a
+   mid-frame one (the slowloris signature: a peer that started a frame
+   and stopped feeding it). *)
 let rec really_read fd buf ofs len ~any =
   if len = 0 then Ok ()
   else
-    match Unix.read fd buf ofs len with
+    match Netfault.read fd buf ofs len with
     | 0 -> if any then Error (`Err "truncated frame") else Error `Eof
     | n -> really_read fd buf (ofs + n) (len - n) ~any:true
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->
         really_read fd buf ofs len ~any
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Error (`Timeout (if any then `Mid_frame else `Idle))
     | exception Unix.Unix_error (e, _, _) ->
         Error (`Err (Unix.error_message e))
 
@@ -568,7 +577,7 @@ let write_frame fd payload =
   Bytes.blit_string payload 0 buf 4 len;
   let rec go ofs remaining =
     if remaining > 0 then
-      match Unix.write fd buf ofs remaining with
+      match Netfault.write fd buf ofs remaining with
       | n -> go (ofs + n) (remaining - n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs remaining
   in

@@ -112,9 +112,18 @@ val max_frame : int
     must not allocate unboundedly. *)
 
 val read_frame :
-  Unix.file_descr -> (string, [ `Eof | `Err of string ]) result
+  Unix.file_descr ->
+  ( string,
+    [ `Eof | `Timeout of [ `Idle | `Mid_frame ] | `Err of string ] )
+  result
 (** Read one length-prefixed frame, blocking. [`Eof] on clean
-    connection close at a frame boundary. *)
+    connection close at a frame boundary. On a socket armed with
+    [SO_RCVTIMEO], an expired deadline surfaces as [`Timeout `Idle]
+    (no byte of the next frame had arrived — a quiet connection) or
+    [`Timeout `Mid_frame] (the peer started a frame and stalled — the
+    slowloris signature). All fd ops go through {!Netfault}. *)
 
 val write_frame : Unix.file_descr -> string -> unit
-(** Write one frame; raises [Unix.Unix_error] on a dead peer. *)
+(** Write one frame; raises [Unix.Unix_error] on a dead peer (or
+    [EAGAIN] past an armed [SO_SNDTIMEO] write deadline). All fd ops
+    go through {!Netfault}. *)

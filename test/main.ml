@@ -17,4 +17,5 @@ let () =
       Test_extensions.suite;
       Test_substrate.suite;
       Test_server.suite;
+      Test_fuzz.suite;
     ]

@@ -1,0 +1,365 @@
+(* Fuzzing and chaos-machinery tests: the committed regression corpus
+   replayed through Frame -> Json -> Protocol.parse, seeded fuzz
+   sweeps (plain and under armed net faults), the fault-plan grammars,
+   and the cache circuit-breaker state machine. *)
+
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Corpus replay *)
+
+(* Resolved relative to the test binary so the replay works both under
+   `dune runtest` and when the executable is run from the repo root. *)
+let corpus_dir =
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) "fuzz_corpus";
+      "fuzz_corpus";
+      Filename.concat "test" "fuzz_corpus";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some dir -> dir
+  | None -> "fuzz_corpus"
+
+let corpus_entries () =
+  match Sys.readdir corpus_dir with
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".bin")
+      |> List.sort String.compare
+  | exception Sys_error _ -> []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let test_corpus_replay () =
+  let entries = corpus_entries () in
+  check_true "corpus is non-empty" (entries <> []);
+  List.iter
+    (fun name ->
+      let payload = read_file (Filename.concat corpus_dir name) in
+      match Server.Fuzz.run_one payload with
+      | Ok _ -> ()
+      | Error exn_s ->
+          Alcotest.failf "corpus entry %s escaped: %s" name exn_s)
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Seeded sweeps *)
+
+let check_no_escapes label (s : Server.Fuzz.stats) =
+  (match s.Server.Fuzz.escaped with
+  | [] -> ()
+  | (k, input, exn_s) :: _ ->
+      Alcotest.failf "%s: input %d escaped with %s (input: %s)" label k
+        exn_s input);
+  check_true (label ^ ": every input classified")
+    (s.Server.Fuzz.parsed + s.Server.Fuzz.bad_requests
+     + s.Server.Fuzz.version_mismatches
+    = s.Server.Fuzz.inputs)
+
+let test_fuzz_sweep () =
+  let s = Server.Fuzz.run ~seed:42 ~count:4000 () in
+  check_no_escapes "seed 42" s;
+  (* The generator must exercise every outcome class, or the sweep is
+     testing less than it claims. *)
+  check_true "some inputs parsed" (s.Server.Fuzz.parsed > 0);
+  check_true "some bad requests" (s.Server.Fuzz.bad_requests > 0);
+  check_true "some version mismatches" (s.Server.Fuzz.version_mismatches > 0);
+  check_true "some frame trips" (s.Server.Fuzz.frame_trips > 0)
+
+let test_fuzz_sweep_seeds () =
+  List.iter
+    (fun seed ->
+      check_no_escapes
+        (Printf.sprintf "seed %d" seed)
+        (Server.Fuzz.run ~seed ~count:1000 ()))
+    [ 0; 1; 7; 1337 ]
+
+let test_fuzz_under_netfaults () =
+  (* Arm net faults so the frame trips see torn/stalled/dropped/
+     corrupted fd ops: outcomes must stay typed. *)
+  Server.Netfault.arm ~stall_s:0.002
+    { Server.Netfault.kind = None;
+      sel = Server.Netfault.Fraction { rate = 0.3; seed = 9 } };
+  Fun.protect ~finally:Server.Netfault.disarm (fun () ->
+      let s = Server.Fuzz.run ~seed:5 ~count:600 ~frame_every:4 () in
+      check_no_escapes "under net faults" s;
+      check_true "net faults actually injected"
+        (Server.Netfault.injected () > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Fault-plan grammars *)
+
+let test_netfault_grammar () =
+  let ok s =
+    match Server.Netfault.of_string s with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "spec %S rejected: %s" s msg
+  in
+  let err s =
+    match Server.Netfault.of_string s with
+    | Ok _ -> Alcotest.failf "spec %S accepted" s
+    | Error _ -> ()
+  in
+  (match ok "nth:3" with
+  | { Server.Netfault.kind = None; sel = Server.Netfault.Nth { n = 3 } } -> ()
+  | _ -> Alcotest.fail "nth:3 parsed wrong");
+  (match ok "drop:nth:0" with
+  | { Server.Netfault.kind = Some Server.Netfault.Drop;
+      sel = Server.Netfault.Nth { n = 0 } } -> ()
+  | _ -> Alcotest.fail "drop:nth:0 parsed wrong");
+  (match ok "0.25@7" with
+  | { Server.Netfault.kind = None;
+      sel = Server.Netfault.Fraction { rate; seed = 7 } } ->
+      approx "rate" 0.25 rate
+  | _ -> Alcotest.fail "0.25@7 parsed wrong");
+  (match ok "stall:0.1" with
+  | { Server.Netfault.kind = Some Server.Netfault.Stall;
+      sel = Server.Netfault.Fraction { rate; seed = 0 } } ->
+      approx "rate" 0.1 rate
+  | _ -> Alcotest.fail "stall:0.1 parsed wrong");
+  ignore (ok "torn:1.0");
+  ignore (ok "corrupt:nth:9");
+  err "nth:-1";
+  err "1.5";
+  err "-0.1";
+  err "bogus:0.5";
+  err "0.5@x";
+  err ""
+
+let test_cache_fault_grammar () =
+  let ok s =
+    match Runtime.Cache.Disk_fault.of_string s with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "spec %S rejected: %s" s msg
+  in
+  let err s =
+    match Runtime.Cache.Disk_fault.of_string s with
+    | Ok _ -> Alcotest.failf "spec %S accepted" s
+    | Error _ -> ()
+  in
+  (match ok "nth:2" with
+  | Runtime.Cache.Disk_fault.Nth { n = 2 } -> ()
+  | _ -> Alcotest.fail "nth:2 parsed wrong");
+  (match ok "0.5@13" with
+  | Runtime.Cache.Disk_fault.Fraction { rate; seed = 13 } ->
+      approx "rate" 0.5 rate
+  | _ -> Alcotest.fail "0.5@13 parsed wrong");
+  err "nth:x";
+  err "2.0";
+  err ""
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker state machine *)
+
+let mk_breaker ?(threshold = 3) ?(cooldown_s = 10.0) () =
+  let now = ref 0.0 in
+  let b =
+    Runtime.Cache.Breaker.create ~threshold ~cooldown_s
+      ~now:(fun () -> !now) ()
+  in
+  (b, now)
+
+let test_breaker_cycle () =
+  let open Runtime.Cache.Breaker in
+  let b, now = mk_breaker () in
+  check_true "starts closed" (state b = Closed);
+  (* Failures below the threshold keep it closed... *)
+  check_true "admit 1" (admit b);
+  failure b;
+  check_true "admit 2" (admit b);
+  failure b;
+  check_true "still closed" (state b = Closed);
+  (* ...a success resets the streak... *)
+  check_true "admit 3" (admit b);
+  success b;
+  check_true "admit 4" (admit b);
+  failure b;
+  check_true "streak was reset" (state b = Closed);
+  (* ...and threshold consecutive failures open it. *)
+  failure b;
+  failure b;
+  check_true "opened" (state b = Open);
+  Alcotest.(check int) "one open" 1 (opens b);
+  (* Open short-circuits until the cooldown. *)
+  check_true "short-circuited" (not (admit b));
+  check_true "short-circuited again" (not (admit b));
+  Alcotest.(check int) "short circuits counted" 2 (short_circuits b);
+  now := 9.0;
+  check_true "still cooling" (not (admit b));
+  now := 10.5;
+  (* One probe is admitted, concurrent ops still shed. *)
+  check_true "probe admitted" (admit b);
+  check_true "half-open" (state b = Half_open);
+  check_true "only one probe" (not (admit b));
+  success b;
+  check_true "reclosed" (state b = Closed);
+  Alcotest.(check int) "one reclose" 1 (recloses b);
+  (* A failed probe re-opens for another full cooldown. *)
+  failure b;
+  failure b;
+  failure b;
+  check_true "reopened" (state b = Open);
+  now := 21.0;
+  check_true "probe 2 admitted" (admit b);
+  failure b;
+  check_true "probe failure reopens" (state b = Open);
+  Alcotest.(check int) "three opens" 3 (opens b);
+  now := 40.0;
+  check_true "probe 3" (admit b);
+  success b;
+  check_true "closed again" (state b = Closed)
+
+(* Random op/clock sequences driven the way the cache drives the
+   breaker (admit, then deliver the outcome only when admitted). *)
+let breaker_events_gen =
+  QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 3))
+
+let test_breaker_properties =
+  qcase ~count:300 "breaker invariants" breaker_events_gen (fun events ->
+      let open Runtime.Cache.Breaker in
+      let threshold = 3 and cooldown_s = 5.0 in
+      let b, now = mk_breaker ~threshold ~cooldown_s () in
+      let consecutive_failures = ref 0 in
+      List.iter
+        (fun e ->
+          match e with
+          | 0 | 1 -> (
+              let was_closed = state b = Closed in
+              let admitted = admit b in
+              (* A closed breaker never sheds. *)
+              if was_closed && not admitted then
+                QCheck2.Test.fail_report "short-circuit while closed";
+              if admitted then
+                if e = 0 then begin
+                  success b;
+                  consecutive_failures := 0
+                end
+                else begin
+                  failure b;
+                  incr consecutive_failures;
+                  (* Threshold consecutive failures never leave it
+                     closed. *)
+                  if !consecutive_failures >= threshold && state b = Closed
+                  then QCheck2.Test.fail_report "closed past threshold"
+                end)
+          | 2 -> now := !now +. 1.0
+          | _ ->
+              now := !now +. cooldown_s +. 1.0;
+              (* After delivering an outcome the streak bookkeeping
+                 restarts relative to state, not the clock; clock
+                 moves don't change the failure streak. *)
+              ())
+        events;
+      (* Every open must precede its reclose. *)
+      opens b >= recloses b && recloses b >= 0 && short_circuits b >= 0)
+
+let test_breaker_create_validation () =
+  (match Runtime.Cache.Breaker.create ~threshold:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "threshold 0 accepted");
+  match Runtime.Cache.Breaker.create ~cooldown_s:(-1.0) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative cooldown accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Disk-fault injection drives the breaker in a real cache *)
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sta_fuzz_cache_%d_%d" (Unix.getpid ())
+         (int_of_float (Unix.gettimeofday () *. 1e6) land 0xffffff))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      (match Sys.readdir dir with
+      | files ->
+          Array.iter
+            (fun f ->
+              try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+            files
+      | exception Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_cache_breaker_under_injected_faults () =
+  with_tmp_dir (fun dir ->
+      let now = ref 0.0 in
+      let cache =
+        Runtime.Cache.create ~disk_dir:dir ~breaker_threshold:4
+          ~breaker_cooldown_s:5.0
+          ~now:(fun () -> !now)
+          ()
+      in
+      let wave = Waveform.Wave.create [| 0.0; 1e-12 |] [| 0.0; 1.0 |] in
+      (* Every disk op fails while armed. *)
+      Runtime.Cache.Disk_fault.arm
+        (Runtime.Cache.Disk_fault.Fraction { rate = 1.0; seed = 0 });
+      Fun.protect ~finally:Runtime.Cache.Disk_fault.disarm (fun () ->
+          for i = 0 to 7 do
+            Runtime.Cache.store cache (Printf.sprintf "key%d" i) [ wave ]
+          done;
+          check_true "breaker opened"
+            (Runtime.Cache.breaker_state cache
+            = Some Runtime.Cache.Breaker.Open);
+          check_true "write errors counted"
+            (Runtime.Cache.write_errors cache >= 4);
+          (* Memory shards keep serving while the disk is fenced off. *)
+          check_true "memory still serves"
+            (Runtime.Cache.find cache "key0" <> None);
+          check_true "short circuits happened"
+            (Runtime.Cache.breaker_short_circuits cache > 0));
+      (* Disarmed + cooled down: the half-open probe re-closes it. *)
+      now := 6.0;
+      Runtime.Cache.store cache "probe" [ wave ];
+      check_true "breaker reclosed"
+        (Runtime.Cache.breaker_state cache
+        = Some Runtime.Cache.Breaker.Closed);
+      check_true "reclose counted" (Runtime.Cache.breaker_recloses cache = 1);
+      (* And the disk layer is genuinely back: a fresh cache reads the
+         probe entry from disk. *)
+      let cache2 = Runtime.Cache.create ~disk_dir:dir () in
+      check_true "disk writes resumed"
+        (Runtime.Cache.find cache2 "probe" <> None))
+
+let test_disk_fault_determinism () =
+  let plan = Runtime.Cache.Disk_fault.Fraction { rate = 0.5; seed = 3 } in
+  let record () =
+    Runtime.Cache.Disk_fault.arm plan;
+    Fun.protect ~finally:Runtime.Cache.Disk_fault.disarm (fun () ->
+        with_tmp_dir (fun dir ->
+            let cache = Runtime.Cache.create ~disk_dir:dir () in
+            for i = 0 to 19 do
+              ignore (Runtime.Cache.find cache (Printf.sprintf "k%d" i))
+            done;
+            ( Runtime.Cache.Disk_fault.injected (),
+              Runtime.Cache.read_errors cache )))
+  in
+  let i1, e1 = record () and i2, e2 = record () in
+  Alcotest.(check int) "same injections" i1 i2;
+  Alcotest.(check int) "same read errors" e1 e2;
+  check_true "some faults injected" (i1 > 0);
+  check_true "not every op faulted" (i1 < 20)
+
+let suite =
+  ( "fuzz",
+    [
+      case "corpus replay stays typed" test_corpus_replay;
+      case "seeded sweep stays typed" test_fuzz_sweep;
+      case "more seeds stay typed" test_fuzz_sweep_seeds;
+      case "sweep under net faults stays typed" test_fuzz_under_netfaults;
+      case "netfault grammar" test_netfault_grammar;
+      case "cache fault grammar" test_cache_fault_grammar;
+      case "breaker closed->open->half->closed" test_breaker_cycle;
+      test_breaker_properties;
+      case "breaker create validation" test_breaker_create_validation;
+      case "cache breaker under injected faults"
+        test_cache_breaker_under_injected_faults;
+      case "disk fault determinism" test_disk_fault_determinism;
+    ] )

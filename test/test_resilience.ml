@@ -47,6 +47,7 @@ let all_failures : Failure.t list =
     Unsupported { what = "non-monotone input" };
     Overloaded { queue_depth = 64 };
     Queue_timeout { waited_ms = 120.0; budget_ms = 100.0 };
+    Too_many_connections { active = 256; limit = 256 };
   ]
 
 let test_failure_codes () =
@@ -56,7 +57,7 @@ let test_failure_codes () =
     [
       "non_convergence"; "step_budget"; "non_finite"; "rail_bound";
       "missing_crossing"; "cache_io"; "missing_cell"; "unsupported";
-      "overloaded"; "queue_timeout";
+      "overloaded"; "queue_timeout"; "too_many_connections";
     ]
     codes;
   (* every to_string is nonempty and mentions the code's domain *)
@@ -69,7 +70,7 @@ let test_failure_recoverability () =
      sense: the same request succeeds once the daemon's queue has
      drained. *)
   let expect =
-    [ true; true; true; true; true; false; false; false; true; true ]
+    [ true; true; true; true; true; false; false; false; true; true; true ]
   in
   List.iter2
     (fun f e ->

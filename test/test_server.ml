@@ -300,7 +300,8 @@ let test_protocol_frame_limit () =
       match Server.Protocol.read_frame b with
       | Error (`Err _) -> ()
       | Ok _ -> Alcotest.fail "oversized frame accepted"
-      | Error `Eof -> Alcotest.fail "oversized frame read as eof")
+      | Error `Eof -> Alcotest.fail "oversized frame read as eof"
+      | Error (`Timeout _) -> Alcotest.fail "oversized frame read as timeout")
 
 (* ------------------------------------------------------------------ *)
 (* Prometheus exposition                                               *)
@@ -606,6 +607,315 @@ let test_daemon_version_mismatch () =
                 | Error _ -> false)
           | Error _ -> Alcotest.fail "connection dropped after mismatch"))
 
+(* ------------------------------------------------------------------ *)
+(* Connection lifecycle: budget, deadlines, frame limits               *)
+
+let counter d name =
+  Option.value ~default:0
+    (List.assoc_opt name (Runtime.Metrics.counters (Server.Daemon.metrics d)))
+
+let error_code doc =
+  match Server.Json.member "error" doc with
+  | Some err -> (
+      match Server.Json.member "code" err with
+      | Some (Server.Json.Str c) -> Some c
+      | _ -> None)
+  | None -> None
+
+let read_error_code fd =
+  match Server.Protocol.read_frame fd with
+  | Ok payload -> (
+      match Server.Json.parse payload with
+      | Ok doc -> error_code doc
+      | Error _ -> None)
+  | Error _ -> None
+
+let test_daemon_conn_limit () =
+  let sock = tmp_sock () in
+  let d =
+    Server.Daemon.start { (daemon_config sock) with max_conns = 2 }
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.Daemon.stop d)
+    (fun () ->
+      let c1 = Server.Client.connect (Server.Client.Unix_path sock) in
+      let c2 = Server.Client.connect (Server.Client.Unix_path sock) in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.Client.close c1;
+          Server.Client.close c2)
+        (fun () ->
+          (* Round-trips guarantee both connections are registered
+             before the third arrives. *)
+          check_true "c1 alive" (Result.is_ok (Server.Client.ping c1));
+          check_true "c2 alive" (Result.is_ok (Server.Client.ping c2));
+          let raw =
+            Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+          in
+          Unix.connect raw (Unix.ADDR_UNIX sock);
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close raw with Unix.Unix_error _ -> ())
+            (fun () ->
+              (* The shed is typed and marked recoverable... *)
+              (match Server.Protocol.read_frame raw with
+              | Ok payload -> (
+                  match Server.Json.parse payload with
+                  | Ok doc ->
+                      check_true "typed too_many_connections"
+                        (error_code doc = Some "too_many_connections");
+                      check_true "shed marked recoverable"
+                        (match Server.Json.member "error" doc with
+                        | Some err ->
+                            Server.Json.member "recoverable" err
+                            = Some (Server.Json.Bool true)
+                        | None -> false)
+                  | Error _ -> Alcotest.fail "unparseable shed response")
+              | Error _ -> Alcotest.fail "no shed response");
+              (* ...and the connection is closed, not parked. *)
+              check_true "shed connection closed"
+                (Server.Protocol.read_frame raw = Error `Eof));
+          check_true "shed counted" (counter d "server.conn_shed" >= 1);
+          (* Closing a served connection frees budget for a new one. *)
+          Server.Client.close c1;
+          Thread.delay 0.05;
+          let c3 = Server.Client.connect (Server.Client.Unix_path sock) in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c3)
+            (fun () ->
+              check_true "slot freed after close"
+                (Result.is_ok (Server.Client.ping c3)))))
+
+let test_daemon_read_timeouts () =
+  let sock = tmp_sock () in
+  let d =
+    Server.Daemon.start
+      { (daemon_config sock) with read_timeout_s = Some 0.15 }
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.Daemon.stop d)
+    (fun () ->
+      (* Idle connection: reclaimed silently after the deadline. *)
+      let idle = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect idle (Unix.ADDR_UNIX sock);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close idle with Unix.Unix_error _ -> ())
+        (fun () ->
+          check_true "idle connection closed by deadline"
+            (Server.Protocol.read_frame idle = Error `Eof));
+      check_true "idle timeout counted"
+        (counter d "server.conn_idle_timeouts" >= 1);
+      (* Slowloris: a started-but-stalled frame is answered [timeout]
+         and dropped. *)
+      let slow = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect slow (Unix.ADDR_UNIX sock);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close slow with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Two bytes of a four-byte header, then silence. *)
+          ignore (Unix.write slow (Bytes.of_string "\x00\x00") 0 2);
+          check_true "mid-frame timeout answered typed"
+            (read_error_code slow = Some "timeout");
+          check_true "slowloris connection dropped"
+            (Server.Protocol.read_frame slow = Error `Eof));
+      check_true "mid-frame timeout counted"
+        (counter d "server.conn_read_timeouts" >= 1);
+      (* A healthy client on the same daemon still gets served. *)
+      let c = Server.Client.connect (Server.Client.Unix_path sock) in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          check_true "healthy client survives"
+            (Result.is_ok (Server.Client.ping c))))
+
+let test_daemon_frame_limit () =
+  let sock = tmp_sock () in
+  let d =
+    Server.Daemon.start
+      { (daemon_config sock) with max_frames_per_conn = Some 2 }
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.Daemon.stop d)
+    (fun () ->
+      let raw = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect raw (Unix.ADDR_UNIX sock);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close raw with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ping id =
+            Server.Protocol.write_frame raw
+              (Server.Json.to_string
+                 (Server.Protocol.request_to_json
+                    { Server.Protocol.id; query = Server.Protocol.Ping;
+                      deadline_ms = None }))
+          in
+          ping 1;
+          ping 2;
+          (* Both budgeted frames are served, then the daemon volunteers
+             a typed frame_limit and closes — no third request needed. *)
+          check_true "frame 1 served" (read_error_code raw = None);
+          check_true "frame 2 served" (read_error_code raw = None);
+          check_true "frame_limit code"
+            (read_error_code raw = Some "frame_limit");
+          check_true "budgeted connection closed"
+            (Server.Protocol.read_frame raw = Error `Eof));
+      check_true "frame limit counted"
+        (counter d "server.conn_frame_limit" >= 1))
+
+let test_http_cap_enforced () =
+  let sock = tmp_sock () in
+  (* Find a free loopback port by binding port 0 first. *)
+  let probe = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind probe (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname probe with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  Unix.close probe;
+  let d =
+    Server.Daemon.start { (daemon_config sock) with http_port = Some port }
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.Daemon.stop d)
+    (fun () ->
+      let http_get payload =
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let b = Bytes.of_string payload in
+            let rec send ofs =
+              if ofs < Bytes.length b then
+                send (ofs + Unix.write fd b ofs (Bytes.length b - ofs))
+            in
+            send 0;
+            Unix.shutdown fd Unix.SHUTDOWN_SEND;
+            let buf = Buffer.create 256 in
+            let chunk = Bytes.create 512 in
+            let rec recv () =
+              match Unix.read fd chunk 0 512 with
+              | 0 -> Buffer.contents buf
+              | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  recv ()
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                  Buffer.contents buf
+            in
+            recv ())
+      in
+      let health = http_get "GET /health HTTP/1.0\r\n\r\n" in
+      check_true "health ok"
+        (String.length health >= 12 && String.sub health 9 3 = "200");
+      (* A header block past the cap must be answered 413, not
+         truncated into a served request. *)
+      let huge =
+        "GET /health HTTP/1.0\r\nX-Filler: "
+        ^ String.make (10 * 1024) 'a'
+        ^ "\r\n\r\n"
+      in
+      let resp = http_get huge in
+      check_true "413 on oversized header block"
+        (String.length resp >= 12 && String.sub resp 9 3 = "413");
+      check_true "http error counted" (counter d "server.http_errors" >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Client retry with backoff                                           *)
+
+(* A listener that closes its first [drop_first] connections without a
+   byte, then serves pings — the refused/reset shape call_with_retry
+   exists to absorb. *)
+let flaky_listener sock ~drop_first =
+  let lfd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX sock);
+  Unix.listen lfd 16;
+  let stop = Atomic.make false in
+  let dropped = ref 0 in
+  let th =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.select [ lfd ] [] [] 0.05 with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.accept ~cloexec:true lfd with
+              | fd, _ ->
+                  if !dropped < drop_first then begin
+                    incr dropped;
+                    try Unix.close fd with Unix.Unix_error _ -> ()
+                  end
+                  else begin
+                    (match Server.Protocol.read_frame fd with
+                    | Ok payload -> (
+                        match Server.Protocol.parse_request payload with
+                        | Ok req ->
+                            Server.Protocol.write_frame fd
+                              (Server.Json.to_string
+                                 (Server.Protocol.response
+                                    ~id:req.Server.Protocol.id
+                                    (Ok (Server.Json.Bool true))))
+                        | Error e ->
+                            Server.Protocol.write_frame fd
+                              (Server.Json.to_string
+                                 (Server.Protocol.parse_error_response e)))
+                    | Error _ -> ());
+                    try Unix.close fd with Unix.Unix_error _ -> ()
+                  end
+              | exception Unix.Unix_error _ -> ())
+        done;
+        try Unix.close lfd with Unix.Unix_error _ -> ())
+      ()
+  in
+  fun () ->
+    Atomic.set stop true;
+    Thread.join th
+
+let fast_policy attempts =
+  { Server.Client.attempts; base_delay_s = 0.005; max_delay_s = 0.02;
+    seed = 1 }
+
+let test_client_retry_recovers () =
+  let sock = tmp_sock () in
+  let shutdown = flaky_listener sock ~drop_first:2 in
+  Fun.protect ~finally:shutdown (fun () ->
+      match
+        Server.Client.call_with_retry ~policy:(fast_policy 5)
+          (Server.Client.Unix_path sock)
+          { Server.Protocol.id = 3; query = Server.Protocol.Ping;
+            deadline_ms = None }
+      with
+      | Ok doc ->
+          check_true "served after drops"
+            (Server.Json.member "ok" doc = Some (Server.Json.Bool true))
+      | Error e ->
+          Alcotest.failf "retry failed: %s"
+            (Server.Client.retry_error_to_string e))
+
+let test_client_retry_budget () =
+  let sock = tmp_sock () in
+  (* Everything dropped: the budget must produce a typed error, not an
+     unbounded loop. *)
+  let shutdown = flaky_listener sock ~drop_first:max_int in
+  Fun.protect ~finally:shutdown (fun () ->
+      match
+        Server.Client.call_with_retry ~policy:(fast_policy 3)
+          (Server.Client.Unix_path sock)
+          { Server.Protocol.id = 4; query = Server.Protocol.Ping;
+            deadline_ms = None }
+      with
+      | Ok _ -> Alcotest.fail "dropped connections produced a response"
+      | Error e -> Alcotest.(check int) "budget spent" 3 e.Server.Client.attempts);
+  (* No listener at all: refused connects also land on the budget. *)
+  match
+    Server.Client.call_with_retry ~policy:(fast_policy 2)
+      (Server.Client.Unix_path (sock ^ ".gone"))
+      { Server.Protocol.id = 5; query = Server.Protocol.Ping;
+        deadline_ms = None }
+  with
+  | Ok _ -> Alcotest.fail "phantom listener answered"
+  | Error e -> Alcotest.(check int) "budget spent" 2 e.Server.Client.attempts
+
 let suite =
   ( "server",
     [
@@ -632,4 +942,16 @@ let suite =
         test_daemon_rejects_garbage;
       slow_case "daemon: version mismatch typed, stays up"
         test_daemon_version_mismatch;
+      slow_case "daemon: connection budget sheds typed"
+        test_daemon_conn_limit;
+      slow_case "daemon: read deadlines reclaim stalled conns"
+        test_daemon_read_timeouts;
+      slow_case "daemon: per-connection frame budget"
+        test_daemon_frame_limit;
+      slow_case "daemon: http request cap answers 413"
+        test_http_cap_enforced;
+      slow_case "client: retry recovers from dropped conns"
+        test_client_retry_recovers;
+      slow_case "client: retry budget is a hard cap"
+        test_client_retry_budget;
     ] )
