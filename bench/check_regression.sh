@@ -1,8 +1,8 @@
 #!/bin/sh
-# Solver hot-path and batch-kernel regression gate.
+# Solver hot-path, batch-kernel and crash-recovery regression gate.
 #
 # Re-runs two benchmark stages against committed baselines via the
-# benchmark's own --compare mode:
+# benchmark's own --compare mode, then the self-gating crash drill:
 #
 #   * kernel — the 20-case Config II sweep, dense LU without reuse vs
 #     the auto-selected banded kernel with Jacobian reuse, compared
@@ -15,6 +15,12 @@
 #     drift against the baseline delays, a sweep that never selects
 #     the batch path, or any drift at all between the batch kernel
 #     and the scalar loop (byte-identity is exact, not a tolerance).
+#   * crash — SIGKILL the supervised daemon twice mid-load and require
+#     zero acknowledged-and-lost responses, byte-identical replay,
+#     recovery within budget and a clean drain. Unlike the timing
+#     gates this one is pass/fail with no baseline: the stage itself
+#     exits non-zero on any violated invariant. Skip it (e.g. on a
+#     machine that cannot fork/exec) with CRASH_GATE=0.
 #
 # The timing limbs are advisory across machines (the committed
 # baselines record one host's numbers); the drift limbs are
@@ -47,6 +53,12 @@ if [ -f "$batch_baseline" ]; then
 else
   echo "check_regression: batch baseline $batch_baseline not found;" \
     "skipping batch gate" >&2
+fi
+
+if [ "${CRASH_GATE:-1}" = "1" ]; then
+  dune exec bench/main.exe -- crash || status=$?
+else
+  echo "check_regression: CRASH_GATE=0, skipping crash-recovery gate" >&2
 fi
 
 exit $status

@@ -975,6 +975,18 @@ let percentile sorted q =
   if n = 0 then nan
   else sorted.(Int.min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
 
+(* /health status of an in-process daemon, for the serve/chaos/crash
+   sections' health-transition assertions. *)
+let daemon_health_status d =
+  match Server.Json.member "status" (Server.Daemon.health d) with
+  | Some (Server.Json.Str s) -> s
+  | _ -> "?"
+
+let daemon_health_reason d reason =
+  match Server.Json.member "reasons" (Server.Daemon.health d) with
+  | Some (Server.Json.Arr rs) -> List.mem (Server.Json.Str reason) rs
+  | _ -> false
+
 let serve_stage () =
   header "sta_serve load";
   let requests = serve_requests () in
@@ -1019,6 +1031,13 @@ let serve_stage () =
         in
         Server.Client.close c;
         Runtime.Engine.with_cache e (Runtime.Cache.create ()))
+  in
+  (* A fresh in-process daemon (no journal replay, breaker closed,
+     empty queue) must report ok before any load. *)
+  let health_ok_before =
+    match daemon with
+    | Some d -> daemon_health_status d = "ok"
+    | None -> true
   in
   let n_clients = Int.max 1 !serve_clients in
   let n_reqs = Int.max 1 !serve_reqs in
@@ -1084,7 +1103,15 @@ let serve_stage () =
             | None -> [])
         | Error _ -> [])
   in
-  (match daemon with Some d -> Server.Daemon.stop d | None -> ());
+  (* Drain; the draining status latches, so /health must keep
+     reporting it once stop has run. *)
+  let health_draining =
+    match daemon with
+    | Some d ->
+        Server.Daemon.stop d;
+        daemon_health_status d = "draining"
+    | None -> true
+  in
   (* Offline rendering of every distinct case on the same engine. *)
   let expected =
     Array.map
@@ -1164,7 +1191,10 @@ let serve_stage () =
     (counter "server.accepted") (counter "server.shed")
     (counter "server.batches")
     (100.0 *. cache_hit_rate);
+  Printf.printf "health: ok before load %b, draining after stop %b\n%!"
+    health_ok_before health_draining;
   if !mismatches > 0 || transport > 0 then exit_code := 1;
+  if not (health_ok_before && health_draining) then exit_code := 1;
   serve_json :=
     Some
       (json_obj
@@ -1192,6 +1222,8 @@ let serve_stage () =
            ("server_accepted", string_of_int (counter "server.accepted"));
            ("server_shed", string_of_int (counter "server.shed"));
            ("server_batches", string_of_int (counter "server.batches"));
+           ("health_ok_before", if health_ok_before then "true" else "false");
+           ("health_draining", if health_draining then "true" else "false");
          ])
 
 (* ------------------------------------------------------------------ *)
@@ -1416,6 +1448,32 @@ let chaos_stage () =
   let memory_serves =
     Runtime.Cache.find chaos_cache "chaos:memory" <> None
   in
+  (* /health must say degraded with reason breaker_open while the
+     breaker is open. The traffic phase may have left the breaker
+     anywhere in its cycle, so force it open deterministically. *)
+  (if
+     Runtime.Cache.breaker_state chaos_cache
+     <> Some Runtime.Cache.Breaker.Open
+   then begin
+     Runtime.Cache.Disk_fault.disarm ();
+     (match Runtime.Cache.Disk_fault.of_string "1.0@3" with
+     | Ok plan -> Runtime.Cache.Disk_fault.arm plan
+     | Error _ -> ());
+     let i = ref 0 in
+     while
+       Runtime.Cache.breaker_state chaos_cache
+       <> Some Runtime.Cache.Breaker.Open
+       && !i < 32
+     do
+       Runtime.Cache.store chaos_cache
+         (Printf.sprintf "chaos:health:%d" !i)
+         [ wave ];
+       incr i
+     done
+   end);
+  let health_degraded_while_open =
+    daemon_health_status d = "degraded" && daemon_health_reason d "breaker_open"
+  in
   (* Recovery: faults off, past the cooldown, the half-open probe must
      re-close the breaker and disk writes must resume. *)
   Runtime.Cache.Disk_fault.disarm ();
@@ -1428,6 +1486,8 @@ let chaos_stage () =
     && Runtime.Cache.breaker_state chaos_cache
        = Some Runtime.Cache.Breaker.Closed
   in
+  (* Breaker closed again, queue drained, not draining: back to ok. *)
+  let health_ok_after_reclose = daemon_health_status d = "ok" in
   let disk_resumed =
     let fresh =
       Runtime.Cache.create ~disk_dir:cache_dir ()
@@ -1509,7 +1569,8 @@ let chaos_stage () =
   let passed =
     unserved_n = 0 && conn_shed >= 1 && breaker_opens >= 1
     && breaker_reclosed && memory_serves && disk_resumed && drained
-    && recovery_ok && fuzz_escapes = 0
+    && recovery_ok && fuzz_escapes = 0 && health_degraded_while_open
+    && health_ok_after_reclose
   in
   Printf.printf
     "well-behaved: %d/%d byte-identical in %.2f s (availability %.4f)\n\
@@ -1520,6 +1581,7 @@ let chaos_stage () =
      injected faults: %d net, %d cache-disk\n\
      breaker: opens %d, recloses %d, short-circuits %d, reclosed %b; \
      memory served while open: %b; disk resumed: %b\n\
+     health: degraded/breaker_open while open %b, ok after re-close %b\n\
      recovery wave: %s\n\
      fuzz: %d inputs (%d parsed, %d bad_request, %d version_mismatch, \
      %d frame trips), %d escaped\n\
@@ -1528,7 +1590,8 @@ let chaos_stage () =
     p50 p95 p99 conn_opened conn_closed conn_shed idle_timeouts
     read_timeouts conn_errors queue_shed drained net_injected cache_injected
     breaker_opens breaker_recloses short_circuits breaker_reclosed
-    memory_serves disk_resumed
+    memory_serves disk_resumed health_degraded_while_open
+    health_ok_after_reclose
     (if recovery_ok then "all byte-identical" else "FAILED")
     fz.Server.Fuzz.inputs fz.Server.Fuzz.parsed fz.Server.Fuzz.bad_requests
     fz.Server.Fuzz.version_mismatches fz.Server.Fuzz.frame_trips
@@ -1569,6 +1632,10 @@ let chaos_stage () =
            ("breaker_reclosed", if breaker_reclosed then "true" else "false");
            ("memory_served_while_open", if memory_serves then "true" else "false");
            ("disk_resumed", if disk_resumed then "true" else "false");
+           ( "health_degraded_while_open",
+             if health_degraded_while_open then "true" else "false" );
+           ( "health_ok_after_reclose",
+             if health_ok_after_reclose then "true" else "false" );
            ("recovery_ok", if recovery_ok then "true" else "false");
            ("fuzz_inputs", string_of_int fz.Server.Fuzz.inputs);
            ("fuzz_parsed", string_of_int fz.Server.Fuzz.parsed);
@@ -1579,6 +1646,417 @@ let chaos_stage () =
            ("fuzz_escapes", string_of_int fuzz_escapes);
            ("passed", if passed then "true" else "false");
          ])
+
+(* ------------------------------------------------------------------ *)
+(* crash — crash-safety drill against a real supervised daemon.
+
+   Explicit-only section: fork+exec `sta_serve supervise` with a
+   write-ahead journal, drive a client herd through retrying calls,
+   and SIGKILL the serving child (pid read from --pid-file) on a
+   seeded schedule mid-load. Published invariants, each wired to the
+   exit code:
+   - zero acknowledged-and-lost: every response a client received is
+     returned byte-identically when the same request (same payload
+     bytes, same journal digest) is re-sent after the crashes — the
+     journal either replayed it or the dedup table still holds it;
+   - every acknowledged success is byte-identical to a direct
+     Protocol.execute rendering;
+   - recovery is bounded: after each SIGKILL the service answers a
+     ping again within --recovery-budget;
+   - the supervisor restarted exactly the killed children
+     (server.restarts == kills) and drains cleanly on SIGTERM;
+   - after the clean drain no journal entry is left pending (the
+     retire-before-drain-ack protocol held).                          *)
+
+let crash_clients = ref 12
+let crash_reqs = ref 8
+let crash_kills = ref 2
+let crash_seed = ref 42
+let crash_recovery_budget = ref 30.0
+let crash_json : string option ref = ref None
+
+(* Seeded roll in [0,1) — same digest trick as the client's retry
+   jitter, so the kill schedule is reproducible from --kill-seed. *)
+let crash_roll seed k =
+  let d = Digest.string (Printf.sprintf "bench.crash:%d:%d" seed k) in
+  float_of_int (Char.code d.[0] lor (Char.code d.[1] lsl 8)) /. 65536.0
+
+let crash_stage () =
+  header "crash-safety drill (SIGKILL under load)";
+  let requests = serve_requests () in
+  let n_distinct = Array.length requests in
+  let n_clients = Int.max 1 !crash_clients in
+  let n_reqs = Int.max 1 !crash_reqs in
+  let n_kills = Int.max 0 !crash_kills in
+  let budget = Float.max 1.0 !crash_recovery_budget in
+  let pid = Unix.getpid () in
+  let tmp = Filename.get_temp_dir_name () in
+  let sock = Filename.concat tmp (Printf.sprintf "sta_crash_%d.sock" pid) in
+  let journal_dir =
+    Filename.concat tmp (Printf.sprintf "sta_crash_journal_%d" pid)
+  in
+  let pid_file = Filename.concat tmp (Printf.sprintf "sta_crash_%d.pid" pid) in
+  let addr = Server.Client.Unix_path sock in
+  let exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "sta_serve.exe"))
+  in
+  let read_pid_file () =
+    match open_in pid_file with
+    | exception Sys_error _ -> None
+    | ic ->
+        let p =
+          match input_line ic with
+          | l -> int_of_string_opt (String.trim l)
+          | exception End_of_file -> None
+        in
+        close_in_noerr ic;
+        p
+  in
+  (* Block until a ping round-trips; returns the instant it did. *)
+  let wait_ready () =
+    let deadline = Unix.gettimeofday () +. budget in
+    let rec go () =
+      if Unix.gettimeofday () > deadline then None
+      else
+        match Server.Client.connect ~retries:0 addr with
+        | exception _ ->
+            Thread.delay 0.05;
+            go ()
+        | c -> (
+            let r = Server.Client.ping c in
+            Server.Client.close c;
+            match r with
+            | Ok _ -> Some (Unix.gettimeofday ())
+            | Error _ ->
+                Thread.delay 0.05;
+                go ())
+    in
+    go ()
+  in
+  if not (Sys.file_exists exe) then begin
+    Printf.printf "crash: sta_serve binary not found at %s — FAIL\n%!" exe;
+    exit_code := 1;
+    crash_json :=
+      Some
+        (json_obj
+           [ ("passed", "false"); ("error", json_str "sta_serve not found") ])
+  end
+  else begin
+    let argv =
+      [|
+        exe; "supervise"; "--socket"; sock; "--journal-dir"; journal_dir;
+        "--pid-file"; pid_file; "--scrub"; "1"; "--watchdog"; "30";
+        "--base-backoff"; "0.05"; "--max-backoff"; "0.5"; "--healthy-after";
+        "3600"; "--crash-budget"; string_of_int (n_kills + 3);
+      |]
+    in
+    (* posix_spawn-based, so the drill composes with bench sections
+       that already created pool domains (OCaml 5 forbids fork then). *)
+    let sup_pid =
+      Unix.create_process exe argv Unix.stdin Unix.stdout Unix.stderr
+    in
+    let t_spawn = Unix.gettimeofday () in
+    let ready0 = wait_ready () in
+    let startup_s =
+      match ready0 with Some t -> t -. t_spawn | None -> -1.0
+    in
+    (* Offline expected bytes on the engine the daemon reports. *)
+    let compare_engine =
+      let name =
+        match Server.Client.connect ~retries:10 addr with
+        | exception _ -> "fast"
+        | c -> (
+            let r = Server.Client.ping c in
+            Server.Client.close c;
+            match r with
+            | Ok doc -> (
+                match
+                  Option.bind
+                    (Server.Json.member "ok" doc)
+                    (Server.Json.member "engine")
+                with
+                | Some (Server.Json.Str n) -> n
+                | _ -> "fast")
+            | Error _ -> "fast")
+      in
+      let e =
+        match Runtime.Engine.of_name name with
+        | e -> e
+        | exception Invalid_argument _ -> Runtime.Engine.fast
+      in
+      Runtime.Engine.with_cache e (Runtime.Cache.create ())
+    in
+    let expected =
+      Array.map
+        (fun (req : Server.Protocol.request) ->
+          Server.Json.to_string
+            (Server.Protocol.response ~id:req.Server.Protocol.id
+               (Server.Protocol.execute ~engine:compare_engine
+                  req.Server.Protocol.query)))
+        requests
+    in
+    Printf.printf
+      "supervisor pid %d, serving on %s (up in %.2f s)\n\
+       driving %d clients x %d requests; %d seeded SIGKILLs (seed %d), \
+       recovery budget %.0f s\n%!"
+      sup_pid sock startup_s n_clients n_reqs n_kills !crash_seed budget;
+    (* The herd: every logical request retried until acknowledged —
+       crashes show up as transport errors and connection refusals
+       that the retry loop absorbs. *)
+    let acked = Array.make n_clients [||] in
+    let unserved = Array.make n_clients 0 in
+    let acked_count = Atomic.make 0 in
+    let finished = Atomic.make 0 in
+    let retry_policy k =
+      { Server.Client.attempts = 60; base_delay_s = 0.05; max_delay_s = 0.5;
+        seed = !crash_seed + k }
+    in
+    let worker k () =
+      let res = Array.make n_reqs (-1, "") in
+      for r = 0 to n_reqs - 1 do
+        let idx = ((k * n_reqs) + r) mod n_distinct in
+        match
+          Server.Client.call_raw_with_retry ~policy:(retry_policy k)
+            ~retry_recoverable:true ~read_timeout_s:15.0 ~write_timeout_s:15.0
+            addr requests.(idx)
+        with
+        | Ok payload ->
+            res.(r) <- (idx, payload);
+            Atomic.incr acked_count
+        | Error _ -> unserved.(k) <- unserved.(k) + 1
+      done;
+      acked.(k) <- res;
+      Atomic.incr finished
+    in
+    let t_start = Unix.gettimeofday () in
+    let threads =
+      Array.init n_clients (fun k -> Thread.create (worker k) ())
+    in
+    (* The kill controller (this thread): at seeded fractions of the
+       total request count, SIGKILL whatever pid the supervisor last
+       wrote, then measure time-to-ping. *)
+    let total = n_clients * n_reqs in
+    let kills_done = ref 0 in
+    let recovery_times = ref [] in
+    let last_killed = ref 0 in
+    for i = 0 to n_kills - 1 do
+      let frac =
+        float_of_int (i + 1) /. (float_of_int n_kills +. 1.0)
+      in
+      let jitter = 0.9 +. (0.2 *. crash_roll !crash_seed i) in
+      let threshold =
+        Int.max 1
+          (Int.min (total - 1)
+             (int_of_float (frac *. jitter *. float_of_int total)))
+      in
+      while
+        Atomic.get acked_count < threshold && Atomic.get finished < n_clients
+      do
+        Thread.delay 0.01
+      done;
+      if Atomic.get finished < n_clients then begin
+        (* The pid file may still hold the previous (dead) child for a
+           moment after a kill; wait for a fresh pid. *)
+        let deadline = Unix.gettimeofday () +. budget in
+        let rec serving_pid () =
+          match read_pid_file () with
+          | Some p when p > 0 && p <> !last_killed -> Some p
+          | _ ->
+              if Unix.gettimeofday () > deadline then None
+              else begin
+                Thread.delay 0.02;
+                serving_pid ()
+              end
+        in
+        match serving_pid () with
+        | None -> ()
+        | Some cpid ->
+            let t_kill = Unix.gettimeofday () in
+            (try Unix.kill cpid Sys.sigkill with Unix.Unix_error _ -> ());
+            last_killed := cpid;
+            incr kills_done;
+            let rec_s =
+              match wait_ready () with
+              | Some t -> t -. t_kill
+              | None -> -1.0
+            in
+            recovery_times := rec_s :: !recovery_times;
+            Printf.printf
+              "  SIGKILL #%d -> pid %d at %d/%d acked; serving again in \
+               %.2f s\n\
+               %!"
+              (i + 1) cpid
+              (Atomic.get acked_count)
+              total rec_s
+      end
+    done;
+    Array.iter Thread.join threads;
+    let duration_s = Unix.gettimeofday () -. t_start in
+    let recovery_times = List.rev !recovery_times in
+    let unserved_n = Array.fold_left ( + ) 0 unserved in
+    (* Acked successes must match the offline rendering. *)
+    let acked_total = ref 0 and acked_identical = ref 0 in
+    Array.iter
+      (Array.iter (fun (idx, payload) ->
+           if idx >= 0 then begin
+             incr acked_total;
+             if payload = expected.(idx) then incr acked_identical
+           end))
+      acked;
+    (* Zero acknowledged-and-lost: re-send every acknowledged request
+       (byte-identical payload, same journal digest) against the
+       post-crash daemon; the answer must be the bytes the client
+       already holds. *)
+    let resend_identical = ref 0 and resend_lost = ref 0 in
+    Array.iter
+      (Array.iter (fun (idx, payload) ->
+           if idx >= 0 then
+             match
+               Server.Client.call_raw_with_retry ~policy:(retry_policy 7919)
+                 ~retry_recoverable:true ~read_timeout_s:15.0
+                 ~write_timeout_s:15.0 addr requests.(idx)
+             with
+             | Ok p2 when p2 = payload -> incr resend_identical
+             | Ok _ | Error _ -> incr resend_lost))
+      acked;
+    (* Final incarnation's counters. *)
+    let stats_counters =
+      match Server.Client.connect ~retries:20 addr with
+      | exception _ -> []
+      | c -> (
+          let r =
+            Server.Client.call c
+              { Server.Protocol.id = 0; query = Server.Protocol.Stats;
+                deadline_ms = None }
+          in
+          Server.Client.close c;
+          match r with
+          | Ok doc -> (
+              match
+                Option.bind
+                  (Server.Json.member "ok" doc)
+                  (Server.Json.member "counters")
+              with
+              | Some (Server.Json.Obj kvs) ->
+                  List.filter_map
+                    (fun (k, v) ->
+                      match v with
+                      | Server.Json.Num x -> Some (k, int_of_float x)
+                      | _ -> None)
+                    kvs
+              | _ -> [])
+          | Error _ -> [])
+    in
+    let counter name =
+      match List.assoc_opt name stats_counters with Some v -> v | None -> 0
+    in
+    let restarts_metric = counter "server.restarts" in
+    let replayed = counter "server.replayed" in
+    let deduped = counter "server.journal_deduped" in
+    let journal_pending_live = counter "server.journal_pending" in
+    (* Clean drain: SIGTERM the supervisor, expect exit 0. *)
+    let clean_exit =
+      (try Unix.kill sup_pid Sys.sigterm with Unix.Unix_error _ -> ());
+      let deadline = Unix.gettimeofday () +. budget in
+      let rec waitloop () =
+        match Unix.waitpid [ Unix.WNOHANG ] sup_pid with
+        | 0, _ ->
+            if Unix.gettimeofday () > deadline then false
+            else begin
+              Thread.delay 0.05;
+              waitloop ()
+            end
+        | _, Unix.WEXITED 0 -> true
+        | _, _ -> false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitloop ()
+        | exception Unix.Unix_error _ -> false
+      in
+      waitloop ()
+    in
+    (* After the clean drain every admitted entry must be retired: the
+       drain waits for in-flight responses to flush and retire before
+       the journal closes. *)
+    let journal_pending_after =
+      match Server.Journal.open_ journal_dir with
+      | j ->
+          let n = List.length (Server.Journal.pending j) in
+          Server.Journal.close j;
+          n
+      | exception _ -> -1
+    in
+    let recoveries_ok =
+      List.length recovery_times = n_kills
+      && List.for_all (fun t -> t >= 0.0 && t <= budget) recovery_times
+    in
+    let acked_lost = !resend_lost in
+    let passed =
+      ready0 <> None && unserved_n = 0
+      && !acked_identical = !acked_total
+      && acked_lost = 0 && !kills_done = n_kills && recoveries_ok
+      && restarts_metric = n_kills && clean_exit && journal_pending_after = 0
+    in
+    Printf.printf
+      "acked %d/%d (unserved %d), byte-identical vs offline: %d/%d\n\
+       post-crash re-send: %d identical, %d lost-or-different\n\
+       kills %d/%d, recoveries %s (budget %.0f s)\n\
+       final incarnation: restarts %d, replayed %d, deduped %d, journal \
+       pending %d\n\
+       clean supervisor exit: %b; journal pending after drain: %d\n\
+       crash invariants: %s\n%!"
+      !acked_total total unserved_n !acked_identical !acked_total
+      !resend_identical acked_lost !kills_done n_kills
+      (String.concat ", "
+         (List.map (Printf.sprintf "%.2fs") recovery_times))
+      budget restarts_metric replayed deduped journal_pending_live clean_exit
+      journal_pending_after
+      (if passed then "PASS" else "FAIL");
+    if not passed then exit_code := 1;
+    crash_json :=
+      Some
+        (json_obj
+           [
+             ("clients", string_of_int n_clients);
+             ("requests_per_client", string_of_int n_reqs);
+             ("distinct_cases", string_of_int n_distinct);
+             ("duration_s", Printf.sprintf "%.6f" duration_s);
+             ("startup_s", Printf.sprintf "%.6f" startup_s);
+             ("kills", string_of_int !kills_done);
+             ("kills_requested", string_of_int n_kills);
+             ("kill_seed", string_of_int !crash_seed);
+             ("acked", string_of_int !acked_total);
+             ("unserved", string_of_int unserved_n);
+             ("acked_byte_identical", string_of_int !acked_identical);
+             ("resend_identical", string_of_int !resend_identical);
+             ("acked_lost", string_of_int acked_lost);
+             ( "recovery_s",
+               json_list
+                 (List.map (Printf.sprintf "%.6f") recovery_times) );
+             ("recovery_budget_s", Printf.sprintf "%.3f" budget);
+             ("server_restarts", string_of_int restarts_metric);
+             ("server_replayed", string_of_int replayed);
+             ("journal_deduped", string_of_int deduped);
+             ("journal_pending_live", string_of_int journal_pending_live);
+             ( "journal_pending_after_drain",
+               string_of_int journal_pending_after );
+             ("clean_exit", if clean_exit then "true" else "false");
+             ("passed", if passed then "true" else "false");
+           ]);
+    (* Best-effort scratch cleanup. *)
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ sock; pid_file ];
+    (match Sys.readdir journal_dir with
+    | names ->
+        Array.iter
+          (fun n ->
+            try Sys.remove (Filename.concat journal_dir n)
+            with Sys_error _ -> ())
+          names;
+        (try Unix.rmdir journal_dir with Unix.Unix_error _ -> ())
+    | exception Sys_error _ -> ())
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output (--json)                                    *)
@@ -1728,9 +2206,12 @@ let write_json path =
       @ (match !serve_json with
         | Some j -> [ ("serve", j) ]
         | None -> [])
+      @ (match !chaos_json with
+        | Some j -> [ ("chaos", j) ]
+        | None -> [])
       @
-      match !chaos_json with
-      | Some j -> [ ("chaos", j) ]
+      match !crash_json with
+      | Some j -> [ ("crash", j) ]
       | None -> [])
   in
   let oc = open_out path in
@@ -1756,7 +2237,11 @@ let () =
              sta_serve daemon; $(b,chaos) (explicit only) runs the \
              service-boundary chaos harness: misbehaving clients, \
              injected network and disk-cache faults, breaker \
-             open/re-close, and a large protocol fuzz sweep.")
+             open/re-close, and a large protocol fuzz sweep; \
+             $(b,crash) (explicit only) runs the crash-safety drill: \
+             SIGKILL a supervised, journaled daemon mid-load and \
+             assert zero acknowledged-and-lost plus bounded \
+             recovery.")
   in
   let cases_arg =
     Arg.(
@@ -1841,9 +2326,29 @@ let () =
       & info [ "fuzz-count" ] ~docv:"N"
           ~doc:"Seeded fuzz inputs for the chaos section's sweep.")
   in
+  let kill_count_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "kill-count" ] ~docv:"N"
+          ~doc:"SIGKILLs of the serving child during the crash section.")
+  in
+  let kill_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "kill-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the crash section's kill schedule and client \
+                retry jitter.")
+  in
+  let recovery_budget_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "recovery-budget" ] ~docv:"SECONDS"
+          ~doc:"Crash section: maximum allowed time from SIGKILL to \
+                the service answering a ping again.")
+  in
   let run sections_v cases_v json_v compare_v clients_v reqs_v queue_depth_v
-      connect_v misbehave_v net_fault_v fuzz_count_v spec
-      (sweep : Runtime.Cli.sweep) =
+      connect_v misbehave_v net_fault_v fuzz_count_v kill_count_v kill_seed_v
+      recovery_budget_v spec (sweep : Runtime.Cli.sweep) =
     (* Fail on an unwritable --json path now, not after minutes of
        sims; same for a missing --compare baseline or a bad ladder. *)
     let usage_error msg =
@@ -1889,6 +2394,9 @@ let () =
     chaos_misbehave := misbehave_v;
     chaos_net := net_fault_v;
     chaos_fuzz := fuzz_count_v;
+    crash_kills := Int.max 0 kill_count_v;
+    crash_seed := kill_seed_v;
+    crash_recovery_budget := recovery_budget_v;
     Runtime.Cli.arm_faults spec;
     resil_before := Runtime.Resilience.Stats.snapshot ();
     spice_before := Spice.Transient.Stats.snapshot ();
@@ -1914,6 +2422,7 @@ let () =
        simulation sweep. *)
     if List.mem "serve" !sections then stage "serve" serve_stage;
     if List.mem "chaos" !sections then stage "chaos" chaos_stage;
+    if List.mem "crash" !sections then stage "crash" crash_stage;
     Runtime.Metrics.set metrics "pool.jobs" spec.Runtime.Cli.jobs;
     Runtime.Metrics.capture_spice ~since:before metrics;
     Runtime.Metrics.capture_resilience ~since:!resil_before metrics;
@@ -1943,7 +2452,8 @@ let () =
     Term.(
       const run $ sections_arg $ cases_arg $ json_arg $ compare_arg
       $ clients_arg $ reqs_arg $ queue_depth_arg $ connect_arg
-      $ misbehave_arg $ net_fault_arg $ fuzz_count_arg
+      $ misbehave_arg $ net_fault_arg $ fuzz_count_arg $ kill_count_arg
+      $ kill_seed_arg $ recovery_budget_arg
       $ Runtime.Cli.spec_term ~default_cache_dir:".noisy_sta_cache" ()
       $ Runtime.Cli.sweep_term ())
   in

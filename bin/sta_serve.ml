@@ -1,8 +1,9 @@
 (* sta_serve: STA-as-a-service daemon.
 
    Subcommands:
-     serve   (default) run the daemon until SIGINT/SIGTERM
-     ping    liveness round-trip against a running daemon *)
+     serve      (default) run the daemon until SIGINT/SIGTERM
+     supervise  run the daemon under a restarting supervisor
+     ping       liveness round-trip against a running daemon *)
 
 open Cmdliner
 
@@ -26,9 +27,26 @@ let port_arg =
                  instead of a Unix socket.")
 
 (* ------------------------------------------------------------------ *)
-(* serve *)
+(* serve / supervise shared options *)
 
-let serve_cmd =
+type serve_opts = {
+  socket : string;
+  port : int option;
+  http_port : int option;
+  queue_depth : int;
+  queue_timeout : float option;
+  max_conns : int;
+  read_timeout : float option;
+  write_timeout : float option;
+  max_frames : int option;
+  journal_dir : string option;
+  scrub : float option;
+  watchdog : float option;
+  inject_net : Server.Netfault.plan option;
+  spec : Runtime.Cli.spec;
+}
+
+let serve_opts_term =
   let http_port =
     Arg.(value & opt (some int) None
          & info [ "http-port" ] ~docv:"PORT"
@@ -78,6 +96,29 @@ let serve_cmd =
                    $(b,frame_limit) when exhausted so load balancers \
                    recycle connections.")
   in
+  let journal_dir =
+    Arg.(value & opt (some string) None
+         & info [ "journal-dir" ] ~docv:"DIR"
+             ~doc:"Write-ahead request journal: solve requests are \
+                   journaled before execution and retired after their \
+                   response is flushed; on restart the unretired set \
+                   is replayed so acknowledged work is never lost.")
+  in
+  let scrub =
+    Arg.(value & opt (some float) None
+         & info [ "scrub" ] ~docv:"SECONDS"
+             ~doc:"Bounded-time startup scrub of the disk cache: \
+                   CRC-validate entries newest-first for up to \
+                   $(docv), unlinking corrupt entries and tmp \
+                   leftovers from a previous crash.")
+  in
+  let watchdog =
+    Arg.(value & opt (some float) None
+         & info [ "watchdog" ] ~docv:"SECONDS"
+             ~doc:"Heartbeat watchdog: if the batcher makes no \
+                   progress for $(docv) while work is queued, the \
+                   daemon exits 70 so a supervisor can respawn it.")
+  in
   let inject_net =
     let c =
       Arg.conv
@@ -95,49 +136,147 @@ let serve_cmd =
                    torn|stall|drop|corrupt (no KIND rotates all \
                    four). Examples: 0.05@7, drop:nth:3, stall:0.1.")
   in
-  let run socket port http_port queue_depth queue_timeout max_conns
-      read_timeout write_timeout max_frames inject_net spec =
-    Runtime.Cli.arm_faults spec;
-    Option.iter Server.Netfault.arm inject_net;
-    let engine = Runtime.Cli.engine_of_spec spec in
-    let addr = addr_of socket port in
-    let config =
-      {
-        Server.Daemon.addr;
-        http_port;
-        engine;
-        queue_depth;
-        (* The engine's batch width doubles as the merge bound: how
-           many single-case solves one queue drain hands to the pool. *)
-        max_batch = Runtime.Engine.batch engine;
-        queue_timeout_ms = queue_timeout;
-        (* --deadline is both the engine's per-solve budget and the
-           default per-request budget for requests that carry none. *)
-        default_deadline_ms = spec.Runtime.Cli.deadline_ms;
-        max_conns;
-        read_timeout_s = read_timeout;
-        write_timeout_s = write_timeout;
-        max_frames_per_conn = max_frames;
-      }
-    in
-    Printf.printf "sta_serve %s: engine %s, queue depth %d, listening on %s%s\n%!"
-      Server.Protocol.version
-      (Runtime.Engine.name engine)
-      queue_depth
-      (Server.Client.addr_to_string addr)
-      (match http_port with
-      | Some p -> Printf.sprintf ", metrics on http://127.0.0.1:%d/metrics" p
-      | None -> "");
-    Server.Daemon.run config;
-    Printf.printf "sta_serve: drained, bye\n%!"
+  let mk socket port http_port queue_depth queue_timeout max_conns
+      read_timeout write_timeout max_frames journal_dir scrub watchdog
+      inject_net spec =
+    {
+      socket;
+      port;
+      http_port;
+      queue_depth;
+      queue_timeout;
+      max_conns;
+      read_timeout;
+      write_timeout;
+      max_frames;
+      journal_dir;
+      scrub;
+      watchdog;
+      inject_net;
+      spec;
+    }
   in
+  Term.(
+    const mk $ socket_arg $ port_arg $ http_port $ queue_depth
+    $ queue_timeout $ max_conns $ read_timeout $ write_timeout $ max_frames
+    $ journal_dir $ scrub $ watchdog $ inject_net
+    $ Runtime.Cli.spec_term ~default_engine:"fast" ())
+
+(* Everything that builds daemon state (fault arming, engine and its
+   domain pool, sockets) runs here — in the serving process itself.
+   Under [supervise] this is the forked child, so each incarnation
+   rebuilds from scratch and the crash-recovery path is the cold-start
+   path. *)
+let run_serve ~restarts (o : serve_opts) =
+  Runtime.Cli.arm_faults o.spec;
+  Option.iter Server.Netfault.arm o.inject_net;
+  let engine = Runtime.Cli.engine_of_spec o.spec in
+  let addr = addr_of o.socket o.port in
+  let config =
+    {
+      Server.Daemon.addr;
+      http_port = o.http_port;
+      engine;
+      queue_depth = o.queue_depth;
+      (* The engine's batch width doubles as the merge bound: how
+         many single-case solves one queue drain hands to the pool. *)
+      max_batch = Runtime.Engine.batch engine;
+      queue_timeout_ms = o.queue_timeout;
+      (* --deadline is both the engine's per-solve budget and the
+         default per-request budget for requests that carry none. *)
+      default_deadline_ms = o.spec.Runtime.Cli.deadline_ms;
+      max_conns = o.max_conns;
+      read_timeout_s = o.read_timeout;
+      write_timeout_s = o.write_timeout;
+      max_frames_per_conn = o.max_frames;
+      journal_dir = o.journal_dir;
+      scrub_budget_s = o.scrub;
+      watchdog_s = o.watchdog;
+      restarts;
+      on_wedged = None;
+    }
+  in
+  Printf.printf
+    "sta_serve %s: engine %s, queue depth %d, listening on %s%s%s\n%!"
+    Server.Protocol.version
+    (Runtime.Engine.name engine)
+    o.queue_depth
+    (Server.Client.addr_to_string addr)
+    (match o.http_port with
+    | Some p -> Printf.sprintf ", metrics on http://127.0.0.1:%d/metrics" p
+    | None -> "")
+    (if restarts > 0 then Printf.sprintf " (restart %d)" restarts else "");
+  Server.Daemon.run config;
+  Printf.printf "sta_serve: drained, bye\n%!"
+
+let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the STA daemon (default command)")
+    Term.(const (fun o -> run_serve ~restarts:0 o) $ serve_opts_term)
+
+(* ------------------------------------------------------------------ *)
+(* supervise *)
+
+let supervise_cmd =
+  let pid_file =
+    Arg.(value & opt (some string) None
+         & info [ "pid-file" ] ~docv:"PATH"
+             ~doc:"Write the serving child's pid to $(docv) at every \
+                   spawn — crash drills and init systems read it to \
+                   signal or observe the serving process.")
+  in
+  let base_backoff =
+    Arg.(value & opt float 0.2
+         & info [ "base-backoff" ] ~docv:"SECONDS"
+             ~doc:"Delay before the first restart; doubles per \
+                   consecutive fast crash.")
+  in
+  let max_backoff =
+    Arg.(value & opt float 10.0
+         & info [ "max-backoff" ] ~docv:"SECONDS" ~doc:"Backoff cap.")
+  in
+  let healthy_after =
+    Arg.(value & opt float 30.0
+         & info [ "healthy-after" ] ~docv:"SECONDS"
+             ~doc:"Uptime after which the consecutive-crash counter \
+                   resets — rare crashes restart forever, a crash \
+                   loop trips the budget.")
+  in
+  let crash_budget =
+    Arg.(value & opt int 5
+         & info [ "crash-budget" ] ~docv:"N"
+             ~doc:"Give up after $(docv) consecutive fast crashes \
+                   (exit 1) instead of restart-storming.")
+  in
+  let run o pid_file base_backoff max_backoff healthy_after crash_budget =
+    let config =
+      {
+        Server.Supervisor.base_backoff_s = base_backoff;
+        max_backoff_s = max_backoff;
+        healthy_after_s = healthy_after;
+        crash_budget;
+        pid_file;
+        on_spawn = None;
+      }
+    in
+    let outcome =
+      Server.Supervisor.run ~config (fun ~restarts -> run_serve ~restarts o)
+    in
+    Printf.printf "sta_serve supervise: %s\n%!"
+      (Server.Supervisor.outcome_to_string outcome);
+    match outcome with
+    | Server.Supervisor.Clean _ -> ()
+    | Server.Supervisor.Gave_up _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:"Run the STA daemon under a restarting supervisor: fork \
+             the serving child, respawn on crash with capped \
+             exponential backoff, give up on a crash loop. SIGTERM \
+             drains the child and exits cleanly.")
     Term.(
-      const run $ socket_arg $ port_arg $ http_port $ queue_depth
-      $ queue_timeout $ max_conns $ read_timeout $ write_timeout
-      $ max_frames $ inject_net
-      $ Runtime.Cli.spec_term ~default_engine:"fast" ())
+      const run $ serve_opts_term $ pid_file $ base_backoff $ max_backoff
+      $ healthy_after $ crash_budget)
 
 (* ------------------------------------------------------------------ *)
 (* ping *)
@@ -178,4 +317,4 @@ let () =
   let default =
     Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
   in
-  exit (Cmd.eval (Cmd.group ~default info [ serve_cmd; ping_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default info [ serve_cmd; supervise_cmd; ping_cmd ]))

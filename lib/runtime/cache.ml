@@ -255,15 +255,52 @@ let locked s f =
 
 (* ------------------------------------------------------------------ *)
 (* Disk layer. Waves are flattened to plain float arrays before
-   marshalling so the format does not depend on Wave's representation. *)
+   marshalling so the format does not depend on Wave's representation.
+   Format 2 stamps a CRC-32 of the marshalled payload between the magic
+   and the payload, so a torn or bit-rotted entry is detected before
+   [Marshal] ever sees it (format-1 entries fail the magic check and
+   are reaped like any other corrupt entry). *)
 
-let disk_magic = "noisy_sta.cache.1\n"
+let disk_magic = "noisy_sta.cache.2\n"
 
 let disk_path dir key = Filename.concat dir key
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let crc_bytes crc =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 crc;
+  Bytes.to_string b
+
+(* Parse one disk entry held fully in memory: magic, big-endian CRC-32
+   of the payload, marshalled payload. Returns the decoded waves or
+   [Error `Corrupt]; shared by the read path and the startup scrub. *)
+let decode_entry raw =
+  let mlen = String.length disk_magic in
+  if
+    String.length raw < mlen + 4
+    || not (String.equal (String.sub raw 0 mlen) disk_magic)
+  then Error `Corrupt
+  else
+    let stored = String.get_int32_be raw mlen in
+    let payload_pos = mlen + 4 in
+    let payload_len = String.length raw - payload_pos in
+    if Crc32.update 0l raw payload_pos payload_len <> stored then
+      Error `Corrupt
+    else
+      match
+        (Marshal.from_string raw payload_pos
+          : (float array * float array) list)
+      with
+      | raw_waves
+        when List.for_all
+               (fun (ts, vs) -> Array.length ts = Array.length vs)
+               raw_waves ->
+          Ok (List.map (fun (ts, vs) -> Waveform.Wave.create ts vs) raw_waves)
+      | _ -> Error `Corrupt
+      | exception _ -> Error `Corrupt
 
 (* Report a disk op's outcome to the breaker (when the cache has one).
    An absent file is a successful disk interaction: only genuine
@@ -290,14 +327,12 @@ let disk_read t dir key =
     if not (Sys.file_exists path) then Error `Absent
     else
       let ic = open_in_bin path in
-      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
-          let magic = really_input_string ic (String.length disk_magic) in
-          if magic <> disk_magic then Error `Corrupt
-          else
-            let raw : (float array * float array) list =
-              Marshal.from_channel ic
-            in
-            Ok (List.map (fun (ts, vs) -> Waveform.Wave.create ts vs) raw))
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      decode_entry raw
   in
   match parse () with
   | Ok waves ->
@@ -325,15 +360,18 @@ let disk_write t dir key waves =
       Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
         ((Domain.self () :> int))
     in
+    let payload =
+      Marshal.to_string
+        (List.map
+           (fun w -> (Waveform.Wave.times w, Waveform.Wave.values w))
+           waves)
+        []
+    in
     let oc = open_out_bin tmp in
     Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
         output_string oc disk_magic;
-        let raw =
-          List.map
-            (fun w -> (Waveform.Wave.times w, Waveform.Wave.values w))
-            waves
-        in
-        Marshal.to_channel oc raw []);
+        output_string oc (crc_bytes (Crc32.string payload));
+        output_string oc payload);
     Sys.rename tmp path
   with
   | () -> breaker_outcome t true
@@ -386,6 +424,89 @@ let remove t key =
   match t.disk_dir with
   | None -> ()
   | Some dir -> ( try Sys.remove (disk_path dir key) with Sys_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Startup scrub: CRC-validate disk entries newest-first (the entries
+   most plausibly torn by a crash or a breaker-open window are the
+   most recently written ones) under a wall-clock budget, unlinking
+   anything that fails to decode plus any tmp leftovers from writes
+   the process died inside. The scrub bypasses the breaker and the
+   fault injector: it is the recovery path, not regular traffic. *)
+
+type scrub_report = {
+  scanned : int;
+  corrupt : int;
+  tmp_reaped : int;
+  elapsed_s : float;
+  complete : bool;
+}
+
+let is_tmp name =
+  let rec find i =
+    i + 5 <= String.length name
+    && (String.equal (String.sub name i 5) ".tmp." || find (i + 1))
+  in
+  find 0
+
+let scrub ?(budget_s = 2.0) ?(now = Unix.gettimeofday) t =
+  let empty =
+    { scanned = 0; corrupt = 0; tmp_reaped = 0; elapsed_s = 0.0; complete = true }
+  in
+  match t.disk_dir with
+  | None -> empty
+  | Some dir -> (
+      match Sys.readdir dir with
+      | exception Sys_error _ -> empty
+      | names ->
+          let t0 = now () in
+          let tmp_reaped = ref 0 in
+          let candidates = ref [] in
+          Array.iter
+            (fun name ->
+              let path = Filename.concat dir name in
+              if is_tmp name then begin
+                (try Sys.remove path with Sys_error _ -> ());
+                incr tmp_reaped
+              end
+              else
+                match (Unix.stat path).Unix.st_mtime with
+                | mtime -> candidates := (mtime, name) :: !candidates
+                | exception Unix.Unix_error _ -> ())
+            names;
+          let by_newest =
+            List.sort (fun (a, _) (b, _) -> compare (b : float) a) !candidates
+          in
+          let scanned = ref 0 and corrupt = ref 0 and complete = ref true in
+          let check name =
+            let path = Filename.concat dir name in
+            match
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            with
+            | exception Sys_error _ -> ()
+            | exception End_of_file -> ()
+            | raw -> (
+                incr scanned;
+                match decode_entry raw with
+                | Ok _ -> ()
+                | Error `Corrupt ->
+                    incr corrupt;
+                    remove t name)
+          in
+          List.iter
+            (fun (_, name) ->
+              if now () -. t0 > budget_s then complete := false
+              else check name)
+            by_newest;
+          {
+            scanned = !scanned;
+            corrupt = !corrupt;
+            tmp_reaped = !tmp_reaped;
+            elapsed_s = now () -. t0;
+            complete = !complete;
+          })
 
 let hits t = Atomic.get t.hits
 let disk_hits t = Atomic.get t.disk_hits

@@ -10,7 +10,8 @@
 
     An optional on-disk layer persists results across process runs:
     misses fall through to [dir/<key>] (OCaml [Marshal] format with a
-    version header) and fresh results are written back atomically, so a
+    version header and a CRC-32 of the payload, validated on every
+    read) and fresh results are written back atomically, so a
     repeated bench invocation skips already-simulated cases. Every disk
     read failure is still a miss — sweeps never die on a bad cache
     entry — but failures are classified: corrupt or truncated entries
@@ -131,6 +132,24 @@ val remove : t -> string -> unit
 (** Evict a key from memory and unlink its disk entry (if any). Used
     by the resilience layer to purge cached results that fail
     post-solve validation. *)
+
+type scrub_report = {
+  scanned : int;  (** entries read and CRC-validated *)
+  corrupt : int;  (** entries that failed validation and were removed *)
+  tmp_reaped : int;  (** tmp leftovers from interrupted writes, unlinked *)
+  elapsed_s : float;
+  complete : bool;  (** the budget covered every disk entry *)
+}
+
+val scrub : ?budget_s:float -> ?now:(unit -> float) -> t -> scrub_report
+(** Bounded-time startup scrub of the disk layer: CRC-validate entries
+    newest-first (a crash or breaker-open window tears the most
+    recently written files), {!remove} anything that fails to decode,
+    and unlink tmp leftovers from writes the previous process died
+    inside. Runs outside the breaker and the fault injector — this is
+    the recovery path a crash-only restart takes before serving, so it
+    must see the real disk. [budget_s] defaults to 2 s; a no-disk
+    cache reports an empty, complete scrub. *)
 
 val hits : t -> int
 (** In-memory hits plus disk hits. *)

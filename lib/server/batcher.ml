@@ -85,8 +85,15 @@ let shed_timeout ~metrics (job : Job.t) (waited_ms, budget_ms) =
        (Error (Runtime.Failure.Queue_timeout { waited_ms; budget_ms })))
 
 let serve ~queue ~engine ~metrics ?(max_batch = 16) ?queue_timeout_ms
-    ?default_deadline_ms () =
-  let run_one = run_job ~engine ~metrics ~default_deadline_ms in
+    ?default_deadline_ms ?progress () =
+  (* Every answered job ticks the progress counter; the daemon's
+     heartbeat watchdog distinguishes "slow but advancing" from
+     "wedged with queued work" by watching it. *)
+  let tick () = Option.iter Atomic.incr progress in
+  let run_one job =
+    run_job ~engine ~metrics ~default_deadline_ms job;
+    tick ()
+  in
   (* Jobs are batched only while consecutive and single-case; the first
      incompatible pop is carried into the next round so nothing is
      reordered across a sweep boundary. *)
@@ -107,6 +114,7 @@ let serve ~queue ~engine ~metrics ?(max_batch = 16) ?queue_timeout_ms
           match timed_out ~queue_timeout_ms j with
           | Some t ->
               shed_timeout ~metrics j t;
+              tick ();
               gather acc n
           | None -> (
               match Protocol.klass (Job.request j).Protocol.query with
@@ -122,6 +130,7 @@ let serve ~queue ~engine ~metrics ?(max_batch = 16) ?queue_timeout_ms
         match timed_out ~queue_timeout_ms head with
         | Some t ->
             shed_timeout ~metrics head t;
+            tick ();
             loop ()
         | None ->
             let batch =

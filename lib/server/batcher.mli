@@ -35,6 +35,7 @@ val serve :
   ?max_batch:int ->
   ?queue_timeout_ms:float ->
   ?default_deadline_ms:float ->
+  ?progress:int Atomic.t ->
   unit ->
   unit
 (** Run the batcher loop until [queue] is closed and drained; every
@@ -43,7 +44,9 @@ val serve :
     with a typed [Queue_timeout] failure without executing. Each job
     executes under its request's [deadline_ms] (or
     [default_deadline_ms]) installed via [Runtime.Engine.with_deadline].
-    [max_batch] defaults to 16. Counters: [server.batches],
-    [server.batched_requests], [server.executed], [server.exec_errors],
-    [server.internal_errors], [server.queue_timeouts], and the
-    [server.in_flight] gauge. *)
+    [max_batch] defaults to 16. [progress] is incremented once per
+    answered job (executed or shed) — the daemon's heartbeat watchdog
+    watches it to tell a slow batcher from a wedged one. Counters:
+    [server.batches], [server.batched_requests], [server.executed],
+    [server.exec_errors], [server.internal_errors],
+    [server.queue_timeouts], and the [server.in_flight] gauge. *)

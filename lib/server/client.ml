@@ -56,12 +56,18 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let call_raw t request =
+(* Requests are rendered to bytes exactly once per logical call (see
+   the retry loop): [Protocol.request_to_json] is deterministic, so
+   every retry of the same logical request puts byte-identical payload
+   on the wire — the digest the server's journal dedups on. *)
+let render request = Json.to_string (Protocol.request_to_json request)
+
+let request_digest request = Journal.digest (render request)
+
+let call_payload t payload =
   if not t.open_ then Error "client closed"
   else
-    match
-      Protocol.write_frame t.fd (Json.to_string (Protocol.request_to_json request))
-    with
+    match Protocol.write_frame t.fd payload with
     | () -> (
         match Protocol.read_frame t.fd with
         | Ok payload -> Ok payload
@@ -70,6 +76,8 @@ let call_raw t request =
         | Error (`Err msg) -> Error msg)
     | exception Unix.Unix_error (e, _, _) ->
         Error ("send failed: " ^ Unix.error_message e)
+
+let call_raw t request = call_payload t (render request)
 
 let call t request =
   match call_raw t request with
@@ -134,11 +142,12 @@ let recoverable_error doc =
             | None -> "unknown")
       | _ -> None)
 
-let call_raw_with_retry ?(policy = default_retry_policy)
-    ?(retry_recoverable = false) ?read_timeout_s ?write_timeout_s addr
-    request =
-  if policy.attempts < 1 then
-    invalid_arg "Client.call_raw_with_retry: attempts < 1";
+(* Shared retry core over an already-rendered payload: fresh
+   connection per attempt, same bytes every attempt. [classify] turns
+   a delivered response into the caller's result or another attempt. *)
+let retry ~(policy : retry_policy) ~what ?read_timeout_s ?write_timeout_s
+    addr ~payload ~classify =
+  if policy.attempts < 1 then invalid_arg ("Client." ^ what ^ ": attempts < 1");
   let rec attempt i last =
     if i >= policy.attempts then Error { attempts = i; last }
     else begin
@@ -148,51 +157,40 @@ let call_raw_with_retry ?(policy = default_retry_policy)
           attempt (i + 1) ("connect failed: " ^ Unix.error_message e)
       | exception Stdlib.Failure msg -> attempt (i + 1) msg
       | c -> (
-          let result = call_raw c request in
+          let result = call_payload c payload in
           close c;
           match result with
-          | Ok payload -> (
-              let recoverable =
-                if retry_recoverable then
-                  match Json.parse payload with
-                  | Ok doc -> recoverable_error doc
-                  | Error _ -> None
-                else None
-              in
-              match recoverable with
-              | Some code ->
-                  attempt (i + 1) ("recoverable server error: " ^ code)
-              | None -> Ok payload)
+          | Ok bytes -> (
+              match classify bytes with
+              | `Done v -> Ok v
+              | `Retry msg -> attempt (i + 1) msg)
           | Error msg -> attempt (i + 1) msg)
     end
   in
   attempt 0 "no attempt made"
 
+let call_raw_with_retry ?(policy = default_retry_policy)
+    ?(retry_recoverable = false) ?read_timeout_s ?write_timeout_s addr
+    request =
+  retry ~policy ~what:"call_raw_with_retry" ?read_timeout_s ?write_timeout_s
+    addr ~payload:(render request) ~classify:(fun bytes ->
+      if not retry_recoverable then `Done bytes
+      else
+        match Json.parse bytes with
+        | Error _ -> `Done bytes
+        | Ok doc -> (
+            match recoverable_error doc with
+            | Some code -> `Retry ("recoverable server error: " ^ code)
+            | None -> `Done bytes))
+
 let call_with_retry ?(policy = default_retry_policy)
     ?(retry_recoverable = false) ?read_timeout_s ?write_timeout_s addr
     request =
-  if policy.attempts < 1 then
-    invalid_arg "Client.call_with_retry: attempts < 1";
-  let rec attempt i last =
-    if i >= policy.attempts then Error { attempts = i; last }
-    else begin
-      if i > 0 then Thread.delay (backoff_delay policy i);
-      match connect ~retries:0 ?read_timeout_s ?write_timeout_s addr with
-      | exception Unix.Unix_error (e, _, _) ->
-          attempt (i + 1) ("connect failed: " ^ Unix.error_message e)
-      | exception Stdlib.Failure msg -> attempt (i + 1) msg
-      | c -> (
-          let result = call c request in
-          close c;
-          match result with
-          | Ok doc -> (
-              match
-                if retry_recoverable then recoverable_error doc else None
-              with
-              | Some code ->
-                  attempt (i + 1) ("recoverable server error: " ^ code)
-              | None -> Ok doc)
-          | Error msg -> attempt (i + 1) msg)
-    end
-  in
-  attempt 0 "no attempt made"
+  retry ~policy ~what:"call_with_retry" ?read_timeout_s ?write_timeout_s addr
+    ~payload:(render request) ~classify:(fun bytes ->
+      match Json.parse bytes with
+      | Error msg -> `Retry ("malformed response: " ^ msg)
+      | Ok doc -> (
+          match if retry_recoverable then recoverable_error doc else None with
+          | Some code -> `Retry ("recoverable server error: " ^ code)
+          | None -> `Done doc))

@@ -36,6 +36,14 @@ val call_raw : t -> Protocol.request -> (string, string) result
 val call : t -> Protocol.request -> (Json.t, string) result
 (** {!call_raw} plus JSON parsing. *)
 
+val request_digest : Protocol.request -> string
+(** The journal digest ({!Journal.digest}) of [request]'s rendered
+    payload — what the server dedups on. A request is rendered to
+    bytes exactly once per logical call and the rendering is
+    deterministic, so every retry carries this same digest; crash
+    harnesses use it to match acknowledged responses against the
+    server's replayed-response table. *)
+
 val ping : t -> (Json.t, string) result
 (** [{"op":"ping"}] round-trip; the [ok] body reports the daemon's
     protocol version and engine name. *)
@@ -90,8 +98,11 @@ val call_with_retry :
   (Json.t, retry_error) result
 (** One logical request with retries: each attempt opens a fresh
     connection (no [connect]-level retries — refusals feed the backoff
-    loop), sends [request], and reads one response.
-    [retry_recoverable] additionally retries well-formed responses
-    whose [error] document is marked recoverable (admission sheds:
-    [overloaded], [too_many_connections], [queue_timeout]) — off by
-    default since re-running a solve costs server work. *)
+    loop), sends the request's payload — rendered once, so every
+    attempt is byte-identical and lands on the same journal digest
+    (a server that already answered a previous attempt replies from
+    its replayed-response table instead of re-executing) — and reads
+    one response. [retry_recoverable] additionally retries well-formed
+    responses whose [error] document is marked recoverable (admission
+    sheds: [overloaded], [too_many_connections], [queue_timeout]) —
+    off by default since re-running a solve costs server work. *)

@@ -10,6 +10,11 @@ type config = {
   read_timeout_s : float option;
   write_timeout_s : float option;
   max_frames_per_conn : int option;
+  journal_dir : string option;
+  scrub_budget_s : float option;
+  watchdog_s : float option;
+  restarts : int;
+  on_wedged : (unit -> unit) option;
 }
 
 let default_config =
@@ -25,7 +30,69 @@ let default_config =
     read_timeout_s = None;
     write_timeout_s = None;
     max_frames_per_conn = None;
+    journal_dir = None;
+    scrub_budget_s = None;
+    watchdog_s = None;
+    restarts = 0;
+    on_wedged = None;
   }
+
+let wedged_exit_code = 70
+
+(* ------------------------------------------------------------------ *)
+(* Replayed-response table: digest -> rendered response bytes, FIFO
+   bounded by entry count and total bytes. A reconnecting client whose
+   previous attempt died between "response computed" and "response
+   received" re-sends byte-identical payload bytes, lands on the same
+   digest, and is answered from here without re-executing — that is
+   the journal's dedup guarantee. Only success documents are recorded:
+   caching a shed or a deadline trip would freeze a transient
+   condition into a permanent answer. *)
+
+module Dedup = struct
+  type t = {
+    m : Mutex.t;
+    tbl : (string, string) Hashtbl.t;
+    order : string Queue.t;
+    max_entries : int;
+    max_bytes : int;
+    mutable bytes : int;
+  }
+
+  let create ?(max_entries = 1024) ?(max_bytes = 64 * 1024 * 1024) () =
+    {
+      m = Mutex.create ();
+      tbl = Hashtbl.create 256;
+      order = Queue.create ();
+      max_entries;
+      max_bytes;
+      bytes = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  let find t digest = locked t (fun () -> Hashtbl.find_opt t.tbl digest)
+
+  let add t digest response =
+    locked t (fun () ->
+        if not (Hashtbl.mem t.tbl digest) then begin
+          Hashtbl.replace t.tbl digest response;
+          Queue.push digest t.order;
+          t.bytes <- t.bytes + String.length response;
+          while
+            (not (Queue.is_empty t.order))
+            && (Hashtbl.length t.tbl > t.max_entries || t.bytes > t.max_bytes)
+          do
+            let old = Queue.pop t.order in
+            (match Hashtbl.find_opt t.tbl old with
+            | Some r -> t.bytes <- t.bytes - String.length r
+            | None -> ());
+            Hashtbl.remove t.tbl old
+          done
+        end)
+end
 
 type t = {
   config : config;
@@ -34,9 +101,14 @@ type t = {
   queue : Batcher.Job.t Workqueue.t;
   stop_flag : bool Atomic.t;
   draining : bool Atomic.t;
+  replaying : bool Atomic.t;
+  progress : int Atomic.t;
+  journal : Journal.t option;
+  dedup : Dedup.t;
   listen_fd : Unix.file_descr;
   http_fd : Unix.file_descr option;
   batcher : Thread.t;
+  watchdog : Thread.t option;
   acceptors : Thread.t list;
   conns : (int, Unix.file_descr) Hashtbl.t;
   conns_m : Mutex.t;
@@ -101,6 +173,21 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let write_response fd doc = Protocol.write_frame fd (Json.to_string doc)
 
+let publish_journal t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let s = Journal.stats j in
+      let set k v = Runtime.Metrics.set t.metrics k v in
+      set "server.journal_pending" s.Journal.pending;
+      set "server.journal_appended" s.Journal.appended;
+      set "server.journal_retired" s.Journal.retired;
+      set "server.journal_rotations" s.Journal.rotations;
+      set "server.journal_replayed" s.Journal.replayed;
+      set "server.journal_torn_tails" s.Journal.torn_tails;
+      set "server.journal_crc_skipped" s.Journal.crc_skipped;
+      set "server.journal_write_errors" s.Journal.write_errors
+
 let handle_request t fd payload =
   let started = Unix.gettimeofday () in
   (match Protocol.parse_request payload with
@@ -115,7 +202,8 @@ let handle_request t fd payload =
       match Protocol.klass req.Protocol.query with
       | Protocol.Inline ->
           (* ping/stats never solve: safe on the connection thread and
-             never queued, so liveness survives overload. *)
+             never queued, so liveness survives overload. They are also
+             never journaled — stats is time-varying and ping is free. *)
           Runtime.Metrics.incr t.metrics "server.accepted";
           let result =
             Protocol.execute ~engine:t.engine ~metrics:t.metrics
@@ -123,24 +211,64 @@ let handle_request t fd payload =
           in
           write_response fd (Protocol.response ~id result)
       | Protocol.Single _ | Protocol.Sweep -> (
-          let job = Batcher.Job.make req in
-          match Workqueue.try_push t.queue job with
-          | Ok () ->
-              Runtime.Metrics.incr t.metrics "server.accepted";
-              Runtime.Metrics.set t.metrics "server.queue_depth"
-                (Workqueue.length t.queue);
-              write_response fd (Batcher.Job.await job)
-          | Error `Overloaded ->
-              Runtime.Metrics.incr t.metrics "server.shed";
-              write_response fd
-                (Protocol.response ~id
-                   (Error
-                      (Runtime.Failure.Overloaded
-                         { queue_depth = Workqueue.depth t.queue })))
-          | Error `Closed ->
-              write_response fd
-                (Protocol.error_response ~id ~code:"shutting_down"
-                   "server is draining"))));
+          let dg = Journal.digest payload in
+          let retire () =
+            Option.iter (fun j -> Journal.retire j dg) t.journal;
+            publish_journal t
+          in
+          match Dedup.find t.dedup dg with
+          | Some cached ->
+              (* A retried request the journal already answered
+                 (replay, or a peer that died mid-response): return the
+                 original bytes without executing. Retire after the
+                 flush — the original attempt's entry may still be
+                 pending if its write never completed. *)
+              Runtime.Metrics.incr t.metrics "server.journal_deduped";
+              Protocol.write_frame fd cached;
+              retire ()
+          | None -> (
+              (* Journal before the workqueue: once admitted, the
+                 request survives a crash of this process. *)
+              Option.iter
+                (fun j -> Journal.admit j ~digest:dg ~payload)
+                t.journal;
+              let job = Batcher.Job.make req in
+              match Workqueue.try_push t.queue job with
+              | Ok () ->
+                  Runtime.Metrics.incr t.metrics "server.accepted";
+                  Runtime.Metrics.set t.metrics "server.queue_depth"
+                    (Workqueue.length t.queue);
+                  let doc = Batcher.Job.await job in
+                  let rendered = Json.to_string doc in
+                  (* Record before the flush so a peer that dies
+                     mid-write still finds its answer on retry; only
+                     success documents — caching a shed or deadline
+                     trip would freeze a transient condition. *)
+                  if Json.member "error" doc = None then
+                    Dedup.add t.dedup dg rendered;
+                  (* Retire strictly after the response frame is
+                     flushed: a crash in between replays the request,
+                     a crash after does not — acknowledged work is
+                     never lost and never re-acknowledged differently.
+                     A failed write leaves the entry pending on
+                     purpose. *)
+                  Protocol.write_frame fd rendered;
+                  retire ()
+              | Error `Overloaded ->
+                  Runtime.Metrics.incr t.metrics "server.shed";
+                  (* A shed is not an acknowledgement; retire whatever
+                     happens to the farewell frame. *)
+                  Fun.protect ~finally:retire (fun () ->
+                      write_response fd
+                        (Protocol.response ~id
+                           (Error
+                              (Runtime.Failure.Overloaded
+                                 { queue_depth = Workqueue.depth t.queue }))))
+              | Error `Closed ->
+                  Fun.protect ~finally:retire (fun () ->
+                      write_response fd
+                        (Protocol.error_response ~id ~code:"shutting_down"
+                           "server is draining"))))));
   observe_latency t.metrics ((Unix.gettimeofday () -. started) *. 1e3)
 
 (* Best-effort: the peer may already be gone, and on a write-deadline
@@ -233,6 +361,124 @@ let arm_deadlines config fd =
   set Unix.SO_SNDTIMEO config.write_timeout_s
 
 (* ------------------------------------------------------------------ *)
+(* Crash recovery: replay, watchdog, health *)
+
+(* Replay every unretired journal entry through the same
+   [Protocol.execute] path a live request takes, so the recovered
+   response is byte-identical to what the crashed process would have
+   sent. Runs at the head of the batcher thread — before the first
+   [Batcher.serve] pop — which preserves the single-solve-thread
+   invariant (per-request deadline state is domain-local). Replay
+   deliberately ignores request deadlines: the work was already
+   admitted once, and a deadline trip here would turn a recovered
+   answer into a spurious failure. *)
+let replay t =
+  (match t.journal with
+  | None -> ()
+  | Some j ->
+      List.iter
+        (fun (e : Journal.entry) ->
+          (match Protocol.parse_request e.Journal.payload with
+          | Error _ ->
+              (* Journaled garbage (should be impossible — we admit
+                 after parse) — drop it. *)
+              ()
+          | Ok req -> (
+              match Protocol.klass req.Protocol.query with
+              | Protocol.Inline -> ()
+              | Protocol.Single _ | Protocol.Sweep ->
+                  if Dedup.find t.dedup e.Journal.digest = None then begin
+                    let doc =
+                      try
+                        Protocol.response ~id:req.Protocol.id
+                          (Protocol.execute ~engine:t.engine
+                             ~metrics:t.metrics req.Protocol.query)
+                      with exn ->
+                        Protocol.error_response ~id:req.Protocol.id
+                          ~code:"internal" (Printexc.to_string exn)
+                    in
+                    if Json.member "error" doc = None then
+                      Dedup.add t.dedup e.Journal.digest
+                        (Json.to_string doc);
+                    Runtime.Metrics.incr t.metrics "server.replayed"
+                  end));
+          Journal.retire j e.Journal.digest;
+          (* Each replayed entry is progress: a long replay must not
+             trip the wedged-batcher watchdog. *)
+          Atomic.incr t.progress)
+        (Journal.pending j));
+  Atomic.set t.replaying false;
+  publish_journal t
+
+(* Heartbeat watchdog: queued work plus a progress counter that has
+   not moved for [budget_s] means the batcher is wedged (deadlocked
+   pool, stuck solve that ignores its deadline). Restarting is the
+   only safe recovery — the journal makes it cheap. [on_wedged] is the
+   test seam; production exits [wedged_exit_code] so the supervisor
+   respawns. *)
+let watchdog_loop t budget_s =
+  let tick = Float.min 0.2 (Float.max 0.01 (budget_s /. 4.0)) in
+  let last_progress = ref (Atomic.get t.progress) in
+  let last_change = ref (Unix.gettimeofday ()) in
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      Thread.delay tick;
+      let p = Atomic.get t.progress in
+      let now = Unix.gettimeofday () in
+      if p <> !last_progress then begin
+        last_progress := p;
+        last_change := now
+      end
+      else if
+        Workqueue.length t.queue > 0 && now -. !last_change >= budget_s
+      then begin
+        Runtime.Metrics.incr t.metrics "server.watchdog_trips";
+        match t.config.on_wedged with
+        | Some f ->
+            f ();
+            last_change := now
+        | None ->
+            Printf.eprintf
+              "sta_serve: batcher made no progress for %gs with queued \
+               work; self-restarting\n\
+               %!"
+              budget_s;
+            Stdlib.exit wedged_exit_code
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let health_doc t =
+  let status, reasons =
+    if Atomic.get t.draining then ("draining", [ "draining" ])
+    else
+      let reasons = ref [] in
+      let add r = reasons := r :: !reasons in
+      (match Runtime.Engine.cache t.engine with
+      | None -> ()
+      | Some c -> (
+          match Runtime.Cache.breaker_state c with
+          | None | Some Runtime.Cache.Breaker.Closed -> ()
+          | Some (Runtime.Cache.Breaker.Open | Runtime.Cache.Breaker.Half_open)
+            ->
+              add "breaker_open"));
+      if Atomic.get t.replaying then add "replay_in_progress";
+      if Workqueue.length t.queue >= Workqueue.depth t.queue then
+        add "queue_saturated";
+      let reasons = List.rev !reasons in
+      ((if reasons = [] then "ok" else "degraded"), reasons)
+  in
+  Json.Obj
+    [
+      ("status", Json.Str status);
+      ("reasons", Json.Arr (List.map (fun r -> Json.Str r) reasons));
+    ]
+
+let health = health_doc
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
 let conn_counter = Atomic.make 0
@@ -247,22 +493,37 @@ let start (config : config) =
     | None -> Runtime.Metrics.create ()
   in
   let engine = Runtime.Engine.with_metrics config.engine metrics in
+  Runtime.Metrics.set metrics "server.restarts" config.restarts;
+  (* Bounded-time startup scrub: after a crash the disk cache may hold
+     torn or corrupt entries; validate the newest ones while the
+     budget lasts and unlink anything that fails its CRC, so warm
+     starts never serve garbage. *)
+  (match (config.scrub_budget_s, Runtime.Engine.cache engine) with
+  | Some budget_s, Some cache ->
+      let r = Runtime.Cache.scrub ~budget_s cache in
+      Runtime.Metrics.set metrics "cache.scrubbed" r.Runtime.Cache.scanned;
+      Runtime.Metrics.set metrics "cache.scrub_corrupt" r.Runtime.Cache.corrupt;
+      Runtime.Metrics.set metrics "cache.scrub_tmp_reaped"
+        r.Runtime.Cache.tmp_reaped;
+      Runtime.Metrics.set metrics "cache.scrub_complete"
+        (if r.Runtime.Cache.complete then 1 else 0)
+  | _ -> ());
+  let journal =
+    Option.map (fun dir -> Journal.open_ dir) config.journal_dir
+  in
   let queue = Workqueue.create ~depth:config.queue_depth in
   let stop_flag = Atomic.make false in
   let draining = Atomic.make false in
+  let replaying =
+    Atomic.make
+      (match journal with Some j -> Journal.pending j <> [] | None -> false)
+  in
+  let progress = Atomic.make 0 in
   let listen_fd = bind_listen config.addr in
   let http_fd =
     Option.map
       (fun port -> bind_listen (Client.Tcp ("127.0.0.1", port)))
       config.http_port
-  in
-  let batcher =
-    Thread.create
-      (fun () ->
-        Batcher.serve ~queue ~engine ~metrics ~max_batch:config.max_batch
-          ?queue_timeout_ms:config.queue_timeout_ms
-          ?default_deadline_ms:config.default_deadline_ms ())
-      ()
   in
   let t =
     {
@@ -272,9 +533,17 @@ let start (config : config) =
       queue;
       stop_flag;
       draining;
+      replaying;
+      progress;
+      journal;
+      dedup = Dedup.create ();
       listen_fd;
       http_fd;
-      batcher;
+      (* Placeholder; the shared mutable state above is what the
+         serving threads close over, so the functional update below is
+         safe. *)
+      batcher = Thread.self ();
+      watchdog = None;
       acceptors = [];
       conns = Hashtbl.create 64;
       conns_m = Mutex.create ();
@@ -282,6 +551,24 @@ let start (config : config) =
       threads_m = Mutex.create ();
       stopped = Atomic.make false;
     }
+  in
+  publish_journal t;
+  (* Replay runs at the head of the batcher thread: the single thread
+     that ever executes solves, before the first queue pop. Requests
+     arriving during replay queue up behind it (or dedup-hit). *)
+  let batcher =
+    Thread.create
+      (fun () ->
+        replay t;
+        Batcher.serve ~queue ~engine ~metrics ~max_batch:config.max_batch
+          ?queue_timeout_ms:config.queue_timeout_ms
+          ?default_deadline_ms:config.default_deadline_ms ~progress ())
+      ()
+  in
+  let watchdog =
+    Option.map
+      (fun budget_s -> Thread.create (fun () -> watchdog_loop t budget_s) ())
+      config.watchdog_s
   in
   let proto_acceptor =
     Thread.create
@@ -319,9 +606,7 @@ let start (config : config) =
   let http_acceptor =
     Option.map
       (fun fd ->
-        let health () =
-          if Atomic.get draining then "draining\n" else "ok\n"
-        in
+        let health () = Json.to_string (health_doc t) ^ "\n" in
         Thread.create
           (fun () ->
             Listener.accept_loop ~stop:stop_flag fd (fun cfd _peer ->
@@ -331,7 +616,12 @@ let start (config : config) =
           ())
       http_fd
   in
-  { t with acceptors = proto_acceptor :: Option.to_list http_acceptor }
+  {
+    t with
+    batcher;
+    watchdog;
+    acceptors = proto_acceptor :: Option.to_list http_acceptor;
+  }
 
 let addr t = t.config.addr
 let metrics t = t.metrics
@@ -368,7 +658,15 @@ let stop t =
       Mutex.unlock t.threads_m;
       ts
     in
-    List.iter Thread.join threads
+    List.iter Thread.join threads;
+    (* 5. Only now close the journal: retires are written on
+       connection threads strictly after each response frame is
+       flushed, so closing earlier would drop the retire of an
+       already-acknowledged response and replay it (differently
+       observable to the client) at the next start. The watchdog
+       exits on the stop flag. *)
+    Option.iter Thread.join t.watchdog;
+    Option.iter Journal.close t.journal
   end
 
 let run config =

@@ -64,13 +64,42 @@ type config = {
   max_frames_per_conn : int option;
       (** frame budget per connection; answered [frame_limit] when
           exhausted *)
+  journal_dir : string option;
+      (** write-ahead request journal directory; [None] disables
+          crash-safe admission. Solve requests are journaled before
+          they enter the workqueue and retired strictly after their
+          response frame is flushed; on the next {!start} the
+          unretired set is replayed through the same
+          [Protocol.execute] path, and a reconnecting client that
+          resends the byte-identical payload is answered from the
+          replayed-response table without re-executing
+          ([server.journal_deduped]). *)
+  scrub_budget_s : float option;
+      (** bounded-time startup scrub of the engine's disk cache
+          ({!Runtime.Cache.scrub}): CRC-validate newest-first, unlink
+          corrupt entries and tmp leftovers. [None] skips the scrub. *)
+  watchdog_s : float option;
+      (** heartbeat watchdog budget: when the queue is non-empty and
+          the batcher's progress counter has not moved for this long,
+          the daemon declares itself wedged and exits
+          {!wedged_exit_code} so the supervisor respawns it ([None]
+          disables; [on_wedged] overrides the exit for tests). *)
+  restarts : int;
+      (** how many supervisor respawns preceded this incarnation;
+          surfaced as the [server.restarts] gauge *)
+  on_wedged : (unit -> unit) option;
+      (** test seam: called instead of [exit] on a watchdog trip *)
 }
 
 val default_config : config
 (** Unix socket ["/tmp/sta_serve.sock"], no HTTP listener, the [fast]
     engine preset, queue depth 64, max batch 16, no queue timeout, no
     default deadline, 256 max connections, no read/write deadlines, no
-    frame budget. *)
+    frame budget, no journal, no scrub, no watchdog. *)
+
+val wedged_exit_code : int
+(** Exit status (70) of a watchdog self-restart; the supervisor treats
+    it like any abnormal exit and respawns. *)
 
 type t
 
@@ -85,6 +114,14 @@ val conn_active : t -> int
 (** Number of live protocol connections right now. Drains to zero
     after {!stop}; chaos harnesses poll it to prove no connection (and
     so no fd) leaked. *)
+
+val health : t -> Json.t
+(** The health document served on [GET /health]:
+    [{"status":s,"reasons":[...]}] where [s] is ["draining"] during
+    shutdown, ["degraded"] with reasons drawn from [breaker_open]
+    (disk-cache circuit breaker open or half-open),
+    [replay_in_progress] (journal replay still running), and
+    [queue_saturated] (admission queue at capacity), or ["ok"]. *)
 
 val stop : t -> unit
 (** Graceful drain as described above; blocks until every thread has

@@ -18,4 +18,5 @@ let () =
       Test_substrate.suite;
       Test_server.suite;
       Test_fuzz.suite;
+      Test_crash.suite;
     ]

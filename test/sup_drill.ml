@@ -1,0 +1,47 @@
+(* Supervisor drill, run as its own process by test_crash: OCaml 5
+   forbids Unix.fork once other domains exist, and the test runner's
+   engine pools create domains — so the fork-based supervisor gets a
+   fresh single-threaded process, exactly like production.
+
+   Usage: sup_drill (clean|loop) [PID_FILE]
+
+   clean — the child crashes twice (exit 3) then drains (exit 0);
+   loop  — the child always crashes (exit 9) until the budget trips.
+
+   Prints one line: "clean RESTARTS SPAWNS" or
+   "gaveup RESTARTS CONSECUTIVE SPAWNS". *)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "clean" in
+  let pid_file =
+    if Array.length Sys.argv > 2 then Some Sys.argv.(2) else None
+  in
+  let spawns = ref 0 in
+  let config =
+    {
+      Server.Supervisor.base_backoff_s = 0.01;
+      max_backoff_s = 0.05;
+      healthy_after_s = 1000.0;
+      crash_budget = 2;
+      pid_file;
+      on_spawn = Some (fun ~pid:_ ~restarts:_ -> incr spawns);
+    }
+  in
+  let outcome =
+    match mode with
+    | "clean" ->
+        (* Unix._exit bypasses at_exit so the forked children leave no
+           droppings (no double-flushed buffers). *)
+        Server.Supervisor.run ~config (fun ~restarts ->
+            if restarts < 2 then Unix._exit 3 else Unix._exit 0)
+    | "loop" ->
+        Server.Supervisor.run ~config (fun ~restarts:_ -> Unix._exit 9)
+    | m ->
+        Printf.eprintf "sup_drill: unknown mode %s\n" m;
+        exit 2
+  in
+  match outcome with
+  | Server.Supervisor.Clean { restarts } ->
+      Printf.printf "clean %d %d\n" restarts !spawns
+  | Server.Supervisor.Gave_up { restarts; consecutive } ->
+      Printf.printf "gaveup %d %d %d\n" restarts consecutive !spawns
