@@ -21,6 +21,15 @@
 #     gates this one is pass/fail with no baseline: the stage itself
 #     exits non-zero on any violated invariant. Skip it (e.g. on a
 #     machine that cannot fork/exec) with CRASH_GATE=0.
+#   * sweep — the 200-case Config II alignment grid through the
+#     branch-and-bound search vs the exhaustive sweep, compared
+#     against BENCH_sweep.json. The stage self-gates (solved points
+#     byte-identical to the exhaustive sweep, worst-case drift within
+#     the coverage slack, >=4x fewer solves and <=40 total, sparse
+#     entries >=5x smaller) and the --compare limb additionally fails
+#     when the pruned solve count grew >25% over the baseline or the
+#     sparse compression ratio fell below 80% of it. Skip with
+#     SWEEP_GATE=0; SWEEP_BASELINE=path overrides the baseline file.
 #
 # The timing limbs are advisory across machines (the committed
 # baselines record one host's numbers); the drift limbs are
@@ -29,6 +38,7 @@
 #
 #   dune exec bench/main.exe -- kernel --json BENCH_baseline.json
 #   dune exec bench/main.exe -- batch --json BENCH_batch.json
+#   dune exec bench/main.exe -- sweep --cases 200 --json BENCH_sweep.json
 #
 # Usage: bench/check_regression.sh [BASELINE.json] [extra bench args...]
 #        BATCH_BASELINE=path overrides the batch baseline file.
@@ -59,6 +69,17 @@ if [ "${CRASH_GATE:-1}" = "1" ]; then
   dune exec bench/main.exe -- crash || status=$?
 else
   echo "check_regression: CRASH_GATE=0, skipping crash-recovery gate" >&2
+fi
+
+sweep_baseline="${SWEEP_BASELINE:-BENCH_sweep.json}"
+if [ "${SWEEP_GATE:-1}" != "1" ]; then
+  echo "check_regression: SWEEP_GATE=0, skipping alignment-sweep gate" >&2
+elif [ -f "$sweep_baseline" ]; then
+  dune exec bench/main.exe -- sweep --cases 200 --compare "$sweep_baseline" \
+    "$@" || status=$?
+else
+  echo "check_regression: sweep baseline $sweep_baseline not found;" \
+    "skipping sweep gate" >&2
 fi
 
 exit $status

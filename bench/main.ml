@@ -838,6 +838,234 @@ let worstcase () =
         (Unix.gettimeofday () -. t0))
     [ Noise.Scenario.config_i; Noise.Scenario.config_ii ]
 
+(* ------------------------------------------------------------------ *)
+(* Sweep: branch-and-bound alignment pruning + sparse waveform storage *)
+
+(* JSON fragment from the sweep section, for --json and the
+   regression gate. *)
+let sweep_json : string option ref = ref None
+
+let sweep_compare ~pruned_solves ~sparse_ratio path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.printf "  REGRESSION vs %s: %s\n" path msg;
+        exit_code := 1)
+      fmt
+  in
+  (match scan_number text "pruned_solves" with
+  | None -> fail "baseline has no pruned_solves"
+  | Some base ->
+      let limit = int_of_float (Float.round (base *. 1.25)) in
+      if pruned_solves > limit then
+        fail "pruned sweep took %d solves, baseline %.0f (>25%% more)"
+          pruned_solves base
+      else
+        Printf.printf "  pruned solves %d vs baseline %.0f: ok\n"
+          pruned_solves base);
+  match scan_number text "sparse_ratio" with
+  | None -> fail "baseline has no sparse_ratio"
+  | Some base ->
+      if sparse_ratio < base *. 0.8 then
+        fail "sparse compression %.2fx fell below 80%% of baseline %.2fx"
+          sparse_ratio base
+      else
+        Printf.printf "  sparse ratio %.2fx vs baseline %.2fx: ok\n"
+          sparse_ratio base
+
+let sweep_stage () =
+  header "Sweep: branch-and-bound alignment search + sparse storage";
+  let n = !cases in
+  let scen = Noise.Scenario.with_cases Noise.Scenario.config_ii n in
+  let s = cli_spec () in
+  let tol =
+    if s.Runtime.Cli.prune_tol_ps > 0.0 then s.Runtime.Cli.prune_tol_ps
+    else 2.0
+  in
+  (* Each side gets the shared solver config and pool but a fresh
+     in-memory cache, so the second sweep cannot ride on the first
+     one's published waveforms and the solve counts are honest. *)
+  let mk_engine () =
+    let e = Runtime.Engine.of_name s.Runtime.Cli.engine_name in
+    let e =
+      match s.Runtime.Cli.ltetol with
+      | Some tol ->
+          Runtime.Engine.map_solver e (fun c ->
+              Spice.Transient.with_adaptive ~lte_tol:tol c)
+      | None -> e
+    in
+    let e =
+      match Lazy.force pool with
+      | Some p -> Runtime.Engine.with_pool e p
+      | None -> e
+    in
+    let e =
+      match s.Runtime.Cli.batch with
+      | Some b -> Runtime.Engine.with_batch e b
+      | None -> e
+    in
+    Runtime.Engine.with_cache e (Runtime.Cache.create ())
+  in
+  let run config =
+    let engine = mk_engine () in
+    let noiseless = Noise.Injection.noiseless ~engine scen in
+    let t0 = Unix.gettimeofday () in
+    let r = Noise.Alignment.search ~config ~engine scen ~noiseless in
+    (r, Unix.gettimeofday () -. t0, engine, noiseless)
+  in
+  let ex, t_ex, _, _ =
+    run { Noise.Alignment.default with Noise.Alignment.prune_tol_ps = 0.0 }
+  in
+  let pr, t_pr, engine_pr, noiseless_pr =
+    run { Noise.Alignment.default with Noise.Alignment.prune_tol_ps = tol }
+  in
+  (* Guard sample: every alignment the pruned search did solve must
+     measure the exact delay the exhaustive sweep measured there. *)
+  let guard_disagreements = ref 0 and guard_drift = ref 0.0 in
+  Array.iteri
+    (fun i d ->
+      match (d, ex.Noise.Alignment.delays.(i)) with
+      | Some a, Some b ->
+          if a <> b then begin
+            incr guard_disagreements;
+            guard_drift := Float.max !guard_drift (abs_float (a -. b))
+          end
+      | Some _, None -> incr guard_disagreements (* can't happen *)
+      | _ -> ())
+    pr.Noise.Alignment.delays;
+  let guard_drift_ps = !guard_drift *. 1e12 in
+  (* The worst case itself is only promised to within the coverage
+     slack: the search may settle on a different grid point whose
+     delay trails the true maximum by at most tol. *)
+  let drift_ps =
+    abs_float (pr.Noise.Alignment.best_delay -. ex.Noise.Alignment.best_delay)
+    *. 1e12
+  in
+  let solves_ex = ex.Noise.Alignment.stats.Noise.Alignment.solved in
+  let solves_pr = pr.Noise.Alignment.stats.Noise.Alignment.solved in
+  let solve_ratio =
+    if solves_pr > 0 then float_of_int solves_ex /. float_of_int solves_pr
+    else 0.0
+  in
+  (* Sparse storage on the worst-case waveforms: serialize the probed
+     traces the way the disk cache does (time/value array pairs) with
+     and without threshold-windowed compression. *)
+  let th = Device.Process.thresholds scen.Noise.Scenario.proc in
+  let levels = Waveform.Thresholds.[ v_low th; v_mid th; v_high th ] in
+  let noisy =
+    Noise.Injection.noisy ~engine:engine_pr scen
+      ~tau:pr.Noise.Alignment.best_tau
+  in
+  let waves =
+    [
+      noisy.Noise.Injection.far;
+      noisy.Noise.Injection.rcv;
+      noiseless_pr.Noise.Injection.far;
+      noiseless_pr.Noise.Injection.rcv;
+    ]
+  in
+  let entry_bytes ws =
+    String.length
+      (Marshal.to_string
+         (List.map
+            (fun w -> (Waveform.Wave.times w, Waveform.Wave.values w))
+            ws)
+         [])
+  in
+  let compressed = List.map (Waveform.Sparse.compress ~levels) waves in
+  let bytes_dense = entry_bytes waves in
+  let bytes_sparse = entry_bytes compressed in
+  let sparse_ratio =
+    if bytes_sparse > 0 then
+      float_of_int bytes_dense /. float_of_int bytes_sparse
+    else 0.0
+  in
+  let sparse_max_err =
+    List.fold_left2
+      (fun acc original decoded ->
+        Float.max acc (Waveform.Sparse.max_error ~original ~decoded))
+      0.0 waves compressed
+  in
+  Printf.printf
+    "  %d-point Config II alignment grid, tol %.1f ps\n\
+    \  exhaustive    %4d solves  [%.1f s]\n\
+    \  pruned        %4d solves  [%.1f s]  (%d pruned, %d rounds)\n\
+    \  %.1fx fewer transient solves; worst case tau %.1f ps, delay %.2f ps\n\
+    \  best-delay drift %.6f ps (slack %.1f ps); guard sample: %d \
+     disagreements, drift %.3f ps\n\
+    \  sparse storage: %d -> %d bytes (%.1fx), max err %.2e V\n"
+    n tol solves_ex t_ex solves_pr t_pr
+    pr.Noise.Alignment.stats.Noise.Alignment.pruned
+    pr.Noise.Alignment.stats.Noise.Alignment.rounds solve_ratio
+    (pr.Noise.Alignment.best_tau *. 1e12)
+    (pr.Noise.Alignment.best_delay *. 1e12)
+    drift_ps tol !guard_disagreements guard_drift_ps bytes_dense bytes_sparse
+    sparse_ratio sparse_max_err;
+  if drift_ps > tol then begin
+    Printf.printf
+      "  FAIL: worst-case delay drifted %.6f ps, beyond the %.1f ps slack\n"
+      drift_ps tol;
+    exit_code := 1
+  end;
+  if !guard_disagreements > 0 then begin
+    Printf.printf
+      "  FAIL: solved alignments must match the exhaustive sweep \
+       byte-for-byte\n";
+    exit_code := 1
+  end;
+  if n >= 100 && solve_ratio < 4.0 then begin
+    Printf.printf "  FAIL: expected >= 4x fewer solves, got %.1fx\n"
+      solve_ratio;
+    exit_code := 1
+  end;
+  if n >= 200 && solves_pr > 40 then begin
+    Printf.printf "  FAIL: pruned sweep took %d solves (budget 40)\n"
+      solves_pr;
+    exit_code := 1
+  end;
+  if sparse_ratio < 5.0 then begin
+    Printf.printf "  FAIL: expected >= 5x smaller entries, got %.1fx\n"
+      sparse_ratio;
+    exit_code := 1
+  end;
+  if sparse_max_err > Waveform.Sparse.default_eps then begin
+    Printf.printf "  FAIL: sparse reconstruction error %.2e V above %.0e V\n"
+      sparse_max_err Waveform.Sparse.default_eps;
+    exit_code := 1
+  end;
+  sweep_json :=
+    Some
+      (json_obj
+         [
+           ("n_cases", string_of_int n);
+           ("prune_tol_ps", Printf.sprintf "%.3f" tol);
+           ("exhaustive_solves", string_of_int solves_ex);
+           ("pruned_solves", string_of_int solves_pr);
+           ("pruned", string_of_int
+              pr.Noise.Alignment.stats.Noise.Alignment.pruned);
+           ("rounds", string_of_int
+              pr.Noise.Alignment.stats.Noise.Alignment.rounds);
+           ("solve_ratio", Printf.sprintf "%.4f" solve_ratio);
+           ("exhaustive_elapsed_s", Printf.sprintf "%.3f" t_ex);
+           ("pruned_elapsed_s", Printf.sprintf "%.3f" t_pr);
+           ( "best_tau_ps",
+             Printf.sprintf "%.6f" (pr.Noise.Alignment.best_tau *. 1e12) );
+           ( "best_delay_ps",
+             Printf.sprintf "%.6f" (pr.Noise.Alignment.best_delay *. 1e12) );
+           ("drift_ps", Printf.sprintf "%.6f" drift_ps);
+           ("guard_disagreements", string_of_int !guard_disagreements);
+           ("guard_drift_ps", Printf.sprintf "%.6f" guard_drift_ps);
+           ("bytes_dense", string_of_int bytes_dense);
+           ("bytes_sparse", string_of_int bytes_sparse);
+           ("sparse_ratio", Printf.sprintf "%.4f" sparse_ratio);
+           ("sparse_max_err_v", Printf.sprintf "%.6e" sparse_max_err);
+         ]);
+  match !compare_file with
+  | Some path ->
+      sweep_compare ~pruned_solves:solves_pr ~sparse_ratio path
+  | None -> ()
+
 let corners () =
   header "Extension: accuracy across process corners (Config I)";
   let n = Int.min !cases 40 in
@@ -2203,6 +2431,9 @@ let write_json path =
       @ (match !batch_json with
         | Some j -> [ ("batch", j) ]
         | None -> [])
+      @ (match !sweep_json with
+        | Some j -> [ ("sweep", j) ]
+        | None -> [])
       @ (match !serve_json with
         | Some j -> [ ("serve", j) ]
         | None -> [])
@@ -2232,7 +2463,8 @@ let () =
           ~doc:
             "Sections to run (default: all): $(b,figure1) $(b,figure2) \
              $(b,table1) $(b,runtime) $(b,kernel) $(b,ablation) \
-             $(b,nonoverlap) $(b,worstcase) $(b,corners) $(b,montecarlo) \
+             $(b,nonoverlap) $(b,worstcase) $(b,sweep) $(b,corners) \
+             $(b,montecarlo) \
              $(b,awe); $(b,serve) (explicit only) load-tests the \
              sta_serve daemon; $(b,chaos) (explicit only) runs the \
              service-boundary chaos harness: misbehaving clients, \
@@ -2415,6 +2647,7 @@ let () =
     stage "ablation" ablation;
     stage "nonoverlap" nonoverlap;
     stage "worstcase" worstcase;
+    stage "sweep" sweep_stage;
     stage "corners" corners;
     stage "montecarlo" montecarlo;
     stage "awe" awe;

@@ -45,7 +45,14 @@ type rt = {
   metrics : bool;
   checkpoint_dir : string option;
   ladder : Eqwave.Ladder.t option;
+  prune_tol_ps : float;
 }
+
+(* The cache's sparse codec keeps crossings at these levels exact, so
+   they must be the levels timing is measured at. *)
+let sparse_levels =
+  let th = Device.Process.thresholds proc in
+  Waveform.Thresholds.[ v_low th; v_mid th; v_high th ]
 
 let rt_term =
   let make spec (sweep : Runtime.Cli.sweep) =
@@ -59,10 +66,11 @@ let rt_term =
         Runtime.Cli.arm_faults spec;
         `Ok
           {
-            engine = Runtime.Cli.engine_of_spec spec;
+            engine = Runtime.Cli.engine_of_spec ~sparse_levels spec;
             metrics = sweep.Runtime.Cli.metrics;
             checkpoint_dir = sweep.Runtime.Cli.checkpoint_dir;
             ladder;
+            prune_tol_ps = spec.Runtime.Cli.prune_tol_ps;
           }
   in
   Term.(
@@ -140,11 +148,15 @@ let table1_cmd =
             let table =
               Noise.Eval.run_table ~samples ~engine:rt.engine
                 ?ladder:rt.ladder ?checkpoint_dir:rt.checkpoint_dir
+                ~prune_tol_ps:rt.prune_tol_ps
                 ~progress:(fun k n ->
                   if k mod 20 = 0 then Printf.eprintf "%d/%d\r%!" k n)
                 scen
             in
-            Format.printf "%a@." Noise.Eval.pp_table table)
+            Format.printf "%a@." Noise.Eval.pp_table table;
+            match table.Noise.Eval.prune with
+            | Some s -> Format.printf "%a@." Noise.Alignment.pp_stats s
+            | None -> ())
           configs)
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1 (accuracy comparison)")
@@ -335,13 +347,21 @@ let montecarlo_cmd =
   in
   let run samples seed scen rt =
     with_rt rt (fun () ->
-        let _, summaries =
+        let draws, summaries =
           Noise.Montecarlo.run ~seed ~samples ~engine:rt.engine
-            ?ladder:rt.ladder ?checkpoint_dir:rt.checkpoint_dir scen
+            ?ladder:rt.ladder ?checkpoint_dir:rt.checkpoint_dir
+            ~prune_tol_ps:rt.prune_tol_ps scen
         in
         Printf.printf "%s, %d random alignment/polarity samples (seed %d):\n"
           scen.Noise.Scenario.name samples seed;
-        Format.printf "%a@." Noise.Montecarlo.pp_summary summaries)
+        Format.printf "%a@." Noise.Montecarlo.pp_summary summaries;
+        let pruned =
+          List.length
+            (List.filter (fun s -> s.Noise.Montecarlo.pruned) draws)
+        in
+        if pruned > 0 then
+          Printf.printf "%d/%d draws pruned (no critical-window overlap)\n"
+            pruned samples)
   in
   Cmd.v
     (Cmd.info "montecarlo"

@@ -112,13 +112,20 @@ let run_ladder ?metrics ladder ctx =
            { tried = List.length skips; last })
 
 let evaluate_case ?(reference = Replay) ?techniques ?samples
-    ?(ladder = Eqwave.Ladder.default) ?engine scenario ~noiseless ~tau =
+    ?(ladder = Eqwave.Ladder.default) ?engine ?noisy scenario ~noiseless ~tau =
   let engine = Runtime.Engine.resolve engine in
   let techniques =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
   in
   let th = Device.Process.thresholds scenario.Scenario.proc in
-  let noisy = Injection.noisy ~engine scenario ~tau in
+  (* [?noisy] lets a caller that already knows the case's waveforms —
+     Monte-Carlo substituting the noiseless run for a provably
+     non-overlapping draw — skip the simulation. *)
+  let noisy =
+    match noisy with
+    | Some r -> r
+    | None -> Injection.noisy ~engine scenario ~tau
+  in
   let ctx = Injection.ctx_of_runs ?samples scenario ~noiseless ~noisy in
   let tstop = scenario.Scenario.tstop in
   let t_in = mid_crossing th noisy.Injection.far "noisy input" in
@@ -215,6 +222,9 @@ type table = {
   rows : row list;
   cases : case_eval list;
   degradation : degradation_summary;
+  prune : Alignment.stats option;
+      (** branch-and-bound accounting when the sweep ran pruned;
+          [cases] then holds only the solved alignments *)
 }
 
 let summarize_rows techniques cases =
@@ -334,7 +344,7 @@ let guard_reference_delay ?(reference = Replay) ~engine scenario ~tau =
   t_out -. t_in
 
 let run_table ?reference ?techniques ?samples ?ladder ?progress
-    ?checkpoint_dir ?engine scenario =
+    ?checkpoint_dir ?engine ?(prune_tol_ps = 0.0) scenario =
   let engine = Runtime.Engine.resolve engine in
   let techs =
     match techniques with Some ts -> ts | None -> Eqwave.Registry.all
@@ -370,6 +380,18 @@ let run_table ?reference ?techniques ?samples ?ladder ?progress
   in
   let taus = Scenario.taus scenario in
   let total = Array.length taus in
+  (* Branch-and-bound pruning of the alignment grid: run the bounded
+     search first (it batch-solves exactly the alignments it needs and
+     leaves them in the cache), then evaluate only the solved indices.
+     Disabled — along with its fingerprint imprint, so existing
+     checkpoints stay valid — at the default zero tolerance, and under
+     an armed fault plan (pruning reorders solve indices, which would
+     shift deterministic fault assignment). *)
+  let pruning =
+    prune_tol_ps > 0.0
+    && (not (Spice.Transient.Fault.is_armed ()))
+    && Result.is_ok noiseless
+  in
   let checkpoint =
     match checkpoint_dir with
     | None -> None
@@ -380,7 +402,10 @@ let run_table ?reference ?techniques ?samples ?ladder ?progress
              ~fingerprint:
                (sweep_fingerprint ~tag:"eval.run_table" ~schema:"case_eval/2"
                   ?reference ?samples ~ladder:the_ladder ~techs ~engine
-                  scenario []))
+                  scenario
+                  (if pruning then
+                     [ Printf.sprintf "prune:%h" prune_tol_ps ]
+                   else [])))
   in
   (* Batch-first warm-up: solve the alignment sweep's noisy runs
      through the lockstep multi-case kernel before the per-case
@@ -397,7 +422,7 @@ let run_table ?reference ?techniques ?samples ?ladder ?progress
   let () =
     let b = Runtime.Engine.batch engine in
     if
-      b > 1
+      b > 1 && (not pruning)
       && Option.is_some (Runtime.Engine.cache engine)
       && (not (Spice.Transient.Fault.is_armed ()))
       && Result.is_ok noiseless
@@ -463,7 +488,27 @@ let run_table ?reference ?techniques ?samples ?ladder ?progress
             | Some f -> failed_case techs ~tau:taus.(i) f
             | None -> raise e))
   in
-  let eval i =
+  (* Which grid indices actually get evaluated: all of them, or — when
+     pruning — only the alignments the branch-and-bound search solved
+     (its batched rounds already left those runs in the cache). *)
+  let indices, prune_stats =
+    if not pruning then (Array.init total Fun.id, None)
+    else
+      let noiseless = Result.get_ok noiseless in
+      let r =
+        Alignment.search
+          ~config:{ Alignment.default with Alignment.prune_tol_ps }
+          ~engine scenario ~noiseless
+      in
+      let keep = ref [] in
+      for i = total - 1 downto 0 do
+        if r.Alignment.delays.(i) <> None then keep := i :: !keep
+      done;
+      (Array.of_list !keep, Some r.Alignment.stats)
+  in
+  let n_eval = Array.length indices in
+  let eval j =
+    let i = indices.(j) in
     let c =
       match checkpoint with
       | None -> compute i
@@ -476,15 +521,16 @@ let run_table ?reference ?techniques ?samples ?ladder ?progress
               c)
     in
     let k = 1 + Atomic.fetch_and_add completed 1 in
-    (match progress with Some f -> f k total | None -> ());
+    (match progress with Some f -> f k n_eval | None -> ());
     c
   in
-  let cases = Array.to_list (Runtime.Engine.submit_batch engine total eval) in
+  let cases = Array.to_list (Runtime.Engine.submit_batch engine n_eval eval) in
   {
     scenario = scenario.Scenario.name;
     rows = summarize_rows techs cases;
     cases;
     degradation = summarize_degradation the_ladder cases;
+    prune = prune_stats;
   }
 
 let pp_degradation ppf d =

@@ -87,9 +87,13 @@ val evaluate_case :
   ?samples:int ->
   ?ladder:Eqwave.Ladder.t ->
   ?engine:Runtime.Engine.t ->
+  ?noisy:Injection.run ->
   Scenario.t -> noiseless:Injection.run -> tau:float -> case_eval
 (** Runs one noisy full-chain simulation plus one receiver simulation
-    per technique. [techniques] defaults to [Eqwave.Registry.all];
+    per technique. [noisy] overrides the case's noisy run when the
+    caller already holds it — Monte-Carlo substitutes the noiseless
+    run for draws whose alignment provably cannot overlap the victim's
+    critical window. [techniques] defaults to [Eqwave.Registry.all];
     [samples] is the paper's P (default 35). [engine] selects solver
     config and cache (see {!Runtime.Engine}). With a cache, every underlying transient
     simulation is memoized by content (scenario, case, and full solver
@@ -122,6 +126,10 @@ type table = {
   rows : row list;                    (** in the order techniques were given *)
   cases : case_eval list;
   degradation : degradation_summary;
+  prune : Alignment.stats option;
+      (** branch-and-bound accounting when the sweep ran with a
+          positive [prune_tol_ps]; [cases] then holds only the solved
+          alignments (grid order preserved) *)
 }
 
 val summarize_degradation : Eqwave.Ladder.t -> case_eval list -> degradation_summary
@@ -144,8 +152,15 @@ val run_table :
   ?progress:(int -> int -> unit) ->
   ?checkpoint_dir:string ->
   ?engine:Runtime.Engine.t ->
+  ?prune_tol_ps:float ->
   Scenario.t -> table
-(** Sweep all scenario cases. [progress done_ total] is called after
+(** Sweep all scenario cases. With [prune_tol_ps] positive, the
+    alignment grid first goes through {!Alignment.search} and only the
+    solved alignments are evaluated ([table.prune] reports the
+    accounting); the default 0 keeps the exhaustive sweep — and the
+    historical checkpoint fingerprint — untouched. Pruning is ignored
+    under an armed fault plan (it would reorder deterministic fault
+    assignment). [progress done_ total] is called after
     each case with the number completed so far (from worker domains
     when the engine carries a pool, so it must be quick and
     thread-safe). Cases are distributed over the engine's pool via

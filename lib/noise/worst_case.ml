@@ -3,27 +3,15 @@ type result = {
   delay : float;
   nominal_delay : float;
   probes : int;
+  pruned : int;
   gamma : (Eqwave.Ladder.outcome, Runtime.Failure.t) Stdlib.result;
 }
 
-let mid_delay scenario run =
-  let th = Device.Process.thresholds scenario.Scenario.proc in
-  let vm = Waveform.Thresholds.v_mid th in
-  match
-    ( Waveform.Wave.last_crossing run.Injection.far vm,
-      Waveform.Wave.last_crossing run.Injection.rcv vm )
-  with
-  | Some ti, Some ty -> ty -. ti
-  | _ ->
-      Runtime.Failure.fail
-        (Missing_crossing { what = "worst-case probe"; level = vm })
-
-let delay_at ?engine scenario ~noiseless:_ ~tau =
-  mid_delay scenario (Injection.noisy ?engine scenario ~tau)
-
+let mid_delay = Alignment.mid_delay
+let delay_at = Alignment.delay_at
 let golden = (sqrt 5.0 -. 1.0) /. 2.0
 
-let search ?(coarse = 24) ?(refine = 12) ?samples
+let search ?(coarse = 24) ?(refine = 12) ?(prune_tol_ps = 0.0) ?samples
     ?(ladder = Eqwave.Ladder.default) ?engine scenario =
   if coarse < 3 then invalid_arg "Worst_case.search: coarse < 3";
   let engine = Runtime.Engine.resolve engine in
@@ -34,24 +22,20 @@ let search ?(coarse = 24) ?(refine = 12) ?samples
     incr probes;
     delay_at ~engine scenario ~noiseless ~tau
   in
-  let scan = Scenario.taus (Scenario.with_cases scenario coarse) in
-  (* The coarse scan is the parallel part; its probes are independent.
-     Folding the delays in input order keeps the argmax (first maximum
-     wins) identical to the sequential scan. The golden-section probes
-     below are inherently sequential. *)
-  (* Warm the coarse scan through the lockstep batch kernel (cache
-     hits for the per-probe calls below), then fan the probes out. *)
-  ignore (Injection.prewarm_noisy ~engine scenario scan);
-  let coarse_delays =
-    Runtime.Engine.submit_batch engine coarse (fun i ->
-        delay_at ~engine scenario ~noiseless ~tau:scan.(i))
+  (* The coarse scan is the branch-and-bound part: with a zero
+     tolerance it is the plain grid sweep (batched, first maximum
+     wins); with a positive tolerance provably non-critical brackets
+     are bounded away. The golden-section polish below is inherently
+     sequential and unchanged either way. *)
+  let coarse_grid = Scenario.with_cases scenario coarse in
+  let align =
+    Alignment.search
+      ~config:{ Alignment.default with prune_tol_ps }
+      ~engine coarse_grid ~noiseless
   in
-  probes := !probes + coarse;
-  let best = ref (scan.(0), coarse_delays.(0)) in
-  Array.iteri
-    (fun i d ->
-      if i > 0 && d > snd !best then best := (scan.(i), d))
-    coarse_delays;
+  probes := !probes + align.Alignment.stats.Alignment.solved;
+  let best = ref (align.Alignment.best_tau, align.Alignment.best_delay) in
+  let scan = Scenario.taus coarse_grid in
   (* Golden-section maximization on the bracket around the best coarse
      probe. The landscape is piecewise smooth; the bracket spans one
      coarse step on each side. *)
@@ -107,15 +91,17 @@ let search ?(coarse = 24) ?(refine = 12) ?samples
     delay = snd !best;
     nominal_delay;
     probes = !probes;
+    pruned = align.Alignment.stats.Alignment.pruned;
     gamma;
   }
 
 let pp ppf r =
   Format.fprintf ppf
-    "worst alignment tau = %.1f ps: delay %.1f ps (nominal %.1f ps, push-out %+.1f ps, %d simulations)"
+    "worst alignment tau = %.1f ps: delay %.1f ps (nominal %.1f ps, push-out %+.1f ps, %d simulations%s)"
     (r.tau *. 1e12) (r.delay *. 1e12) (r.nominal_delay *. 1e12)
     ((r.delay -. r.nominal_delay) *. 1e12)
-    r.probes;
+    r.probes
+    (if r.pruned > 0 then Printf.sprintf ", %d pruned" r.pruned else "");
   match r.gamma with
   | Ok o ->
       Format.fprintf ppf "; gamma via %s@@rung %d (deviation %.3g V)"

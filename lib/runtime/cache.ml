@@ -216,16 +216,42 @@ type t = {
   shards : shard array;
   disk_dir : string option;
   breaker : Breaker.t option;
+  sparse : (float list * float) option;  (* (levels, eps) for disk writes *)
+  max_disk_bytes : int option;
   hits : int Atomic.t;
   disk_hits : int Atomic.t;
   misses : int Atomic.t;
   read_errors : int Atomic.t;
   write_errors : int Atomic.t;
+  bytes_written : int Atomic.t;
+  disk_bytes : int Atomic.t;
+  evictions : int Atomic.t;
+  evict_m : Mutex.t;
 }
 
+let file_size path =
+  match (Unix.stat path).Unix.st_size with
+  | s -> s
+  | exception Unix.Unix_error _ -> 0
+
+(* The resident-bytes gauge starts from a directory walk so a warm
+   cache dir left by an earlier process is accounted for; after that
+   every write/unlink maintains it incrementally. *)
+let scan_disk_bytes dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.fold_left
+        (fun acc name -> acc + file_size (Filename.concat dir name))
+        0 names
+
 let create ?(shards = 16) ?disk_dir ?breaker_threshold ?breaker_cooldown_s
-    ?now () =
+    ?now ?(sparse_levels = []) ?(sparse_eps = Waveform.Sparse.default_eps)
+    ?max_disk_bytes () =
   if shards < 1 then invalid_arg "Cache.create: shards < 1";
+  (match max_disk_bytes with
+  | Some b when b < 1 -> invalid_arg "Cache.create: max_disk_bytes < 1"
+  | _ -> ());
   {
     shards =
       Array.init shards (fun _ ->
@@ -237,11 +263,22 @@ let create ?(shards = 16) ?disk_dir ?breaker_threshold ?breaker_cooldown_s
           Breaker.create ?threshold:breaker_threshold
             ?cooldown_s:breaker_cooldown_s ?now ())
         disk_dir;
+    sparse =
+      (match sparse_levels with
+      | [] -> None
+      | levels -> Some (levels, sparse_eps));
+    max_disk_bytes;
     hits = Atomic.make 0;
     disk_hits = Atomic.make 0;
     misses = Atomic.make 0;
     read_errors = Atomic.make 0;
     write_errors = Atomic.make 0;
+    bytes_written = Atomic.make 0;
+    disk_bytes =
+      Atomic.make
+        (match disk_dir with Some d -> scan_disk_bytes d | None -> 0);
+    evictions = Atomic.make 0;
+    evict_m = Mutex.create ();
   }
 
 let disk_dir t = t.disk_dir
@@ -256,14 +293,27 @@ let locked s f =
 (* ------------------------------------------------------------------ *)
 (* Disk layer. Waves are flattened to plain float arrays before
    marshalling so the format does not depend on Wave's representation.
-   Format 2 stamps a CRC-32 of the marshalled payload between the magic
-   and the payload, so a torn or bit-rotted entry is detected before
-   [Marshal] ever sees it (format-1 entries fail the magic check and
-   are reaped like any other corrupt entry). *)
+   Format 3 lays out magic, one codec byte (dense or
+   threshold-sparsified, see {!Waveform.Sparse}), a CRC-32 of the
+   marshalled payload — so a torn or bit-rotted entry is detected
+   before [Marshal] ever sees it — then the payload. Format-2 entries
+   (same layout minus the codec byte) are still readable, so an
+   upgrade inherits a warm cache dir; format-1 entries fail the magic
+   check and are reaped like any other corrupt entry. *)
 
-let disk_magic = "noisy_sta.cache.2\n"
+let disk_magic = "noisy_sta.cache.3\n"
+let disk_magic_v2 = "noisy_sta.cache.2\n"
+let codec_dense = '\000'
+let codec_sparse = '\001'
 
 let disk_path dir key = Filename.concat dir key
+
+let is_tmp name =
+  let rec find i =
+    i + 5 <= String.length name
+    && (String.equal (String.sub name i 5) ".tmp." || find (i + 1))
+  in
+  find 0
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then
@@ -274,33 +324,45 @@ let crc_bytes crc =
   Bytes.set_int32_be b 0 crc;
   Bytes.to_string b
 
-(* Parse one disk entry held fully in memory: magic, big-endian CRC-32
-   of the payload, marshalled payload. Returns the decoded waves or
-   [Error `Corrupt]; shared by the read path and the startup scrub. *)
+(* Parse one disk entry held fully in memory: magic, codec byte
+   (format 3), big-endian CRC-32 of the payload, marshalled payload.
+   Returns the decoded waves or [Error `Corrupt]; shared by the read
+   path and the startup scrub. *)
 let decode_entry raw =
   let mlen = String.length disk_magic in
-  if
-    String.length raw < mlen + 4
-    || not (String.equal (String.sub raw 0 mlen) disk_magic)
-  then Error `Corrupt
-  else
-    let stored = String.get_int32_be raw mlen in
-    let payload_pos = mlen + 4 in
-    let payload_len = String.length raw - payload_pos in
-    if Crc32.update 0l raw payload_pos payload_len <> stored then
-      Error `Corrupt
+  let payload_at pos =
+    if String.length raw < pos + 4 then Error `Corrupt
     else
-      match
-        (Marshal.from_string raw payload_pos
-          : (float array * float array) list)
-      with
-      | raw_waves
-        when List.for_all
-               (fun (ts, vs) -> Array.length ts = Array.length vs)
-               raw_waves ->
-          Ok (List.map (fun (ts, vs) -> Waveform.Wave.create ts vs) raw_waves)
-      | _ -> Error `Corrupt
-      | exception _ -> Error `Corrupt
+      let stored = String.get_int32_be raw pos in
+      let payload_pos = pos + 4 in
+      let payload_len = String.length raw - payload_pos in
+      if Crc32.update 0l raw payload_pos payload_len <> stored then
+        Error `Corrupt
+      else
+        match
+          (Marshal.from_string raw payload_pos
+            : (float array * float array) list)
+        with
+        | raw_waves
+          when List.for_all
+                 (fun (ts, vs) -> Array.length ts = Array.length vs)
+                 raw_waves ->
+            Ok
+              (List.map (fun (ts, vs) -> Waveform.Wave.create ts vs) raw_waves)
+        | _ -> Error `Corrupt
+        | exception _ -> Error `Corrupt
+  in
+  if String.length raw < mlen then Error `Corrupt
+  else
+    let magic = String.sub raw 0 mlen in
+    if String.equal magic disk_magic then
+      if
+        String.length raw < mlen + 1
+        || (raw.[mlen] <> codec_dense && raw.[mlen] <> codec_sparse)
+      then Error `Corrupt
+      else payload_at (mlen + 1)
+    else if String.equal magic disk_magic_v2 then payload_at mlen
+    else Error `Corrupt
 
 (* Report a disk op's outcome to the breaker (when the cache has one).
    An absent file is a successful disk interaction: only genuine
@@ -344,12 +406,56 @@ let disk_read t dir key =
   | Error `Corrupt | (exception (End_of_file | Stdlib.Failure _ | Invalid_argument _)) ->
       Atomic.incr t.read_errors;
       breaker_outcome t false;
-      (try Sys.remove path with Sys_error _ -> ());
+      let sz = file_size path in
+      (try
+         Sys.remove path;
+         ignore (Atomic.fetch_and_add t.disk_bytes (-sz))
+       with Sys_error _ -> ());
       None
   | exception (Sys_error _ | Disk_fault.Injected) ->
       Atomic.incr t.read_errors;
       breaker_outcome t false;
       None
+
+(* LRU disk eviction: when the resident-bytes gauge exceeds the
+   configured cap after a write, unlink entries oldest-mtime-first
+   (the same directory walk the scrub does) down to 90% of the cap —
+   the hysteresis keeps steady-state writes from evicting one entry
+   each. Only the disk copies go; memory-resident waves stay valid.
+   [try_lock] makes concurrent writers skip rather than queue: one
+   evictor at a time is plenty. *)
+let maybe_evict t dir =
+  match t.max_disk_bytes with
+  | None -> ()
+  | Some limit when Atomic.get t.disk_bytes <= limit -> ()
+  | Some limit ->
+      if Mutex.try_lock t.evict_m then
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.evict_m)
+          (fun () ->
+            let target = limit / 10 * 9 in
+            match Sys.readdir dir with
+            | exception Sys_error _ -> ()
+            | names ->
+                let entries =
+                  Array.to_list names
+                  |> List.filter (fun n -> not (is_tmp n))
+                  |> List.filter_map (fun n ->
+                         match Unix.stat (Filename.concat dir n) with
+                         | st -> Some (st.Unix.st_mtime, st.Unix.st_size, n)
+                         | exception Unix.Unix_error _ -> None)
+                  |> List.sort (fun (a, _, _) (b, _, _) ->
+                         compare (a : float) b)
+                in
+                List.iter
+                  (fun (_, sz, n) ->
+                    if Atomic.get t.disk_bytes > target then
+                      try
+                        Sys.remove (Filename.concat dir n);
+                        ignore (Atomic.fetch_and_add t.disk_bytes (-sz));
+                        Atomic.incr t.evictions
+                      with Sys_error _ -> ())
+                  entries)
 
 let disk_write t dir key waves =
   match
@@ -360,21 +466,39 @@ let disk_write t dir key waves =
       Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
         ((Domain.self () :> int))
     in
+    (* Sparsification applies to the disk copy only; the memory shards
+       keep the dense wave, so in-process replay is byte-identical and
+       only a cross-process disk round-trip sees the (crossing-exact,
+       eps-bounded) sparse reconstruction. *)
+    let waves_out, codec =
+      match t.sparse with
+      | None -> (waves, codec_dense)
+      | Some (levels, eps) ->
+          ( List.map (Waveform.Sparse.compress ~eps ~levels) waves,
+            codec_sparse )
+    in
     let payload =
       Marshal.to_string
         (List.map
            (fun w -> (Waveform.Wave.times w, Waveform.Wave.values w))
-           waves)
+           waves_out)
         []
     in
     let oc = open_out_bin tmp in
     Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
         output_string oc disk_magic;
+        output_char oc codec;
         output_string oc (crc_bytes (Crc32.string payload));
         output_string oc payload);
-    Sys.rename tmp path
+    let replaced = file_size path in
+    Sys.rename tmp path;
+    let entry = String.length disk_magic + 1 + 4 + String.length payload in
+    ignore (Atomic.fetch_and_add t.bytes_written entry);
+    ignore (Atomic.fetch_and_add t.disk_bytes (entry - replaced))
   with
-  | () -> breaker_outcome t true
+  | () ->
+      breaker_outcome t true;
+      maybe_evict t dir
   | exception _ ->
       (* a full or read-only disk must not fail the run *)
       Atomic.incr t.write_errors;
@@ -423,7 +547,13 @@ let remove t key =
   locked s (fun () -> Hashtbl.remove s.tbl key);
   match t.disk_dir with
   | None -> ()
-  | Some dir -> ( try Sys.remove (disk_path dir key) with Sys_error _ -> ())
+  | Some dir -> (
+      let path = disk_path dir key in
+      let sz = file_size path in
+      try
+        Sys.remove path;
+        ignore (Atomic.fetch_and_add t.disk_bytes (-sz))
+      with Sys_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Startup scrub: CRC-validate disk entries newest-first (the entries
@@ -440,13 +570,6 @@ type scrub_report = {
   elapsed_s : float;
   complete : bool;
 }
-
-let is_tmp name =
-  let rec find i =
-    i + 5 <= String.length name
-    && (String.equal (String.sub name i 5) ".tmp." || find (i + 1))
-  in
-  find 0
 
 let scrub ?(budget_s = 2.0) ?(now = Unix.gettimeofday) t =
   let empty =
@@ -513,6 +636,10 @@ let disk_hits t = Atomic.get t.disk_hits
 let misses t = Atomic.get t.misses
 let read_errors t = Atomic.get t.read_errors
 let write_errors t = Atomic.get t.write_errors
+let bytes_written t = Atomic.get t.bytes_written
+let disk_bytes t = Atomic.get t.disk_bytes
+let evictions t = Atomic.get t.evictions
+let sparse_enabled t = Option.is_some t.sparse
 let breaker t = t.breaker
 
 let breaker_state t =
@@ -538,7 +665,11 @@ let clear t =
   Atomic.set t.disk_hits 0;
   Atomic.set t.misses 0;
   Atomic.set t.read_errors 0;
-  Atomic.set t.write_errors 0
+  Atomic.set t.write_errors 0;
+  (* [disk_bytes] deliberately survives: clearing memory shards does
+     not unlink disk entries, so the gauge still describes the dir. *)
+  Atomic.set t.bytes_written 0;
+  Atomic.set t.evictions 0
 
 let pp_stats ppf t =
   Format.fprintf ppf

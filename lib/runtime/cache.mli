@@ -89,12 +89,25 @@ val create :
   ?breaker_threshold:int ->
   ?breaker_cooldown_s:float ->
   ?now:(unit -> float) ->
+  ?sparse_levels:float list ->
+  ?sparse_eps:float ->
+  ?max_disk_bytes:int ->
   unit ->
   t
 (** [shards] defaults to 16. When [disk_dir] is given the directory is
     created on demand and a {!Breaker} guards the disk layer
     ([breaker_threshold], [breaker_cooldown_s] and [now] configure it);
-    without [disk_dir] there is no breaker. *)
+    without [disk_dir] there is no breaker.
+
+    A non-empty [sparse_levels] turns on threshold-windowed
+    sparsification ({!Waveform.Sparse.compress} with [sparse_eps],
+    default {!Waveform.Sparse.default_eps}) of the *disk* copies:
+    memory shards keep the dense waves, so in-process replay stays
+    byte-identical, while cross-process round-trips reproduce every
+    listed crossing level exactly and everything else within
+    [sparse_eps]. [max_disk_bytes] caps the disk layer: when a write
+    pushes {!disk_bytes} past the cap, entries are LRU-evicted
+    (oldest mtime first) down to 90% of it. *)
 
 val disk_dir : t -> string option
 
@@ -164,6 +177,20 @@ val read_errors : t -> int
 val write_errors : t -> int
 (** Disk-layer write failures (full/read-only disk, injected faults) —
     the entry stays memory-only. *)
+
+val bytes_written : t -> int
+(** Total bytes of completed disk-entry writes (header + payload)
+    since creation (or the last {!clear}). *)
+
+val disk_bytes : t -> int
+(** Resident bytes of the disk layer: seeded by a directory walk at
+    creation, then maintained on every write, unlink and eviction. *)
+
+val evictions : t -> int
+(** Disk entries unlinked by the [max_disk_bytes] LRU cap. *)
+
+val sparse_enabled : t -> bool
+(** Whether disk writes go through {!Waveform.Sparse.compress}. *)
 
 val breaker : t -> Breaker.t option
 (** The breaker guarding the disk layer, when one exists. *)

@@ -1,6 +1,12 @@
 type t = { dir : string }
 
-let magic = "noisy_sta.ckpt.1\n"
+(* Format 2 stamps a big-endian CRC-32 of the marshalled payload
+   between the magic and the payload, mirroring the cache's disk
+   layout: a bit-rotted entry that still carries a whole magic is
+   caught by the checksum instead of reaching [Marshal]. Format-1
+   journals fail the meta check below (the magic is part of the meta
+   content) and are wiped wholesale on open. *)
+let magic = "noisy_sta.ckpt.2\n"
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then
@@ -62,27 +68,44 @@ let open_ ~dir ~name ~fingerprint =
   end;
   { dir = d }
 
+let crc_bytes crc =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 crc;
+  Bytes.to_string b
+
 let find t i =
   let path = entry_path t i in
   if not (Sys.file_exists path) then None
   else
     match
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let m = really_input_string ic (String.length magic) in
-          if m <> magic then None else Some (Marshal.from_channel ic))
+      let raw = read_file path in
+      let mlen = String.length magic in
+      if
+        String.length raw < mlen + 4
+        || not (String.equal (String.sub raw 0 mlen) magic)
+      then None
+      else
+        let stored = String.get_int32_be raw mlen in
+        let pos = mlen + 4 in
+        if Crc32.update 0l raw pos (String.length raw - pos) <> stored then
+          None
+        else Some (Marshal.from_string raw pos)
     with
-    | v -> v
-    | exception _ ->
+    | Some v -> Some v
+    | None ->
         (* Torn or corrupt entry (e.g. the process died mid-write on a
-           filesystem without atomic rename): recompute it. *)
+           filesystem without atomic rename, or the bytes rotted):
+           recompute it. *)
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+    | exception _ ->
         (try Sys.remove path with Sys_error _ -> ());
         None
 
 let record t i v =
-  try write_file (entry_path t i) (magic ^ Marshal.to_string v [])
+  try
+    let payload = Marshal.to_string v [] in
+    write_file (entry_path t i) (magic ^ crc_bytes (Crc32.string payload) ^ payload)
   with _ -> () (* a full disk degrades to recomputation, not a crash *)
 
 let completed t =

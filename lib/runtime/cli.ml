@@ -24,6 +24,10 @@ type spec = {
   jac_reuse : bool;
   fault : Spice.Transient.Fault.plan option;
   cache_fault : Cache.Disk_fault.plan option;
+  prune_tol_ps : float;
+  sparse_cache : bool;
+  sparse_eps : float option;
+  cache_max_mb : int option;
 }
 
 type sweep = {
@@ -239,9 +243,67 @@ let spec_term ?(default_engine = "reference") ?default_cache_dir () =
                    disk op) or $(b,RATE[@SEED]) (seeded fraction of \
                    disk ops). Examples: 0.5, nth:3, 0.8@13.")
   in
+  let prune_tol =
+    let c =
+      Arg.conv
+        ( (fun s ->
+            match float_of_string_opt s with
+            | Some x when x >= 0.0 && Float.is_finite x -> Ok x
+            | _ -> Error (`Msg "expected a non-negative float (picoseconds)")),
+          fun ppf x -> Format.fprintf ppf "%g" x )
+    in
+    Arg.(value & opt c 0.0
+         & info [ "prune-tol-ps" ] ~docv:"PS"
+             ~doc:"Alignment-sweep branch-and-bound coverage slack in \
+                   picoseconds: brackets of the alignment window whose \
+                   delay upper bound exceeds the incumbent by no more \
+                   than $(docv) are pruned unsolved, so the found \
+                   worst case trails the true one by at most $(docv). \
+                   0 (the default) keeps the exhaustive, \
+                   byte-identical sweep.")
+  in
+  let sparse_cache =
+    Arg.(value & flag
+         & info [ "sparse-cache" ]
+             ~doc:"Store disk-cache waveforms threshold-sparsified: \
+                   dense samples only around threshold crossings, \
+                   linear segments elsewhere. Crossing times \
+                   round-trip exactly; everything else within the \
+                   sparsification tolerance. Memory-resident waves \
+                   stay dense.")
+  in
+  let sparse_eps =
+    let c =
+      Arg.conv
+        ( (fun s ->
+            match float_of_string_opt s with
+            | Some x when x >= 0.0 && Float.is_finite x -> Ok x
+            | _ -> Error (`Msg "expected a non-negative float (volts)")),
+          fun ppf x -> Format.fprintf ppf "%g" x )
+    in
+    Arg.(value & opt (some c) None
+         & info [ "sparse-eps" ] ~docv:"VOLTS"
+             ~doc:"Reconstruction-error bound for $(b,--sparse-cache) \
+                   (default 1 mV). Implies $(b,--sparse-cache).")
+  in
+  let cache_max_mb =
+    let c =
+      Arg.conv
+        ( (fun s ->
+            match int_of_string_opt s with
+            | Some n when n >= 1 -> Ok n
+            | _ -> Error (`Msg "expected a positive size in MiB")),
+          Format.pp_print_int )
+    in
+    Arg.(value & opt (some c) None
+         & info [ "cache-max-mb" ] ~docv:"MB"
+             ~doc:"Cap the on-disk cache at $(docv) MiB: when a write \
+                   pushes the directory past the cap, entries are \
+                   LRU-evicted (oldest first) down to 90% of it.")
+  in
   let make engine_name ltetol jobs batch no_cache cache_dir fallback retries
       deadline_ms guard guard_every guard_tol_ps solver no_jac_reuse fault
-      cache_fault =
+      cache_fault prune_tol_ps sparse_cache sparse_eps cache_max_mb =
     {
       engine_name;
       ltetol;
@@ -259,12 +321,17 @@ let spec_term ?(default_engine = "reference") ?default_cache_dir () =
       jac_reuse = not no_jac_reuse;
       fault;
       cache_fault;
+      prune_tol_ps;
+      sparse_cache = sparse_cache || Option.is_some sparse_eps;
+      sparse_eps;
+      cache_max_mb;
     }
   in
   Term.(
     const make $ engine $ ltetol $ jobs $ batch $ no_cache $ cache_dir
     $ fallback $ retries $ deadline $ guard $ guard_every $ guard_tol_ps
-    $ solver $ no_jac_reuse $ inject $ inject_cache)
+    $ solver $ no_jac_reuse $ inject $ inject_cache $ prune_tol
+    $ sparse_cache $ sparse_eps $ cache_max_mb)
 
 let sweep_term () =
   let metrics =
@@ -309,7 +376,7 @@ let policy_of_spec s =
   | Some n -> Resilience.with_max_attempts p n
   | None -> p
 
-let engine_of_spec s =
+let engine_of_spec ?(sparse_levels = []) s =
   let e = Engine.of_name s.engine_name in
   let e =
     match s.ltetol with
@@ -336,7 +403,13 @@ let engine_of_spec s =
     if s.jobs > 1 then Engine.with_pool e (Pool.create ~jobs:s.jobs ()) else e
   in
   if s.use_cache then
-    Engine.with_cache e (Cache.create ?disk_dir:s.cache_dir ())
+    Engine.with_cache e
+      (Cache.create ?disk_dir:s.cache_dir
+         ~sparse_levels:(if s.sparse_cache then sparse_levels else [])
+         ?sparse_eps:s.sparse_eps
+         ?max_disk_bytes:
+           (Option.map (fun mb -> mb * 1024 * 1024) s.cache_max_mb)
+         ())
   else e
 
 let arm_faults s =

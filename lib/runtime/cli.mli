@@ -29,6 +29,12 @@ type spec = {
   fault : Spice.Transient.Fault.plan option;   (** [--inject-faults] *)
   cache_fault : Cache.Disk_fault.plan option;
       (** [--inject-cache-faults] *)
+  prune_tol_ps : float;
+      (** [--prune-tol-ps], alignment branch-and-bound slack; 0 =
+          exhaustive sweep *)
+  sparse_cache : bool;        (** [--sparse-cache] (or [--sparse-eps]) *)
+  sparse_eps : float option;  (** [--sparse-eps], volts *)
+  cache_max_mb : int option;  (** [--cache-max-mb], LRU disk cap *)
 }
 
 type sweep = {
@@ -56,13 +62,17 @@ val sweep_term : unit -> sweep Cmdliner.Term.t
     separate from {!spec_term} so a front-end without sweeps (the
     daemon) doesn't advertise them. *)
 
-val engine_of_spec : spec -> Engine.t
+val engine_of_spec : ?sparse_levels:float list -> spec -> Engine.t
 (** Assemble the engine: preset, then tolerance, resilience policy
     (with the retry budget), deadline, guard, solver kind, Jacobian
     reuse, batch width; a fresh {!Pool} when [jobs > 1] and a fresh
-    {!Cache} unless disabled. The caller owns the pool
-    ({!Engine.pool}) and must shut it down. Does NOT arm fault
-    injection — call {!arm_faults} exactly once per process. *)
+    {!Cache} unless disabled. [sparse_levels] are the threshold
+    voltages handed to the cache when [--sparse-cache] is on — the
+    runtime layer doesn't know the device thresholds, so front-ends
+    supply them (default: empty, which disables sparsification even
+    with the flag). The caller owns the pool ({!Engine.pool}) and must
+    shut it down. Does NOT arm fault injection — call {!arm_faults}
+    exactly once per process. *)
 
 val policy_of_spec : spec -> Resilience.policy
 (** Just the resilience policy ([--fallback]/[--retries]). *)

@@ -79,6 +79,9 @@ let capture_cache t cache =
   set t "cache.read_errors" (Cache.read_errors cache);
   set t "cache.write_errors" (Cache.write_errors cache);
   set t "cache.resident" (Cache.length cache);
+  set t "cache.bytes_written" (Cache.bytes_written cache);
+  set t "cache.disk_bytes" (Cache.disk_bytes cache);
+  set t "cache.evictions" (Cache.evictions cache);
   match Cache.breaker_state cache with
   | None -> ()
   | Some st ->

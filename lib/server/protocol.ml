@@ -1,4 +1,4 @@
-let version = "1.1.0"
+let version = "1.2.0"
 
 (* Compatibility is decided on the major component alone: a client may
    be older or newer within a major series (fields it doesn't know are
@@ -24,8 +24,14 @@ type query =
       cases : int;
       techniques : string list option;
       samples : int option;
+      prune_tol_ps : float;
     }
-  | Montecarlo of { config : string; samples : int; seed : int }
+  | Montecarlo of {
+      config : string;
+      samples : int;
+      seed : int;
+      prune_tol_ps : float;
+    }
 
 type request = { id : int; query : query; deadline_ms : float option }
 
@@ -85,6 +91,16 @@ let int_field ?default ~lo ~hi name v =
       | Some d -> Ok d
       | None -> Error (Printf.sprintf "missing field %S" name))
 
+(* Optional branch-and-bound slack; absent (or 0) keeps the exhaustive
+   sweep, so pre-1.2 clients see unchanged behavior. *)
+let prune_field v =
+  match field "prune_tol_ps" v with
+  | None -> Ok 0.0
+  | Some j -> (
+      match Json.to_float j with
+      | Some x when Float.is_finite x && x >= 0.0 -> Ok x
+      | _ -> Error "field \"prune_tol_ps\" must be a non-negative number")
+
 let names_field name v =
   match field name v with
   | None -> Ok None
@@ -129,13 +145,15 @@ let parse_query op v =
             let* p = int_field ~lo:1 ~hi:max_samples "samples" v in
             Ok (Some p)
       in
-      Ok (Table1 { config; cases; techniques; samples })
+      let* prune_tol_ps = prune_field v in
+      Ok (Table1 { config; cases; techniques; samples; prune_tol_ps })
   | "montecarlo" ->
       let* config = str_field "config" v in
       let* () = check_config config in
       let* samples = int_field ~lo:1 ~hi:max_samples "samples" v in
       let* seed = int_field ~default:42 ~lo:0 ~hi:max_int "seed" v in
-      Ok (Montecarlo { config; samples; seed })
+      let* prune_tol_ps = prune_field v in
+      Ok (Montecarlo { config; samples; seed; prune_tol_ps })
   | other -> Error (Printf.sprintf "unknown op %S" other)
 
 let parse_request text =
@@ -203,7 +221,7 @@ let request_to_json { id; query; deadline_ms } =
           | Some names ->
               [ ("ladder", Json.Arr (List.map (fun s -> Json.Str s) names)) ]
           | None -> [])
-    | Table1 { config; cases; techniques; samples } ->
+    | Table1 { config; cases; techniques; samples; prune_tol_ps } ->
         [
           ("op", Json.Str "table1");
           ("config", Json.Str config);
@@ -219,13 +237,21 @@ let request_to_json { id; query; deadline_ms } =
         @ (match samples with
           | Some p -> [ ("samples", Json.Num (float_of_int p)) ]
           | None -> [])
-    | Montecarlo { config; samples; seed } ->
+        @
+        if prune_tol_ps > 0.0 then
+          [ ("prune_tol_ps", Json.Num prune_tol_ps) ]
+        else []
+    | Montecarlo { config; samples; seed; prune_tol_ps } ->
         [
           ("op", Json.Str "montecarlo");
           ("config", Json.Str config);
           ("samples", Json.Num (float_of_int samples));
           ("seed", Json.Num (float_of_int seed));
         ]
+        @
+        if prune_tol_ps > 0.0 then
+          [ ("prune_tol_ps", Json.Num prune_tol_ps) ]
+        else []
   in
   let tail =
     match deadline_ms with
@@ -374,21 +400,36 @@ let degradation_json (d : Noise.Eval.degradation_summary) =
       ("avg_score_v", num d.Noise.Eval.avg_score_v);
     ]
 
-let table1_body scen ~cases (table : Noise.Eval.table) =
+let prune_json (s : Noise.Alignment.stats) =
   Json.Obj
     [
-      ("scenario", Json.Str scen.Noise.Scenario.name);
-      ("cases", num (float_of_int cases));
-      ("rows", Json.Arr (List.map row_json table.Noise.Eval.rows));
-      ("degradation", degradation_json table.Noise.Eval.degradation);
+      ("total", num (float_of_int s.Noise.Alignment.total));
+      ("solved", num (float_of_int s.Noise.Alignment.solved));
+      ("pruned", num (float_of_int s.Noise.Alignment.pruned));
+      ("rounds", num (float_of_int s.Noise.Alignment.rounds));
     ]
 
-let montecarlo_body scen ~samples ~seed (summaries : Noise.Montecarlo.summary list) =
+let table1_body scen ~cases (table : Noise.Eval.table) =
+  Json.Obj
+    ([
+       ("scenario", Json.Str scen.Noise.Scenario.name);
+       ("cases", num (float_of_int cases));
+       ("rows", Json.Arr (List.map row_json table.Noise.Eval.rows));
+       ("degradation", degradation_json table.Noise.Eval.degradation);
+     ]
+    @
+    match table.Noise.Eval.prune with
+    | Some s -> [ ("prune", prune_json s) ]
+    | None -> [])
+
+let montecarlo_body scen ~samples ~seed ~pruned
+    (summaries : Noise.Montecarlo.summary list) =
   Json.Obj
     [
       ("scenario", Json.Str scen.Noise.Scenario.name);
       ("samples", num (float_of_int samples));
       ("seed", num (float_of_int seed));
+      ("pruned", num (float_of_int pruned));
       ( "summaries",
         Json.Arr
           (List.map
@@ -468,7 +509,7 @@ let execute ~engine ?metrics query =
                        | s :: _ -> s.Eqwave.Ladder.reason
                        | [] -> "empty ladder");
                    }))
-  | Table1 { config; cases; techniques; samples } ->
+  | Table1 { config; cases; techniques; samples; prune_tol_ps } ->
       let* scen = find_scenario config in
       let* techniques =
         match techniques with
@@ -487,16 +528,21 @@ let execute ~engine ?metrics query =
       guarded (fun () ->
           let scen = Noise.Scenario.with_cases scen cases in
           let table =
-            Noise.Eval.run_table ?techniques ?samples ~engine scen
+            Noise.Eval.run_table ?techniques ?samples ~engine ~prune_tol_ps
+              scen
           in
           Ok (table1_body scen ~cases table))
-  | Montecarlo { config; samples; seed } ->
+  | Montecarlo { config; samples; seed; prune_tol_ps } ->
       let* scen = find_scenario config in
       guarded (fun () ->
-          let _, summaries =
-            Noise.Montecarlo.run ~seed ~samples ~engine scen
+          let draws, summaries =
+            Noise.Montecarlo.run ~seed ~samples ~engine ~prune_tol_ps scen
           in
-          Ok (montecarlo_body scen ~samples ~seed summaries))
+          let pruned =
+            List.length
+              (List.filter (fun s -> s.Noise.Montecarlo.pruned) draws)
+          in
+          Ok (montecarlo_body scen ~samples ~seed ~pruned summaries))
 
 let response ~id result =
   let envelope body =

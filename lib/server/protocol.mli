@@ -18,8 +18,16 @@
       optional [ladder] name list): accepted rung, ramp arrival/slew,
       deviation score.
     - [table1] — a full Table-1 sweep ([config], [cases], optional
-      [techniques], [samples]).
-    - [montecarlo] — a Monte-Carlo shard ([config], [samples], [seed]).
+      [techniques], [samples], optional [prune_tol_ps]).
+    - [montecarlo] — a Monte-Carlo shard ([config], [samples], [seed],
+      optional [prune_tol_ps]).
+
+    A positive [prune_tol_ps] (added in 1.2) turns on the
+    branch-and-bound alignment pruning: the [table1] response then
+    carries a ["prune"] object ([total]/[solved]/[pruned]/[rounds])
+    and the [montecarlo] response counts [pruned] draws. Absent or 0
+    keeps the exhaustive sweep, so 1.1 clients see unchanged
+    responses.
 
     {!execute} is the single evaluation path: the daemon's batcher runs
     it on queued requests, and the bench runs it directly to assert
@@ -35,8 +43,15 @@ type query =
       cases : int;
       techniques : string list option;
       samples : int option;
+      prune_tol_ps : float;
+          (** 0 = exhaustive sweep (the pre-1.2 behavior) *)
     }
-  | Montecarlo of { config : string; samples : int; seed : int }
+  | Montecarlo of {
+      config : string;
+      samples : int;
+      seed : int;
+      prune_tol_ps : float;
+    }
 
 type request = { id : int; query : query; deadline_ms : float option }
 

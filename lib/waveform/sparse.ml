@@ -1,0 +1,88 @@
+(* Threshold-windowed sparsification of sampled waveforms.
+
+   The idiom comes from digitizer feature extraction: keep dense
+   samples only where the signal is doing something that measurement
+   cares about, and store straight segments elsewhere. Here the
+   measurement points are threshold crossings (delay, arrival, slew
+   are all defined by them), so the invariant is:
+
+   - both endpoints of every segment that crosses or touches a
+     threshold level survive verbatim, which reproduces every crossing
+     time of every level *exactly* after decompression (the crossing
+     is a linear interpolation between those two samples, and
+     [Wave.crossings] counts an exact-sample touch once either way);
+   - a dropped run of samples lies strictly on one side of each level
+     (otherwise one of its segments would have been kept), so the
+     replacement chord — whose endpoints are original samples from the
+     same side — cannot invent a crossing that the original did not
+     have;
+   - a sample is only dropped when its vertical distance to the
+     replacement chord is at most [eps], and since the original and
+     the decompressed curve are both piecewise linear with the
+     decompressed breakpoints a subset of the original's, the maximum
+     reconstruction error over the whole span is attained at an
+     original sample, hence bounded by [eps] everywhere. *)
+
+let default_eps = 1e-3
+
+let compress ?(eps = default_eps) ~levels w =
+  if eps < 0.0 then invalid_arg "Sparse.compress: eps < 0";
+  let ts = Wave.times w and vs = Wave.values w in
+  let n = Array.length ts in
+  let keep = Array.make n false in
+  keep.(0) <- true;
+  keep.(n - 1) <- true;
+  List.iter
+    (fun level ->
+      for i = 0 to n - 2 do
+        if (vs.(i) -. level) *. (vs.(i + 1) -. level) <= 0.0 then begin
+          keep.(i) <- true;
+          keep.(i + 1) <- true
+        end
+      done)
+    levels;
+  (* Greedy chord extension between kept anchors: from anchor [a],
+     advance [b] while every interior sample stays within [eps] of the
+     chord a->b and no interior sample is itself a must-keep. *)
+  let chord_ok a b =
+    let ta = ts.(a) and va = vs.(a) in
+    let slope = (vs.(b) -. va) /. (ts.(b) -. ta) in
+    let ok = ref true in
+    let i = ref (a + 1) in
+    while !ok && !i < b do
+      if keep.(!i) then ok := false
+      else begin
+        let fit = va +. (slope *. (ts.(!i) -. ta)) in
+        if Float.abs (vs.(!i) -. fit) > eps then ok := false
+      end;
+      incr i
+    done;
+    !ok
+  in
+  let out = ref [ 0 ] in
+  let a = ref 0 in
+  while !a < n - 1 do
+    let b = ref (!a + 1) in
+    while !b < n - 1 && (not keep.(!b)) && chord_ok !a (!b + 1) do
+      incr b
+    done;
+    out := !b :: !out;
+    a := !b
+  done;
+  let idx = Array.of_list (List.rev !out) in
+  Wave.create
+    (Array.map (fun i -> ts.(i)) idx)
+    (Array.map (fun i -> vs.(i)) idx)
+
+let max_error ~original ~decoded =
+  let ts = Wave.times original and vs = Wave.values original in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i t ->
+      let e = Float.abs (vs.(i) -. Wave.value_at decoded t) in
+      if e > !worst then worst := e)
+    ts;
+  !worst
+
+let ratio ~original ~compressed =
+  float_of_int (Wave.length original) /. float_of_int (Wave.length compressed)

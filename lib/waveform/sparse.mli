@@ -1,0 +1,31 @@
+(** Threshold-windowed sparse storage for sampled waveforms.
+
+    [compress] returns a waveform whose samples are a subset of the
+    original's, chosen so that (a) every segment that crosses or
+    touches one of [levels] keeps both endpoints — so every crossing
+    time of every listed level round-trips exactly — and (b) every
+    dropped sample lies within [eps] volts of the replacement chord,
+    so the piecewise-linear reconstruction error is at most [eps]
+    everywhere and no spurious level crossings can appear. Intended
+    for the disk cache and checkpoint journals, where traces are
+    re-read only through their piecewise-linear interpolation. *)
+
+val default_eps : float
+(** 1 mV — far inside the 10%-Vdd threshold band of every supported
+    process, and small enough that reconstruction error never moves a
+    measured crossing (crossing segments are stored verbatim). *)
+
+val compress : ?eps:float -> levels:float list -> Wave.t -> Wave.t
+(** [compress ?eps ~levels w] sparsifies [w]. The result is a valid
+    waveform over the same span (endpoints always survive). [eps]
+    defaults to {!default_eps}; [levels] should list every voltage at
+    which crossings will be measured (e.g. the process v_low / v_mid /
+    v_high). Raises [Invalid_argument] on negative [eps]. *)
+
+val max_error : original:Wave.t -> decoded:Wave.t -> float
+(** Max |original(t) - decoded(t)| over the original's sample times —
+    which is where the maximum over the whole span is attained when
+    [decoded] came from [compress]. *)
+
+val ratio : original:Wave.t -> compressed:Wave.t -> float
+(** Sample-count shrink factor (original / compressed). *)

@@ -19,4 +19,5 @@ let () =
       Test_server.suite;
       Test_fuzz.suite;
       Test_crash.suite;
+      Test_sweep.suite;
     ]

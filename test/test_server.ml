@@ -171,12 +171,12 @@ let test_protocol_request_roundtrip () =
         query =
           Server.Protocol.Table1
             { config = "i"; cases = 5; techniques = Some [ "SGDP" ];
-              samples = None };
+              samples = None; prune_tol_ps = 0.0 };
         deadline_ms = None };
       { Server.Protocol.id = 5;
         query =
           Server.Protocol.Montecarlo
-            { config = "ii"; samples = 16; seed = 9 };
+            { config = "ii"; samples = 16; seed = 9; prune_tol_ps = 2.0 };
         deadline_ms = None };
     ]
   in
@@ -262,7 +262,8 @@ let test_protocol_klass () =
   check_true "table1 is a sweep"
     (k
        (Server.Protocol.Table1
-          { config = "i"; cases = 3; techniques = None; samples = None })
+          { config = "i"; cases = 3; techniques = None; samples = None;
+            prune_tol_ps = 0.0 })
     = Server.Protocol.Sweep)
 
 let test_protocol_framing () =
